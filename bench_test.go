@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each Benchmark* runs the corresponding experiment through the harness
+// (results are memoized across benchmarks within one `go test -bench` run,
+// exactly as the figures share runs in the paper) and prints the rows the
+// paper reports. Use `go test -bench=. -benchmem` to regenerate everything,
+// or -bench=Fig17 for a single figure.
+package wir_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	wir "github.com/wirsim/wir"
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/harness"
+)
+
+// benchByAbbr resolves a suite benchmark for the throughput measurement.
+func benchByAbbr(abbr string) (*bench.Benchmark, error) { return bench.ByAbbr(abbr) }
+
+var (
+	benchHarness     *harness.Harness
+	benchHarnessOnce sync.Once
+)
+
+// benchSMs reduces the simulated SM count for the bench harness when set;
+// the paper's 15 SMs are the default.
+func sharedHarness() *harness.Harness {
+	benchHarnessOnce.Do(func() {
+		benchHarness = harness.New()
+	})
+	return benchHarness
+}
+
+// runExperiment executes fn once per benchmark iteration (memoization makes
+// repeats nearly free) and prints the rendered experiment once.
+func runExperiment(b *testing.B, name string, fn func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error)) {
+	b.Helper()
+	h := sharedHarness()
+	var printed bool
+	for i := 0; i < b.N; i++ {
+		r, err := fn(h)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if !printed {
+			fmt.Println()
+			r.WriteText(os.Stdout)
+			printed = true
+		}
+	}
+}
+
+// writeTexter adapts the harness result types (whose WriteText takes an
+// io.Writer) to runExperiment.
+type writeTexter struct{ f func(*os.File) }
+
+func (w writeTexter) WriteText(f *os.File) { w.f(f) }
+
+func BenchmarkFig02RepeatedComputations(b *testing.B) {
+	runExperiment(b, "fig2", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig2()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig12BackendInstructions(b *testing.B) {
+	runExperiment(b, "fig12", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig12()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig13BackendOps(b *testing.B) {
+	runExperiment(b, "fig13", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig13()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig14GPUEnergy(b *testing.B) {
+	runExperiment(b, "fig14", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig14()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig15L1Accesses(b *testing.B) {
+	runExperiment(b, "fig15", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig15()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig16SMEnergy(b *testing.B) {
+	runExperiment(b, "fig16", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig16()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig17Speedup(b *testing.B) {
+	runExperiment(b, "fig17", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig17()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig18VerifyCache(b *testing.B) {
+	runExperiment(b, "fig18", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig18()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig19RegisterUtilization(b *testing.B) {
+	runExperiment(b, "fig19", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig19()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig20VSBSweep(b *testing.B) {
+	runExperiment(b, "fig20", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig20()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig21ReuseBufferSweep(b *testing.B) {
+	runExperiment(b, "fig21", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig21()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkFig22PipelineDelay(b *testing.B) {
+	runExperiment(b, "fig22", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.Fig22()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkTableIBenchmarks(b *testing.B) {
+	runExperiment(b, "table1", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.TableI()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkTableIIParameters(b *testing.B) {
+	runExperiment(b, "table2", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		return writeTexter{func(f *os.File) { harness.TableII(f) }}, nil
+	})
+}
+
+func BenchmarkTableIIIHardwareCosts(b *testing.B) {
+	runExperiment(b, "table3", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		return writeTexter{func(f *os.File) { harness.TableIII(f) }}, nil
+	})
+}
+
+func BenchmarkAblationAssociativity(b *testing.B) {
+	runExperiment(b, "ablation-assoc", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.AblationAssociativity()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkAblationPendingQueue(b *testing.B) {
+	runExperiment(b, "ablation-pending", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.AblationPendingQueue()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkAblationPowerGating(b *testing.B) {
+	runExperiment(b, "ablation-gating", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.AblationPowerGating()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	runExperiment(b, "ablation-scheduler", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.AblationScheduler()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	runExperiment(b, "headline", func(h *harness.Harness) (interface{ WriteText(w *os.File) }, error) {
+		r, err := h.RunHeadline()
+		if err != nil {
+			return nil, err
+		}
+		return writeTexter{func(f *os.File) { r.WriteText(f) }}, nil
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated warp
+// instructions per wall-clock second) for the baseline and the full reuse
+// design, quantifying the modeling overhead the WIR stages add to the
+// simulator itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, m := range []wir.Model{wir.Base, wir.RLPV} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			var instrs, cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := wir.DefaultConfig(m)
+				cfg.NumSMs = 4
+				g, err := wir.NewGPU(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bm, err := benchByAbbr("KM")
+				if err != nil {
+					b.Fatal(err)
+				}
+				w, err := bm.Setup(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := w.Run(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := g.Stats()
+				instrs += st.Issued
+				cycles += c
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "warpinstrs/s")
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
+}

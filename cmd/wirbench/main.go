@@ -1,0 +1,252 @@
+// Command wirbench regenerates the WIR paper's figures and tables.
+//
+// Usage:
+//
+//	wirbench [-sms N] [-v] [-exp LIST] [-json FILE] [-csv FILE]
+//
+// LIST is a comma-separated subset of:
+// headline, fig2, fig12..fig22, table1, table2, table3,
+// ablation-assoc, ablation-pending, ablation-gating — or "all" (default).
+// -json writes the complete machine-readable report (running everything);
+// -csv dumps every raw simulation as one row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/wirsim/wir/internal/harness"
+)
+
+func main() {
+	sms := flag.Int("sms", 15, "number of simulated SMs (paper: 15)")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	exp := flag.String("exp", "all", "comma-separated experiments to run")
+	jsonPath := flag.String("json", "", "additionally write the full report as JSON to this file (runs all experiments)")
+	csvPath := flag.String("csv", "", "additionally write every raw run as CSV to this file")
+	flag.Parse()
+
+	h := harness.New()
+	h.SMs = *sms
+	if *verbose {
+		h.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+	out := os.Stdout
+
+	type step struct {
+		name string
+		run  func() error
+	}
+	steps := []step{
+		{"headline", func() error {
+			r, err := h.RunHeadline()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig2", func() error {
+			r, err := h.Fig2()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig12", func() error {
+			r, err := h.Fig12()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig13", func() error {
+			r, err := h.Fig13()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig14", func() error {
+			r, err := h.Fig14()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig15", func() error {
+			r, err := h.Fig15()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig16", func() error {
+			r, err := h.Fig16()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig17", func() error {
+			r, err := h.Fig17()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig18", func() error {
+			r, err := h.Fig18()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig19", func() error {
+			r, err := h.Fig19()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig20", func() error {
+			r, err := h.Fig20()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig21", func() error {
+			r, err := h.Fig21()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"fig22", func() error {
+			r, err := h.Fig22()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"table1", func() error {
+			r, err := h.TableI()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"table2", func() error {
+			harness.TableII(out)
+			return nil
+		}},
+		{"table3", func() error {
+			harness.TableIII(out)
+			return nil
+		}},
+		{"ablation-assoc", func() error {
+			r, err := h.AblationAssociativity()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"ablation-pending", func() error {
+			r, err := h.AblationPendingQueue()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"ablation-gating", func() error {
+			r, err := h.AblationPowerGating()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+		{"ablation-scheduler", func() error {
+			r, err := h.AblationScheduler()
+			if err != nil {
+				return err
+			}
+			r.WriteText(out)
+			return nil
+		}},
+	}
+	ran := 0
+	for _, s := range steps {
+		if !sel(s.name) {
+			continue
+		}
+		if ran > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := s.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 && *jsonPath == "" && *csvPath == "" {
+		fmt.Fprintf(os.Stderr, "wirbench: no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		rep, err := h.RunAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: report: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote JSON report to %s\n", *jsonPath)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := h.WriteRunsCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d raw runs to %s\n", h.RunCount(), *csvPath)
+	}
+}

@@ -1,0 +1,93 @@
+// Command wirdiff runs a benchmark under two machine models and compares the
+// per-warp retired-result streams. The WIR design must never change
+// architectural results, so any divergence pinpoints a reuse bug down to the
+// first affected (launch, block, warp, PC).
+//
+// Caveat: kernels with benign data races (e.g. BFS, where concurrent threads
+// store the same value and unordered loads may observe either state) can
+// legitimately report divergent *load* results between models while output
+// buffers stay identical — the output comparison is the authoritative check
+// for such workloads.
+//
+// Usage:
+//
+//	wirdiff [-sms N] [-a Base] [-b RLPV] <benchmark-abbr>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/trace"
+)
+
+func main() {
+	sms := flag.Int("sms", 4, "number of simulated SMs")
+	modelA := flag.String("a", "Base", "first machine model")
+	modelB := flag.String("b", "RLPV", "second machine model")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wirdiff [-sms N] [-a M1] [-b M2] <benchmark-abbr>")
+		os.Exit(2)
+	}
+	abbr := flag.Arg(0)
+	bm, err := bench.ByAbbr(abbr)
+	fatal(err)
+	ma, err := config.ParseModel(*modelA)
+	fatal(err)
+	mb, err := config.ParseModel(*modelB)
+	fatal(err)
+
+	run := func(m config.Model) (*trace.RetireRecorder, []uint32) {
+		cfg := config.Default(m)
+		cfg.NumSMs = *sms
+		g, err := gpu.New(cfg)
+		fatal(err)
+		rec := trace.NewRetireRecorder()
+		g.SetTracer(rec)
+		w, err := bm.Setup(g)
+		fatal(err)
+		_, err = w.Run(g)
+		fatal(err)
+		fatal(g.CheckInvariants())
+		return rec, g.Mem().Snapshot(w.OutBase, w.OutWords)
+	}
+
+	recA, outA := run(ma)
+	recB, outB := run(mb)
+
+	exit := 0
+	if d := trace.Divergence(recA, recB); d != "" {
+		fmt.Printf("retire-stream divergence (%v vs %v): %s\n", ma, mb, d)
+		exit = 1
+	} else {
+		fmt.Printf("retire streams identical across %d warps\n", len(recA.Streams))
+	}
+	diffs := 0
+	for i := range outA {
+		if outA[i] != outB[i] {
+			if diffs == 0 {
+				fmt.Printf("output mismatch at word %d: %#x vs %#x\n", i, outA[i], outB[i])
+			}
+			diffs++
+		}
+	}
+	if diffs > 0 {
+		fmt.Printf("%d/%d output words differ\n", diffs, len(outA))
+		exit = 1
+	} else {
+		fmt.Printf("output buffers identical (%d words)\n", len(outA))
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirdiff:", err)
+		os.Exit(1)
+	}
+}

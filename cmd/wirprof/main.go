@@ -1,0 +1,62 @@
+// Command wirprof runs the repeated-computation profiler (paper Figure 2)
+// on one benchmark or the whole suite.
+//
+// Usage:
+//
+//	wirprof [-sms N] [benchmark-abbr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/profile"
+)
+
+func main() {
+	sms := flag.Int("sms", 15, "number of simulated SMs")
+	flag.Parse()
+
+	targets := bench.All()
+	if flag.NArg() == 1 {
+		b, err := bench.ByAbbr(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wirprof:", err)
+			os.Exit(1)
+		}
+		targets = []*bench.Benchmark{b}
+	}
+	fmt.Printf("%-4s %10s %14s %12s\n", "App", "repeated", "repeated>=10x", "instructions")
+	var sum, sum10 float64
+	for _, bm := range targets {
+		cfg := config.Default(config.Base)
+		cfg.NumSMs = *sms
+		g, err := gpu.New(cfg)
+		fatal(err)
+		p := profile.New()
+		g.SetProfileHook(p.Observe)
+		w, err := bm.Setup(g)
+		fatal(err)
+		_, err = w.Run(g)
+		fatal(err)
+		fmt.Printf("%-4s %9.1f%% %13.1f%% %12d\n",
+			bm.Abbr, 100*p.RepeatedRate(), 100*p.Repeated10Rate(), p.Total())
+		sum += p.RepeatedRate()
+		sum10 += p.Repeated10Rate()
+	}
+	if len(targets) > 1 {
+		n := float64(len(targets))
+		fmt.Printf("%-4s %9.1f%% %13.1f%%   (paper: 31.4%% / 16.0%%)\n", "AVG", 100*sum/n, 100*sum10/n)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirprof:", err)
+		os.Exit(1)
+	}
+}

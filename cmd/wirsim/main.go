@@ -1,0 +1,98 @@
+// Command wirsim runs one benchmark under one machine model and prints its
+// statistics and energy breakdown.
+//
+// Usage:
+//
+//	wirsim [-sms N] [-model RLPV] [-list] <benchmark-abbr>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/energy"
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/trace"
+)
+
+func main() {
+	sms := flag.Int("sms", 15, "number of simulated SMs")
+	modelName := flag.String("model", "RLPV", "machine model (Base, R, RL, RLP, RLPV, RPV, RLPVc, NoVSB, Affine, Affine+RLPV)")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	traceN := flag.Int("trace", 0, "print the first N pipeline events")
+	disasm := flag.Bool("disasm", false, "print each kernel's program listing before running")
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-4s %-12s %s\n", b.Abbr, b.Name, b.Suite)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wirsim [-sms N] [-model M] <benchmark-abbr>")
+		os.Exit(2)
+	}
+	abbr := flag.Arg(0)
+	bm, err := bench.ByAbbr(abbr)
+	fatal(err)
+	m, err := config.ParseModel(*modelName)
+	fatal(err)
+
+	cfg := config.Default(m)
+	cfg.NumSMs = *sms
+	g, err := gpu.New(cfg)
+	fatal(err)
+	if *traceN > 0 {
+		g.SetTracer(&trace.Writer{W: os.Stdout, Max: *traceN})
+	}
+	w, err := bm.Setup(g)
+	fatal(err)
+	if *disasm {
+		seen := map[string]bool{}
+		for _, l := range w.Launches {
+			if !seen[l.Kernel.Name] {
+				seen[l.Kernel.Name] = true
+				fmt.Print(l.Kernel.Listing())
+			}
+		}
+	}
+	cycles, err := w.Run(g)
+	fatal(err)
+	fatal(g.CheckInvariants())
+
+	st := g.Stats()
+	coeff := energy.Default45nm()
+	eb := energy.Model(&coeff, &st, cfg.NumSMs)
+
+	fmt.Printf("%s (%s) on %v, %d SMs\n", bm.Name, bm.Abbr, m, cfg.NumSMs)
+	fmt.Printf("cycles                 %d (IPC %.2f per SM)\n", cycles,
+		float64(st.Issued)/float64(cycles)/float64(cfg.NumSMs))
+	fmt.Printf("instructions issued    %d (%.1f%% FP, %.1f%% control)\n",
+		st.Issued, 100*st.FPRate(), 100*float64(st.Control)/float64(st.Issued))
+	fmt.Printf("backend executed       %d\n", st.Backend)
+	fmt.Printf("reused (bypassed)      %d (%.1f%% of issued; %d via pending-retry)\n",
+		st.Bypassed, 100*st.BypassRate(), st.PendingHits)
+	fmt.Printf("loads served by reuse  %d\n", st.LoadsReused)
+	fmt.Printf("dummy MOVs             %d\n", st.DummyMovs)
+	fmt.Printf("VSB                    %d lookups, %.1f%% hit, %d false positives\n",
+		st.VSBLookups, 100*st.VSBHitRate(), st.VSBFalsePos)
+	fmt.Printf("verify cache           %d hits / %d verify-reads\n", st.VerifyCHits, st.VerifyReads)
+	fmt.Printf("register file          %d reads, %d writes, %d verify-reads, %d retries\n",
+		st.RFReads, st.RFWrites, st.RFVerify, st.BankRetries)
+	fmt.Printf("register utilization   avg %.0f, peak %d (of %d)\n",
+		st.AvgRegUtil(), st.RegUtilPeak, cfg.PhysRegsPerSM)
+	fmt.Printf("L1D                    %d accesses, %.1f%% miss\n", st.L1DAccesses, 100*st.L1DMissRate())
+	fmt.Printf("L2 / DRAM              %d / %d accesses\n", st.L2Accesses, st.DRAMAccesses)
+	fmt.Printf("energy (uJ)            SM %.2f, total %.2f\n", eb.SM()/1e6, eb.Total()/1e6)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirsim:", err)
+		os.Exit(1)
+	}
+}

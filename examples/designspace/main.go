@@ -1,0 +1,89 @@
+// Designspace: sweep the two main sizing knobs of the WIR design — reuse
+// buffer entries (paper Figure 21) and added backend pipeline delay (paper
+// Figure 22) — on a single redundancy-heavy kernel, printing the resulting
+// reuse rate and speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wir "github.com/wirsim/wir"
+)
+
+// buildPoly assembles a polynomial-evaluation kernel over a quantized grid
+// of inputs (16 distinct values), a dense source of repeated computations.
+func buildPoly(in, out uint32) *wir.Kernel {
+	b := wir.NewKernelBuilder("poly")
+	gidx := b.R()
+	tid := b.R()
+	bid := b.R()
+	bdim := b.R()
+	b.S2R(tid, wir.Tid)
+	b.S2R(bid, wir.CtaidX)
+	b.S2R(bdim, wir.NtidX)
+	b.IMad(gidx, bid, bdim, tid)
+	addr := b.R()
+	x := b.R()
+	acc := b.R()
+	c := b.R()
+	b.ShlI(addr, gidx, 2)
+	b.IAddI(addr, addr, int32(in))
+	b.Ld(x, wir.Global, addr, 0)
+	// Horner chain of degree 8.
+	b.MovF(acc, 0.5)
+	for i := 0; i < 8; i++ {
+		b.MovF(c, float32(i)*0.25-1)
+		b.FFma(acc, acc, x, c)
+	}
+	b.ShlI(addr, gidx, 2)
+	b.IAddI(addr, addr, int32(out))
+	b.St(wir.Global, addr, acc, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func run(cfg wir.Config, n int) (wir.Stats, uint64) {
+	g, err := wir.NewGPU(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms := g.Mem()
+	in := ms.Alloc(n)
+	out := ms.Alloc(n)
+	for i := 0; i < n; i++ {
+		ms.StoreGlobal(in+uint32(i)*4, wir.F32Bits(float32(i%16)*0.125))
+	}
+	cycles, err := g.Run(&wir.Launch{Kernel: buildPoly(in, out), GridX: n / 256, DimX: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g.Stats(), cycles
+}
+
+func main() {
+	const n = 1 << 14
+	_, baseCycles := run(wir.DefaultConfig(wir.Base), n)
+
+	fmt.Println("reuse buffer size sweep (cf. paper Figure 21):")
+	fmt.Printf("%8s %10s %14s\n", "entries", "reused", "pending share")
+	for _, entries := range []int{32, 64, 128, 256, 512} {
+		cfg := wir.DefaultConfig(wir.RLPV)
+		cfg.ReuseEntries = entries
+		st, _ := run(cfg, n)
+		pend := 0.0
+		if st.ReuseHits > 0 {
+			pend = float64(st.PendingHits) / float64(st.ReuseHits)
+		}
+		fmt.Printf("%8d %9.1f%% %13.1f%%\n", entries, 100*st.BypassRate(), 100*pend)
+	}
+
+	fmt.Println("\nbackend delay sweep (cf. paper Figure 22):")
+	fmt.Printf("%8s %10s\n", "delay", "speedup")
+	for _, d := range []int{3, 4, 5, 6, 7} {
+		cfg := wir.DefaultConfig(wir.RLPV)
+		cfg.BackendDelay = d
+		_, cycles := run(cfg, n)
+		fmt.Printf("      D%d %10.3f\n", d, float64(baseCycles)/float64(cycles))
+	}
+}

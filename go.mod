@@ -1,0 +1,3 @@
+module github.com/wirsim/wir
+
+go 1.22

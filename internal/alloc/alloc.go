@@ -1,0 +1,132 @@
+// Package alloc implements dynamic physical warp register management: a free
+// register pool and a reference-counting release system (paper section V-E).
+// A register's count tracks how many references to it exist in rename tables,
+// the reuse buffer, the value signature buffer, and in-flight instructions;
+// when the count reaches zero the register returns to the free pool.
+package alloc
+
+import (
+	"fmt"
+
+	"github.com/wirsim/wir/internal/regfile"
+)
+
+// Pool manages the physical registers of one SM.
+type Pool struct {
+	refs []uint32
+	free []regfile.PhysID // FIFO free list
+	head int              // queue head into free
+
+	inUse int
+	limit int // allocation cap (capped-register policy); len(refs) otherwise
+
+	// Zero is a dedicated always-allocated register holding the all-zeroes
+	// vector; reads of invalid logical registers map to it.
+	Zero regfile.PhysID
+}
+
+// New returns a pool over numRegs physical registers. Register 0 is reserved
+// as the permanently allocated zero register.
+func New(numRegs int) *Pool {
+	if numRegs < 2 {
+		panic("alloc: need at least two physical registers")
+	}
+	p := &Pool{
+		refs: make([]uint32, numRegs),
+		free: make([]regfile.PhysID, 0, numRegs),
+		Zero: 0,
+	}
+	p.refs[0] = 1 // never released
+	for i := 1; i < numRegs; i++ {
+		p.free = append(p.free, regfile.PhysID(i))
+	}
+	p.inUse = 1
+	p.limit = numRegs
+	return p
+}
+
+// SetLimit installs an allocation cap for the capped-register policy: at most
+// limit registers may be in use simultaneously. Values outside [1, numRegs]
+// are clamped.
+func (p *Pool) SetLimit(limit int) {
+	if limit < 1 {
+		limit = 1
+	}
+	if limit > len(p.refs) {
+		limit = len(p.refs)
+	}
+	p.limit = limit
+}
+
+// Limit returns the current allocation cap.
+func (p *Pool) Limit() int { return p.limit }
+
+// InUse returns the number of registers currently allocated (including the
+// zero register).
+func (p *Pool) InUse() int { return p.inUse }
+
+// FreeCount returns the number of registers in the free pool.
+func (p *Pool) FreeCount() int { return len(p.free) - p.head }
+
+// AtLimit reports whether a new allocation would exceed the policy cap or
+// exhaust the pool — the trigger for low-register mode.
+func (p *Pool) AtLimit() bool { return p.inUse >= p.limit || p.FreeCount() == 0 }
+
+// Alloc takes a register from the free pool with an initial reference count
+// of one. It fails when the pool is empty or the policy cap is reached; the
+// caller must then enter low-register mode and retry.
+func (p *Pool) Alloc() (regfile.PhysID, bool) {
+	if p.AtLimit() {
+		return regfile.PhysNone, false
+	}
+	r := p.free[p.head]
+	p.head++
+	if p.head > len(p.free)/2 && p.head > 64 {
+		p.free = append(p.free[:0], p.free[p.head:]...)
+		p.head = 0
+	}
+	p.refs[r] = 1
+	p.inUse++
+	return r, true
+}
+
+// AddRef increments r's reference count. r must be allocated.
+func (p *Pool) AddRef(r regfile.PhysID) {
+	if p.refs[r] == 0 {
+		panic(fmt.Sprintf("alloc: AddRef on free register %d", r))
+	}
+	p.refs[r]++
+}
+
+// Release decrements r's reference count and returns the register to the free
+// pool when it reaches zero, reporting whether it was freed.
+func (p *Pool) Release(r regfile.PhysID) bool {
+	if p.refs[r] == 0 {
+		panic(fmt.Sprintf("alloc: Release on free register %d", r))
+	}
+	p.refs[r]--
+	if p.refs[r] == 0 {
+		p.free = append(p.free, r)
+		p.inUse--
+		return true
+	}
+	return false
+}
+
+// Refs returns r's current reference count (for invariant checks).
+func (p *Pool) Refs(r regfile.PhysID) uint32 { return p.refs[r] }
+
+// CheckConservation verifies that in-use plus free equals the register count
+// and that no free register has a nonzero count. It returns an error
+// describing the first violation found.
+func (p *Pool) CheckConservation() error {
+	if p.inUse+p.FreeCount() != len(p.refs) {
+		return fmt.Errorf("alloc: %d in use + %d free != %d registers", p.inUse, p.FreeCount(), len(p.refs))
+	}
+	for _, r := range p.free[p.head:] {
+		if p.refs[r] != 0 {
+			return fmt.Errorf("alloc: register %d is free but has %d references", r, p.refs[r])
+		}
+	}
+	return nil
+}

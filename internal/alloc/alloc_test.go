@@ -1,0 +1,171 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wirsim/wir/internal/regfile"
+)
+
+func TestAllocRelease(t *testing.T) {
+	p := New(8)
+	if p.InUse() != 1 { // the zero register
+		t.Fatalf("fresh pool in use = %d", p.InUse())
+	}
+	r, ok := p.Alloc()
+	if !ok || r == p.Zero {
+		t.Fatalf("alloc failed or returned the zero register")
+	}
+	if p.Refs(r) != 1 {
+		t.Fatalf("fresh register must have one reference")
+	}
+	p.AddRef(r)
+	if p.Release(r) {
+		t.Fatalf("release with remaining refs must not free")
+	}
+	if !p.Release(r) {
+		t.Fatalf("last release must free")
+	}
+	if err := p.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	p := New(4) // zero + 3 allocatable
+	var got []regfile.PhysID
+	for {
+		r, ok := p.Alloc()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("allocated %d, want 3", len(got))
+	}
+	if !p.AtLimit() {
+		t.Fatalf("pool must report AtLimit when empty")
+	}
+	p.Release(got[0])
+	if _, ok := p.Alloc(); !ok {
+		t.Fatalf("alloc must succeed after a release")
+	}
+}
+
+func TestCappedLimit(t *testing.T) {
+	p := New(16)
+	p.SetLimit(3) // zero register + 2
+	a, ok1 := p.Alloc()
+	_, ok2 := p.Alloc()
+	if !ok1 || !ok2 {
+		t.Fatalf("allocations under the cap must succeed")
+	}
+	if _, ok := p.Alloc(); ok {
+		t.Fatalf("allocation beyond the cap must fail")
+	}
+	p.Release(a)
+	if _, ok := p.Alloc(); !ok {
+		t.Fatalf("allocation must succeed after dropping below the cap")
+	}
+	// Limits clamp to the physical register count.
+	p.SetLimit(10_000)
+	if p.Limit() != 16 {
+		t.Fatalf("limit must clamp to pool size, got %d", p.Limit())
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := New(4)
+	r, _ := p.Alloc()
+	p.Release(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double release must panic")
+		}
+	}()
+	p.Release(r)
+}
+
+func TestAddRefOnFreePanics(t *testing.T) {
+	p := New(4)
+	r, _ := p.Alloc()
+	p.Release(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AddRef on a free register must panic")
+		}
+	}()
+	p.AddRef(r)
+}
+
+// Property: under any random sequence of alloc/addref/release operations the
+// pool conserves registers: in-use + free == total, and no free register has
+// references.
+func TestQuickConservation(t *testing.T) {
+	f := func(ops []byte) bool {
+		p := New(32)
+		var live []regfile.PhysID
+		refs := map[regfile.PhysID]int{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if r, ok := p.Alloc(); ok {
+					live = append(live, r)
+					refs[r] = 1
+				}
+			case 1:
+				if len(live) > 0 {
+					r := live[int(op)%len(live)]
+					p.AddRef(r)
+					refs[r]++
+				}
+			case 2:
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					r := live[i]
+					freed := p.Release(r)
+					refs[r]--
+					if refs[r] == 0 {
+						if !freed {
+							return false
+						}
+						live = append(live[:i], live[i+1:]...)
+						delete(refs, r)
+					} else if freed {
+						return false
+					}
+				}
+			}
+			if p.CheckConservation() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: freed registers are recycled FIFO, so a just-freed register is
+// not immediately handed back while older free registers exist (this gives
+// dead values the longest possible reuse window).
+func TestFIFORecycling(t *testing.T) {
+	p := New(8)
+	first, _ := p.Alloc()
+	rest := []regfile.PhysID{}
+	for {
+		r, ok := p.Alloc()
+		if !ok {
+			break
+		}
+		rest = append(rest, r)
+	}
+	p.Release(first)
+	p.Release(rest[0])
+	r1, _ := p.Alloc()
+	if r1 != first {
+		t.Fatalf("FIFO order violated: got %d, want %d", r1, first)
+	}
+}

@@ -1,0 +1,156 @@
+// Package bench contains the 34 benchmark kernels of the paper's Table I,
+// re-implemented in the simulator's warp ISA. Each benchmark mirrors the
+// computation pattern and, crucially, the *redundancy structure* of the
+// original Parboil/Rodinia/CUDA-SDK application: image kernels operate on
+// images with flat regions, financial kernels on quantized price grids,
+// graph kernels on power-law frontiers, and so on. Inputs are generated
+// deterministically from fixed seeds so every run is reproducible.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/mem"
+)
+
+// Benchmark is one application of the suite.
+type Benchmark struct {
+	Name  string // full name as in Table I
+	Abbr  string // two-letter abbreviation
+	Suite string // "SDK", "Rodinia", or "Parboil"
+	// Setup allocates and initializes device memory on g and returns the
+	// kernel launches plus the location of the output buffer used for
+	// cross-model equivalence checks.
+	Setup func(g *gpu.GPU) (*Workload, error)
+}
+
+// Workload is a prepared benchmark instance.
+type Workload struct {
+	Launches []gpu.Launch
+	OutBase  uint32 // output buffer for functional equivalence checks
+	OutWords int
+}
+
+// Run executes every launch of the workload in order.
+func (w *Workload) Run(g *gpu.GPU) (uint64, error) {
+	var total uint64
+	for i := range w.Launches {
+		c, err := g.Run(&w.Launches[i])
+		if err != nil {
+			return total, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+var registry []*Benchmark
+
+func register(b *Benchmark) { registry = append(registry, b) }
+
+// All returns the benchmarks in Table I order.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByAbbr returns the benchmark with the given abbreviation.
+func ByAbbr(abbr string) (*Benchmark, error) {
+	for _, b := range registry {
+		if b.Abbr == abbr {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", abbr)
+}
+
+// Abbrs returns all abbreviations, sorted.
+func Abbrs() []string {
+	out := make([]string, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b.Abbr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- deterministic input generation ---
+
+// rng is a xorshift32 generator for reproducible synthetic inputs.
+type rng struct{ s uint32 }
+
+func newRng(seed uint32) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B9
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint32 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 17
+	r.s ^= r.s << 5
+	return r.s
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint32(n)) }
+
+// f32 returns a float in [0, 1).
+func (r *rng) f32() float32 { return float32(r.next()>>8) / float32(1<<24) }
+
+// quantF returns a float drawn from a small set of levels values in [lo, hi]:
+// quantization is the main redundancy knob, mirroring how real inputs (8-bit
+// pixels, price grids, integer scores) populate only a few distinct values.
+func (r *rng) quantF(levels int, lo, hi float32) float32 {
+	if levels < 2 {
+		return lo
+	}
+	step := (hi - lo) / float32(levels-1)
+	return lo + float32(r.intn(levels))*step
+}
+
+// flatImage fills w*h words with a piecewise-flat "image": rectangular
+// patches of constant quantized intensity, the dominant structure of natural
+// and synthetic test images (SobelFilter's input, hotspot's power maps, ...).
+func flatImage(r *rng, w, h, patch, levels int) []uint32 {
+	img := make([]uint32, w*h)
+	for py := 0; py < h; py += patch {
+		for px := 0; px < w; px += patch {
+			v := isa.F32Bits(r.quantF(levels, 0, 1))
+			for y := py; y < py+patch && y < h; y++ {
+				for x := px; x < px+patch && x < w; x++ {
+					img[y*w+x] = v
+				}
+			}
+		}
+	}
+	return img
+}
+
+// storeWords copies data into global memory at base.
+func storeWords(ms *mem.System, base uint32, data []uint32) {
+	for i, v := range data {
+		ms.StoreGlobal(base+uint32(i)*4, v)
+	}
+}
+
+// allocWords allocates and initializes a global buffer.
+func allocWords(ms *mem.System, data []uint32) uint32 {
+	base := ms.Alloc(len(data))
+	storeWords(ms, base, data)
+	return base
+}
+
+// floatWords converts float32s to register words.
+func floatWords(fs []float32) []uint32 {
+	out := make([]uint32, len(fs))
+	for i, f := range fs {
+		out[i] = isa.F32Bits(f)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/gpu"
+)
+
+func testConfig(m config.Model) config.Config {
+	cfg := config.Default(m)
+	cfg.NumSMs = 4 // keep unit tests fast; experiments use the full 15
+	return cfg
+}
+
+func runOne(t *testing.T, b *Benchmark, m config.Model) ([]uint32, *gpu.GPU) {
+	t.Helper()
+	g, err := gpu.New(testConfig(m))
+	if err != nil {
+		t.Fatalf("%s: NewGPU: %v", b.Abbr, err)
+	}
+	w, err := b.Setup(g)
+	if err != nil {
+		t.Fatalf("%s: setup: %v", b.Abbr, err)
+	}
+	if _, err := w.Run(g); err != nil {
+		t.Fatalf("%s [%v]: run: %v", b.Abbr, m, err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("%s [%v]: invariants: %v", b.Abbr, m, err)
+	}
+	return g.Mem().Snapshot(w.OutBase, w.OutWords), g
+}
+
+// TestSuiteComplete checks the registry holds exactly the 34 applications of
+// Table I.
+func TestSuiteComplete(t *testing.T) {
+	if len(All()) != 34 {
+		t.Fatalf("registry has %d benchmarks, want 34", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, b := range All() {
+		if seen[b.Abbr] {
+			t.Errorf("duplicate abbreviation %s", b.Abbr)
+		}
+		seen[b.Abbr] = true
+		if b.Suite != "SDK" && b.Suite != "Rodinia" && b.Suite != "Parboil" {
+			t.Errorf("%s: unknown suite %q", b.Abbr, b.Suite)
+		}
+	}
+}
+
+// TestBenchmarksRunBase executes every benchmark on the baseline machine and
+// checks that work was actually performed.
+func TestBenchmarksRunBase(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Abbr, func(t *testing.T) {
+			out, g := runOne(t, b, config.Base)
+			st := g.Stats()
+			if st.Issued == 0 {
+				t.Fatalf("no instructions issued")
+			}
+			nonzero := false
+			for _, v := range out {
+				if v != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if !nonzero {
+				t.Errorf("output buffer entirely zero; kernel likely wrong")
+			}
+		})
+	}
+}
+
+// TestReuseNeverChangesResults is the suite's central soundness property:
+// for every benchmark, the RLPV machine (full reuse) must produce bit-equal
+// outputs to the baseline.
+func TestReuseNeverChangesResults(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Abbr, func(t *testing.T) {
+			ref, _ := runOne(t, b, config.Base)
+			got, g := runOne(t, b, config.RLPV)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("output[%d] = %#x under RLPV, want %#x", i, got[i], ref[i])
+				}
+			}
+			st := g.Stats()
+			t.Logf("%s: issued=%d bypassed=%d (%.1f%%)", b.Abbr, st.Issued, st.Bypassed, 100*st.BypassRate())
+		})
+	}
+}

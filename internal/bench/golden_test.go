@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+)
+
+// goldenOutputs are FNV-1a checksums of each benchmark's output buffer under
+// the Base model with the test configuration (4 SMs). Functional results are
+// schedule-independent for every benchmark except BFS (whose benign races
+// legitimately depend on issue order), so these values pin down the
+// functional semantics of the ISA, the kernels, and the input generators:
+// any unintended change to arithmetic, control flow, memory semantics, or
+// the deterministic input streams fails this test.
+var goldenOutputs = map[string]uint64{
+	"SD": 0xd68da4bce10b6325,
+	"ST": 0x4079efdff1fb1391,
+	"SV": 0x8a29b44ed2a269fb,
+	"CU": 0xa3c0ad01ab70ce21,
+	"MQ": 0xb9180d94ca303206,
+	"SG": 0xbaaf5ed2bf67fa9f,
+	"LB": 0x4e3db3400f6ddc2d,
+	"BT": 0x8569e933da078aa5,
+	"GA": 0x2d2702d73267c8c7,
+	"BP": 0xc53bc96745f943bf,
+	"PF": 0x0ec9fb66ef7923f9,
+	"HS": 0x99c5b8986b2e1116,
+	"S2": 0xda19f36cd77776cb,
+	"S1": 0x7c69a8d8436b3943,
+	"LU": 0x7f6233f984f3f2aa,
+	"KM": 0x4174e4f5e09d3d40,
+	"DW": 0x1670be1fbb3ac7a5,
+	"NW": 0x8a188c86ed837469,
+	"CF": 0x94bd804a310bc36a,
+	"SC": 0x70b1037e4f56dcab,
+	"LK": 0x4b82c2240f362325,
+	"HW": 0xcd76df1ad435a813,
+	"HT": 0xd5aa6794386b4d6d,
+	"SF": 0xae63d16aa1eaa0c3,
+	"DC": 0x6a57338dc86c3825,
+	"WT": 0x52d092694e29a25d,
+	"BS": 0xfa33166c37ddc065,
+	"SQ": 0x71f7cfb6b6a72325,
+	"MC": 0xeb742982639ed034,
+	"BO": 0x8cc29c781d996ee8,
+	"SN": 0x5bc75c058aaec0f8,
+	"DX": 0xe2215eb257590aa5,
+	"FD": 0x6ba0853e57380f25,
+	// "BF" intentionally absent: level-synchronous BFS races are benign but
+	// schedule-dependent (all racing writers store the same value, yet
+	// whether a node is seen in level L or L+1 depends on issue order).
+}
+
+func checksum(out []uint32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range out {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TestGoldenOutputs pins the functional behaviour of every deterministic
+// benchmark.
+func TestGoldenOutputs(t *testing.T) {
+	for _, b := range All() {
+		want, ok := goldenOutputs[b.Abbr]
+		if !ok {
+			continue
+		}
+		b := b
+		t.Run(b.Abbr, func(t *testing.T) {
+			out, _ := runOne(t, b, config.Base)
+			if got := checksum(out); got != want {
+				t.Fatalf("output checksum %#016x, want %#016x — functional behaviour changed", got, want)
+			}
+		})
+	}
+}

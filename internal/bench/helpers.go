@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// emitGlobalIdx emits code computing the global 1-D thread index
+// (blockIdx.x*blockDim.x + threadIdx) into a fresh register. The S2R results
+// and the index arithmetic are the canonical source of cross-block repeated
+// computations (paper section III-B).
+func emitGlobalIdx(b *kasm.Builder) isa.Reg {
+	tid := b.R()
+	bid := b.R()
+	bdim := b.R()
+	g := b.R()
+	b.S2R(tid, isa.SrTid)
+	b.S2R(bid, isa.SrCtaidX)
+	b.S2R(bdim, isa.SrNtidX)
+	b.IMad(g, bid, bdim, tid)
+	return g
+}
+
+// emitTid emits threadIdx (linear within the block) into a fresh register.
+func emitTid(b *kasm.Builder) isa.Reg {
+	t := b.R()
+	b.S2R(t, isa.SrTid)
+	return t
+}
+
+// emitAddr emits dst = base + 4*idx, the word-address computation.
+func emitAddr(b *kasm.Builder, dst, idx isa.Reg, base uint32) {
+	b.ShlI(dst, idx, 2)
+	b.IAddI(dst, dst, int32(base))
+}
+
+// emitLoadGlobalAt loads global[base + 4*idx] into dst using tmp as the
+// address register.
+func emitLoadGlobalAt(b *kasm.Builder, dst, idx, tmp isa.Reg, base uint32) {
+	emitAddr(b, tmp, idx, base)
+	b.Ld(dst, isa.SpaceGlobal, tmp, 0)
+}
+
+// emitStoreGlobalAt stores val to global[base + 4*idx] using tmp as the
+// address register.
+func emitStoreGlobalAt(b *kasm.Builder, val, idx, tmp isa.Reg, base uint32) {
+	emitAddr(b, tmp, idx, base)
+	b.St(isa.SpaceGlobal, tmp, val, 0)
+}
+
+// emitClampI emits r = min(max(r, lo), hi) with the given scratch register.
+func emitClampI(b *kasm.Builder, r, scratch isa.Reg, lo, hi int32) {
+	b.MovI(scratch, uint32(lo))
+	b.IMax(r, r, scratch)
+	b.MovI(scratch, uint32(hi))
+	b.IMin(r, r, scratch)
+}
+
+// uniformLoop emits a loop with a warp-uniform trip count: body(i) runs with
+// the loop counter in a register. count must be >= 1.
+func uniformLoop(b *kasm.Builder, count int32, body func(i isa.Reg)) {
+	i := b.R()
+	p := b.P()
+	b.MovI(i, 0)
+	top := b.NewLabel()
+	b.Bind(top)
+	body(i)
+	b.IAddI(i, i, 1)
+	b.ISetPI(p, isa.CondLT, i, count)
+	b.BraTo(p, false, top)
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+func TestRngDeterministic(t *testing.T) {
+	a := newRng(7)
+	b := newRng(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("rng must be deterministic per seed")
+		}
+	}
+	if newRng(0).next() == 0 {
+		t.Fatalf("zero seed must be remapped (xorshift fixpoint)")
+	}
+}
+
+func TestQuantFLevels(t *testing.T) {
+	r := newRng(13)
+	seen := map[float32]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.quantF(5, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("quantF out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("quantF(5) produced %d distinct values, want 5", len(seen))
+	}
+	if got := newRng(1).quantF(1, 3, 9); got != 3 {
+		t.Fatalf("degenerate quantF should return lo, got %v", got)
+	}
+}
+
+func TestFlatImagePatches(t *testing.T) {
+	r := newRng(3)
+	const w, h, patch = 32, 16, 8
+	img := flatImage(r, w, h, patch, 4)
+	if len(img) != w*h {
+		t.Fatalf("size %d", len(img))
+	}
+	// Every pixel inside a patch equals the patch's top-left pixel.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ox, oy := x/patch*patch, y/patch*patch
+			if img[y*w+x] != img[oy*w+ox] {
+				t.Fatalf("pixel (%d,%d) differs from its patch origin", x, y)
+			}
+		}
+	}
+}
+
+func TestFloatWords(t *testing.T) {
+	ws := floatWords([]float32{1, 2.5})
+	if ws[0] != isa.F32Bits(1) || ws[1] != isa.F32Bits(2.5) {
+		t.Fatalf("conversion wrong")
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	b, err := ByAbbr("SF")
+	if err != nil || b.Name != "SobelFilter" {
+		t.Fatalf("ByAbbr(SF) = %v, %v", b, err)
+	}
+	if _, err := ByAbbr("ZZ"); err == nil {
+		t.Fatalf("unknown abbreviation must error")
+	}
+	if len(Abbrs()) != 34 {
+		t.Fatalf("Abbrs() returned %d entries", len(Abbrs()))
+	}
+}
+
+func TestBenchmarkMetadataRegisterBudget(t *testing.T) {
+	// Every kernel must fit its block on an SM (the occupancy calculation
+	// validates this again at run time; here we check the static budget).
+	for _, bm := range All() {
+		if bm.Name == "" || len(bm.Abbr) < 2 {
+			t.Errorf("benchmark with bad metadata: %+v", bm)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	counts := map[string]int{}
+	for _, b := range All() {
+		counts[b.Suite]++
+	}
+	// Table I: 7 Parboil, 17 Rodinia, 10 CUDA SDK applications.
+	if counts["Parboil"] != 7 || counts["Rodinia"] != 17 || counts["SDK"] != 10 {
+		t.Fatalf("suite composition %v, want Parboil=7 Rodinia=17 SDK=10", counts)
+	}
+}

@@ -1,0 +1,534 @@
+package bench
+
+import (
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// sad (SD, Parboil): sum-of-absolute-differences block matching between a
+// current and a reference video frame. Still regions make most difference
+// terms zero.
+func init() {
+	register(&Benchmark{
+		Name: "sad", Abbr: "SD", Suite: "Parboil",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 128, 64
+			const cands = 8
+			ms := g.Mem()
+			r := newRng(211)
+			cur := flatImage(r, w, h, 16, 5)
+			ref := make([]uint32, w*h)
+			copy(ref, cur)
+			// Disturb a few reference patches (moving objects).
+			for p := 0; p < 6; p++ {
+				x0, y0 := r.intn(w-8), r.intn(h-8)
+				v := isa.F32Bits(r.quantF(5, 0, 1))
+				for y := y0; y < y0+8; y++ {
+					for x := x0; x < x0+8; x++ {
+						ref[y*w+x] = v
+					}
+				}
+			}
+			cB := allocWords(ms, cur)
+			rB := allocWords(ms, ref)
+			out := ms.Alloc(w * h / 16 * cands)
+
+			b := kasm.NewBuilder("sad")
+			gidx := emitGlobalIdx(b) // one thread per (macroblock, candidate)
+			mb := b.R()
+			cand := b.R()
+			b.ShrI(mb, gidx, 3) // 8 candidates
+			b.AndI(cand, gidx, cands-1)
+			// Macroblock origin (4x4 blocks across a w/4-wide grid).
+			bx := b.R()
+			by := b.R()
+			b.AndI(bx, mb, w/4-1)
+			b.ShrI(by, mb, 5) // log2(w/4)
+			acc := b.R()
+			cv := b.R()
+			rv := b.R()
+			d := b.R()
+			idx := b.R()
+			addr := b.R()
+			px := b.R()
+			py := b.R()
+			sc := b.R()
+			b.MovF(acc, 0)
+			uniformLoop(b, 16, func(i isa.Reg) {
+				b.AndI(px, i, 3)
+				b.ShrI(py, i, 2)
+				b.ShlI(idx, by, 2)
+				b.IAdd(idx, idx, py)
+				b.ShlI(idx, idx, 7) // * w
+				b.ShlI(d, bx, 2)
+				b.IAdd(idx, idx, d)
+				b.IAdd(idx, idx, px)
+				emitLoadGlobalAt(b, cv, idx, addr, cB)
+				// Candidate displaces the reference read horizontally.
+				b.IAdd(idx, idx, cand)
+				b.MovI(sc, w*h-1)
+				b.IMin(idx, idx, sc)
+				emitLoadGlobalAt(b, rv, idx, addr, rB)
+				b.FSub(d, cv, rv)
+				b.FAbs(d, d)
+				b.FAdd(acc, acc, d)
+			})
+			emitStoreGlobalAt(b, acc, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: w * h / 16 * cands / 128, DimX: 128}},
+				OutBase:  out, OutWords: w * h / 16 * cands,
+			}, nil
+		},
+	})
+}
+
+// stencil (ST, Parboil): 7-point 3-D Jacobi stencil over a volume with large
+// uniform regions.
+func init() {
+	register(&Benchmark{
+		Name: "stencil", Abbr: "ST", Suite: "Parboil",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h, d = 64, 32, 8
+			ms := g.Mem()
+			r := newRng(223)
+			vol := make([]uint32, w*h*d)
+			for z := 0; z < d; z++ {
+				copy(vol[z*w*h:], flatImage(r, w, h, 16, 4))
+			}
+			in := allocWords(ms, vol)
+			out := ms.Alloc(w * h * d)
+
+			b := kasm.NewBuilder("stencil")
+			gidx := emitGlobalIdx(b) // one thread per (x, y); loop over z
+			x := b.R()
+			y := b.R()
+			b.AndI(x, gidx, w-1)
+			b.ShrI(y, gidx, 6)
+			addr := b.R()
+			idx := b.R()
+			sc := b.R()
+			v := b.R()
+			acc := b.R()
+			nx := b.R()
+			uniformLoop(b, d, func(z isa.Reg) {
+				b.IMulI(idx, z, w*h)
+				b.IAdd(idx, idx, gidx)
+				emitLoadGlobalAt(b, acc, idx, addr, in)
+				b.FMulI(acc, acc, -6)
+				// x neighbors (clamped)
+				for _, dx := range []int32{-1, 1} {
+					b.IAddI(nx, x, dx)
+					emitClampI(b, nx, sc, 0, w-1)
+					b.IMulI(idx, z, w*h)
+					b.ShlI(v, y, 6)
+					b.IAdd(idx, idx, v)
+					b.IAdd(idx, idx, nx)
+					emitLoadGlobalAt(b, v, idx, addr, in)
+					b.FAdd(acc, acc, v)
+				}
+				// y neighbors
+				for _, dy := range []int32{-1, 1} {
+					b.IAddI(nx, y, dy)
+					emitClampI(b, nx, sc, 0, h-1)
+					b.IMulI(idx, z, w*h)
+					b.ShlI(nx, nx, 6)
+					b.IAdd(idx, idx, nx)
+					b.IAdd(idx, idx, x)
+					emitLoadGlobalAt(b, v, idx, addr, in)
+					b.FAdd(acc, acc, v)
+				}
+				// z neighbors
+				for _, dz := range []int32{-1, 1} {
+					b.IAddI(nx, z, dz)
+					emitClampI(b, nx, sc, 0, d-1)
+					b.IMulI(idx, nx, w*h)
+					b.IAdd(idx, idx, gidx)
+					emitLoadGlobalAt(b, v, idx, addr, in)
+					b.FAdd(acc, acc, v)
+				}
+				b.FMulI(acc, acc, 0.1)
+				b.IMulI(idx, z, w*h)
+				b.IAdd(idx, idx, gidx)
+				emitStoreGlobalAt(b, acc, idx, addr, out)
+			})
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: w * h / 128, DimX: 128}},
+				OutBase:  out, OutWords: w * h * d,
+			}, nil
+		},
+	})
+}
+
+// spmv (SV, Parboil): ELL-format sparse matrix-vector product. Rows within a
+// cluster share their column pattern, so vector-gather address vectors repeat
+// across warps; values come from a tiny alphabet.
+func init() {
+	register(&Benchmark{
+		Name: "spmv", Abbr: "SV", Suite: "Parboil",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const rows = 8192
+			const nnz = 8
+			ms := g.Mem()
+			r := newRng(227)
+			cols := make([]uint32, rows*nnz)
+			vals := make([]uint32, rows*nnz)
+			// 64-row clusters share one column pattern.
+			pattern := make([]uint32, nnz)
+			for row := 0; row < rows; row++ {
+				if row%64 == 0 {
+					for k := range pattern {
+						pattern[k] = uint32(r.intn(2048))
+					}
+				}
+				for k := 0; k < nnz; k++ {
+					cols[row*nnz+k] = pattern[k]
+					vals[row*nnz+k] = isa.F32Bits(r.quantF(3, 0.5, 2))
+				}
+			}
+			xv := make([]uint32, 2048)
+			for i := range xv {
+				xv[i] = isa.F32Bits(r.quantF(6, -1, 1))
+			}
+			colB := allocWords(ms, cols)
+			valB := allocWords(ms, vals)
+			xB := allocWords(ms, xv)
+			out := ms.Alloc(rows)
+
+			b := kasm.NewBuilder("spmv")
+			row := emitGlobalIdx(b)
+			acc := b.R()
+			cva := b.R()
+			col := b.R()
+			av := b.R()
+			xvv := b.R()
+			base := b.R()
+			addr := b.R()
+			b.MovF(acc, 0)
+			b.IMulI(base, row, nnz)
+			uniformLoop(b, nnz, func(k isa.Reg) {
+				b.IAdd(cva, base, k)
+				emitAddr(b, addr, cva, colB)
+				b.Ld(col, isa.SpaceGlobal, addr, 0)
+				emitAddr(b, addr, cva, valB)
+				b.Ld(av, isa.SpaceGlobal, addr, 0)
+				emitAddr(b, addr, col, xB)
+				b.Ld(xvv, isa.SpaceGlobal, addr, 0)
+				b.FFma(acc, av, xvv, acc)
+			})
+			emitStoreGlobalAt(b, acc, row, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: rows / 128, DimX: 128}},
+				OutBase:  out, OutWords: rows,
+			}, nil
+		},
+	})
+}
+
+// cutcp (CU, Parboil): cutoff Coulomb potential on a lattice. Atom data sits
+// in constant memory; the cutoff test diverges and the kernel is dominated by
+// floating point and rsqrt.
+func init() {
+	register(&Benchmark{
+		Name: "cutcp", Abbr: "CU", Suite: "Parboil",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 64, 64
+			const atoms = 24
+			ms := g.Mem()
+			r := newRng(229)
+			ad := make([]float32, atoms*3) // x, y, charge
+			for a := 0; a < atoms; a++ {
+				ad[a*3] = r.quantF(16, 0, w)
+				ad[a*3+1] = r.quantF(16, 0, h)
+				ad[a*3+2] = r.quantF(4, 0.5, 2)
+			}
+			ms.SetConst(floatWords(ad))
+			out := ms.Alloc(w * h)
+
+			b := kasm.NewBuilder("cutcp")
+			gidx := emitGlobalIdx(b)
+			x := b.R()
+			y := b.R()
+			b.AndI(x, gidx, w-1)
+			b.ShrI(y, gidx, 6)
+			fx := b.R()
+			fy := b.R()
+			b.I2F(fx, x)
+			b.I2F(fy, y)
+			pot := b.R()
+			ca := b.R()
+			ax := b.R()
+			ay := b.R()
+			q := b.R()
+			dx := b.R()
+			dy := b.R()
+			d2 := b.R()
+			contrib := b.R()
+			p := b.P()
+			b.MovF(pot, 0)
+			uniformLoop(b, atoms, func(a isa.Reg) {
+				b.IMulI(ca, a, 12)
+				b.Ld(ax, isa.SpaceConst, ca, 0)
+				b.Ld(ay, isa.SpaceConst, ca, 4)
+				b.Ld(q, isa.SpaceConst, ca, 8)
+				b.FSub(dx, fx, ax)
+				b.FSub(dy, fy, ay)
+				b.FMul(d2, dx, dx)
+				b.FFma(d2, dy, dy, d2)
+				// Inside the cutoff radius, add q/r.
+				b.FSetPI(p, isa.CondLT, d2, 144)
+				b.If(p, false, func() {
+					b.FAddI(d2, d2, 0.01)
+					b.FRsq(contrib, d2)
+					b.FMul(contrib, contrib, q)
+					b.FAdd(pot, pot, contrib)
+				})
+			})
+			addr := b.R()
+			emitStoreGlobalAt(b, pot, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: w * h / 128, DimX: 128}},
+				OutBase:  out, OutWords: w * h,
+			}, nil
+		},
+	})
+}
+
+// mri-q (MQ, Parboil): MRI reconstruction Q matrix. K-space samples live in
+// constant memory; sin/cos dominate.
+func init() {
+	register(&Benchmark{
+		Name: "mri-q", Abbr: "MQ", Suite: "Parboil",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 4096
+			const ks = 48
+			ms := g.Mem()
+			r := newRng(233)
+			kd := make([]float32, ks*2) // kx, phi magnitude
+			for i := 0; i < ks; i++ {
+				kd[i*2] = r.quantF(12, -3, 3)
+				kd[i*2+1] = r.quantF(4, 0.1, 1)
+			}
+			ms.SetConst(floatWords(kd))
+			xs := make([]uint32, n)
+			for i := range xs {
+				xs[i] = isa.F32Bits(r.quantF(16, -1, 1))
+			}
+			xB := allocWords(ms, xs)
+			outR := ms.Alloc(n)
+			outI := ms.Alloc(n)
+
+			b := kasm.NewBuilder("mriq")
+			gidx := emitGlobalIdx(b)
+			addr := b.R()
+			xv := b.R()
+			emitLoadGlobalAt(b, xv, gidx, addr, xB)
+			qr := b.R()
+			qi := b.R()
+			ca := b.R()
+			kx := b.R()
+			phi := b.R()
+			ang := b.R()
+			sv := b.R()
+			cvv := b.R()
+			b.MovF(qr, 0)
+			b.MovF(qi, 0)
+			uniformLoop(b, ks, func(i isa.Reg) {
+				b.ShlI(ca, i, 3)
+				b.Ld(kx, isa.SpaceConst, ca, 0)
+				b.Ld(phi, isa.SpaceConst, ca, 4)
+				b.FMul(ang, kx, xv)
+				b.FMulI(ang, ang, 6.2831853)
+				b.FCos(cvv, ang)
+				b.FSin(sv, ang)
+				b.FFma(qr, phi, cvv, qr)
+				b.FFma(qi, phi, sv, qi)
+			})
+			emitStoreGlobalAt(b, qr, gidx, addr, outR)
+			emitStoreGlobalAt(b, qi, gidx, addr, outI)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: n / 128, DimX: 128}},
+				OutBase:  outR, OutWords: n,
+			}, nil
+		},
+	})
+}
+
+// sgemm (SG, Parboil): tiled dense matrix multiply. Scratchpad tile
+// broadcasts give every warp in a block identical shared-load address
+// vectors, and quantized matrices repeat products.
+func init() {
+	register(&Benchmark{
+		Name: "sgemm", Abbr: "SG", Suite: "Parboil",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const m, n, kk = 64, 64, 32
+			const t = 8 // tile edge
+			ms := g.Mem()
+			r := newRng(239)
+			am := make([]uint32, m*kk)
+			bm := make([]uint32, kk*n)
+			for i := range am {
+				am[i] = isa.F32Bits(r.quantF(4, -1, 1))
+			}
+			for i := range bm {
+				bm[i] = isa.F32Bits(r.quantF(4, -1, 1))
+			}
+			aB := allocWords(ms, am)
+			bB := allocWords(ms, bm)
+			cB := ms.Alloc(m * n)
+
+			b := kasm.NewBuilder("sgemm")
+			shA := b.Shared(t * t * 4)
+			shB := b.Shared(t * t * 4)
+			tid := emitTid(b) // 64 threads: (ty, tx) in an 8x8 tile
+			bid := b.R()
+			b.S2R(bid, isa.SrCtaidX)
+			tx := b.R()
+			ty := b.R()
+			b.AndI(tx, tid, t-1)
+			b.ShrI(ty, tid, 3)
+			bx := b.R()
+			by := b.R()
+			b.AndI(bx, bid, n/t-1)
+			b.ShrI(by, bid, 3) // log2(n/t)
+			row := b.R()
+			col := b.R()
+			b.ShlI(row, by, 3)
+			b.IAdd(row, row, ty)
+			b.ShlI(col, bx, 3)
+			b.IAdd(col, col, tx)
+			acc := b.R()
+			addr := b.R()
+			sa := b.R()
+			va := b.R()
+			vb := b.R()
+			idx := b.R()
+			b.MovF(acc, 0)
+			uniformLoop(b, kk/t, func(kt isa.Reg) {
+				// Load A[row][kt*t+tx] and B[kt*t+ty][col] into shared.
+				b.ShlI(idx, kt, 3)
+				b.IAdd(idx, idx, tx)
+				b.IMulI(sa, row, kk)
+				b.IAdd(sa, sa, idx)
+				emitAddr(b, addr, sa, aB)
+				b.Ld(va, isa.SpaceGlobal, addr, 0)
+				b.ShlI(sa, tid, 2)
+				b.IAddI(sa, sa, int32(shA))
+				b.St(isa.SpaceShared, sa, va, 0)
+				b.ShlI(idx, kt, 3)
+				b.IAdd(idx, idx, ty)
+				b.IMulI(sa, idx, n)
+				b.IAdd(sa, sa, col)
+				emitAddr(b, addr, sa, bB)
+				b.Ld(vb, isa.SpaceGlobal, addr, 0)
+				b.ShlI(sa, tid, 2)
+				b.IAddI(sa, sa, int32(shB))
+				b.St(isa.SpaceShared, sa, vb, 0)
+				b.Bar()
+				uniformLoop(b, t, func(e isa.Reg) {
+					// va = shA[ty][e], vb = shB[e][tx]
+					b.ShlI(sa, ty, 3)
+					b.IAdd(sa, sa, e)
+					b.ShlI(sa, sa, 2)
+					b.IAddI(sa, sa, int32(shA))
+					b.Ld(va, isa.SpaceShared, sa, 0)
+					b.ShlI(sa, e, 3)
+					b.IAdd(sa, sa, tx)
+					b.ShlI(sa, sa, 2)
+					b.IAddI(sa, sa, int32(shB))
+					b.Ld(vb, isa.SpaceShared, sa, 0)
+					b.FFma(acc, va, vb, acc)
+				})
+				b.Bar()
+			})
+			b.IMulI(idx, row, n)
+			b.IAdd(idx, idx, col)
+			emitStoreGlobalAt(b, acc, idx, addr, cB)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: (m / t) * (n / t), DimX: t * t}},
+				OutBase:  cB, OutWords: m * n,
+			}, nil
+		},
+	})
+}
+
+// lbm (LB, Parboil): lattice-Boltzmann D2Q9 collision step. The flow field
+// is uniform except around obstacles, so equilibrium computations repeat.
+func init() {
+	register(&Benchmark{
+		Name: "lbm", Abbr: "LB", Suite: "Parboil",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const cells = 4096
+			const q = 9
+			ms := g.Mem()
+			r := newRng(241)
+			f := make([]uint32, cells*q)
+			weights := []float32{4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36}
+			for c := 0; c < cells; c++ {
+				disturbed := r.intn(10) == 0
+				for d := 0; d < q; d++ {
+					v := weights[d]
+					if disturbed {
+						v *= 1 + r.quantF(4, -0.1, 0.1)
+					}
+					f[c*q+d] = isa.F32Bits(v)
+				}
+			}
+			fB := allocWords(ms, f)
+			out := ms.Alloc(cells * q)
+			ms.SetConst(floatWords(weights))
+
+			b := kasm.NewBuilder("lbm")
+			cell := emitGlobalIdx(b)
+			base := b.R()
+			addr := b.R()
+			rho := b.R()
+			fv := b.R()
+			wv := b.R()
+			ca := b.R()
+			feq := b.R()
+			b.IMulI(base, cell, q)
+			// Density = sum of distributions.
+			b.MovF(rho, 0)
+			uniformLoop(b, q, func(d isa.Reg) {
+				b.IAdd(ca, base, d)
+				emitAddr(b, addr, ca, fB)
+				b.Ld(fv, isa.SpaceGlobal, addr, 0)
+				b.FAdd(rho, rho, fv)
+			})
+			// Relax each distribution toward weight*rho.
+			uniformLoop(b, q, func(d isa.Reg) {
+				b.IAdd(ca, base, d)
+				emitAddr(b, addr, ca, fB)
+				b.Ld(fv, isa.SpaceGlobal, addr, 0)
+				b.ShlI(ca, d, 2)
+				b.Ld(wv, isa.SpaceConst, ca, 0)
+				b.FMul(feq, wv, rho)
+				b.FSub(feq, feq, fv)
+				b.FMulI(feq, feq, 0.6) // omega
+				b.FAdd(fv, fv, feq)
+				b.IAdd(ca, base, d)
+				emitAddr(b, addr, ca, out)
+				b.St(isa.SpaceGlobal, addr, fv, 0)
+			})
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: cells / 128, DimX: 128}},
+				OutBase:  out, OutWords: cells * q,
+			}, nil
+		},
+	})
+}

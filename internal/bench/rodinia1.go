@@ -1,0 +1,451 @@
+package bench
+
+import (
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// b+tree (BT, Rodinia): batched B+-tree key search. Query batches are highly
+// duplicated (real OLTP key distributions are skewed), and duplicates are
+// clustered so whole warps follow identical descent paths — the source of
+// BT's strong load-reuse benefit (paper Figure 15).
+func init() {
+	register(&Benchmark{
+		Name: "b+tree", Abbr: "BT", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const fanout = 4
+			const depth = 5
+			const nq = 8192
+			ms := g.Mem()
+			r := newRng(101)
+			// Internal nodes: 3 separator keys per node, level by level.
+			nodes := 0
+			for l, c := 0, 1; l < depth; l, c = l+1, c*fanout {
+				nodes += c
+			}
+			keys := make([]uint32, nodes*3)
+			for i := range keys {
+				keys[i] = uint32(r.intn(1024))
+			}
+			tree := allocWords(ms, keys)
+			// Level base offsets (in nodes).
+			levelBase := make([]int, depth)
+			for l, c, acc := 0, 1, 0; l < depth; l, c = l+1, c*fanout {
+				levelBase[l] = acc
+				acc += c
+			}
+			// Clustered duplicate queries: one query value per warp pattern,
+			// repeated across the batch.
+			queries := make([]uint32, nq)
+			patterns := make([]uint32, 16)
+			for i := range patterns {
+				patterns[i] = uint32(r.intn(1024))
+			}
+			for i := range queries {
+				queries[i] = patterns[(i/32)%len(patterns)] + uint32(i%32)
+			}
+			qB := allocWords(ms, queries)
+			out := ms.Alloc(nq)
+
+			b := kasm.NewBuilder("btree")
+			gidx := emitGlobalIdx(b)
+			addr := b.R()
+			q := b.R()
+			emitLoadGlobalAt(b, q, gidx, addr, qB)
+			pos := b.R()
+			kv := b.R()
+			branch := b.R()
+			one := b.R()
+			t := b.R()
+			p := b.P()
+			b.MovI(pos, 0)
+			b.MovI(one, 1)
+			for l := 0; l < depth; l++ {
+				// addr = tree + (levelBase + pos)*3*4
+				b.IAddI(addr, pos, int32(levelBase[l]))
+				b.IMulI(addr, addr, 3)
+				b.ShlI(addr, addr, 2)
+				b.IAddI(addr, addr, int32(tree))
+				b.MovI(branch, 0)
+				for kidx := 0; kidx < 3; kidx++ {
+					b.Ld(kv, isa.SpaceGlobal, addr, int32(4*kidx))
+					b.ISetP(p, isa.CondGE, q, kv)
+					b.MovI(t, 0)
+					b.Sel(t, p, one, t)
+					b.IAdd(branch, branch, t)
+				}
+				b.ShlI(pos, pos, 2) // *fanout
+				b.IAdd(pos, pos, branch)
+			}
+			emitStoreGlobalAt(b, pos, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: nq / 128, DimX: 128}},
+				OutBase:  out, OutWords: nq,
+			}, nil
+		},
+	})
+}
+
+// gaussian (GA, Rodinia): Gaussian elimination via the Fan1/Fan2 kernel pair,
+// launched once per pivot. The matrix is dominated by small repeated values,
+// and the i>t / j>=t guards make many instructions divergent — GA is one of
+// the benchmarks whose verify-read bank pressure motivates the verify cache
+// (paper Figure 18).
+func init() {
+	register(&Benchmark{
+		Name: "gaussian", Abbr: "GA", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 32
+			ms := g.Mem()
+			r := newRng(113)
+			mat := make([]uint32, n*n)
+			for i := range mat {
+				mat[i] = isa.F32Bits(r.quantF(5, 1, 5))
+			}
+			for i := 0; i < n; i++ {
+				mat[i*n+i] = isa.F32Bits(8) // diagonally dominant
+			}
+			a := allocWords(ms, mat)
+			m := ms.Alloc(n * n)
+
+			var launches []gpu.Launch
+			for t := 0; t < n-1; t++ {
+				// Fan1: m[i] = a[i][t] / a[t][t] for i > t.
+				b1 := kasm.NewBuilder("fan1")
+				gi := emitGlobalIdx(b1)
+				p := b1.P()
+				b1.ISetPI(p, isa.CondGT, gi, int32(t))
+				b1.If(p, false, func() {
+					addr := b1.R()
+					av := b1.R()
+					piv := b1.R()
+					mv := b1.R()
+					b1.IMulI(addr, gi, n)
+					b1.IAddI(addr, addr, int32(t))
+					b1.ShlI(addr, addr, 2)
+					b1.IAddI(addr, addr, int32(a))
+					b1.Ld(av, isa.SpaceGlobal, addr, 0)
+					b1.MovI(addr, uint32(a)+uint32((t*n+t)*4))
+					b1.Ld(piv, isa.SpaceGlobal, addr, 0)
+					b1.FDiv(mv, av, piv)
+					b1.IMulI(addr, gi, n)
+					b1.IAddI(addr, addr, int32(t))
+					b1.ShlI(addr, addr, 2)
+					b1.IAddI(addr, addr, int32(m))
+					b1.St(isa.SpaceGlobal, addr, mv, 0)
+				})
+				b1.Exit()
+				launches = append(launches, gpu.Launch{Kernel: b1.MustBuild(), GridX: 1, DimX: n})
+
+				// Fan2: a[i][j] -= m[i] * a[t][j] for i > t, j >= t.
+				b2 := kasm.NewBuilder("fan2")
+				gi2 := emitGlobalIdx(b2)
+				i := b2.R()
+				j := b2.R()
+				b2.AndI(j, gi2, n-1)
+				b2.ShrI(i, gi2, 5) // log2(n)
+				p2 := b2.P()
+				p3 := b2.P()
+				b2.ISetPI(p2, isa.CondGT, i, int32(t))
+				b2.ISetPI(p3, isa.CondGE, j, int32(t))
+				b2.If(p2, false, func() {
+					b2.If(p3, false, func() {
+						addr := b2.R()
+						mv := b2.R()
+						pv := b2.R()
+						av := b2.R()
+						b2.IMulI(addr, i, n)
+						b2.IAddI(addr, addr, int32(t))
+						b2.ShlI(addr, addr, 2)
+						b2.IAddI(addr, addr, int32(m))
+						b2.Ld(mv, isa.SpaceGlobal, addr, 0)
+						b2.IAddI(addr, j, int32(t*n))
+						b2.ShlI(addr, addr, 2)
+						b2.IAddI(addr, addr, int32(a))
+						b2.Ld(pv, isa.SpaceGlobal, addr, 0)
+						b2.IMulI(addr, i, n)
+						b2.IAdd(addr, addr, j)
+						b2.ShlI(addr, addr, 2)
+						b2.IAddI(addr, addr, int32(a))
+						b2.Ld(av, isa.SpaceGlobal, addr, 0)
+						b2.FMul(mv, mv, pv)
+						b2.FSub(av, av, mv)
+						b2.St(isa.SpaceGlobal, addr, av, 0)
+					})
+				})
+				b2.Exit()
+				launches = append(launches, gpu.Launch{Kernel: b2.MustBuild(), GridX: n * n / 128, DimX: 128})
+			}
+			return &Workload{Launches: launches, OutBase: a, OutWords: n * n}, nil
+		},
+	})
+}
+
+// backprop (BP, Rodinia): neural-network layer forward pass. The input
+// activations are re-read by every output neuron (cross-warp load reuse) and
+// weights are quantized.
+func init() {
+	register(&Benchmark{
+		Name: "backprop", Abbr: "BP", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const nIn = 64
+			const nOut = 2048
+			ms := g.Mem()
+			r := newRng(127)
+			in := make([]uint32, nIn)
+			for i := range in {
+				in[i] = isa.F32Bits(r.quantF(4, 0, 1))
+			}
+			wts := make([]uint32, nIn*nOut)
+			for i := range wts {
+				wts[i] = isa.F32Bits(r.quantF(4, -0.5, 1))
+			}
+			inB := allocWords(ms, in)
+			wB := allocWords(ms, wts)
+			out := ms.Alloc(nOut)
+
+			b := kasm.NewBuilder("backprop")
+			o := emitGlobalIdx(b) // one thread per output unit
+			acc := b.R()
+			xv := b.R()
+			wv := b.R()
+			xa := b.R()
+			wa := b.R()
+			wbase := b.R()
+			b.MovF(acc, 0)
+			b.IMulI(wbase, o, nIn)
+			uniformLoop(b, nIn, func(i isa.Reg) {
+				emitAddr(b, xa, i, inB)
+				b.Ld(xv, isa.SpaceGlobal, xa, 0)
+				b.IAdd(wa, wbase, i)
+				b.ShlI(wa, wa, 2)
+				b.IAddI(wa, wa, int32(wB))
+				b.Ld(wv, isa.SpaceGlobal, wa, 0)
+				b.FFma(acc, xv, wv, acc)
+			})
+			// Sigmoid: 1 / (1 + exp(-x)).
+			b.FMulI(acc, acc, -1.4426950)
+			b.FExp(acc, acc)
+			b.FAddI(acc, acc, 1)
+			b.FRcp(acc, acc)
+			emitStoreGlobalAt(b, acc, o, xa, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: nOut / 64, DimX: 64}},
+				OutBase:  out, OutWords: nOut,
+			}, nil
+		},
+	})
+}
+
+// pathfinder (PF, Rodinia): dynamic-programming shortest path, one row per
+// launch. Costs come from a tiny integer alphabet, so the min-of-three
+// chains repeat; row edges diverge.
+func init() {
+	register(&Benchmark{
+		Name: "pathfinder", Abbr: "PF", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const cols = 8192
+			const rows = 12
+			ms := g.Mem()
+			r := newRng(131)
+			cost := make([]uint32, cols*rows)
+			for i := range cost {
+				cost[i] = uint32(r.intn(4))
+			}
+			cB := allocWords(ms, cost)
+			prev := ms.Alloc(cols)
+			next := ms.Alloc(cols)
+
+			var launches []gpu.Launch
+			for row := 0; row < rows; row++ {
+				src, dst := prev, next
+				if row%2 == 1 {
+					src, dst = next, prev
+				}
+				b := kasm.NewBuilder("pathfinder")
+				gidx := emitGlobalIdx(b)
+				addr := b.R()
+				left := b.R()
+				mid := b.R()
+				right := b.R()
+				cv := b.R()
+				idx := b.R()
+				sc := b.R()
+				// Clamped neighbor indices.
+				b.IAddI(idx, gidx, -1)
+				emitClampI(b, idx, sc, 0, cols-1)
+				emitLoadGlobalAt(b, left, idx, addr, src)
+				emitLoadGlobalAt(b, mid, gidx, addr, src)
+				b.IAddI(idx, gidx, 1)
+				emitClampI(b, idx, sc, 0, cols-1)
+				emitLoadGlobalAt(b, right, idx, addr, src)
+				b.IMin(left, left, mid)
+				b.IMin(left, left, right)
+				b.IAddI(idx, gidx, int32(row*cols))
+				emitLoadGlobalAt(b, cv, idx, addr, cB)
+				b.IAdd(left, left, cv)
+				emitStoreGlobalAt(b, left, gidx, addr, dst)
+				b.Exit()
+				launches = append(launches, gpu.Launch{Kernel: b.MustBuild(), GridX: cols / 256, DimX: 256})
+			}
+			outBase := prev
+			if rows%2 == 1 {
+				outBase = next
+			}
+			return &Workload{Launches: launches, OutBase: outBase, OutWords: cols}, nil
+		},
+	})
+}
+
+// hotspot (HS, Rodinia): thermal simulation stencil over temperature and
+// power grids with large uniform patches.
+func init() {
+	register(&Benchmark{
+		Name: "hotspot", Abbr: "HS", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 128, 64
+			const iters = 6
+			ms := g.Mem()
+			r := newRng(137)
+			temp := allocWords(ms, flatImage(r, w, h, 16, 5))
+			power := allocWords(ms, flatImage(r, w, h, 32, 3))
+			temp2 := ms.Alloc(w * h)
+
+			// Each thread simulates a column strip of rows: the stencil rows
+			// shared between consecutive strip iterations stay in the same
+			// warp, so load reuse can serve them (a barrier after each row's
+			// store opens a fresh reuse epoch).
+			const strip = 4
+			var launches []gpu.Launch
+			for it := 0; it < iters; it++ {
+				src, dst := temp, temp2
+				if it%2 == 1 {
+					src, dst = temp2, temp
+				}
+				b := kasm.NewBuilder("hotspot")
+				gidx := emitGlobalIdx(b)
+				x := b.R()
+				ys := b.R()
+				y := b.R()
+				b.AndI(x, gidx, w-1)
+				b.ShrI(ys, gidx, 7)
+				b.ShlI(ys, ys, 2) // first row of the strip
+				addr := b.R()
+				idx := b.R()
+				sc := b.R()
+				tv := b.R()
+				nb := b.R()
+				pv := b.R()
+				nx := b.R()
+				ny := b.R()
+				// All reads happen before the first store so that the rows
+				// shared between consecutive strip iterations can be served
+				// by load reuse.
+				acc := make([]isa.Reg, strip)
+				for yy := 0; yy < strip; yy++ {
+					acc[yy] = b.R()
+					b.IAddI(y, ys, int32(yy))
+					b.ShlI(idx, y, 7)
+					b.IAdd(idx, idx, x)
+					emitLoadGlobalAt(b, tv, idx, addr, src)
+					b.MovF(acc[yy], 0)
+					for _, d := range [][2]int32{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+						b.IAddI(nx, x, d[0])
+						emitClampI(b, nx, sc, 0, w-1)
+						b.IAddI(ny, y, d[1])
+						emitClampI(b, ny, sc, 0, h-1)
+						b.ShlI(idx, ny, 7)
+						b.IAdd(idx, idx, nx)
+						emitLoadGlobalAt(b, nb, idx, addr, src)
+						b.FAdd(acc[yy], acc[yy], nb)
+					}
+					b.FMulI(tv, tv, -4)
+					b.FAdd(acc[yy], acc[yy], tv)
+					b.ShlI(idx, y, 7)
+					b.IAdd(idx, idx, x)
+					emitLoadGlobalAt(b, pv, idx, addr, power)
+					b.FMulI(acc[yy], acc[yy], 0.1)
+					b.FFma(acc[yy], pv, pv, acc[yy]) // heating term
+					emitLoadGlobalAt(b, tv, idx, addr, src)
+					b.FAdd(acc[yy], acc[yy], tv)
+				}
+				for yy := 0; yy < strip; yy++ {
+					b.IAddI(idx, ys, int32(yy))
+					b.ShlI(idx, idx, 7)
+					b.IAdd(idx, idx, x)
+					emitStoreGlobalAt(b, acc[yy], idx, addr, dst)
+				}
+				b.Exit()
+				launches = append(launches, gpu.Launch{Kernel: b.MustBuild(), GridX: w * (h / strip) / 128, DimX: 128})
+			}
+			return &Workload{Launches: launches, OutBase: temp, OutWords: w * h}, nil
+		},
+	})
+}
+
+// srad-v2 (S2, Rodinia): speckle-reducing anisotropic diffusion, the simpler
+// variant: gradient magnitudes and diffusion coefficients over an ultrasound
+// image with flat speckle-free regions.
+func init() {
+	register(&Benchmark{
+		Name: "srad-v2", Abbr: "S2", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 128, 96
+			ms := g.Mem()
+			r := newRng(139)
+			img := allocWords(ms, flatImage(r, w, h, 12, 6))
+			out := ms.Alloc(w * h)
+
+			b := kasm.NewBuilder("srad2")
+			gidx := emitGlobalIdx(b)
+			x := b.R()
+			y := b.R()
+			b.AndI(x, gidx, w-1)
+			b.ShrI(y, gidx, 7)
+			addr := b.R()
+			idx := b.R()
+			sc := b.R()
+			c := b.R()
+			v := b.R()
+			g2 := b.R()
+			d := b.R()
+			lap := b.R()
+			emitLoadGlobalAt(b, c, gidx, addr, img)
+			b.MovF(g2, 0)
+			b.MovF(lap, 0)
+			for _, dd := range [][2]int32{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nx := b.R()
+				ny := b.R()
+				b.IAddI(nx, x, dd[0])
+				emitClampI(b, nx, sc, 0, w-1)
+				b.IAddI(ny, y, dd[1])
+				emitClampI(b, ny, sc, 0, h-1)
+				b.ShlI(idx, ny, 7)
+				b.IAdd(idx, idx, nx)
+				emitLoadGlobalAt(b, v, idx, addr, img)
+				b.FSub(d, v, c)
+				b.FAdd(lap, lap, d)
+				b.FFma(g2, d, d, g2)
+			}
+			// Diffusion coefficient 1/(1+g2) and update.
+			cf := b.R()
+			b.FAddI(cf, g2, 1)
+			b.FRcp(cf, cf)
+			b.FMul(lap, lap, cf)
+			b.FMulI(lap, lap, 0.25)
+			b.FAdd(c, c, lap)
+			emitStoreGlobalAt(b, c, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: w * h / 128, DimX: 128}},
+				OutBase:  out, OutWords: w * h,
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,521 @@
+package bench
+
+import (
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// srad-v1 (S1, Rodinia): the original SRAD formulation with the
+// exponential diffusion coefficient (more SFU work than srad-v2).
+func init() {
+	register(&Benchmark{
+		Name: "srad-v1", Abbr: "S1", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 128, 64
+			ms := g.Mem()
+			r := newRng(149)
+			img := allocWords(ms, flatImage(r, w, h, 12, 5))
+			out := ms.Alloc(w * h)
+
+			b := kasm.NewBuilder("srad1")
+			gidx := emitGlobalIdx(b)
+			x := b.R()
+			y := b.R()
+			b.AndI(x, gidx, w-1)
+			b.ShrI(y, gidx, 7)
+			addr := b.R()
+			idx := b.R()
+			sc := b.R()
+			c := b.R()
+			v := b.R()
+			g2 := b.R()
+			d := b.R()
+			lap := b.R()
+			emitLoadGlobalAt(b, c, gidx, addr, img)
+			b.MovF(g2, 0)
+			b.MovF(lap, 0)
+			for _, dd := range [][2]int32{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nx := b.R()
+				ny := b.R()
+				b.IAddI(nx, x, dd[0])
+				emitClampI(b, nx, sc, 0, w-1)
+				b.IAddI(ny, y, dd[1])
+				emitClampI(b, ny, sc, 0, h-1)
+				b.ShlI(idx, ny, 7)
+				b.IAdd(idx, idx, nx)
+				emitLoadGlobalAt(b, v, idx, addr, img)
+				b.FSub(d, v, c)
+				b.FAdd(lap, lap, d)
+				b.FFma(g2, d, d, g2)
+			}
+			// q = g2 / (c*c + eps); coefficient = exp(-q).
+			q := b.R()
+			cc := b.R()
+			b.FMul(cc, c, c)
+			b.FAddI(cc, cc, 0.01)
+			b.FDiv(q, g2, cc)
+			b.FMulI(q, q, -1.4426950)
+			b.FExp(q, q)
+			b.FMul(lap, lap, q)
+			b.FMulI(lap, lap, 0.25)
+			b.FAdd(c, c, lap)
+			emitStoreGlobalAt(b, c, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: w * h / 128, DimX: 128}},
+				OutBase:  out, OutWords: w * h,
+			}, nil
+		},
+	})
+}
+
+// lud (LU, Rodinia): blocked LU decomposition of the diagonal tile in
+// scratchpad: one warp factorizes a 16x16 tile with heavy intra-block
+// dependencies, divergence and scratchpad traffic.
+func init() {
+	register(&Benchmark{
+		Name: "lud", Abbr: "LU", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const t = 16 // tile dimension
+			const tiles = 96
+			ms := g.Mem()
+			r := newRng(151)
+			mat := make([]uint32, tiles*t*t)
+			for i := range mat {
+				mat[i] = isa.F32Bits(r.quantF(4, 1, 4))
+			}
+			for tl := 0; tl < tiles; tl++ {
+				for i := 0; i < t; i++ {
+					mat[tl*t*t+i*t+i] = isa.F32Bits(9)
+				}
+			}
+			a := allocWords(ms, mat)
+
+			// Four warps per block, each factorizing its own tile, keep the
+			// SM occupied despite the serial dependency chains inside a tile.
+			const warpsPerBlock = 4
+			b := kasm.NewBuilder("lud")
+			sh := b.Shared(warpsPerBlock * t * t * 4)
+			tid := b.R()
+			b.S2R(tid, isa.SrLaneID) // 16 working lanes per warp
+			wid := b.R()
+			b.S2R(wid, isa.SrWarpID)
+			bid := b.R()
+			b.S2R(bid, isa.SrCtaidX)
+			lane := b.P()
+			b.ISetPI(lane, isa.CondLT, tid, t)
+			addr := b.R()
+			sa := b.R()
+			v := b.R()
+			base := b.R()
+			shBase := b.R()
+			b.IMulI(base, bid, warpsPerBlock)
+			b.IAdd(base, base, wid)
+			b.IMulI(base, base, t*t)
+			b.IMulI(shBase, wid, t*t*4)
+			b.IAddI(shBase, shBase, int32(sh))
+			// Stage the tile: each of the 16 active lanes loads one row.
+			b.If(lane, false, func() {
+				uniformLoop(b, t, func(j isa.Reg) {
+					b.IMulI(sa, tid, t)
+					b.IAdd(sa, sa, j)
+					b.IAdd(addr, base, sa)
+					b.ShlI(addr, addr, 2)
+					b.IAddI(addr, addr, int32(a))
+					b.Ld(v, isa.SpaceGlobal, addr, 0)
+					b.ShlI(sa, sa, 2)
+					b.IAdd(sa, sa, shBase)
+					b.St(isa.SpaceShared, sa, v, 0)
+				})
+			})
+			b.Bar()
+			// Right-looking factorization.
+			pk := b.P()
+			piv := b.R()
+			lik := b.R()
+			kj := b.R()
+			uniformLoop(b, t-1, func(kk isa.Reg) {
+				// Lanes k < i < t: sh[i][k] /= sh[k][k]. Lanes beyond the
+				// tile edge (16..31 of each warp) must stay inactive or they
+				// would write into the neighbouring warp's tile.
+				b.ISetP(pk, isa.CondGT, tid, kk)
+				b.If(lane, false, func() {
+					b.If(pk, false, func() {
+						b.IMulI(sa, kk, t)
+						b.IAdd(sa, sa, kk)
+						b.ShlI(sa, sa, 2)
+						b.IAdd(sa, sa, shBase)
+						b.Ld(piv, isa.SpaceShared, sa, 0)
+						b.IMulI(sa, tid, t)
+						b.IAdd(sa, sa, kk)
+						b.ShlI(sa, sa, 2)
+						b.IAdd(sa, sa, shBase)
+						b.Ld(lik, isa.SpaceShared, sa, 0)
+						b.FDiv(lik, lik, piv)
+						b.St(isa.SpaceShared, sa, lik, 0)
+					})
+				})
+				b.Bar()
+				// Trailing update: sh[i][j] -= sh[i][k]*sh[k][j], j > k.
+				pj := b.P()
+				b.If(lane, false, func() {
+					b.If(pk, false, func() {
+						uniformLoop(b, t, func(j isa.Reg) {
+							b.ISetP(pj, isa.CondGT, j, kk)
+							b.If(pj, false, func() {
+								b.IMulI(sa, kk, t)
+								b.IAdd(sa, sa, j)
+								b.ShlI(sa, sa, 2)
+								b.IAdd(sa, sa, shBase)
+								b.Ld(kj, isa.SpaceShared, sa, 0)
+								b.IMulI(sa, tid, t)
+								b.IAdd(sa, sa, j)
+								b.ShlI(sa, sa, 2)
+								b.IAdd(sa, sa, shBase)
+								b.Ld(v, isa.SpaceShared, sa, 0)
+								b.FMul(kj, lik, kj)
+								b.FSub(v, v, kj)
+								b.St(isa.SpaceShared, sa, v, 0)
+							})
+						})
+					})
+				})
+				b.Bar()
+			})
+			// Write the factored tile back.
+			b.If(lane, false, func() {
+				uniformLoop(b, t, func(j isa.Reg) {
+					b.IMulI(sa, tid, t)
+					b.IAdd(sa, sa, j)
+					b.ShlI(sa, sa, 2)
+					b.IAdd(sa, sa, shBase)
+					b.Ld(v, isa.SpaceShared, sa, 0)
+					b.IMulI(sa, tid, t)
+					b.IAdd(sa, sa, j)
+					b.IAdd(addr, base, sa)
+					b.ShlI(addr, addr, 2)
+					b.IAddI(addr, addr, int32(a))
+					b.St(isa.SpaceGlobal, addr, v, 0)
+				})
+			})
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: tiles / warpsPerBlock, DimX: warpsPerBlock * 32}},
+				OutBase:  a, OutWords: tiles * t * t,
+			}, nil
+		},
+	})
+}
+
+// kmeans (KM, Rodinia): nearest-centroid assignment. Centroids live in
+// constant memory and are re-read identically by every warp; the point array
+// far exceeds the L1, making KM the suite's cache-sensitive outlier
+// (paper section VII-C).
+func init() {
+	register(&Benchmark{
+		Name: "kmeans", Abbr: "KM", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 16384
+			const nf = 8
+			const kc = 5
+			ms := g.Mem()
+			r := newRng(157)
+			pts := make([]uint32, n*nf)
+			for i := range pts {
+				pts[i] = isa.F32Bits(r.quantF(6, 0, 4))
+			}
+			cent := make([]float32, kc*nf)
+			for i := range cent {
+				cent[i] = r.quantF(8, 0, 4)
+			}
+			pB := allocWords(ms, pts)
+			ms.SetConst(floatWords(cent))
+			out := ms.Alloc(n)
+
+			b := kasm.NewBuilder("kmeans")
+			gidx := emitGlobalIdx(b)
+			best := b.R()
+			bestD := b.R()
+			dist := b.R()
+			x := b.R()
+			cv := b.R()
+			d := b.R()
+			pa := b.R()
+			ca := b.R()
+			pbase := b.R()
+			p := b.P()
+			b.MovI(best, 0)
+			b.MovF(bestD, 1e30)
+			b.IMulI(pbase, gidx, nf)
+			uniformLoop(b, kc, func(c isa.Reg) {
+				b.MovF(dist, 0)
+				cbase := b.R()
+				b.IMulI(cbase, c, nf)
+				uniformLoop(b, nf, func(f isa.Reg) {
+					b.IAdd(pa, pbase, f)
+					b.ShlI(pa, pa, 2)
+					b.IAddI(pa, pa, int32(pB))
+					b.Ld(x, isa.SpaceGlobal, pa, 0)
+					b.IAdd(ca, cbase, f)
+					b.ShlI(ca, ca, 2)
+					b.Ld(cv, isa.SpaceConst, ca, 0)
+					b.FSub(d, x, cv)
+					b.FFma(dist, d, d, dist)
+				})
+				b.FSetP(p, isa.CondLT, dist, bestD)
+				b.Sel(bestD, p, dist, bestD)
+				b.Sel(best, p, c, best)
+			})
+			addr := b.R()
+			emitStoreGlobalAt(b, best, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: n / 128, DimX: 128}},
+				OutBase:  out, OutWords: n,
+			}, nil
+		},
+	})
+}
+
+// dwt2d (DW, Rodinia): 2-D Haar wavelet, row pass then column pass. Flat
+// image regions produce zero detail coefficients everywhere.
+func init() {
+	register(&Benchmark{
+		Name: "dwt2d", Abbr: "DW", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 128, 64
+			ms := g.Mem()
+			r := newRng(163)
+			img := allocWords(ms, flatImage(r, w, h, 16, 6))
+			tmp := ms.Alloc(w * h)
+			out := ms.Alloc(w * h)
+
+			// Row pass: one thread per output pair.
+			b1 := kasm.NewBuilder("dwt_rows")
+			gidx := emitGlobalIdx(b1)
+			x := b1.R()
+			y := b1.R()
+			b1.AndI(x, gidx, w/2-1)
+			b1.ShrI(y, gidx, 6)
+			addr := b1.R()
+			idx := b1.R()
+			av := b1.R()
+			dv := b1.R()
+			sum := b1.R()
+			dif := b1.R()
+			b1.ShlI(idx, y, 7)
+			b1.ShlI(av, x, 1)
+			b1.IAdd(idx, idx, av)
+			emitAddr(b1, addr, idx, img)
+			b1.Ld(av, isa.SpaceGlobal, addr, 0)
+			b1.Ld(dv, isa.SpaceGlobal, addr, 4)
+			b1.FAdd(sum, av, dv)
+			b1.FMulI(sum, sum, 0.5)
+			b1.FSub(dif, av, dv)
+			b1.FMulI(dif, dif, 0.5)
+			// approx -> tmp[y][x], detail -> tmp[y][x + w/2]
+			b1.ShlI(idx, y, 7)
+			b1.IAdd(idx, idx, x)
+			emitAddr(b1, addr, idx, tmp)
+			b1.St(isa.SpaceGlobal, addr, sum, 0)
+			b1.St(isa.SpaceGlobal, addr, dif, int32(4*w/2))
+			b1.Exit()
+
+			// Column pass over tmp.
+			b2 := kasm.NewBuilder("dwt_cols")
+			gidx2 := emitGlobalIdx(b2)
+			x2 := b2.R()
+			y2 := b2.R()
+			b2.AndI(x2, gidx2, w-1)
+			b2.ShrI(y2, gidx2, 7) // y in [0, h/2)
+			addr2 := b2.R()
+			idx2 := b2.R()
+			a2 := b2.R()
+			d2 := b2.R()
+			s2 := b2.R()
+			f2 := b2.R()
+			b2.ShlI(idx2, y2, 8) // 2*y*w
+			b2.IAdd(idx2, idx2, x2)
+			emitAddr(b2, addr2, idx2, tmp)
+			b2.Ld(a2, isa.SpaceGlobal, addr2, 0)
+			b2.Ld(d2, isa.SpaceGlobal, addr2, int32(4*w))
+			b2.FAdd(s2, a2, d2)
+			b2.FMulI(s2, s2, 0.5)
+			b2.FSub(f2, a2, d2)
+			b2.FMulI(f2, f2, 0.5)
+			b2.ShlI(idx2, y2, 7)
+			b2.IAdd(idx2, idx2, x2)
+			emitAddr(b2, addr2, idx2, out)
+			b2.St(isa.SpaceGlobal, addr2, s2, 0)
+			b2.St(isa.SpaceGlobal, addr2, f2, int32(4*w*h/2))
+			b2.Exit()
+
+			return &Workload{
+				Launches: []gpu.Launch{
+					{Kernel: b1.MustBuild(), GridX: w * h / 2 / 128, DimX: 128},
+					{Kernel: b2.MustBuild(), GridX: w * h / 2 / 128, DimX: 128},
+				},
+				OutBase: out, OutWords: w * h,
+			}, nil
+		},
+	})
+}
+
+// nw (NW, Rodinia): Needleman-Wunsch sequence alignment, one DP row per
+// launch with a constant substitution table over a 4-letter alphabet.
+func init() {
+	register(&Benchmark{
+		Name: "nw", Abbr: "NW", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const cols = 4096
+			const rows = 10
+			const gap = 2
+			ms := g.Mem()
+			r := newRng(167)
+			seqA := make([]uint32, rows)
+			seqB := make([]uint32, cols)
+			for i := range seqA {
+				seqA[i] = uint32(r.intn(4))
+			}
+			for i := range seqB {
+				seqB[i] = uint32(r.intn(4))
+			}
+			aB := allocWords(ms, seqA)
+			bB := allocWords(ms, seqB)
+			sub := make([]uint32, 16)
+			for i := range sub {
+				if i/4 == i%4 {
+					sub[i] = 3
+				} else {
+					sub[i] = ^uint32(0) // mismatch penalty -1
+				}
+			}
+			ms.SetConst(sub)
+			prev := ms.Alloc(cols)
+			next := ms.Alloc(cols)
+			// Initialize row 0 with gap penalties.
+			for j := 0; j < cols; j++ {
+				ms.StoreGlobal(prev+uint32(j)*4, uint32(int32(-gap*j)))
+			}
+
+			var launches []gpu.Launch
+			for row := 0; row < rows; row++ {
+				src, dst := prev, next
+				if row%2 == 1 {
+					src, dst = next, prev
+				}
+				b := kasm.NewBuilder("nw")
+				gidx := emitGlobalIdx(b)
+				addr := b.R()
+				nwv := b.R()
+				nv := b.R()
+				ai := b.R()
+				bj := b.R()
+				s := b.R()
+				best := b.R()
+				idx := b.R()
+				sc := b.R()
+				// nw = prev[j-1] (clamped), n = prev[j].
+				b.IAddI(idx, gidx, -1)
+				emitClampI(b, idx, sc, 0, cols-1)
+				emitLoadGlobalAt(b, nwv, idx, addr, src)
+				emitLoadGlobalAt(b, nv, gidx, addr, src)
+				// substitution score sub[a[row]*4 + b[j]]
+				b.MovI(idx, uint32(row))
+				emitLoadGlobalAt(b, ai, idx, addr, aB)
+				emitLoadGlobalAt(b, bj, gidx, addr, bB)
+				b.ShlI(ai, ai, 2)
+				b.IAdd(ai, ai, bj)
+				b.ShlI(ai, ai, 2)
+				b.Ld(s, isa.SpaceConst, ai, 0)
+				b.IAdd(best, nwv, s)
+				b.IAddI(nv, nv, -gap)
+				b.IMax(best, best, nv)
+				// The west term uses the previous row's west cell as an
+				// approximation (wavefront parallelization).
+				b.IAddI(nwv, nwv, -gap)
+				b.IMax(best, best, nwv)
+				emitStoreGlobalAt(b, best, gidx, addr, dst)
+				b.Exit()
+				launches = append(launches, gpu.Launch{Kernel: b.MustBuild(), GridX: cols / 256, DimX: 256})
+			}
+			outBase := prev
+			if rows%2 == 1 {
+				outBase = next
+			}
+			return &Workload{Launches: launches, OutBase: outBase, OutWords: cols}, nil
+		},
+	})
+}
+
+// bfs (BF, Rodinia): level-synchronous breadth-first search over a CSR
+// graph with clustered communities. Frontier tests make nearly every
+// instruction divergent; there is almost no floating point.
+func init() {
+	register(&Benchmark{
+		Name: "bfs", Abbr: "BF", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 8192
+			const deg = 4
+			const levels = 5
+			ms := g.Mem()
+			r := newRng(173)
+			// Community graph: most edges stay within a 64-node cluster.
+			edges := make([]uint32, n*deg)
+			for v := 0; v < n; v++ {
+				cl := v / 64 * 64
+				for e := 0; e < deg; e++ {
+					if r.intn(8) == 0 {
+						edges[v*deg+e] = uint32(r.intn(n))
+					} else {
+						edges[v*deg+e] = uint32(cl + r.intn(64))
+					}
+				}
+			}
+			eB := allocWords(ms, edges)
+			costInit := make([]uint32, n)
+			for i := range costInit {
+				costInit[i] = 0xFFFFFFFF
+			}
+			costInit[0] = 0
+			cost := allocWords(ms, costInit)
+
+			var launches []gpu.Launch
+			for lvl := 0; lvl < levels; lvl++ {
+				b := kasm.NewBuilder("bfs")
+				gidx := emitGlobalIdx(b)
+				addr := b.R()
+				cv := b.R()
+				p := b.P()
+				pu := b.P()
+				u := b.R()
+				uc := b.R()
+				nc := b.R()
+				emitLoadGlobalAt(b, cv, gidx, addr, cost)
+				b.ISetPI(p, isa.CondEQ, cv, int32(lvl))
+				b.If(p, false, func() {
+					b.MovI(nc, uint32(lvl+1))
+					for e := 0; e < deg; e++ {
+						b.IMulI(u, gidx, deg)
+						emitAddr(b, addr, u, eB)
+						b.Ld(u, isa.SpaceGlobal, addr, int32(4*e))
+						emitAddr(b, addr, u, cost)
+						b.Ld(uc, isa.SpaceGlobal, addr, 0)
+						b.ISetPI(pu, isa.CondEQ, uc, -1) // unvisited sentinel
+
+						b.If(pu, false, func() {
+							b.St(isa.SpaceGlobal, addr, nc, 0)
+						})
+					}
+				})
+				b.Exit()
+				launches = append(launches, gpu.Launch{Kernel: b.MustBuild(), GridX: n / 256, DimX: 256})
+			}
+			return &Workload{Launches: launches, OutBase: cost, OutWords: n}, nil
+		},
+	})
+}

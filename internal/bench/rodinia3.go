@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// cfd (CF, Rodinia): unstructured Euler solver flux kernel. Most cells carry
+// the uniform free-stream state, so the flux arithmetic (the bulk of this
+// very FP-heavy kernel) repeats across cells and warps.
+func init() {
+	register(&Benchmark{
+		Name: "cfd", Abbr: "CF", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 4096
+			ms := g.Mem()
+			r := newRng(179)
+			rho := make([]uint32, n)
+			mx := make([]uint32, n)
+			my := make([]uint32, n)
+			en := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				if r.intn(8) == 0 { // disturbed cells
+					rho[i] = isa.F32Bits(r.quantF(4, 0.9, 1.3))
+					mx[i] = isa.F32Bits(r.quantF(4, -0.2, 0.4))
+					my[i] = isa.F32Bits(r.quantF(4, -0.2, 0.2))
+					en[i] = isa.F32Bits(r.quantF(4, 2.2, 2.8))
+				} else { // free stream
+					rho[i] = isa.F32Bits(1.0)
+					mx[i] = isa.F32Bits(0.3)
+					my[i] = isa.F32Bits(0.0)
+					en[i] = isa.F32Bits(2.5)
+				}
+			}
+			rB := allocWords(ms, rho)
+			mxB := allocWords(ms, mx)
+			myB := allocWords(ms, my)
+			eB := allocWords(ms, en)
+			out := ms.Alloc(n)
+
+			b := kasm.NewBuilder("cfd")
+			gidx := emitGlobalIdx(b)
+			addr := b.R()
+			rv := b.R()
+			mxv := b.R()
+			myv := b.R()
+			ev := b.R()
+			emitLoadGlobalAt(b, rv, gidx, addr, rB)
+			emitLoadGlobalAt(b, mxv, gidx, addr, mxB)
+			emitLoadGlobalAt(b, myv, gidx, addr, myB)
+			emitLoadGlobalAt(b, ev, gidx, addr, eB)
+			// velocity, kinetic energy, pressure, speed of sound
+			vx := b.R()
+			vy := b.R()
+			ke := b.R()
+			pr := b.R()
+			cs := b.R()
+			b.FDiv(vx, mxv, rv)
+			b.FDiv(vy, myv, rv)
+			b.FMul(ke, vx, vx)
+			b.FFma(ke, vy, vy, ke)
+			b.FMulI(ke, ke, 0.5)
+			b.FMul(pr, ke, rv)
+			b.FSub(pr, ev, pr)
+			b.FMulI(pr, pr, 0.4) // gamma-1
+			b.FDiv(cs, pr, rv)
+			b.FMulI(cs, cs, 1.4)
+			b.FSqrt(cs, cs)
+			// flux magnitude estimate
+			fx := b.R()
+			fy := b.R()
+			fl := b.R()
+			b.FMul(fx, mxv, vx)
+			b.FAdd(fx, fx, pr)
+			b.FMul(fy, myv, vy)
+			b.FAdd(fy, fy, pr)
+			b.FMul(fl, fx, fx)
+			b.FFma(fl, fy, fy, fl)
+			b.FSqrt(fl, fl)
+			b.FAdd(fl, fl, cs)
+			emitStoreGlobalAt(b, fl, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: n / 128, DimX: 128}},
+				OutBase:  out, OutWords: n,
+			}, nil
+		},
+	})
+}
+
+// streamcluster (SC, Rodinia): assign points to the nearest cluster center.
+// Centers live in constant memory; coordinates are quantized.
+func init() {
+	register(&Benchmark{
+		Name: "strmclster", Abbr: "SC", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 8192
+			const dim = 6
+			const kc = 8
+			ms := g.Mem()
+			r := newRng(181)
+			pts := make([]uint32, n*dim)
+			for i := range pts {
+				pts[i] = isa.F32Bits(r.quantF(5, 0, 2))
+			}
+			centers := make([]float32, kc*dim)
+			for i := range centers {
+				centers[i] = r.quantF(6, 0, 2)
+			}
+			pB := allocWords(ms, pts)
+			ms.SetConst(floatWords(centers))
+			out := ms.Alloc(n)
+
+			b := kasm.NewBuilder("streamcluster")
+			gidx := emitGlobalIdx(b)
+			bestD := b.R()
+			dist := b.R()
+			x := b.R()
+			cv := b.R()
+			d := b.R()
+			pa := b.R()
+			ca := b.R()
+			pbase := b.R()
+			p := b.P()
+			b.MovF(bestD, 1e30)
+			b.IMulI(pbase, gidx, dim)
+			uniformLoop(b, kc, func(c isa.Reg) {
+				b.MovF(dist, 0)
+				cbase := b.R()
+				b.IMulI(cbase, c, dim)
+				uniformLoop(b, dim, func(f isa.Reg) {
+					b.IAdd(pa, pbase, f)
+					b.ShlI(pa, pa, 2)
+					b.IAddI(pa, pa, int32(pB))
+					b.Ld(x, isa.SpaceGlobal, pa, 0)
+					b.IAdd(ca, cbase, f)
+					b.ShlI(ca, ca, 2)
+					b.Ld(cv, isa.SpaceConst, ca, 0)
+					b.FSub(d, x, cv)
+					b.FFma(dist, d, d, dist)
+				})
+				b.FSetP(p, isa.CondLT, dist, bestD)
+				b.Sel(bestD, p, dist, bestD)
+			})
+			addr := b.R()
+			emitStoreGlobalAt(b, bestD, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: n / 128, DimX: 128}},
+				OutBase:  out, OutWords: n,
+			}, nil
+		},
+	})
+}
+
+// leukocyte (LK, Rodinia): repeated morphological dilation over the same
+// video frame. Every iteration re-reads identical image rows, so load reuse
+// converts L1 misses into register hits — LK is the paper's largest
+// load-reuse speedup (section VII-D).
+func init() {
+	register(&Benchmark{
+		Name: "leukocyte", Abbr: "LK", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 512, 128
+			ms := g.Mem()
+			r := newRng(191)
+			img := allocWords(ms, flatImage(r, w, h, 16, 5))
+			out := ms.Alloc(w * h)
+
+			// Like the original's 2-D thread blocks, a block covers a
+			// 32-column x 4-row tile: warp i handles row i, so the four
+			// warps of a block read overlapping 5x5 window rows *at the same
+			// time* on the same SM. Those concurrent identical address
+			// vectors are what the reuse buffer serves — the register file
+			// acting as a larger L1 (paper section VI-A). All reads precede
+			// the single store, leaving the warp store flag clear.
+			const tileRows = 4
+			b := kasm.NewBuilder("dilate")
+			lane := b.R()
+			wid := b.R()
+			bid := b.R()
+			b.S2R(lane, isa.SrLaneID)
+			b.S2R(wid, isa.SrWarpID)
+			b.S2R(bid, isa.SrCtaidX)
+			x := b.R()
+			y := b.R()
+			t := b.R()
+			b.AndI(t, bid, w/32-1)
+			b.ShlI(t, t, 5)
+			b.IAdd(x, t, lane)
+			b.ShrI(t, bid, 4) // log2(w/32)
+			b.ShlI(t, t, 2)   // *tileRows
+			b.IAdd(y, t, wid)
+			addr := b.R()
+			idx := b.R()
+			sc := b.R()
+			v := b.R()
+			nx := b.R()
+			ny := b.R()
+			best := b.R()
+			b.MovF(best, -1e30)
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					b.IAddI(nx, x, int32(dx))
+					emitClampI(b, nx, sc, 0, w-1)
+					b.IAddI(ny, y, int32(dy))
+					emitClampI(b, ny, sc, 0, h-1)
+					b.ShlI(idx, ny, 9)
+					b.IAdd(idx, idx, nx)
+					emitLoadGlobalAt(b, v, idx, addr, img)
+					b.FMax(best, best, v)
+				}
+			}
+			b.ShlI(idx, y, 9)
+			b.IAdd(idx, idx, x)
+			emitStoreGlobalAt(b, best, idx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: (w / 32) * (h / tileRows), DimX: 32 * tileRows}},
+				OutBase:  out, OutWords: w * h,
+			}, nil
+		},
+	})
+}
+
+// heartwall (HW, Rodinia): template correlation for wall tracking. The 3x3
+// template lives in constant memory; the frame has flat regions.
+func init() {
+	register(&Benchmark{
+		Name: "heartwall", Abbr: "HW", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 128, 96
+			ms := g.Mem()
+			r := newRng(193)
+			img := allocWords(ms, flatImage(r, w, h, 12, 5))
+			tmpl := []float32{0.1, 0.2, 0.1, 0.2, 0.5, 0.2, 0.1, 0.2, 0.1}
+			ms.SetConst(floatWords(tmpl))
+			out := ms.Alloc(w * h)
+
+			b := kasm.NewBuilder("heartwall")
+			gidx := emitGlobalIdx(b)
+			x := b.R()
+			y := b.R()
+			b.AndI(x, gidx, w-1)
+			b.ShrI(y, gidx, 7)
+			addr := b.R()
+			idx := b.R()
+			sc := b.R()
+			v := b.R()
+			tv := b.R()
+			ca := b.R()
+			acc := b.R()
+			nx := b.R()
+			ny := b.R()
+			b.MovF(acc, 0)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					b.IAddI(nx, x, int32(dx))
+					emitClampI(b, nx, sc, 0, w-1)
+					b.IAddI(ny, y, int32(dy))
+					emitClampI(b, ny, sc, 0, h-1)
+					b.ShlI(idx, ny, 7)
+					b.IAdd(idx, idx, nx)
+					emitLoadGlobalAt(b, v, idx, addr, img)
+					b.MovI(ca, uint32(4*((dy+1)*3+(dx+1))))
+					b.Ld(tv, isa.SpaceConst, ca, 0)
+					b.FFma(acc, v, tv, acc)
+				}
+			}
+			emitStoreGlobalAt(b, acc, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: w * h / 128, DimX: 128}},
+				OutBase:  out, OutWords: w * h,
+			}, nil
+		},
+	})
+}
+
+// hybridsort (HT, Rodinia): bucket classification followed by per-bucket
+// counting. Input values are quantized, so bucket arithmetic repeats.
+func init() {
+	register(&Benchmark{
+		Name: "hybridsort", Abbr: "HT", Suite: "Rodinia",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 8192
+			const buckets = 16
+			ms := g.Mem()
+			r := newRng(197)
+			data := make([]uint32, n)
+			for i := range data {
+				data[i] = isa.F32Bits(r.quantF(24, 0, 1))
+			}
+			dB := allocWords(ms, data)
+			idxOut := ms.Alloc(n)
+			hist := ms.Alloc(buckets * (n / 128))
+
+			// Kernel 1: bucket index per element.
+			b1 := kasm.NewBuilder("bucketidx")
+			gidx := emitGlobalIdx(b1)
+			addr := b1.R()
+			v := b1.R()
+			bi := b1.R()
+			sc := b1.R()
+			emitLoadGlobalAt(b1, v, gidx, addr, dB)
+			b1.FMulI(v, v, buckets)
+			b1.F2I(bi, v)
+			emitClampI(b1, bi, sc, 0, buckets-1)
+			emitStoreGlobalAt(b1, bi, gidx, addr, idxOut)
+			b1.Exit()
+
+			// Kernel 2: per-chunk histogram. One thread per (chunk, bucket)
+			// pair counts its bucket over a 128-element chunk, so blocks
+			// stay fully occupied.
+			const chunk = 32
+			b2 := kasm.NewBuilder("buckethist")
+			gi := emitGlobalIdx(b2)
+			a2 := b2.R()
+			bv := b2.R()
+			cnt := b2.R()
+			one := b2.R()
+			t2 := b2.R()
+			base := b2.R()
+			bk := b2.R()
+			p := b2.P()
+			b2.MovI(cnt, 0)
+			b2.MovI(one, 1)
+			b2.AndI(bk, gi, buckets-1)
+			b2.ShrI(base, gi, 4) // chunk index
+			b2.IMulI(base, base, chunk)
+			uniformLoop(b2, chunk, func(i isa.Reg) {
+				b2.IAdd(t2, base, i)
+				emitAddr(b2, a2, t2, idxOut)
+				b2.Ld(bv, isa.SpaceGlobal, a2, 0)
+				b2.ISetP(p, isa.CondEQ, bv, bk)
+				b2.MovI(t2, 0)
+				b2.Sel(t2, p, one, t2)
+				b2.IAdd(cnt, cnt, t2)
+			})
+			emitStoreGlobalAt(b2, cnt, gi, a2, hist)
+			b2.Exit()
+
+			return &Workload{
+				Launches: []gpu.Launch{
+					{Kernel: b1.MustBuild(), GridX: n / 128, DimX: 128},
+					{Kernel: b2.MustBuild(), GridX: n / chunk * buckets / 128, DimX: 128},
+				},
+				OutBase: hist, OutWords: buckets * (n / chunk),
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,403 @@
+package bench
+
+import (
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// SobelFilter (SF, CUDA SDK): 3x3 Sobel edge filter over a texture image.
+// The input is piecewise flat, so neighborhoods inside a patch produce
+// identical gradient computations — the paper's running example (Figure 3).
+func init() {
+	register(&Benchmark{
+		Name: "SobelFilter", Abbr: "SF", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 256, 96
+			ms := g.Mem()
+			r := newRng(11)
+			ms.SetTex(flatImage(r, w, h, 16, 6))
+			ms.SetConst(floatWords([]float32{0.25}))
+			out := ms.Alloc(w * h)
+
+			b := kasm.NewBuilder("sobel")
+			gidx := emitGlobalIdx(b)
+			x := b.R()
+			y := b.R()
+			b.AndI(x, gidx, w-1)
+			b.ShrI(y, gidx, 8)
+			fscale := b.R()
+			ca := b.R()
+			b.MovI(ca, 0)
+			b.Ld(fscale, isa.SpaceConst, ca, 0)
+
+			xx := b.R()
+			yy := b.R()
+			sc := b.R()
+			addr := b.R()
+			pix := make([]isa.Reg, 9)
+			for i := range pix {
+				pix[i] = b.R()
+			}
+			// Load the 3x3 neighborhood with clamped coordinates.
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					b.IAddI(xx, x, int32(dx))
+					emitClampI(b, xx, sc, 0, w-1)
+					b.IAddI(yy, y, int32(dy))
+					emitClampI(b, yy, sc, 0, h-1)
+					b.ShlI(addr, yy, 8) // yy*w
+					b.IAdd(addr, addr, xx)
+					b.ShlI(addr, addr, 2)
+					b.Ld(pix[(dy+1)*3+(dx+1)], isa.SpaceTex, addr, 0)
+				}
+			}
+			// Horz = ur + 2*mr + lr - ul - 2*ml - ll.
+			two := b.R()
+			horz := b.R()
+			vert := b.R()
+			t := b.R()
+			b.MovF(two, 2)
+			b.FAdd(horz, pix[2], pix[8])
+			b.FFma(horz, two, pix[5], horz)
+			b.FSub(horz, horz, pix[0])
+			b.FFma(t, two, pix[3], pix[6])
+			b.FSub(horz, horz, t)
+			// Vert = ul + 2*um + ur - ll - 2*lm - lr.
+			b.FAdd(vert, pix[0], pix[2])
+			b.FFma(vert, two, pix[1], vert)
+			b.FSub(vert, vert, pix[6])
+			b.FFma(t, two, pix[7], pix[8])
+			b.FSub(vert, vert, t)
+			b.FAbs(horz, horz)
+			b.FAbs(vert, vert)
+			b.FAdd(t, horz, vert)
+			b.FMul(t, fscale, t)
+			emitStoreGlobalAt(b, t, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: w * h / 128, DimX: 128}},
+				OutBase:  out, OutWords: w * h,
+			}, nil
+		},
+	})
+}
+
+// dct8x8 (DC, CUDA SDK): 8x8 block DCT. Each 64-thread block stages a tile in
+// scratchpad and multiplies by the constant cosine matrix; coefficient loads
+// are threadIdx-indexed and repeat across every block.
+func init() {
+	register(&Benchmark{
+		Name: "dct8x8", Abbr: "DC", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 128, 128
+			ms := g.Mem()
+			r := newRng(23)
+			img := allocWords(ms, flatImage(r, w, h, 8, 5))
+			out := ms.Alloc(w * h)
+			// Cosine coefficient matrix C[u][k].
+			coef := make([]float32, 64)
+			for u := 0; u < 8; u++ {
+				for k := 0; k < 8; k++ {
+					// Quantized cosine table (matches the fixed-point tables
+					// real implementations use).
+					c := float32((u*3+k*5)%7)/8.0 - 0.4
+					coef[u*8+k] = c
+				}
+			}
+			ms.SetConst(floatWords(coef))
+
+			b := kasm.NewBuilder("dct8x8")
+			sh := b.Shared(64 * 4)
+			tid := emitTid(b)
+			bid := b.R()
+			b.S2R(bid, isa.SrCtaidX)
+			// Tile origin: block i covers the i-th 8x8 tile (16 tiles/row).
+			tx := b.R()
+			ty := b.R()
+			b.AndI(tx, bid, 15)
+			b.ShrI(ty, bid, 4)
+			// Pixel coordinates within the tile.
+			px := b.R()
+			py := b.R()
+			b.AndI(px, tid, 7)
+			b.ShrI(py, tid, 3)
+			// Load one pixel into shared[tid].
+			ax := b.R()
+			ay := b.R()
+			addr := b.R()
+			v := b.R()
+			b.ShlI(ax, tx, 3)
+			b.IAdd(ax, ax, px)
+			b.ShlI(ay, ty, 3)
+			b.IAdd(ay, ay, py)
+			b.ShlI(addr, ay, 7) // *w
+			b.IAdd(addr, addr, ax)
+			b.ShlI(addr, addr, 2)
+			b.IAddI(addr, addr, int32(img))
+			b.Ld(v, isa.SpaceGlobal, addr, 0)
+			b.ShlI(addr, tid, 2)
+			b.IAddI(addr, addr, int32(sh))
+			b.St(isa.SpaceShared, addr, v, 0)
+			b.Bar()
+			// acc = sum_k C[u=px][k] * tile[py][k].
+			acc := b.R()
+			cv := b.R()
+			tv := b.R()
+			ca := b.R()
+			sa := b.R()
+			rowBase := b.R()
+			b.MovF(acc, 0)
+			b.ShlI(rowBase, py, 3)
+			uniformLoop(b, 8, func(i isa.Reg) {
+				b.ShlI(ca, px, 3)
+				b.IAdd(ca, ca, i)
+				b.ShlI(ca, ca, 2)
+				b.Ld(cv, isa.SpaceConst, ca, 0)
+				b.IAdd(sa, rowBase, i)
+				b.ShlI(sa, sa, 2)
+				b.IAddI(sa, sa, int32(sh))
+				b.Ld(tv, isa.SpaceShared, sa, 0)
+				b.FFma(acc, cv, tv, acc)
+			})
+			gidx := b.R()
+			b.ShlI(gidx, bid, 6)
+			b.IAdd(gidx, gidx, tid)
+			emitStoreGlobalAt(b, acc, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: (w / 8) * (h / 8), DimX: 64}},
+				OutBase:  out, OutWords: w * h,
+			}, nil
+		},
+	})
+}
+
+// fastWalshTransform (WT, CUDA SDK): butterfly transform over a sparse
+// signal. Most inputs are zero, so the add/sub butterflies repeat the same
+// computation constantly.
+func init() {
+	register(&Benchmark{
+		Name: "fastWlshTf", Abbr: "WT", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 1 << 13
+			ms := g.Mem()
+			r := newRng(37)
+			data := make([]uint32, n)
+			for i := range data {
+				if r.intn(64) == 0 {
+					data[i] = isa.F32Bits(r.quantF(4, -1, 1))
+				}
+			}
+			base := allocWords(ms, data)
+
+			var launches []gpu.Launch
+			for s := 1; s < n; s <<= 1 {
+				shift := uint32(0)
+				for 1<<shift != s {
+					shift++
+				}
+				b := kasm.NewBuilder("fwt")
+				gidx := emitGlobalIdx(b)
+				pos := b.R()
+				lo := b.R()
+				a0 := b.R()
+				a1 := b.R()
+				x := b.R()
+				y := b.R()
+				// pos = (i >> shift) << (shift+1) + (i & (s-1)).
+				b.ShrI(pos, gidx, shift)
+				b.ShlI(pos, pos, shift+1)
+				b.AndI(lo, gidx, uint32(s-1))
+				b.IAdd(pos, pos, lo)
+				emitAddr(b, a0, pos, base)
+				b.IAddI(a1, a0, int32(s*4))
+				b.Ld(x, isa.SpaceGlobal, a0, 0)
+				b.Ld(y, isa.SpaceGlobal, a1, 0)
+				sum := b.R()
+				dif := b.R()
+				b.FAdd(sum, x, y)
+				b.FSub(dif, x, y)
+				b.St(isa.SpaceGlobal, a0, sum, 0)
+				b.St(isa.SpaceGlobal, a1, dif, 0)
+				b.Exit()
+				launches = append(launches, gpu.Launch{Kernel: b.MustBuild(), GridX: n / 2 / 128, DimX: 128})
+			}
+			return &Workload{Launches: launches, OutBase: base, OutWords: n}, nil
+		},
+	})
+}
+
+// BlackScholes (BS, CUDA SDK): closed-form option pricing. Prices, strikes
+// and expiries are drawn from small grids, so entire pricing chains repeat
+// across threads and warps; 74% of instructions are floating point.
+func init() {
+	register(&Benchmark{
+		Name: "BlackSchls", Abbr: "BS", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 16384
+			ms := g.Mem()
+			r := newRng(41)
+			sArr := make([]uint32, n)
+			xArr := make([]uint32, n)
+			tArr := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				sArr[i] = isa.F32Bits(r.quantF(8, 10, 60))
+				xArr[i] = isa.F32Bits(r.quantF(4, 20, 50))
+				tArr[i] = isa.F32Bits(r.quantF(3, 0.5, 2))
+			}
+			sB := allocWords(ms, sArr)
+			xB := allocWords(ms, xArr)
+			tB := allocWords(ms, tArr)
+			call := ms.Alloc(n)
+			put := ms.Alloc(n)
+
+			const riskfree, vol = 0.02, 0.30
+			b := kasm.NewBuilder("blackscholes")
+			gidx := emitGlobalIdx(b)
+			addr := b.R()
+			s := b.R()
+			x := b.R()
+			tm := b.R()
+			emitLoadGlobalAt(b, s, gidx, addr, sB)
+			emitLoadGlobalAt(b, x, gidx, addr, xB)
+			emitLoadGlobalAt(b, tm, gidx, addr, tB)
+
+			sqrtT := b.R()
+			d1 := b.R()
+			d2 := b.R()
+			tr := b.R()
+			b.FSqrt(sqrtT, tm)
+			// d1 = (ln(S/X) + (r + v^2/2)T) / (v*sqrtT)
+			b.FDiv(d1, s, x)
+			b.FLog(d1, d1)
+			b.FMulI(d1, d1, 0.6931472) // log2 -> ln
+			b.MovF(tr, riskfree+vol*vol/2)
+			b.FFma(d1, tr, tm, d1)
+			b.FMulI(tr, sqrtT, vol)
+			b.FDiv(d1, d1, tr)
+			b.FSub(d2, d1, tr)
+
+			// CND via the Abramowitz-Stegun polynomial.
+			cnd := func(dst, d isa.Reg) {
+				kk := b.R()
+				ad := b.R()
+				poly := b.R()
+				e := b.R()
+				b.FAbs(ad, d)
+				b.FMulI(kk, ad, 0.2316419)
+				b.FAddI(kk, kk, 1)
+				b.FRcp(kk, kk)
+				// Horner evaluation of a5..a1.
+				b.MovF(poly, 1.330274429)
+				b.MovF(tr, -1.821255978)
+				b.FFma(poly, poly, kk, tr)
+				b.MovF(tr, 1.781477937)
+				b.FFma(poly, poly, kk, tr)
+				b.MovF(tr, -0.356563782)
+				b.FFma(poly, poly, kk, tr)
+				b.MovF(tr, 0.319381530)
+				b.FFma(poly, poly, kk, tr)
+				b.FMul(poly, poly, kk)
+				// phi(d) = 0.39894 * exp(-d^2/2) via exp2.
+				b.FMul(e, d, d)
+				b.FMulI(e, e, -0.5*1.4426950)
+				b.FExp(e, e)
+				b.FMulI(e, e, 0.39894228)
+				b.FMul(dst, e, poly)
+				// For d >= 0: CND = 1 - dst.
+				p := b.P()
+				one := b.R()
+				b.FSetPI(p, isa.CondGE, d, 0)
+				b.MovF(one, 1)
+				b.FSub(one, one, dst)
+				b.Sel(dst, p, one, dst)
+			}
+			c1 := b.R()
+			c2 := b.R()
+			cnd(c1, d1)
+			cnd(c2, d2)
+			// expRT = exp(-r*T)
+			ert := b.R()
+			b.FMulI(ert, tm, -riskfree*1.4426950)
+			b.FExp(ert, ert)
+			cv := b.R()
+			pv := b.R()
+			t1 := b.R()
+			b.FMul(cv, s, c1)
+			b.FMul(t1, x, ert)
+			b.FMul(t1, t1, c2)
+			b.FSub(cv, cv, t1)
+			// put = call - S + X*exp(-rT)
+			b.FMul(pv, x, ert)
+			b.FAdd(pv, cv, pv)
+			b.FSub(pv, pv, s)
+			emitStoreGlobalAt(b, cv, gidx, addr, call)
+			emitStoreGlobalAt(b, pv, gidx, addr, put)
+			b.Exit()
+			k := b.MustBuild()
+
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: n / 128, DimX: 128}},
+				OutBase:  call, OutWords: n,
+			}, nil
+		},
+	})
+}
+
+// SobolQRNG (SQ, CUDA SDK): quasirandom sequence generation by XORing
+// direction vectors. The direction table lives in constant memory and is
+// indexed only by the loop counter, so its loads repeat across all warps.
+func init() {
+	register(&Benchmark{
+		Name: "SobolQR", Abbr: "SQ", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 16384
+			ms := g.Mem()
+			dv := make([]uint32, 16)
+			for j := range dv {
+				dv[j] = 1 << uint(31-j) // canonical Sobol direction numbers
+			}
+			ms.SetConst(dv)
+			out := ms.Alloc(n)
+
+			b := kasm.NewBuilder("sobol")
+			gidx := emitGlobalIdx(b)
+			gray := b.R()
+			t := b.R()
+			x := b.R()
+			ca := b.R()
+			dvv := b.R()
+			bit := b.R()
+			mask := b.R()
+			zero := b.R()
+			// gray = i ^ (i >> 1)
+			b.ShrI(t, gidx, 1)
+			b.Xor(gray, gidx, t)
+			b.MovI(x, 0)
+			b.MovI(zero, 0)
+			uniformLoop(b, 12, func(j isa.Reg) {
+				b.ShlI(ca, j, 2)
+				b.Ld(dvv, isa.SpaceConst, ca, 0)
+				b.Shr(bit, gray, j)
+				b.AndI(bit, bit, 1)
+				b.ISub(mask, zero, bit) // all-ones when the bit is set
+				b.And(dvv, dvv, mask)
+				b.Xor(x, x, dvv)
+			})
+			addr := b.R()
+			emitStoreGlobalAt(b, x, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: n / 128, DimX: 128}},
+				OutBase:  out, OutWords: n,
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// MonteCarlo (MC, CUDA SDK): Monte Carlo option pricing. Each thread walks a
+// pseudo-random path; underlying prices and strikes come from small grids but
+// the per-thread RNG stream keeps much of the computation distinct.
+func init() {
+	register(&Benchmark{
+		Name: "MonteCarlo", Abbr: "MC", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 8192
+			ms := g.Mem()
+			r := newRng(53)
+			s0 := make([]uint32, n)
+			strike := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				s0[i] = isa.F32Bits(r.quantF(6, 20, 45))
+				strike[i] = isa.F32Bits(r.quantF(4, 25, 40))
+			}
+			s0B := allocWords(ms, s0)
+			kB := allocWords(ms, strike)
+			out := ms.Alloc(n)
+
+			b := kasm.NewBuilder("montecarlo")
+			gidx := emitGlobalIdx(b)
+			addr := b.R()
+			s := b.R()
+			x := b.R()
+			emitLoadGlobalAt(b, s, gidx, addr, s0B)
+			emitLoadGlobalAt(b, x, gidx, addr, kB)
+			seed := b.R()
+			b.IMulI(seed, gidx, -1640531535) // Knuth multiplicative hash constant
+			acc := b.R()
+			z := b.R()
+			st := b.R()
+			pay := b.R()
+			zero := b.R()
+			b.MovF(acc, 0)
+			b.MovF(zero, 0)
+			uniformLoop(b, 16, func(i isa.Reg) {
+				// LCG step, then map to a centered uniform in [-0.5, 0.5).
+				b.IMulI(seed, seed, 1664525)
+				b.IAddI(seed, seed, 1013904223)
+				b.ShrI(z, seed, 9)
+				b.AndI(z, z, 0xFFFF)
+				b.I2F(z, z)
+				b.FMulI(z, z, 1.0/65536)
+				b.FAddI(z, z, -0.5)
+				// S_t = S0 * exp(mu + sigma*z), exp via exp2.
+				b.FMulI(st, z, 0.25*1.4426950)
+				b.FAddI(st, st, 0.01)
+				b.FExp(st, st)
+				b.FMul(st, st, s)
+				b.FSub(pay, st, x)
+				b.FMax(pay, pay, zero)
+				b.FAdd(acc, acc, pay)
+			})
+			b.FMulI(acc, acc, 1.0/16)
+			emitStoreGlobalAt(b, acc, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: n / 128, DimX: 128}},
+				OutBase:  out, OutWords: n,
+			}, nil
+		},
+	})
+}
+
+// binomialOptions (BO, CUDA SDK): binomial-tree option valuation. One block
+// values one option by backward induction over a scratchpad array; strikes
+// are drawn from a small grid so whole blocks repeat each other's arithmetic.
+func init() {
+	register(&Benchmark{
+		Name: "binoOpts", Abbr: "BO", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const nOpt = 96
+			const steps = 24
+			ms := g.Mem()
+			r := newRng(67)
+			sArr := make([]uint32, nOpt)
+			xArr := make([]uint32, nOpt)
+			for i := range sArr {
+				sArr[i] = isa.F32Bits(r.quantF(5, 20, 40))
+				xArr[i] = isa.F32Bits(r.quantF(4, 22, 38))
+			}
+			sB := allocWords(ms, sArr)
+			xB := allocWords(ms, xArr)
+			out := ms.Alloc(nOpt)
+
+			b := kasm.NewBuilder("binomial")
+			sh := b.Shared((steps + 1) * 4)
+			tid := emitTid(b)
+			bid := b.R()
+			b.S2R(bid, isa.SrCtaidX)
+			addr := b.R()
+			s := b.R()
+			x := b.R()
+			emitLoadGlobalAt(b, s, bid, addr, sB)
+			emitLoadGlobalAt(b, x, bid, addr, xB)
+			// Leaf payoff v[tid] = max(S*u^tid*d^(steps-tid) - X, 0) for
+			// tid <= steps; u and d folded into exp2 of a linear term.
+			p := b.P()
+			e := b.R()
+			v := b.R()
+			zero := b.R()
+			b.MovF(zero, 0)
+			b.ISetPI(p, isa.CondLE, tid, steps)
+			b.If(p, false, func() {
+				b.I2F(e, tid)
+				b.FMulI(e, e, 0.12)
+				b.FAddI(e, e, float32(-0.06*steps))
+				b.FExp(e, e)
+				b.FMul(v, e, s)
+				b.FSub(v, v, x)
+				b.FMax(v, v, zero)
+				b.ShlI(addr, tid, 2)
+				b.IAddI(addr, addr, int32(sh))
+				b.St(isa.SpaceShared, addr, v, 0)
+			})
+			b.Bar()
+			// Backward induction: at level t, threads 0..t update
+			// v[i] = (pu*v[i+1] + pd*v[i]) * df.
+			bound := b.R()
+			up := b.R()
+			dn := b.R()
+			uniformLoop(b, steps, func(i isa.Reg) {
+				b.MovI(bound, steps-1)
+				b.ISub(bound, bound, i)
+				b.ISetP(p, isa.CondLE, tid, bound)
+				b.If(p, false, func() {
+					b.ShlI(addr, tid, 2)
+					b.IAddI(addr, addr, int32(sh))
+					b.Ld(dn, isa.SpaceShared, addr, 0)
+					b.Ld(up, isa.SpaceShared, addr, 4)
+					b.FMulI(up, up, 0.52)
+					b.FMulI(dn, dn, 0.47)
+					b.FAdd(up, up, dn)
+					b.FMulI(up, up, 0.9995)
+				})
+				b.Bar()
+				b.If(p, false, func() {
+					b.St(isa.SpaceShared, addr, up, 0)
+				})
+				b.Bar()
+			})
+			b.ISetPI(p, isa.CondEQ, tid, 0)
+			b.If(p, false, func() {
+				b.MovI(addr, uint32(sh))
+				b.Ld(v, isa.SpaceShared, addr, 0)
+				emitStoreGlobalAt(b, v, bid, addr, out)
+			})
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: nOpt, DimX: 32}},
+				OutBase:  out, OutWords: nOpt,
+			}, nil
+		},
+	})
+}
+
+// scan (SN, CUDA SDK): Hillis-Steele inclusive scan per block over a
+// zero/one-valued input; the small value alphabet makes partial sums repeat.
+func init() {
+	register(&Benchmark{
+		Name: "scan", Abbr: "SN", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const n = 16384
+			const bs = 256
+			ms := g.Mem()
+			r := newRng(71)
+			data := make([]uint32, n)
+			for i := range data {
+				if r.intn(4) == 0 {
+					data[i] = 1
+				}
+			}
+			in := allocWords(ms, data)
+			out := ms.Alloc(n)
+
+			b := kasm.NewBuilder("scan")
+			sh := b.Shared(bs * 4)
+			tid := emitTid(b)
+			gidx := emitGlobalIdx(b)
+			addr := b.R()
+			sa := b.R()
+			v := b.R()
+			t := b.R()
+			p := b.P()
+			emitLoadGlobalAt(b, v, gidx, addr, in)
+			b.ShlI(sa, tid, 2)
+			b.IAddI(sa, sa, int32(sh))
+			b.St(isa.SpaceShared, sa, v, 0)
+			b.Bar()
+			for d := 1; d < bs; d <<= 1 {
+				b.ISetPI(p, isa.CondGE, tid, int32(d))
+				b.If(p, false, func() {
+					b.Ld(t, isa.SpaceShared, sa, int32(-4*d))
+				})
+				b.Bar()
+				b.If(p, false, func() {
+					b.Ld(v, isa.SpaceShared, sa, 0)
+					b.IAdd(v, v, t)
+					b.St(isa.SpaceShared, sa, v, 0)
+				})
+				b.Bar()
+			}
+			b.Ld(v, isa.SpaceShared, sa, 0)
+			emitStoreGlobalAt(b, v, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: n / bs, DimX: bs}},
+				OutBase:  out, OutWords: n,
+			}, nil
+		},
+	})
+}
+
+// dxtc (DX, CUDA SDK): DXT texture compression scoring. Each thread scores a
+// 4x4 texel block against its interpolated palette; flat blocks collapse to
+// identical min/max/distance computations.
+func init() {
+	register(&Benchmark{
+		Name: "dxtc", Abbr: "DX", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h = 128, 64
+			const blocks = (w / 4) * (h / 4)
+			ms := g.Mem()
+			r := newRng(83)
+			// Patch size 6 misaligns with the 4x4 compression blocks so edge
+			// blocks produce nonzero scores while patch interiors stay flat.
+			img := allocWords(ms, flatImage(r, w, h, 6, 4))
+			out := ms.Alloc(blocks)
+
+			b := kasm.NewBuilder("dxtc")
+			gidx := emitGlobalIdx(b)
+			bx := b.R()
+			by := b.R()
+			b.AndI(bx, gidx, w/4-1)
+			b.ShrI(by, gidx, 5) // log2(w/4)
+			lo := b.R()
+			hi := b.R()
+			v := b.R()
+			addr := b.R()
+			px := b.R()
+			py := b.R()
+			base := b.R()
+			b.MovF(lo, 1e9)
+			b.MovF(hi, -1e9)
+			// First pass: min/max over the 16 texels.
+			loadTexel := func(i isa.Reg) {
+				b.AndI(px, i, 3)
+				b.ShrI(py, i, 2)
+				b.ShlI(base, by, 2)
+				b.IAdd(base, base, py)
+				b.ShlI(base, base, 7) // *w
+				b.ShlI(addr, bx, 2)
+				b.IAdd(base, base, addr)
+				b.IAdd(base, base, px)
+				b.ShlI(base, base, 2)
+				b.IAddI(base, base, int32(img))
+				b.Ld(v, isa.SpaceGlobal, base, 0)
+			}
+			uniformLoop(b, 16, func(i isa.Reg) {
+				loadTexel(i)
+				b.FMin(lo, lo, v)
+				b.FMax(hi, hi, v)
+			})
+			// Palette p0..p3 = lerp(lo, hi); score = sum min distance.
+			d0 := b.R()
+			d1 := b.R()
+			step := b.R()
+			pal1 := b.R()
+			pal2 := b.R()
+			score := b.R()
+			b.FSub(step, hi, lo)
+			b.FMulI(step, step, 1.0/3)
+			b.FAdd(pal1, lo, step)
+			b.FAdd(pal2, pal1, step)
+			b.MovF(score, 0)
+			uniformLoop(b, 16, func(i isa.Reg) {
+				loadTexel(i)
+				b.FSub(d0, v, lo)
+				b.FAbs(d0, d0)
+				b.FSub(d1, v, hi)
+				b.FAbs(d1, d1)
+				b.FMin(d0, d0, d1)
+				b.FSub(d1, v, pal1)
+				b.FAbs(d1, d1)
+				b.FMin(d0, d0, d1)
+				b.FSub(d1, v, pal2)
+				b.FAbs(d1, d1)
+				b.FMin(d0, d0, d1)
+				b.FAdd(score, score, d0)
+			})
+			emitStoreGlobalAt(b, score, gidx, addr, out)
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: blocks / 64, DimX: 64}},
+				OutBase:  out, OutWords: blocks,
+			}, nil
+		},
+	})
+}
+
+// FDTD3d (FD, CUDA SDK): finite-difference time-domain stencil along z with
+// constant coefficients; the field has large uniform regions.
+func init() {
+	register(&Benchmark{
+		Name: "FDTD3d", Abbr: "FD", Suite: "SDK",
+		Setup: func(g *gpu.GPU) (*Workload, error) {
+			const w, h, depth = 64, 32, 12
+			ms := g.Mem()
+			r := newRng(97)
+			vol := make([]uint32, w*h*depth)
+			for z := 0; z < depth; z++ {
+				img := flatImage(r, w, h, 16, 4)
+				copy(vol[z*w*h:], img)
+			}
+			in := allocWords(ms, vol)
+			out := ms.Alloc(w * h * depth)
+			ms.SetConst(floatWords([]float32{0.5, 0.2, 0.05, 0.01}))
+
+			b := kasm.NewBuilder("fdtd3d")
+			gidx := emitGlobalIdx(b) // one thread per (x, y)
+			acc := b.R()
+			c := b.R()
+			ca := b.R()
+			v := b.R()
+			zi := b.R()
+			addr := b.R()
+			oaddr := b.R()
+			uniformLoop(b, depth, func(z isa.Reg) {
+				// acc = c0 * in[x,y,z]
+				b.IMulI(zi, z, w*h)
+				b.IAdd(zi, zi, gidx)
+				emitAddr(b, addr, zi, in)
+				b.Ld(v, isa.SpaceGlobal, addr, 0)
+				b.MovI(ca, 0)
+				b.Ld(c, isa.SpaceConst, ca, 0)
+				b.FMul(acc, c, v)
+				// acc += ck * (in[z+k] + in[z-k]) with clamped z.
+				for k := 1; k <= 3; k++ {
+					b.Ld(v, isa.SpaceGlobal, addr, int32(4*k*w*h))
+					b.Ld(c, isa.SpaceGlobal, addr, int32(-4*k*w*h))
+					b.FAdd(v, v, c)
+					b.MovI(ca, uint32(4*k))
+					b.Ld(c, isa.SpaceConst, ca, 0)
+					b.FFma(acc, c, v, acc)
+				}
+				emitAddr(b, oaddr, zi, out)
+				b.St(isa.SpaceGlobal, oaddr, acc, 0)
+			})
+			b.Exit()
+			k := b.MustBuild()
+			return &Workload{
+				Launches: []gpu.Launch{{Kernel: k, GridX: w * h / 128, DimX: 128}},
+				OutBase:  out, OutWords: w * h * depth,
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/regfile"
+	"github.com/wirsim/wir/internal/reuse"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+// testEngine builds an engine plus register file for a model with a small
+// register pool (so exhaustion paths are reachable).
+func testEngine(m config.Model, physRegs int) (*Engine, *regfile.File, *stats.Sim, *config.Config) {
+	cfg := config.Default(m)
+	cfg.PhysRegsPerSM = physRegs
+	st := &stats.Sim{}
+	vce := 0
+	if cfg.Model.VerifyCache() {
+		vce = cfg.VerifyCacheSize
+	}
+	rf := regfile.New(physRegs, cfg.RFBankGroups, vce)
+	e := NewEngine(&cfg, st, rf)
+	return e, rf, st, &cfg
+}
+
+func iaddInstr(dst, a, b isa.Reg) *isa.Instr {
+	return &isa.Instr{Op: isa.OpIAdd, Dst: dst, Src: [3]isa.Reg{a, b, isa.RegNone}, NSrc: 2, Pred: isa.PredNone, PDst: isa.PredNone}
+}
+
+func moviInstr(dst isa.Reg, imm uint32) *isa.Instr {
+	return &isa.Instr{Op: isa.OpMovI, Dst: dst, Imm: imm, HasImm: true, Src: [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone}, Pred: isa.PredNone, PDst: isa.PredNone}
+}
+
+func ldInstr(dst, addr isa.Reg, space isa.Space) *isa.Instr {
+	return &isa.Instr{Op: isa.OpLd, Space: space, Dst: dst, Src: [3]isa.Reg{addr, isa.RegNone, isa.RegNone}, NSrc: 1, Pred: isa.PredNone, PDst: isa.PredNone}
+}
+
+func stInstr(addr, val isa.Reg, space isa.Space) *isa.Instr {
+	return &isa.Instr{Op: isa.OpSt, Space: space, Dst: isa.RegNone, Src: [3]isa.Reg{addr, val, isa.RegNone}, NSrc: 2, Pred: isa.PredNone, PDst: isa.PredNone}
+}
+
+func uniformVec(x uint32) isa.Vec {
+	var v isa.Vec
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// runFlight drives one instruction through the engine the way the SM would:
+// rename, tag, reuse lookup, register allocation, retire. The result value
+// stands in for functional execution.
+func runFlight(t *testing.T, e *Engine, rf *regfile.File, warp, block int, in *isa.Instr, mask isa.Mask, result isa.Vec) *Flight {
+	t.Helper()
+	fl := &Flight{Warp: warp, Block: block, In: in, Mask: mask, Divergent: !mask.Full(), RBIndex: -1, Result: result, HasResult: in.HasDst()}
+	e.Rename(fl)
+	e.ComputeTag(fl)
+	if fl.TagOK {
+		e.ReuseLookup(fl)
+	}
+	if !fl.Bypassed {
+		for i := 0; ; i++ {
+			rf.BeginCycle()
+			e.BeginCycle()
+			if e.AllocStep(fl) {
+				break
+			}
+			if i > 10000 {
+				t.Fatalf("AllocStep wedged for %v", in)
+			}
+		}
+	}
+	e.Retire(fl)
+	return fl
+}
+
+func TestInstructionReuseAcrossWarps(t *testing.T) {
+	e, rf, st, _ := testEngine(config.RLPV, 256)
+	e.BlockLaunch(0, []int{0, 1}, 8)
+	// Both warps compute the same values: MOVI then IADD.
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 7), isa.FullMask, uniformVec(7))
+	runFlight(t, e, rf, 0, 0, moviInstr(1, 9), isa.FullMask, uniformVec(9))
+	first := runFlight(t, e, rf, 0, 0, iaddInstr(2, 0, 1), isa.FullMask, uniformVec(16))
+
+	runFlight(t, e, rf, 1, 0, moviInstr(0, 7), isa.FullMask, uniformVec(7)) // shares via VSB
+	runFlight(t, e, rf, 1, 0, moviInstr(1, 9), isa.FullMask, uniformVec(9))
+	second := runFlight(t, e, rf, 1, 0, iaddInstr(2, 0, 1), isa.FullMask, uniformVec(16))
+
+	if !second.Bypassed {
+		t.Fatalf("second identical computation must reuse the first")
+	}
+	if second.DstPhys != first.DstPhys {
+		t.Fatalf("reused destination must be the recorded physical register")
+	}
+	// Warp 1's MOVIs carry identical [movi, imm] tags, so they bypass via the
+	// reuse buffer before the VSB is even consulted.
+	if st.ReuseHits < 3 {
+		t.Fatalf("expected the MOVIs and the IADD of warp 1 to hit, ReuseHits=%d", st.ReuseHits)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVSBSharesEqualValues(t *testing.T) {
+	e, rf, st, _ := testEngine(config.R, 128)
+	e.BlockLaunch(0, []int{0, 1}, 8)
+	a := runFlight(t, e, rf, 0, 0, moviInstr(0, 42), isa.FullMask, uniformVec(42))
+	bfl := runFlight(t, e, rf, 1, 0, moviInstr(3, 42), isa.FullMask, uniformVec(42))
+	// Warp 1's MOVI either hits the reuse buffer (same tag: movi #42) or
+	// shares through the VSB; both must map to the same physical register.
+	if a.DstPhys != bfl.DstPhys {
+		t.Fatalf("equal values must share one register: %d vs %d", a.DstPhys, bfl.DstPhys)
+	}
+	if st.VSBHits+st.ReuseHits == 0 {
+		t.Fatalf("no sharing mechanism fired")
+	}
+}
+
+func TestNoVSBAllocatesFreshRegisters(t *testing.T) {
+	e, rf, _, _ := testEngine(config.NoVSB, 128)
+	e.BlockLaunch(0, []int{0, 1}, 8)
+	a := runFlight(t, e, rf, 0, 0, moviInstr(0, 42), isa.FullMask, uniformVec(42))
+	// Different destination register in the same warp: no VSB means a new
+	// physical register even for an identical value, unless the reuse buffer
+	// hits (same tag movi #42 does hit!). Use different immediates to avoid.
+	b := runFlight(t, e, rf, 0, 0, moviInstr(1, 43), isa.FullMask, uniformVec(43))
+	if a.DstPhys == b.DstPhys {
+		t.Fatalf("NoVSB must not share registers for different values")
+	}
+}
+
+func TestDivergencePinProtocol(t *testing.T) {
+	e, rf, st, _ := testEngine(config.RLPV, 128)
+	e.BlockLaunch(0, []int{0}, 8)
+	half := isa.Mask(0x0000FFFF)
+
+	// Convergent write establishes a mapping.
+	c := runFlight(t, e, rf, 0, 0, moviInstr(5, 1), isa.FullMask, uniformVec(1))
+	if c.Pin {
+		t.Fatalf("convergent write must not pin")
+	}
+	// First divergent redefine: dedicated register + dummy MOV.
+	d1 := runFlight(t, e, rf, 0, 0, moviInstr(5, 2), half, uniformVec(2))
+	if !d1.Pin || !d1.DummyMov || d1.DummySrc != c.DstPhys {
+		t.Fatalf("first divergent write: pin=%v dummy=%v src=%d", d1.Pin, d1.DummyMov, d1.DummySrc)
+	}
+	if d1.DstPhys == c.DstPhys {
+		t.Fatalf("dedicated register must be fresh")
+	}
+	// Second divergent write overwrites the dedicated register in place.
+	d2 := runFlight(t, e, rf, 0, 0, moviInstr(5, 3), half, uniformVec(3))
+	if !d2.Pin || d2.DummyMov || d2.DstPhys != d1.DstPhys {
+		t.Fatalf("second divergent write must overwrite in place: %+v", d2)
+	}
+	// Convergent redefine clears the pin and goes back through the VSB.
+	c2 := runFlight(t, e, rf, 0, 0, moviInstr(5, 4), isa.FullMask, uniformVec(4))
+	if c2.Pin {
+		t.Fatalf("convergent redefine must clear the pin")
+	}
+	if st.VSBBypassed < 2 {
+		t.Fatalf("divergent writes must bypass the VSB, got %d", st.VSBBypassed)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivergentInstructionNotReused(t *testing.T) {
+	e, rf, _, _ := testEngine(config.RLPV, 128)
+	e.BlockLaunch(0, []int{0, 1}, 8)
+	half := isa.Mask(0xFFFF)
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 7), isa.FullMask, uniformVec(7))
+	d := runFlight(t, e, rf, 0, 0, &isa.Instr{Op: isa.OpIAdd, Dst: 1, Src: [3]isa.Reg{0, 0, isa.RegNone}, NSrc: 2, Pred: isa.PredNone, PDst: isa.PredNone}, half, uniformVec(14))
+	if d.TagOK {
+		t.Fatalf("divergent instructions must bypass the reuse buffer")
+	}
+}
+
+func TestPinnedSourceBlocksReuse(t *testing.T) {
+	e, rf, _, _ := testEngine(config.RLPV, 128)
+	e.BlockLaunch(0, []int{0}, 8)
+	half := isa.Mask(0xFFFF)
+	// Pin r0 via a divergent write, then use it as a source convergently.
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 1), half, uniformVec(1))
+	u := runFlight(t, e, rf, 0, 0, iaddInstr(1, 0, 0), isa.FullMask, uniformVec(2))
+	if !u.PinnedSrc {
+		t.Fatalf("source pin bit not observed")
+	}
+	if u.TagOK {
+		t.Fatalf("instructions reading pinned registers must not use the reuse buffer (their IDs are not stable value names)")
+	}
+}
+
+func TestLoadReuseHazardRules(t *testing.T) {
+	e, rf, _, _ := testEngine(config.RLPV, 256)
+	e.BlockLaunch(0, []int{0, 1}, 8)
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 0x100), isa.FullMask, uniformVec(0x100))
+	runFlight(t, e, rf, 1, 0, moviInstr(0, 0x100), isa.FullMask, uniformVec(0x100))
+
+	// Global load is eligible.
+	l1 := runFlight(t, e, rf, 0, 0, ldInstr(1, 0, isa.SpaceGlobal), isa.FullMask, uniformVec(5))
+	if !l1.TagOK {
+		t.Fatalf("global load should be reuse-eligible")
+	}
+	// Warp 0 stores: its own later loads are blocked...
+	runFlight(t, e, rf, 0, 0, stInstr(0, 1, isa.SpaceGlobal), isa.FullMask, isa.Vec{})
+	l2 := runFlight(t, e, rf, 0, 0, ldInstr(2, 0, isa.SpaceGlobal), isa.FullMask, uniformVec(5))
+	if l2.TagOK {
+		t.Fatalf("loads after a same-warp store must not reuse (store flag)")
+	}
+	// ...but warp 1 (no store) still reuses warp 0's prior load.
+	l3 := runFlight(t, e, rf, 1, 0, ldInstr(2, 0, isa.SpaceGlobal), isa.FullMask, uniformVec(5))
+	if !l3.TagOK || !l3.Bypassed {
+		t.Fatalf("another warp's load should still reuse (tagOK=%v bypassed=%v)", l3.TagOK, l3.Bypassed)
+	}
+	// A barrier clears warp 0's store flag but advances the epoch: the old
+	// entry no longer matches, yet new loads are eligible again.
+	e.OnBarrier(0, []int{0, 1})
+	l4 := runFlight(t, e, rf, 0, 0, ldInstr(3, 0, isa.SpaceGlobal), isa.FullMask, uniformVec(5))
+	if !l4.TagOK {
+		t.Fatalf("store flag must clear at a barrier")
+	}
+	if l4.Bypassed {
+		t.Fatalf("loads from before the barrier must not be reused after it")
+	}
+	// Constant loads are immune to all of it.
+	runFlight(t, e, rf, 0, 0, stInstr(0, 1, isa.SpaceGlobal), isa.FullMask, isa.Vec{})
+	lc := runFlight(t, e, rf, 0, 0, ldInstr(4, 0, isa.SpaceConst), isa.FullMask, uniformVec(9))
+	if !lc.TagOK {
+		t.Fatalf("const loads are always safe to reuse")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScratchpadLoadsScopedToBlock(t *testing.T) {
+	e, rf, _, _ := testEngine(config.RLPV, 256)
+	e.BlockLaunch(0, []int{0}, 8)
+	e.BlockLaunch(1, []int{1}, 8)
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 0x40), isa.FullMask, uniformVec(0x40))
+	runFlight(t, e, rf, 1, 1, moviInstr(0, 0x40), isa.FullMask, uniformVec(0x40))
+
+	s0 := runFlight(t, e, rf, 0, 0, ldInstr(1, 0, isa.SpaceShared), isa.FullMask, uniformVec(1))
+	if !s0.TagOK || s0.Tag.Block != 0 {
+		t.Fatalf("scratchpad tag must carry the block slot: %+v", s0.Tag)
+	}
+	// A different block with the same address must not reuse it.
+	s1 := runFlight(t, e, rf, 1, 1, ldInstr(1, 0, isa.SpaceShared), isa.FullMask, uniformVec(2))
+	if s1.Bypassed {
+		t.Fatalf("scratchpad reuse must not cross thread blocks")
+	}
+	// The same block does reuse.
+	s2 := runFlight(t, e, rf, 0, 0, ldInstr(2, 0, isa.SpaceShared), isa.FullMask, uniformVec(1))
+	if !s2.Bypassed {
+		t.Fatalf("same-block scratchpad load should reuse")
+	}
+}
+
+func TestBarrierSaturationStopsLoadReuse(t *testing.T) {
+	e, rf, _, cfg := testEngine(config.RLPV, 256)
+	e.BlockLaunch(0, []int{0}, 8)
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 0x80), isa.FullMask, uniformVec(0x80))
+	for i := 0; i <= cfg.MaxBarrierCount; i++ {
+		e.OnBarrier(0, []int{0})
+	}
+	l := runFlight(t, e, rf, 0, 0, ldInstr(1, 0, isa.SpaceGlobal), isa.FullMask, uniformVec(1))
+	if l.TagOK {
+		t.Fatalf("saturated barrier counter must stop load reuse for the block")
+	}
+}
+
+func TestFlushLoadEntries(t *testing.T) {
+	e, rf, _, _ := testEngine(config.RLPV, 256)
+	e.BlockLaunch(0, []int{0, 1}, 8)
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 0x100), isa.FullMask, uniformVec(0x100))
+	runFlight(t, e, rf, 1, 0, moviInstr(0, 0x100), isa.FullMask, uniformVec(0x100))
+	runFlight(t, e, rf, 0, 0, ldInstr(1, 0, isa.SpaceGlobal), isa.FullMask, uniformVec(5))
+	runFlight(t, e, rf, 0, 0, ldInstr(2, 0, isa.SpaceConst), isa.FullMask, uniformVec(6))
+	e.FlushLoadEntries()
+	// Global load entry must be gone.
+	g := runFlight(t, e, rf, 1, 0, ldInstr(1, 0, isa.SpaceGlobal), isa.FullMask, uniformVec(5))
+	if g.Bypassed {
+		t.Fatalf("global load entries must not survive a flush")
+	}
+	// Const entry survives.
+	c := runFlight(t, e, rf, 1, 0, ldInstr(2, 0, isa.SpaceConst), isa.FullMask, uniformVec(6))
+	if !c.Bypassed {
+		t.Fatalf("const load entries should survive a flush")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowRegisterModeMakesProgress(t *testing.T) {
+	// A tiny pool: allocation pressure forces low-register mode, which must
+	// drain buffer references until allocation succeeds again.
+	e, rf, st, _ := testEngine(config.RLPV, 40)
+	e.BlockLaunch(0, []int{0}, 8)
+	for i := 0; i < 200; i++ {
+		// Distinct values so the VSB cannot share.
+		runFlight(t, e, rf, 0, 0, moviInstr(isa.Reg(i%8), uint32(1000+i)), isa.FullMask, uniformVec(uint32(1000+i)))
+	}
+	if st.LowRegMode == 0 {
+		t.Fatalf("expected low-register mode under pressure")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCompleteReleasesEverything(t *testing.T) {
+	e, rf, _, _ := testEngine(config.RLPV, 128)
+	e.BlockLaunch(0, []int{0, 1}, 8)
+	for i := 0; i < 6; i++ {
+		runFlight(t, e, rf, 0, 0, moviInstr(isa.Reg(i), uint32(i*3)), isa.FullMask, uniformVec(uint32(i*3)))
+		runFlight(t, e, rf, 1, 0, moviInstr(isa.Reg(i), uint32(i*7+100)), isa.FullMask, uniformVec(uint32(i*7+100)))
+	}
+	e.BlockComplete(0, []int{0, 1})
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Draining the buffers should release every remaining register.
+	for i := 0; i < 4096; i++ {
+		e.evictOne()
+	}
+	if got := e.pool.InUse(); got != 1 {
+		t.Fatalf("after completion and drain, only the zero register should remain, got %d", got)
+	}
+}
+
+func TestBaseModelStaticMapping(t *testing.T) {
+	e, rf, _, _ := testEngine(config.Base, 128)
+	if !e.BlockLaunch(0, []int{0, 1}, 8) {
+		t.Fatalf("static launch failed")
+	}
+	fl := &Flight{Warp: 1, Block: 0, In: moviInstr(3, 5), Mask: isa.FullMask, RBIndex: -1, Result: uniformVec(5), HasResult: true}
+	e.Rename(fl)
+	e.ComputeTag(fl)
+	if fl.TagOK {
+		t.Fatalf("base model must not tag instructions")
+	}
+	for !e.AllocStep(fl) {
+		rf.BeginCycle()
+	}
+	if fl.DstPhys != e.staticPhys(1, 3) {
+		t.Fatalf("base destination must be the static slot")
+	}
+	e.Retire(fl)
+	if e.RegValue(1, 3) != uniformVec(5) {
+		t.Fatalf("value not visible through static mapping")
+	}
+	e.BlockComplete(0, []int{0, 1})
+	if e.staticUse != 0 {
+		t.Fatalf("static registers leaked: %d", e.staticUse)
+	}
+}
+
+func TestReuseEntryEvictionReleasesRefs(t *testing.T) {
+	e, rf, _, _ := testEngine(config.RLPV, 64)
+	e.BlockLaunch(0, []int{0}, 8)
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 7), isa.FullMask, uniformVec(7))
+	fl := runFlight(t, e, rf, 0, 0, iaddInstr(1, 0, 0), isa.FullMask, uniformVec(14))
+	// Evict every reuse-buffer entry; references must drop consistently.
+	for i := 0; i < e.rb.Entries(); i++ {
+		if ent, ok := e.rb.EvictSlot(i); ok {
+			_ = ent
+			e.releaseEntry(reuse.Entry{}) // no-op: invalid entry releases nothing
+			e.releaseEntry(ent)
+		}
+	}
+	_ = fl
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

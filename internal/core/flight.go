@@ -1,0 +1,125 @@
+// Package core implements the WIR engine: the composition of register
+// renaming, the value signature buffer, the reuse buffer, and reference-
+// counted register allocation that together realize warp instruction reuse
+// and warp register reuse (paper sections IV-VI). The SM pipeline drives one
+// Flight per in-flight warp instruction through the engine's stages.
+package core
+
+import (
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/regfile"
+	"github.com/wirsim/wir/internal/reuse"
+)
+
+// Stage enumerates the lifecycle of an in-flight instruction. The SM advances
+// a Flight through these stages; the engine performs the WIR work.
+type Stage uint8
+
+// Pipeline stages.
+const (
+	StageIssued  Stage = iota // waiting for the rename stage slot
+	StageRename               // rename in progress
+	StageReuse                // reuse-buffer lookup
+	StageWaiting              // queued on a pending reuse entry
+	StageRead                 // collecting operands from register banks
+	StageExec                 // in a functional unit / memory system
+	StageAlloc                // register allocation (hash, VSB, verify, write)
+	StageRetire               // ready to retire
+	StageDone                 // retired
+)
+
+// AllocState tracks progress through the register allocation stage.
+type AllocState uint8
+
+// Register-allocation sub-states.
+const (
+	AllocStart  AllocState = iota
+	AllocVerify            // VSB candidate found; performing verify-read
+	AllocGetReg            // waiting for a free physical register
+	AllocWrite             // waiting for a bank write port
+	AllocFinish
+)
+
+// Flight carries one warp instruction through the pipeline.
+type Flight struct {
+	Warp  int // SM-local warp index
+	Block int // SM-local block slot
+	PC    int
+	In    *isa.Instr
+
+	Mask      isa.Mask // active mask at issue (SIMT mask AND guard predicate)
+	Divergent bool     // any of the 32 lanes inactive
+
+	// Rename results.
+	SrcPhys   [3]regfile.PhysID
+	PinnedSrc bool // any source mapped to a pinned (mutable) register
+
+	// Functional results, computed eagerly at issue.
+	Result    isa.Vec
+	HasResult bool
+	OldDst    isa.Vec // destination value before this instruction (lane merge)
+
+	// Reuse state.
+	Tag         reuse.Tag
+	TagOK       bool // instruction is eligible for reuse-buffer access
+	RBIndex     int  // slot carried for the retire-time update
+	Reserved    bool // this flight reserved a pending entry
+	Bypassed    bool // reuse hit: backend bypassed
+	PendingWait bool // counted as pending-retry hit when it resolves
+	ReuseResult regfile.PhysID
+
+	// Destination allocation.
+	Alloc         AllocState
+	DstPhys       regfile.PhysID
+	NeedWrite     bool
+	Pin           bool // record the destination mapping as pinned
+	DummyMov      bool // inject a lane-merge MOV (divergence first-write)
+	DummySrc      regfile.PhysID
+	VSBHash       uint32
+	VSBHashed     bool
+	VSBCand       regfile.PhysID
+	HasVSBCand    bool
+	VerifyCounted bool // VerifyReads counted (one-shot across retry cycles)
+	VCacheTried   bool // verify cache consulted (one-shot)
+
+	// In-flight references to release at retire.
+	Refs []regfile.PhysID
+
+	// Timing.
+	Stage        Stage
+	ReadyAt      uint64 // cycle at which the current stage's work completes
+	SrcRead      int    // distinct operands collected so far
+	Dispatched   bool   // operands read, FU dispatch done
+	MemLines     []uint64
+	MemSpace     isa.Space
+	MemIdx       int    // next line to inject into the memory system
+	MemMaxDone   uint64 // latest completion among injected lines
+	MemConflicts int    // scratchpad bank serialization degree
+	Issued       uint64 // issue cycle, for age-ordered arbitration
+	SeqInWarp    uint64 // per-warp program-order sequence number
+}
+
+// AddInflightRef records an in-flight reference taken on p, to be released
+// when the flight retires.
+func (f *Flight) AddInflightRef(p regfile.PhysID) { f.Refs = append(f.Refs, p) }
+
+// DistinctSources returns the physical source registers with duplicates
+// removed; duplicate operands are served by one bank read.
+func (f *Flight) DistinctSources() []regfile.PhysID {
+	out := make([]regfile.PhysID, 0, 3)
+	n := f.In.NSrc
+	for i := 0; i < n; i++ {
+		p := f.SrcPhys[i]
+		dup := false
+		for _, q := range out {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

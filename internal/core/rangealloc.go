@@ -1,0 +1,71 @@
+package core
+
+import "github.com/wirsim/wir/internal/regfile"
+
+// rangeAlloc is a first-fit contiguous range allocator with coalescing, used
+// by the Base and Affine models to carve static per-warp register ranges out
+// of the physical register file (the conventional one-to-one mapping).
+type rangeAlloc struct {
+	free []span // sorted by start, non-overlapping, coalesced
+}
+
+type span struct {
+	start, len int
+}
+
+func newRangeAlloc(total int) *rangeAlloc {
+	return &rangeAlloc{free: []span{{0, total}}}
+}
+
+// alloc reserves n contiguous registers, returning the base.
+func (a *rangeAlloc) alloc(n int) (regfile.PhysID, bool) {
+	if n <= 0 {
+		return 0, true
+	}
+	for i := range a.free {
+		if a.free[i].len >= n {
+			base := a.free[i].start
+			a.free[i].start += n
+			a.free[i].len -= n
+			if a.free[i].len == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return regfile.PhysID(base), true
+		}
+	}
+	return 0, false
+}
+
+// release returns [base, base+n) to the free list, merging neighbors.
+func (a *rangeAlloc) release(base regfile.PhysID, n int) {
+	if n <= 0 {
+		return
+	}
+	s := span{int(base), n}
+	// Insert sorted.
+	i := 0
+	for i < len(a.free) && a.free[i].start < s.start {
+		i++
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = s
+	// Coalesce with the right neighbor, then the left.
+	if i+1 < len(a.free) && a.free[i].start+a.free[i].len == a.free[i+1].start {
+		a.free[i].len += a.free[i+1].len
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].start+a.free[i-1].len == a.free[i].start {
+		a.free[i-1].len += a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// freeTotal returns the number of unallocated registers (for tests).
+func (a *rangeAlloc) freeTotal() int {
+	n := 0
+	for _, s := range a.free {
+		n += s.len
+	}
+	return n
+}

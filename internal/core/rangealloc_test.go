@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wirsim/wir/internal/regfile"
+)
+
+func TestRangeAllocBasics(t *testing.T) {
+	a := newRangeAlloc(100)
+	b1, ok := a.alloc(40)
+	if !ok || b1 != 0 {
+		t.Fatalf("first alloc: %v %v", b1, ok)
+	}
+	b2, ok := a.alloc(40)
+	if !ok || b2 != 40 {
+		t.Fatalf("second alloc: %v %v", b2, ok)
+	}
+	if _, ok := a.alloc(40); ok {
+		t.Fatalf("should not fit")
+	}
+	a.release(b1, 40)
+	b3, ok := a.alloc(30)
+	if !ok || b3 != 0 {
+		t.Fatalf("first-fit after release: %v %v", b3, ok)
+	}
+}
+
+func TestRangeAllocCoalescing(t *testing.T) {
+	a := newRangeAlloc(100)
+	b1, _ := a.alloc(30)
+	b2, _ := a.alloc(30)
+	b3, _ := a.alloc(40)
+	a.release(b1, 30)
+	a.release(b3, 40)
+	a.release(b2, 30) // middle release must merge both neighbors
+	if len(a.free) != 1 || a.free[0].len != 100 {
+		t.Fatalf("free list not coalesced: %+v", a.free)
+	}
+}
+
+// Property: random alloc/release sequences conserve the total register count
+// and never double-allocate.
+func TestQuickRangeAlloc(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const total = 128
+		a := newRangeAlloc(total)
+		type span struct{ base, n int }
+		var live []span
+		used := 0
+		for _, op := range ops {
+			n := int(op%20) + 1
+			if op%2 == 0 {
+				if base, ok := a.alloc(n); ok {
+					live = append(live, span{int(base), n})
+					used += n
+				}
+			} else if len(live) > 0 {
+				i := int(op) % len(live)
+				s := live[i]
+				a.release(regfile.PhysID(s.base), s.n)
+				used -= s.n
+				live = append(live[:i], live[i+1:]...)
+			}
+			if a.freeTotal() != total-used {
+				return false
+			}
+		}
+		// Overlap check: release everything, free must be one full span.
+		for _, s := range live {
+			a.release(regfile.PhysID(s.base), s.n)
+		}
+		return a.freeTotal() == total && len(a.free) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/reuse"
+)
+
+// Rename performs the rename-stage work for fl: logical source registers are
+// translated to physical IDs (taking in-flight references so the registers
+// stay live until retire), pin bits are observed, and store flags are set for
+// stores (section VI-A). In static models it resolves the fixed per-warp
+// mapping instead.
+func (e *Engine) Rename(fl *Flight) {
+	in := fl.In
+	if !e.Reuse() {
+		for i := 0; i < in.NSrc; i++ {
+			fl.SrcPhys[i] = e.staticPhys(fl.Warp, in.Src[i])
+		}
+		return
+	}
+	for i := 0; i < in.NSrc; i++ {
+		ent := e.rt.Lookup(fl.Warp, in.Src[i])
+		p := e.pool.Zero
+		if ent.Valid {
+			p = ent.Phys
+			if ent.Pin {
+				fl.PinnedSrc = true
+			}
+		}
+		fl.SrcPhys[i] = p
+		e.addRef(p)
+		fl.AddInflightRef(p)
+	}
+	e.st.RenameReads += uint64(in.NSrc)
+	if in.IsStore() {
+		switch in.Space {
+		case isa.SpaceShared:
+			e.sharedStoreFlag[fl.Warp] = true
+		case isa.SpaceGlobal:
+			e.globalStoreFlag[fl.Warp] = true
+		}
+	}
+}
+
+// ComputeTag decides whether fl may access the reuse buffer and, if so,
+// builds its tag. The eligibility rules follow the paper exactly: divergent
+// instructions bypass the buffer (section V-D); instructions reading pinned
+// (mutable) registers bypass it because their source IDs are not stable value
+// names; loads obey the memory-hazard restrictions of section VI-A.
+func (e *Engine) ComputeTag(fl *Flight) {
+	in := fl.In
+	fl.TagOK = false
+	if !e.Reuse() || !in.Reusable() || !in.HasDst() {
+		return
+	}
+	if fl.Divergent || fl.PinnedSrc {
+		e.st.ReuseBypassed++
+		return
+	}
+	t := reuse.Tag{
+		Op:     in.Op,
+		Cond:   in.Cond,
+		Space:  in.Space,
+		NSrc:   uint8(in.NSrc),
+		Imm:    in.Imm,
+		HasImm: in.HasImm,
+		Block:  reuse.NullBlock,
+	}
+	for i := 0; i < in.NSrc; i++ {
+		t.Src[i] = fl.SrcPhys[i]
+	}
+	if in.IsLoad() {
+		if !e.model.LoadReuse() {
+			e.st.ReuseBypassed++
+			return
+		}
+		switch in.Space {
+		case isa.SpaceShared:
+			if e.sharedStoreFlag[fl.Warp] || e.barrierSat[fl.Block] {
+				e.st.ReuseBypassed++
+				return
+			}
+			t.Block = uint8(fl.Block)
+			t.Barrier = e.barrierCount[fl.Block]
+		case isa.SpaceGlobal:
+			if e.globalStoreFlag[fl.Warp] || e.barrierSat[fl.Block] {
+				e.st.ReuseBypassed++
+				return
+			}
+			t.Barrier = e.barrierCount[fl.Block]
+		default:
+			// Constant and texture memory are read-only: always safe.
+		}
+	}
+	fl.Tag = t
+	fl.TagOK = true
+}
+
+// ReuseLookup performs the reuse-stage buffer access for an eligible flight.
+// On a hit the flight is marked bypassed and the result register is pinned
+// live with an in-flight reference. On a miss with pending-retry enabled, the
+// slot is eagerly reserved in the pending state.
+func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
+	e.accessedThis = true
+	e.st.ReuseLookups++
+	res, idx, result := e.rb.Lookup(fl.Tag)
+	fl.RBIndex = idx
+	switch res {
+	case reuse.Hit:
+		e.st.ReuseHits++
+		fl.Bypassed = true
+		fl.ReuseResult = result
+		fl.DstPhys = result
+		e.addRef(result)
+		fl.AddInflightRef(result)
+	case reuse.PendingHit:
+		// The SM decides whether to queue the flight or fall through to
+		// execution (queue capacity).
+	case reuse.Miss:
+		e.st.ReuseMisses++
+		if idx < 0 {
+			break
+		}
+		if e.lowReg {
+			if ent, ok := e.rb.EvictSlot(idx); ok {
+				e.st.ReuseEvicts++
+				e.releaseEntry(ent)
+			}
+			break
+		}
+		if e.model.PendingRetry() {
+			evicted := e.rb.Reserve(idx, fl.Tag)
+			if evicted.Valid {
+				e.st.ReuseEvicts++
+			}
+			e.releaseEntry(evicted)
+			for i := 0; i < int(fl.Tag.NSrc); i++ {
+				e.addRef(fl.Tag.Src[i])
+			}
+			fl.Reserved = true
+			e.st.ReuseUpdates++
+		}
+	}
+	return res
+}
+
+// CheckPending re-examines the reuse-buffer slot a queued flight waits on.
+// resolved means the result arrived (the flight is now a pending-retry hit);
+// stillPending means keep waiting; both false means the entry was lost and
+// the flight must proceed to execution.
+func (e *Engine) CheckPending(fl *Flight) (resolved, stillPending bool) {
+	e.accessedThis = true
+	e.st.ReuseLookups++
+	ent := e.rb.At(fl.RBIndex)
+	if !ent.Valid || ent.Tag != fl.Tag {
+		return false, false
+	}
+	if ent.Pending {
+		return false, true
+	}
+	e.st.ReuseHits++
+	e.st.PendingHits++
+	fl.Bypassed = true
+	fl.ReuseResult = ent.Result
+	fl.DstPhys = ent.Result
+	e.addRef(ent.Result)
+	fl.AddInflightRef(ent.Result)
+	return true, false
+}
+
+// AllocStep advances the register-allocation stage of fl by one cycle. It
+// returns true when the stage is complete; false means fl is blocked this
+// cycle (bank port conflict or register shortage) and must retry.
+func (e *Engine) AllocStep(fl *Flight) bool {
+	in := fl.In
+	for {
+		switch fl.Alloc {
+		case AllocStart:
+			if !in.HasDst() || fl.Bypassed {
+				fl.Alloc = AllocFinish
+				continue
+			}
+			if !e.Reuse() {
+				fl.DstPhys = e.staticPhys(fl.Warp, in.Dst)
+				fl.NeedWrite = true
+				fl.Alloc = AllocWrite
+				continue
+			}
+			if fl.Divergent {
+				// Pin-bit protocol (section V-D): first divergent redefine
+				// allocates a dedicated register and injects a dummy MOV for
+				// the inactive lanes; later divergent writes overwrite the
+				// dedicated register in place.
+				e.st.VSBBypassed++
+				ent := e.rt.Lookup(fl.Warp, in.Dst)
+				fl.Pin = true
+				if ent.Valid && ent.Pin {
+					fl.DstPhys = ent.Phys
+					fl.NeedWrite = true
+					fl.Alloc = AllocWrite
+					continue
+				}
+				if ent.Valid {
+					fl.DummyMov = true
+					fl.DummySrc = ent.Phys
+				}
+				fl.Alloc = AllocGetReg
+				continue
+			}
+			if e.model.UseVSB() && e.vsbf.Entries() > 0 {
+				if !fl.VSBHashed {
+					fl.VSBHash = e.h.Sum32(fl.Result)
+					fl.VSBHashed = true
+					e.st.HashOps++
+				}
+				e.st.VSBLookups++
+				e.accessedThis = true
+				if p, ok := e.vsbf.Lookup(fl.VSBHash); ok {
+					fl.VSBCand = p
+					fl.HasVSBCand = true
+					e.addRef(p)
+					fl.AddInflightRef(p)
+					fl.Alloc = AllocVerify
+					continue
+				}
+				e.st.VSBMisses++
+				if e.lowReg {
+					if p, ok := e.vsbf.EvictSlot(fl.VSBHash); ok {
+						e.release(p)
+					}
+				}
+			} else if e.Reuse() && e.model.UseVSB() {
+				// Zero-entry VSB (Figure 20's leftmost point): every lookup
+				// misses.
+				e.st.VSBLookups++
+				e.st.VSBMisses++
+			}
+			fl.Alloc = AllocGetReg
+			continue
+
+		case AllocVerify:
+			// Verify-read (Figure 7): confirm the candidate register really
+			// holds the result value; a 32-bit hash can collide.
+			if !fl.VerifyCounted {
+				fl.VerifyCounted = true
+				e.st.VerifyReads++
+			}
+			match, blocked := e.verifyRead(fl)
+			if blocked {
+				return false
+			}
+			if match {
+				e.st.VSBHits++
+				e.st.WritesShared++
+				e.st.RFWritesSav++
+				fl.DstPhys = fl.VSBCand
+				fl.NeedWrite = false
+				fl.Alloc = AllocFinish
+				continue
+			}
+			e.st.VSBFalsePos++
+			fl.Alloc = AllocGetReg
+			continue
+
+		case AllocGetReg:
+			p, ok := e.pool.Alloc()
+			if !ok {
+				e.enterLowReg()
+				return false
+			}
+			e.st.RegAllocs++
+			e.st.AllocatorOps++
+			// The allocation's initial reference acts as the in-flight hold;
+			// it is released at retire, after the rename table (and reuse
+			// buffer / VSB, where applicable) have taken their own
+			// references.
+			fl.AddInflightRef(p)
+			fl.DstPhys = p
+			fl.NeedWrite = true
+			fl.Alloc = AllocWrite
+			continue
+
+		case AllocWrite:
+			if !e.rf.TryWrite(fl.DstPhys) {
+				e.st.BankRetries++
+				return false
+			}
+			e.st.RFWrites++
+			e.rf.Write(fl.DstPhys, fl.Result)
+			if e.Reuse() && !fl.Divergent && e.model.UseVSB() && e.vsbf.Entries() > 0 && !e.lowReg {
+				ev, had := e.vsbf.Insert(fl.VSBHash, fl.DstPhys)
+				e.addRef(fl.DstPhys)
+				if had {
+					e.release(ev)
+				}
+				e.st.VSBUpdates++
+			}
+			fl.Alloc = AllocFinish
+			continue
+
+		case AllocFinish:
+			return true
+		}
+	}
+}
+
+// verifyRead performs one cycle of the verify-read operation: consult the
+// verify cache, then fall back to the register banks. blocked means no bank
+// port was available this cycle.
+func (e *Engine) verifyRead(fl *Flight) (match, blocked bool) {
+	if e.model.VerifyCache() && e.rf.HasVerifyCache() && !fl.VCacheTried {
+		fl.VCacheTried = true
+		e.st.VerifyCacheOp++
+		if v, hit := e.rf.VerifyCacheLookup(fl.VSBCand); hit {
+			e.st.VerifyCHits++
+			return v == fl.Result, false
+		}
+		e.st.VerifyCMiss++
+	}
+	if !e.rf.TryRead(fl.VSBCand) {
+		e.st.BankRetries++
+		return false, true
+	}
+	e.st.RFVerify++
+	v := e.rf.Value(fl.VSBCand)
+	if e.model.VerifyCache() && e.rf.HasVerifyCache() {
+		e.st.VerifyCacheOp++
+		e.rf.VerifyCacheFill(fl.VSBCand)
+	}
+	return v == fl.Result, false
+}
+
+// Retire completes fl: the destination's new logical-to-physical mapping is
+// recorded, the scoreboard owner (the SM) is expected to clear its pending
+// bits, the reuse buffer is updated, and all in-flight references drop.
+func (e *Engine) Retire(fl *Flight) {
+	in := fl.In
+	if !e.Reuse() {
+		return
+	}
+	if in.HasDst() {
+		old := e.rt.Set(fl.Warp, in.Dst, fl.DstPhys, fl.Pin)
+		e.st.RenameWrites++
+		e.addRef(fl.DstPhys)
+		if old.Valid {
+			e.release(old.Phys)
+		}
+	}
+	if fl.TagOK && !fl.Bypassed {
+		if fl.Reserved {
+			if e.rb.Complete(fl.RBIndex, fl.Tag, fl.DstPhys) {
+				e.addRef(fl.DstPhys)
+				e.st.ReuseUpdates++
+			}
+		} else if !e.model.PendingRetry() && !e.lowReg && fl.RBIndex >= 0 {
+			ev := e.rb.Insert(fl.RBIndex, fl.Tag, fl.DstPhys)
+			if ev.Valid {
+				e.st.ReuseEvicts++
+			}
+			e.releaseEntry(ev)
+			for i := 0; i < int(fl.Tag.NSrc); i++ {
+				e.addRef(fl.Tag.Src[i])
+			}
+			e.addRef(fl.DstPhys)
+			e.st.ReuseUpdates++
+		}
+	}
+	for _, p := range fl.Refs {
+		e.release(p)
+	}
+	fl.Refs = nil
+}

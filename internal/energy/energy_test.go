@@ -1,0 +1,110 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wirsim/wir/internal/stats"
+)
+
+func TestBreakdownScopes(t *testing.T) {
+	c := Default45nm()
+	s := stats.Sim{
+		Cycles: 1000, Issued: 500, Backend: 400,
+		SPOps: 300, SFUOps: 50, MemOps: 50,
+		RFReads: 800, RFWrites: 400,
+		L1DAccesses: 60, L2Accesses: 20, DRAMAccesses: 5, NoCFlits: 100,
+	}
+	b := Model(&c, &s, 15)
+	if b.SM() <= 0 || b.Total() <= b.SM() {
+		t.Fatalf("scopes wrong: SM=%v Total=%v", b.SM(), b.Total())
+	}
+	sum := b.Frontend + b.RegFile + b.FU + b.L1 + b.WIR + b.SMStatic + b.L2 + b.NoC + b.DRAM + b.Chip
+	if math.Abs(sum-b.Total()) > 1e-6 {
+		t.Fatalf("components do not sum to total")
+	}
+}
+
+func TestMoreWorkMoreEnergy(t *testing.T) {
+	c := Default45nm()
+	small := stats.Sim{Cycles: 100, Issued: 100, SPOps: 100, RFReads: 200, RFWrites: 100}
+	big := small
+	big.SPOps *= 2
+	big.RFReads *= 2
+	eb1 := Model(&c, &small, 15)
+	eb2 := Model(&c, &big, 15)
+	if eb2.Total() <= eb1.Total() {
+		t.Fatalf("doubling backend work should increase energy")
+	}
+}
+
+func TestAffineDiscount(t *testing.T) {
+	c := Default45nm()
+	plain := stats.Sim{Cycles: 100, SPOps: 100, RFReads: 300, RFWrites: 100}
+	affine := plain
+	affine.AffineRegOps = 200 // half the accesses are single-bank
+	affine.AffineFUOps = 50   // half the SP ops run at one-lane energy
+	e1 := Model(&c, &plain, 15)
+	e2 := Model(&c, &affine, 15)
+	if e2.RegFile >= e1.RegFile {
+		t.Errorf("affine register accesses should be cheaper: %v vs %v", e2.RegFile, e1.RegFile)
+	}
+	if e2.FU >= e1.FU {
+		t.Errorf("affine FU ops should be cheaper: %v vs %v", e2.FU, e1.FU)
+	}
+}
+
+func TestWIROverheadCounted(t *testing.T) {
+	c := Default45nm()
+	s := stats.Sim{Cycles: 100, Issued: 100}
+	s.ReuseLookups = 100
+	s.VSBLookups = 80
+	s.HashOps = 80
+	s.RenameReads = 200
+	b := Model(&c, &s, 15)
+	if b.WIR <= 0 {
+		t.Fatalf("WIR structure energy must be counted")
+	}
+}
+
+func TestTableIIIEstimatesReasonable(t *testing.T) {
+	rows := TableIII()
+	if len(rows) != 7 {
+		t.Fatalf("Table III should have 7 components, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.EstimatePJ <= 0 || r.EstimateNS <= 0 {
+			t.Errorf("%s: non-positive estimate", r.Spec.Name)
+		}
+		// The analytical model replaces CACTI/Design Compiler; it should land
+		// within a factor of two of the published values.
+		ratio := r.EstimatePJ / r.PaperPJ
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: energy estimate %.2fpJ vs paper %.2fpJ (ratio %.2f)",
+				r.Spec.Name, r.EstimatePJ, r.PaperPJ, ratio)
+		}
+		tratio := r.EstimateNS / r.PaperNS
+		if tratio < 0.4 || tratio > 2.5 {
+			t.Errorf("%s: latency estimate %.2fns vs paper %.2fns (ratio %.2f)",
+				r.Spec.Name, r.EstimateNS, r.PaperNS, tratio)
+		}
+	}
+}
+
+func TestStorageMatchesPaper(t *testing.T) {
+	// Paper section VII-E: ~9.9 KB of added storage per SM at the default
+	// configuration.
+	kb := StorageKB(256, 256, 8)
+	if kb < 9.0 || kb > 11.0 {
+		t.Fatalf("added storage %.2f KB, paper says ~9.9 KB", kb)
+	}
+}
+
+func TestHashLatencyMatchesOneCycle(t *testing.T) {
+	// The paper sizes hash generation to fit in one 1.43ns cycle.
+	for _, r := range TableIII() {
+		if r.Spec.Kind == KindLogic && r.EstimateNS > 1.43 {
+			t.Errorf("hash latency %.2fns exceeds the 700MHz cycle", r.EstimateNS)
+		}
+	}
+}

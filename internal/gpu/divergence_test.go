@@ -1,0 +1,199 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// runLanes executes a single 32-thread warp kernel and returns one word per
+// lane from the output buffer.
+func runLanes(t *testing.T, m config.Model, build func(b *kasm.Builder, out uint32)) []uint32 {
+	t.Helper()
+	cfg := config.Default(m)
+	cfg.NumSMs = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Mem().Alloc(32)
+	b := kasm.NewBuilder("lanes")
+	build(b, out)
+	b.Exit()
+	if _, err := g.Run(&Launch{Kernel: b.MustBuild(), GridX: 1, DimX: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return g.Mem().Snapshot(out, 32)
+}
+
+// TestLoopInsideDivergentIf exercises a loop nested inside a divergent
+// region: only half the lanes run the loop, with a uniform trip count.
+func TestLoopInsideDivergentIf(t *testing.T) {
+	for _, m := range []config.Model{config.Base, config.RLPV} {
+		got := runLanes(t, m, func(b *kasm.Builder, out uint32) {
+			lane := b.R()
+			acc := b.R()
+			i := b.R()
+			p := b.P()
+			lp := b.P()
+			b.S2R(lane, isa.SrLaneID)
+			b.MovI(acc, 0)
+			b.ISetPI(p, isa.CondLT, lane, 16)
+			b.If(p, false, func() {
+				b.MovI(i, 0)
+				top := b.NewLabel()
+				b.Bind(top)
+				b.IAddI(acc, acc, 3)
+				b.IAddI(i, i, 1)
+				b.ISetPI(lp, isa.CondLT, i, 4)
+				b.BraTo(lp, false, top)
+			})
+			addr := b.R()
+			b.ShlI(addr, lane, 2)
+			b.IAddI(addr, addr, int32(out))
+			b.St(isa.SpaceGlobal, addr, acc, 0)
+		})
+		for lane, v := range got {
+			want := uint32(0)
+			if lane < 16 {
+				want = 12
+			}
+			if v != want {
+				t.Fatalf("[%v] lane %d = %d, want %d", m, lane, v, want)
+			}
+		}
+	}
+}
+
+// TestDivergentIfInsideLoop flips the nesting: every iteration diverges on a
+// lane-dependent condition that also depends on the loop counter.
+func TestDivergentIfInsideLoop(t *testing.T) {
+	for _, m := range []config.Model{config.Base, config.RLPV} {
+		got := runLanes(t, m, func(b *kasm.Builder, out uint32) {
+			lane := b.R()
+			acc := b.R()
+			i := b.R()
+			par := b.R()
+			p := b.P()
+			lp := b.P()
+			b.S2R(lane, isa.SrLaneID)
+			b.MovI(acc, 0)
+			b.MovI(i, 0)
+			top := b.NewLabel()
+			b.Bind(top)
+			// Lanes whose (lane+i) is even add i.
+			b.IAdd(par, lane, i)
+			b.AndI(par, par, 1)
+			b.ISetPI(p, isa.CondEQ, par, 0)
+			b.If(p, false, func() {
+				b.IAdd(acc, acc, i)
+			})
+			b.IAddI(i, i, 1)
+			b.ISetPI(lp, isa.CondLT, i, 6)
+			b.BraTo(lp, false, top)
+			addr := b.R()
+			b.ShlI(addr, lane, 2)
+			b.IAddI(addr, addr, int32(out))
+			b.St(isa.SpaceGlobal, addr, acc, 0)
+		})
+		for lane, v := range got {
+			want := uint32(0)
+			for i := 0; i < 6; i++ {
+				if (lane+i)%2 == 0 {
+					want += uint32(i)
+				}
+			}
+			if v != want {
+				t.Fatalf("[%v] lane %d = %d, want %d", m, lane, v, want)
+			}
+		}
+	}
+}
+
+// TestPartialExitInDivergentFlow lets half the lanes exit early inside a
+// divergent region; the rest must continue and store.
+func TestPartialExitInDivergentFlow(t *testing.T) {
+	for _, m := range []config.Model{config.Base, config.RLPV} {
+		got := runLanes(t, m, func(b *kasm.Builder, out uint32) {
+			lane := b.R()
+			p := b.P()
+			v := b.R()
+			addr := b.R()
+			b.S2R(lane, isa.SrLaneID)
+			// Store a sentinel first so exited lanes leave evidence.
+			b.MovI(v, 100)
+			b.ShlI(addr, lane, 2)
+			b.IAddI(addr, addr, int32(out))
+			b.St(isa.SpaceGlobal, addr, v, 0)
+			b.ISetPI(p, isa.CondGE, lane, 16)
+			b.If(p, false, func() {
+				b.Exit()
+			})
+			b.MovI(v, 200)
+			b.St(isa.SpaceGlobal, addr, v, 0)
+		})
+		for lane, v := range got {
+			want := uint32(200)
+			if lane >= 16 {
+				want = 100
+			}
+			if v != want {
+				t.Fatalf("[%v] lane %d = %d, want %d", m, lane, v, want)
+			}
+		}
+	}
+}
+
+// TestThreeLevelNesting verifies reconvergence through three nested
+// divergent regions.
+func TestThreeLevelNesting(t *testing.T) {
+	got := runLanes(t, config.RLPV, func(b *kasm.Builder, out uint32) {
+		lane := b.R()
+		v := b.R()
+		q := b.R()
+		p1 := b.P()
+		p2 := b.P()
+		p3 := b.P()
+		b.S2R(lane, isa.SrLaneID)
+		b.MovI(v, 0)
+		b.AndI(q, lane, 1)
+		b.ISetPI(p1, isa.CondEQ, q, 0)
+		b.If(p1, false, func() {
+			b.IAddI(v, v, 1)
+			b.AndI(q, lane, 2)
+			b.ISetPI(p2, isa.CondEQ, q, 0)
+			b.If(p2, false, func() {
+				b.IAddI(v, v, 10)
+				b.AndI(q, lane, 4)
+				b.ISetPI(p3, isa.CondEQ, q, 0)
+				b.If(p3, false, func() {
+					b.IAddI(v, v, 100)
+				})
+			})
+		})
+		addr := b.R()
+		b.ShlI(addr, lane, 2)
+		b.IAddI(addr, addr, int32(out))
+		b.St(isa.SpaceGlobal, addr, v, 0)
+	})
+	for lane, v := range got {
+		want := uint32(0)
+		if lane&1 == 0 {
+			want++
+			if lane&2 == 0 {
+				want += 10
+				if lane&4 == 0 {
+					want += 100
+				}
+			}
+		}
+		if v != want {
+			t.Fatalf("lane %d = %d, want %d", lane, v, want)
+		}
+	}
+}

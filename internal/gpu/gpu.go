@@ -1,0 +1,233 @@
+// Package gpu assembles the whole chip: the SMs, the shared memory system,
+// and the thread-block dispatcher. It provides the top-level API to set up
+// device memory, launch kernels, and collect statistics.
+package gpu
+
+import (
+	"fmt"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+	"github.com/wirsim/wir/internal/mem"
+	"github.com/wirsim/wir/internal/sm"
+	"github.com/wirsim/wir/internal/stats"
+	"github.com/wirsim/wir/internal/trace"
+)
+
+// Launch describes one kernel launch.
+type Launch struct {
+	Kernel *kasm.Kernel
+	GridX  int
+	GridY  int
+	GridZ  int
+	DimX   int // threads per block, x
+	DimY   int
+	DimZ   int
+}
+
+// Blocks returns the total thread blocks in the grid.
+func (l *Launch) Blocks() int {
+	return l.GridX * maxi(l.GridY, 1) * maxi(l.GridZ, 1)
+}
+
+// ThreadsPerBlock returns the block size in threads.
+func (l *Launch) ThreadsPerBlock() int {
+	return l.DimX * maxi(l.DimY, 1) * maxi(l.DimZ, 1)
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// regHeadroom is the number of physical registers withheld from the occupancy
+// calculation (see Occupancy).
+const regHeadroom = 33
+
+// GPU is one simulated chip.
+type GPU struct {
+	cfg    config.Config
+	st     stats.Sim // memory-system counters accumulate here directly
+	ms     *mem.System
+	sms    []*sm.SM
+	smStat []*stats.Sim
+
+	cycles   uint64
+	launches int
+}
+
+// New builds a GPU for the given configuration.
+func New(cfg config.Config) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{cfg: cfg}
+	g.ms = mem.NewSystem(&g.cfg, &g.st)
+	g.sms = make([]*sm.SM, cfg.NumSMs)
+	g.smStat = make([]*stats.Sim, cfg.NumSMs)
+	for i := range g.sms {
+		g.smStat[i] = &stats.Sim{}
+		g.sms[i] = sm.New(i, &g.cfg, g.smStat[i], g.ms)
+	}
+	return g, nil
+}
+
+// Config returns the GPU's configuration.
+func (g *GPU) Config() *config.Config { return &g.cfg }
+
+// Mem exposes the memory system for workload setup (allocation, host reads
+// and writes, constant/texture segments).
+func (g *GPU) Mem() *mem.System { return g.ms }
+
+// SetProfileHook installs a per-instruction observation hook on every SM.
+func (g *GPU) SetProfileHook(h sm.ProfileHook) {
+	for _, s := range g.sms {
+		s.Hook = h
+	}
+}
+
+// SetTracer attaches a pipeline-event sink to every SM (nil detaches).
+func (g *GPU) SetTracer(t trace.Sink) {
+	for _, s := range g.sms {
+		s.Trace = t
+	}
+}
+
+// Occupancy returns the maximum resident blocks per SM for a launch, limited
+// by block slots, warp slots, scratchpad capacity, and the register budget
+// (the register file must back one physical register per logical register in
+// the conventional mapping; reuse models keep the same occupancy so that
+// performance comparisons isolate the reuse effect).
+func (g *GPU) Occupancy(l *Launch) (int, error) {
+	tpb := l.ThreadsPerBlock()
+	if tpb <= 0 || tpb > g.cfg.WarpsPerSM*isa.WarpSize {
+		return 0, fmt.Errorf("gpu: block size %d out of range", tpb)
+	}
+	warpsPerBlock := (tpb + isa.WarpSize - 1) / isa.WarpSize
+	blocks := g.cfg.BlocksPerSM
+	if b := g.cfg.WarpsPerSM / warpsPerBlock; b < blocks {
+		blocks = b
+	}
+	if l.Kernel.SharedBytes > 0 {
+		if b := g.cfg.SharedBytesPerSM / l.Kernel.SharedBytes; b < blocks {
+			blocks = b
+		}
+	}
+	if l.Kernel.Regs > 0 {
+		// Reserve a small register headroom: reuse models need an in-flight
+		// allocation float (a new physical register is taken before the old
+		// mapping releases), and the zero register is never handed out. The
+		// same budget applies to every model so occupancy — and therefore
+		// scheduling behaviour — is identical across comparisons.
+		budget := g.cfg.PhysRegsPerSM - regHeadroom
+		if b := budget / (warpsPerBlock * l.Kernel.Regs); b < blocks {
+			blocks = b
+		}
+	}
+	if blocks <= 0 {
+		return 0, fmt.Errorf("gpu: kernel %s does not fit on an SM (warps=%d regs=%d shared=%d)",
+			l.Kernel.Name, warpsPerBlock, l.Kernel.Regs, l.Kernel.SharedBytes)
+	}
+	return blocks, nil
+}
+
+// Run executes a kernel launch to completion and returns the number of
+// cycles it took. Statistics accumulate across launches; use Stats for the
+// merged view.
+func (g *GPU) Run(l *Launch) (uint64, error) {
+	if _, err := g.Occupancy(l); err != nil {
+		return 0, err
+	}
+	total := l.Blocks()
+	next := 0
+	start := g.cycles
+	g.launches++
+
+	makeInfo := func(i int) sm.BlockInfo {
+		bx := i % l.GridX
+		by := i / l.GridX % maxi(l.GridY, 1)
+		bz := i / (l.GridX * maxi(l.GridY, 1))
+		return sm.BlockInfo{
+			Kernel: l.Kernel,
+			Launch: g.launches,
+			BlockX: bx, BlockY: by, BlockZ: bz,
+			GridX: l.GridX, GridY: maxi(l.GridY, 1), GridZ: maxi(l.GridZ, 1),
+			DimX: l.DimX, DimY: maxi(l.DimY, 1), DimZ: maxi(l.DimZ, 1),
+			Threads: l.ThreadsPerBlock(),
+		}
+	}
+
+	const watchdogSlack = 50_000_000
+	deadline := g.cycles + watchdogSlack
+	for {
+		// Dispatch as many blocks as fit, round-robin over SMs.
+		for next < total {
+			placed := false
+			for _, s := range g.sms {
+				if next >= total {
+					break
+				}
+				if s.TryLaunchBlock(makeInfo(next)) {
+					next++
+					placed = true
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+		idle := true
+		for _, s := range g.sms {
+			s.Tick()
+			if !s.Idle() {
+				idle = false
+			}
+		}
+		g.cycles++
+		if next >= total && idle {
+			break
+		}
+		if g.cycles > deadline {
+			detail := ""
+			for _, s := range g.sms {
+				if !s.Idle() {
+					detail += s.DebugState()
+				}
+			}
+			return 0, fmt.Errorf("gpu: watchdog expired running %s (%d/%d blocks dispatched)\n%s", l.Kernel.Name, next, total, detail)
+		}
+	}
+	// A finished launch is a device-wide synchronization point: memory
+	// written during it (or by the host before the next launch) must not be
+	// served from pre-boundary load-reuse entries.
+	for _, s := range g.sms {
+		s.FlushLoadReuse()
+	}
+	return g.cycles - start, nil
+}
+
+// Stats merges the per-SM counters with the memory-system counters and
+// returns the chip-wide view.
+func (g *GPU) Stats() stats.Sim {
+	out := g.st
+	for i, s := range g.smStat {
+		out.Add(s)
+		if c := g.sms[i].Now(); c > out.Cycles {
+			out.Cycles = c
+		}
+	}
+	return out
+}
+
+// CheckInvariants asks every SM's engine to verify its internal invariants.
+func (g *GPU) CheckInvariants() error {
+	for _, s := range g.sms {
+		if err := s.Engine().CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+func newGPU(t *testing.T, m config.Model) *GPU {
+	t.Helper()
+	cfg := config.Default(m)
+	cfg.NumSMs = 2
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// emitIdx computes the global linear thread index.
+func emitIdx(b *kasm.Builder) isa.Reg {
+	tid := b.R()
+	bid := b.R()
+	bdim := b.R()
+	g := b.R()
+	b.S2R(tid, isa.SrTid)
+	b.S2R(bid, isa.SrCtaidX)
+	b.S2R(bdim, isa.SrNtidX)
+	b.IMad(g, bid, bdim, tid)
+	return g
+}
+
+func storeTo(b *kasm.Builder, base uint32, idx, val isa.Reg) {
+	a := b.R()
+	b.ShlI(a, idx, 2)
+	b.IAddI(a, a, int32(base))
+	b.St(isa.SpaceGlobal, a, val, 0)
+}
+
+func TestSpecialRegisters(t *testing.T) {
+	g := newGPU(t, config.Base)
+	const n = 256
+	out := g.Mem().Alloc(n)
+	b := kasm.NewBuilder("sregs")
+	gidx := emitIdx(b)
+	storeTo(b, out, gidx, gidx)
+	b.Exit()
+	k := b.MustBuild()
+	if _, err := g.Run(&Launch{Kernel: k, GridX: 2, DimX: 128}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g.Mem().Snapshot(out, n) {
+		if v != uint32(i) {
+			t.Fatalf("thread %d stored %d", i, v)
+		}
+	}
+}
+
+func TestDivergenceIfElse(t *testing.T) {
+	for _, m := range []config.Model{config.Base, config.RLPV} {
+		g := newGPU(t, m)
+		const n = 128
+		out := g.Mem().Alloc(n)
+		b := kasm.NewBuilder("ifelse")
+		gidx := emitIdx(b)
+		p := b.P()
+		bit := b.R()
+		v := b.R()
+		b.AndI(bit, gidx, 1)
+		b.ISetPI(p, isa.CondEQ, bit, 0)
+		b.IfElse(p, false, func() {
+			b.MovI(v, 100)
+		}, func() {
+			b.MovI(v, 200)
+		})
+		b.IAdd(v, v, gidx)
+		storeTo(b, out, gidx, v)
+		b.Exit()
+		k := b.MustBuild()
+		if _, err := g.Run(&Launch{Kernel: k, GridX: 1, DimX: n}); err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range g.Mem().Snapshot(out, n) {
+			want := uint32(200 + i)
+			if i%2 == 0 {
+				want = uint32(100 + i)
+			}
+			if got != want {
+				t.Fatalf("[%v] out[%d] = %d, want %d", m, i, got, want)
+			}
+		}
+	}
+}
+
+func TestNestedDivergence(t *testing.T) {
+	g := newGPU(t, config.RLPV)
+	const n = 64
+	out := g.Mem().Alloc(n)
+	b := kasm.NewBuilder("nested")
+	gidx := emitIdx(b)
+	p1 := b.P()
+	p2 := b.P()
+	q := b.R()
+	v := b.R()
+	b.AndI(q, gidx, 3)
+	b.MovI(v, 0)
+	b.ISetPI(p1, isa.CondGE, q, 2) // lanes with q in {2,3}
+	b.If(p1, false, func() {
+		b.IAddI(v, v, 10)
+		b.ISetPI(p2, isa.CondEQ, q, 3)
+		b.If(p2, false, func() {
+			b.IAddI(v, v, 100)
+		})
+	})
+	b.IAddI(v, v, 1)
+	storeTo(b, out, gidx, v)
+	b.Exit()
+	if _, err := g.Run(&Launch{Kernel: b.MustBuild(), GridX: 1, DimX: n}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 1, 11, 111}
+	for i, got := range g.Mem().Snapshot(out, n) {
+		if got != want[i%4] {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want[i%4])
+		}
+	}
+}
+
+func TestDivergentLoopTripCounts(t *testing.T) {
+	// Each lane iterates (laneid % 4) + 1 times; the SIMT stack must merge
+	// lanes back as they peel off.
+	for _, m := range []config.Model{config.Base, config.RLPV} {
+		g := newGPU(t, m)
+		const n = 64
+		out := g.Mem().Alloc(n)
+		b := kasm.NewBuilder("divloop")
+		gidx := emitIdx(b)
+		p := b.P()
+		lim := b.R()
+		i := b.R()
+		acc := b.R()
+		b.AndI(lim, gidx, 3)
+		b.IAddI(lim, lim, 1)
+		b.MovI(i, 0)
+		b.MovI(acc, 0)
+		top := b.NewLabel()
+		b.Bind(top)
+		b.IAddI(acc, acc, 5)
+		b.IAddI(i, i, 1)
+		b.ISetP(p, isa.CondLT, i, lim)
+		b.BraTo(p, false, top)
+		storeTo(b, out, gidx, acc)
+		b.Exit()
+		if _, err := g.Run(&Launch{Kernel: b.MustBuild(), GridX: 1, DimX: n}); err != nil {
+			t.Fatal(err)
+		}
+		for idx, got := range g.Mem().Snapshot(out, n) {
+			want := uint32((idx%4 + 1) * 5)
+			if got != want {
+				t.Fatalf("[%v] out[%d] = %d, want %d", m, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestBarrierSharedReduction(t *testing.T) {
+	for _, m := range []config.Model{config.Base, config.RLPV} {
+		g := newGPU(t, m)
+		const bs = 128
+		const blocks = 4
+		out := g.Mem().Alloc(blocks)
+		b := kasm.NewBuilder("reduce")
+		sh := b.Shared(bs * 4)
+		tid := b.R()
+		b.S2R(tid, isa.SrTid)
+		gidx := emitIdx(b)
+		sa := b.R()
+		v := b.R()
+		o := b.R()
+		p := b.P()
+		// sh[tid] = gidx + 1
+		b.IAddI(v, gidx, 1)
+		b.ShlI(sa, tid, 2)
+		b.IAddI(sa, sa, int32(sh))
+		b.St(isa.SpaceShared, sa, v, 0)
+		b.Bar()
+		// Tree reduction.
+		for d := bs / 2; d >= 1; d /= 2 {
+			b.ISetPI(p, isa.CondLT, tid, int32(d))
+			b.If(p, false, func() {
+				b.Ld(v, isa.SpaceShared, sa, 0)
+				b.Ld(o, isa.SpaceShared, sa, int32(4*d))
+				b.IAdd(v, v, o)
+				b.St(isa.SpaceShared, sa, v, 0)
+			})
+			b.Bar()
+		}
+		b.ISetPI(p, isa.CondEQ, tid, 0)
+		b.If(p, false, func() {
+			bid := b.R()
+			b.S2R(bid, isa.SrCtaidX)
+			b.Ld(v, isa.SpaceShared, sa, 0)
+			storeTo(b, out, bid, v)
+		})
+		b.Exit()
+		if _, err := g.Run(&Launch{Kernel: b.MustBuild(), GridX: blocks, DimX: bs}); err != nil {
+			t.Fatal(err)
+		}
+		for blk, got := range g.Mem().Snapshot(out, blocks) {
+			base := blk * bs
+			want := uint32(0)
+			for i := 1; i <= bs; i++ {
+				want += uint32(base + i)
+			}
+			if got != want {
+				t.Fatalf("[%v] block %d sum = %d, want %d", m, blk, got, want)
+			}
+		}
+	}
+}
+
+func TestSelPredication(t *testing.T) {
+	g := newGPU(t, config.RLPV)
+	const n = 64
+	out := g.Mem().Alloc(n)
+	b := kasm.NewBuilder("sel")
+	gidx := emitIdx(b)
+	p := b.P()
+	a := b.R()
+	c := b.R()
+	v := b.R()
+	q := b.R()
+	b.MovI(a, 111)
+	b.MovI(c, 222)
+	b.AndI(q, gidx, 1)
+	b.ISetPI(p, isa.CondEQ, q, 0)
+	b.Sel(v, p, a, c)
+	storeTo(b, out, gidx, v)
+	b.Exit()
+	if _, err := g.Run(&Launch{Kernel: b.MustBuild(), GridX: 1, DimX: n}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range g.Mem().Snapshot(out, n) {
+		want := uint32(222)
+		if i%2 == 0 {
+			want = 111
+		}
+		if got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPartialLastWarp(t *testing.T) {
+	g := newGPU(t, config.RLPV)
+	const n = 80 // 2.5 warps
+	out := g.Mem().Alloc(96)
+	b := kasm.NewBuilder("partial")
+	gidx := emitIdx(b)
+	v := b.R()
+	b.IAddI(v, gidx, 7)
+	storeTo(b, out, gidx, v)
+	b.Exit()
+	if _, err := g.Run(&Launch{Kernel: b.MustBuild(), GridX: 1, DimX: n}); err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Mem().Snapshot(out, 96)
+	for i := 0; i < n; i++ {
+		if snap[i] != uint32(i+7) {
+			t.Fatalf("out[%d] = %d", i, snap[i])
+		}
+	}
+	for i := n; i < 96; i++ {
+		if snap[i] != 0 {
+			t.Fatalf("lane beyond the block wrote memory: out[%d] = %d", i, snap[i])
+		}
+	}
+}
+
+func TestOccupancyLimits(t *testing.T) {
+	g := newGPU(t, config.Base)
+	mk := func(regs int, shared int) *kasm.Kernel {
+		b := kasm.NewBuilder("occ")
+		for i := 0; i < regs; i++ {
+			b.R()
+		}
+		if shared > 0 {
+			b.Shared(shared)
+		}
+		b.Exit()
+		return b.MustBuild()
+	}
+	// Warp-limited: 48 warps / (256 threads = 8 warps) = 6 blocks.
+	if got, _ := g.Occupancy(&Launch{Kernel: mk(4, 0), GridX: 1, DimX: 256}); got != 6 {
+		t.Errorf("warp-limited occupancy = %d, want 6", got)
+	}
+	// Shared-limited: 48KB / 24KB = 2 blocks.
+	if got, _ := g.Occupancy(&Launch{Kernel: mk(4, 24*1024), GridX: 1, DimX: 64}); got != 2 {
+		t.Errorf("shared-limited occupancy = %d, want 2", got)
+	}
+	// Register-limited: (1024-33) / (8 warps * 60 regs) = 2 blocks.
+	if got, _ := g.Occupancy(&Launch{Kernel: mk(60, 0), GridX: 1, DimX: 256}); got != 2 {
+		t.Errorf("register-limited occupancy = %d, want 2", got)
+	}
+	// Impossible kernel.
+	b := kasm.NewBuilder("huge")
+	b.Shared(64 * 1024)
+	b.Exit()
+	if _, err := g.Occupancy(&Launch{Kernel: b.MustBuild(), GridX: 1, DimX: 32}); err == nil {
+		t.Errorf("expected occupancy error for oversized scratchpad")
+	}
+	// Oversized block.
+	if _, err := g.Run(&Launch{Kernel: mk(4, 0), GridX: 1, DimX: 100000}); err == nil {
+		t.Errorf("expected error for oversized block")
+	}
+}
+
+func TestMultiLaunchAccumulates(t *testing.T) {
+	g := newGPU(t, config.RLPV)
+	out := g.Mem().Alloc(64)
+	b := kasm.NewBuilder("tiny")
+	gidx := emitIdx(b)
+	storeTo(b, out, gidx, gidx)
+	b.Exit()
+	k := b.MustBuild()
+	if _, err := g.Run(&Launch{Kernel: k, GridX: 1, DimX: 64}); err != nil {
+		t.Fatal(err)
+	}
+	st1 := g.Stats()
+	if _, err := g.Run(&Launch{Kernel: k, GridX: 1, DimX: 64}); err != nil {
+		t.Fatal(err)
+	}
+	st2 := g.Stats()
+	if st2.Issued != 2*st1.Issued {
+		t.Fatalf("stats must accumulate across launches: %d then %d", st1.Issued, st2.Issued)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedBankConflictsCounted(t *testing.T) {
+	g := newGPU(t, config.Base)
+	b := kasm.NewBuilder("conflict")
+	sh := b.Shared(32 * 32 * 4)
+	tid := b.R()
+	b.S2R(tid, isa.SrTid)
+	sa := b.R()
+	v := b.R()
+	// Stride-32 word accesses: all 32 lanes hit bank 0 -> degree 32.
+	b.ShlI(sa, tid, 7) // tid * 32 words * 4 bytes
+	b.IAddI(sa, sa, int32(sh))
+	b.Ld(v, isa.SpaceShared, sa, 0)
+	storeTo(b, g.Mem().Alloc(32), tid, v)
+	b.Exit()
+	if _, err := g.Run(&Launch{Kernel: b.MustBuild(), GridX: 1, DimX: 32}); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.SharedAcc < 32 {
+		t.Fatalf("fully conflicting shared load should count 32 transactions, got %d", st.SharedAcc)
+	}
+}

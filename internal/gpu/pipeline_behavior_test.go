@@ -1,0 +1,172 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// redundantKernel issues the same quantized computation from every thread so
+// reuse machinery is exercised hard: back-to-back identical FFMA chains.
+func redundantKernel(out uint32) *kasm.Kernel {
+	b := kasm.NewBuilder("redundant")
+	gidx := emitIdx(b)
+	x := b.R()
+	acc := b.R()
+	q := b.R()
+	b.AndI(q, gidx, 3) // 4 distinct inputs across the whole grid
+	b.I2F(x, q)
+	b.MovF(acc, 1)
+	for i := 0; i < 12; i++ {
+		b.FFma(acc, acc, x, x)
+	}
+	storeTo(b, out, gidx, acc)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func runRedundant(t *testing.T, mutate func(*config.Config)) ([]uint32, *GPU) {
+	t.Helper()
+	cfg := config.Default(config.RLPV)
+	cfg.NumSMs = 2
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2048
+	out := g.Mem().Alloc(n)
+	if _, err := g.Run(&Launch{Kernel: redundantKernel(out), GridX: n / 256, DimX: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return g.Mem().Snapshot(out, n), g
+}
+
+func TestPendingQueueGeneratesExtraHits(t *testing.T) {
+	refOut, gWith := runRedundant(t, nil)
+	stWith := gWith.Stats()
+	out, gWithout := runRedundant(t, func(c *config.Config) { c.PendingQueueSize = 0 })
+	stWithout := gWithout.Stats()
+	for i := range refOut {
+		if refOut[i] != out[i] {
+			t.Fatalf("queue size must not change results")
+		}
+	}
+	if stWith.PendingHits == 0 {
+		t.Fatalf("back-to-back identical chains must produce pending-retry hits")
+	}
+	if stWithout.PendingHits != 0 {
+		t.Fatalf("no queue means no pending hits, got %d", stWithout.PendingHits)
+	}
+	if stWithout.PendingDrops == 0 {
+		t.Fatalf("pending hits with a full (zero) queue must be dropped to execution")
+	}
+	if stWith.Bypassed <= stWithout.Bypassed {
+		t.Fatalf("the pending queue should increase reuse: %d vs %d", stWith.Bypassed, stWithout.Bypassed)
+	}
+}
+
+func TestVerifyCacheReducesBankTraffic(t *testing.T) {
+	_, gV := runRedundant(t, nil) // RLPV: 8-entry verify cache
+	stV := gV.Stats()
+	_, gNoV := runRedundant(t, func(c *config.Config) { c.Model = config.RLP })
+	stNoV := gNoV.Stats()
+	if stV.VerifyCHits == 0 {
+		t.Fatalf("verify cache never hit on a redundancy-heavy kernel")
+	}
+	if stNoV.VerifyCHits != 0 {
+		t.Fatalf("RLP has no verify cache, got %d hits", stNoV.VerifyCHits)
+	}
+	// Verify-reads that hit the cache skip the banks.
+	if stV.RFVerify >= stNoV.RFVerify {
+		t.Fatalf("verify cache should reduce bank verify-reads: %d vs %d", stV.RFVerify, stNoV.RFVerify)
+	}
+}
+
+func TestVSBSizeZeroStillCorrect(t *testing.T) {
+	ref, _ := runRedundant(t, nil)
+	out, g := runRedundant(t, func(c *config.Config) { c.VSBEntries = 0 })
+	for i := range ref {
+		if ref[i] != out[i] {
+			t.Fatalf("VSB size must not change results")
+		}
+	}
+	st := g.Stats()
+	if st.VSBHits != 0 {
+		t.Fatalf("zero-entry VSB cannot hit")
+	}
+}
+
+func TestMemFenceActsAsReuseBarrier(t *testing.T) {
+	build := func(fence bool, table, out uint32) *kasm.Kernel {
+		b := kasm.NewBuilder("fence")
+		gidx := emitIdx(b)
+		tid := b.R()
+		b.S2R(tid, isa.SrTid)
+		addr := b.R()
+		v := b.R()
+		acc := b.R()
+		idx := b.R()
+		load := func() {
+			b.AndI(idx, tid, 63)
+			b.ShlI(addr, idx, 2)
+			b.IAddI(addr, addr, int32(table))
+			b.Ld(v, isa.SpaceGlobal, addr, 0)
+			b.IAdd(acc, acc, v)
+		}
+		b.MovI(acc, 0)
+		load()
+		if fence {
+			b.MemFence()
+		}
+		load() // identical address vector: reusable only without the fence
+		storeTo(b, out, gidx, acc)
+		b.Exit()
+		return b.MustBuild()
+	}
+	run := func(fence bool) (uint64, []uint32) {
+		cfg := config.Default(config.RLPV)
+		cfg.NumSMs = 1
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table := g.Mem().Alloc(64)
+		for i := 0; i < 64; i++ {
+			g.Mem().StoreGlobal(table+uint32(i)*4, uint32(i))
+		}
+		out := g.Mem().Alloc(256)
+		if _, err := g.Run(&Launch{Kernel: build(fence, table, out), GridX: 1, DimX: 256}); err != nil {
+			t.Fatal(err)
+		}
+		return g.Stats().LoadsReused, g.Mem().Snapshot(out, 256)
+	}
+	withFence, outF := run(true)
+	without, outN := run(false)
+	for i := range outF {
+		if outF[i] != outN[i] {
+			t.Fatalf("fence must not change results")
+		}
+	}
+	if without <= withFence {
+		t.Fatalf("a fence should suppress cross-epoch load reuse: %d (fence) vs %d", withFence, without)
+	}
+}
+
+func TestCappedPolicyLimitsUtilization(t *testing.T) {
+	_, gMax := runRedundant(t, nil)
+	_, gCap := runRedundant(t, func(c *config.Config) { c.Model = config.RLPVc })
+	stMax := gMax.Stats()
+	stCap := gCap.Stats()
+	if stCap.RegUtilPeak > stMax.RegUtilPeak {
+		t.Fatalf("capped policy should not exceed max-register peak: %d vs %d",
+			stCap.RegUtilPeak, stMax.RegUtilPeak)
+	}
+}

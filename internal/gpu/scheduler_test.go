@@ -1,0 +1,74 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// schedKernel has enough per-warp work that scheduling decisions matter.
+func schedKernel(in, out uint32) *kasm.Kernel {
+	b := kasm.NewBuilder("sched")
+	gidx := emitIdx(b)
+	addr := b.R()
+	v := b.R()
+	acc := b.R()
+	b.ShlI(addr, gidx, 2)
+	b.IAddI(addr, addr, int32(in))
+	b.Ld(v, isa.SpaceGlobal, addr, 0)
+	b.MovF(acc, 0)
+	for i := 0; i < 10; i++ {
+		b.FFma(acc, acc, v, v)
+	}
+	storeTo(b, out, gidx, acc)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func runSched(t *testing.T, policy string) ([]uint32, uint64) {
+	t.Helper()
+	cfg := config.Default(config.RLPV)
+	cfg.NumSMs = 2
+	cfg.Scheduler = policy
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	in := g.Mem().Alloc(n)
+	for i := 0; i < n; i++ {
+		g.Mem().StoreGlobal(in+uint32(i)*4, uint32(i%13))
+	}
+	out := g.Mem().Alloc(n)
+	cycles, err := g.Run(&Launch{Kernel: schedKernel(in, out), GridX: n / 256, DimX: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return g.Mem().Snapshot(out, n), cycles
+}
+
+func TestSchedulersAgreeOnResults(t *testing.T) {
+	gto, cg := runSched(t, config.SchedGTO)
+	lrr, cl := runSched(t, config.SchedLRR)
+	for i := range gto {
+		if gto[i] != lrr[i] {
+			t.Fatalf("scheduling policy must not change results at %d", i)
+		}
+	}
+	if cg == 0 || cl == 0 {
+		t.Fatalf("degenerate cycle counts %d / %d", cg, cl)
+	}
+}
+
+func TestUnknownSchedulerRejected(t *testing.T) {
+	cfg := config.Default(config.Base)
+	cfg.Scheduler = "fifo"
+	if _, err := New(cfg); err == nil {
+		t.Fatalf("unknown scheduler must be rejected")
+	}
+}

@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+// --- Figure 18: verify cache effects on the register file ---
+
+// Fig18Config is one machine point of Figure 18: Base, RLP (no verify
+// cache), and RLPV with 4, 8 and 16 verify-cache entries.
+type Fig18Config struct {
+	Label   string
+	Model   config.Model
+	Entries int // verify-cache entries; 0 = not applicable
+}
+
+// Fig18Configs lists the machines of Figure 18.
+var Fig18Configs = []Fig18Config{
+	{Label: "Base", Model: config.Base},
+	{Label: "RLP", Model: config.RLP},
+	{Label: "RLPV4", Model: config.RLPV, Entries: 4},
+	{Label: "RLPV8", Model: config.RLPV, Entries: 8},
+	{Label: "RLPV16", Model: config.RLPV, Entries: 16},
+}
+
+// Fig18Row is the register-file activity of one benchmark on one machine.
+type Fig18Row struct {
+	Bench       string
+	Config      string
+	ReadFrac    float64 // operand reads / all bank accesses
+	WriteFrac   float64
+	VerifyFrac  float64 // verify-reads on the banks
+	RetryPerReq float64 // bank retries per access request
+}
+
+// Fig18Result reproduces Figure 18 (access mix and bank retries).
+type Fig18Result struct {
+	Rows []Fig18Row // selected benchmarks x configs, then AVG rows
+}
+
+// Fig18 measures register-bank access composition and conflict retries with
+// and without the verify cache.
+func (h *Harness) Fig18() (*Fig18Result, error) {
+	out := &Fig18Result{}
+	selected := Fig18Benchmarks
+	for _, cfg := range Fig18Configs {
+		var tot stats.Sim
+		for _, abbr := range Benchmarks() {
+			r, err := h.runFig18(abbr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tot.Add(&r.Stats)
+			for _, sel := range selected {
+				if sel == abbr {
+					out.Rows = append(out.Rows, fig18Row(abbr, cfg.Label, &r.Stats))
+				}
+			}
+		}
+		out.Rows = append(out.Rows, fig18Row("AVG", cfg.Label, &tot))
+	}
+	return out, nil
+}
+
+func (h *Harness) runFig18(abbr string, c Fig18Config) (*Result, error) {
+	var v *Variant
+	if c.Entries != 0 {
+		e := c.Entries
+		v = &Variant{Name: fmt.Sprintf("vc%d", e), Mutate: func(cfg *config.Config) { cfg.VerifyCacheSize = e }}
+	}
+	return h.Run(abbr, c.Model, v)
+}
+
+func fig18Row(bench, label string, s *stats.Sim) Fig18Row {
+	total := s.RFReads + s.RFWrites + s.RFVerify
+	return Fig18Row{
+		Bench:       bench,
+		Config:      label,
+		ReadFrac:    stats.Ratio(s.RFReads, total),
+		WriteFrac:   stats.Ratio(s.RFWrites, total),
+		VerifyFrac:  stats.Ratio(s.RFVerify, total),
+		RetryPerReq: stats.Ratio(s.BankRetries, total),
+	}
+}
+
+// WriteText renders the figure.
+func (r *Fig18Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Figure 18: register-file access mix and bank retries\n")
+	fmt.Fprintf(w, "%-4s %-7s %8s %8s %8s %10s\n", "App", "Config", "reads", "writes", "verify", "retry/req")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-4s %-7s %7.1f%% %7.1f%% %7.1f%% %10.3f\n",
+			row.Bench, row.Config, 100*row.ReadFrac, 100*row.WriteFrac, 100*row.VerifyFrac, row.RetryPerReq)
+	}
+	fmt.Fprintf(w, "(paper: RLP substitutes ~48%% of writes with verify-reads; an 8-entry cache removes ~half the added conflicts)\n")
+}
+
+// --- Figure 19: physical register utilization ---
+
+// Fig19Models are the designs whose register utilization Figure 19 compares.
+var Fig19Models = []config.Model{config.Base, config.RLPV, config.RLPVc}
+
+// Fig19Result reproduces Figure 19.
+type Fig19Result struct {
+	Avg  map[config.Model]float64 // average registers in use (of 1024)
+	Peak map[config.Model]float64 // suite-average of per-benchmark peaks
+}
+
+// Fig19 samples physical-register utilization across the suite.
+func (h *Harness) Fig19() (*Fig19Result, error) {
+	out := &Fig19Result{Avg: map[config.Model]float64{}, Peak: map[config.Model]float64{}}
+	for _, m := range Fig19Models {
+		var avgs, peaks []float64
+		for _, abbr := range Benchmarks() {
+			r, err := h.Run(abbr, m, nil)
+			if err != nil {
+				return nil, err
+			}
+			avgs = append(avgs, r.Stats.AvgRegUtil())
+			peaks = append(peaks, float64(r.Stats.RegUtilPeak))
+		}
+		out.Avg[m] = Mean(avgs)
+		out.Peak[m] = Mean(peaks)
+	}
+	return out, nil
+}
+
+// WriteText renders the figure.
+func (r *Fig19Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Figure 19: physical warp registers in use (of 1024 per SM)\n")
+	fmt.Fprintf(w, "%-8s %10s %10s\n", "Model", "average", "peak")
+	for _, m := range Fig19Models {
+		fmt.Fprintf(w, "%-8s %10.0f %10.0f\n", m, r.Avg[m], r.Peak[m])
+	}
+	fmt.Fprintf(w, "(paper: register sharing keeps RLPV average below Base)\n")
+}
+
+// --- Figure 20: VSB size sweep ---
+
+// Fig20Sizes are the value-signature-buffer entry counts swept in Figure 20.
+var Fig20Sizes = []int{0, 32, 64, 128, 256}
+
+// Fig20Result reproduces Figure 20.
+type Fig20Result struct {
+	Sizes   []int
+	HitRate []float64 // suite-average VSB hit rate per size
+}
+
+// Fig20 sweeps the VSB size and reports hit rates.
+func (h *Harness) Fig20() (*Fig20Result, error) {
+	out := &Fig20Result{Sizes: Fig20Sizes}
+	for _, size := range Fig20Sizes {
+		size := size
+		var rates []float64
+		for _, abbr := range Benchmarks() {
+			v := &Variant{Name: fmt.Sprintf("vsb%d", size), Mutate: func(c *config.Config) { c.VSBEntries = size }}
+			if size == 256 {
+				v = nil // default configuration, shared with other figures
+			}
+			r, err := h.Run(abbr, config.RLPV, v)
+			if err != nil {
+				return nil, err
+			}
+			rates = append(rates, r.Stats.VSBHitRate())
+		}
+		out.HitRate = append(out.HitRate, Mean(rates))
+	}
+	return out, nil
+}
+
+// WriteText renders the figure.
+func (r *Fig20Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Figure 20: value signature buffer entries vs hit rate\n")
+	for i, s := range r.Sizes {
+		fmt.Fprintf(w, "%5d entries: %5.1f%%\n", s, 100*r.HitRate[i])
+	}
+	fmt.Fprintf(w, "(paper: >50%% of the full hit rate at 128 entries; saturates past 256)\n")
+}
+
+// --- Figure 21: reuse buffer size sweep ---
+
+// Fig21Sizes are the reuse-buffer entry counts swept in Figure 21.
+var Fig21Sizes = []int{32, 64, 128, 256, 512}
+
+// Fig21Result reproduces Figure 21.
+type Fig21Result struct {
+	Sizes       []int
+	BypassRate  []float64 // fraction of instructions reusing prior results
+	PendingPart []float64 // share of hits coming from pending-retry
+}
+
+// Fig21 sweeps the reuse-buffer size.
+func (h *Harness) Fig21() (*Fig21Result, error) {
+	out := &Fig21Result{Sizes: Fig21Sizes}
+	for _, size := range Fig21Sizes {
+		size := size
+		var rates, pend []float64
+		for _, abbr := range Benchmarks() {
+			v := &Variant{Name: fmt.Sprintf("rb%d", size), Mutate: func(c *config.Config) { c.ReuseEntries = size }}
+			if size == 256 {
+				v = nil
+			}
+			r, err := h.Run(abbr, config.RLPV, v)
+			if err != nil {
+				return nil, err
+			}
+			rates = append(rates, r.Stats.BypassRate())
+			pend = append(pend, stats.Ratio(r.Stats.PendingHits, r.Stats.ReuseHits))
+		}
+		out.BypassRate = append(out.BypassRate, Mean(rates))
+		out.PendingPart = append(out.PendingPart, Mean(pend))
+	}
+	return out, nil
+}
+
+// WriteText renders the figure.
+func (r *Fig21Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Figure 21: reuse buffer entries vs instructions reused\n")
+	for i, s := range r.Sizes {
+		fmt.Fprintf(w, "%5d entries: %5.1f%% reused (%4.1f%% of hits from pending-retry)\n",
+			s, 100*r.BypassRate[i], 100*r.PendingPart[i])
+	}
+	fmt.Fprintf(w, "(paper: 18.7%% at 256 entries, >20%% at 512; pending-retry ~doubles effective size)\n")
+}
+
+// --- Figure 22: backend pipeline delay sweep ---
+
+// Fig22Delays are the added backend latencies (cycles) swept in Figure 22.
+var Fig22Delays = []int{3, 4, 5, 6, 7}
+
+// Fig22Result reproduces Figure 22.
+type Fig22Result struct {
+	Delays  []int
+	Speedup []float64 // geometric-mean speedup of RLPV over Base
+}
+
+// Fig22 sweeps the extra pipeline delay the reuse stages add.
+func (h *Harness) Fig22() (*Fig22Result, error) {
+	out := &Fig22Result{Delays: Fig22Delays}
+	for _, d := range Fig22Delays {
+		d := d
+		var sps []float64
+		for _, abbr := range Benchmarks() {
+			base, err := h.Run(abbr, config.Base, nil)
+			if err != nil {
+				return nil, err
+			}
+			v := &Variant{Name: fmt.Sprintf("d%d", d), Mutate: func(c *config.Config) { c.BackendDelay = d }}
+			if d == 4 {
+				v = nil
+			}
+			r, err := h.Run(abbr, config.RLPV, v)
+			if err != nil {
+				return nil, err
+			}
+			sps = append(sps, float64(base.Cycles)/float64(r.Cycles))
+		}
+		out.Speedup = append(out.Speedup, GeoMean(sps))
+	}
+	return out, nil
+}
+
+// WriteText renders the figure.
+func (r *Fig22Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Figure 22: added backend delay vs speedup (RLPV / Base, geomean)\n")
+	for i, d := range r.Delays {
+		fmt.Fprintf(w, "D%d: %6.3f\n", d, r.Speedup[i])
+	}
+	fmt.Fprintf(w, "(paper: performance falls below Base past ~7 cycles)\n")
+}

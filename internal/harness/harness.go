@@ -1,0 +1,152 @@
+// Package harness runs the paper's experiments: for every figure and table
+// in the evaluation section it executes the necessary benchmark/model
+// combinations and produces the same rows or series the paper reports.
+// Results are memoized so figures that share runs (most of them) do not
+// re-simulate.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/energy"
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+// Result is one benchmark execution under one machine configuration.
+type Result struct {
+	Bench  string
+	Model  config.Model
+	Cycles uint64
+	Stats  stats.Sim
+	Energy energy.Breakdown
+}
+
+// Harness runs and memoizes benchmark executions.
+type Harness struct {
+	// SMs overrides the number of simulated SMs (default: the paper's 15).
+	// Smaller values speed exploration without changing trends.
+	SMs int
+	// Progress, when non-nil, receives a line per fresh simulation.
+	Progress func(string)
+
+	cache map[string]*Result
+	coeff energy.Coefficients
+}
+
+// New returns a harness with the paper's default configuration.
+func New() *Harness {
+	return &Harness{SMs: 15, cache: make(map[string]*Result), coeff: energy.Default45nm()}
+}
+
+// Variant tweaks a configuration before a run (used by the sensitivity
+// sweeps). The name distinguishes cache entries.
+type Variant struct {
+	Name   string
+	Mutate func(*config.Config)
+}
+
+// Run executes one benchmark under one model (plus optional variant),
+// memoizing the result.
+func (h *Harness) Run(abbr string, m config.Model, v *Variant) (*Result, error) {
+	key := fmt.Sprintf("%s/%v", abbr, m)
+	if v != nil {
+		key += "/" + v.Name
+	}
+	if r, ok := h.cache[key]; ok {
+		return r, nil
+	}
+	bm, err := bench.ByAbbr(abbr)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config.Default(m)
+	if h.SMs > 0 {
+		cfg.NumSMs = h.SMs
+	}
+	if v != nil && v.Mutate != nil {
+		v.Mutate(&cfg)
+	}
+	g, err := gpu.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", key, err)
+	}
+	w, err := bm.Setup(g)
+	if err != nil {
+		return nil, fmt.Errorf("%s setup: %w", key, err)
+	}
+	cycles, err := w.Run(g)
+	if err != nil {
+		return nil, fmt.Errorf("%s run: %w", key, err)
+	}
+	st := g.Stats()
+	r := &Result{
+		Bench:  abbr,
+		Model:  m,
+		Cycles: cycles,
+		Stats:  st,
+		Energy: energy.Model(&h.coeff, &st, cfg.NumSMs),
+	}
+	h.cache[key] = r
+	if h.Progress != nil {
+		h.Progress(fmt.Sprintf("ran %-14s cycles=%d bypass=%.1f%%", key, cycles, 100*st.BypassRate()))
+	}
+	return r, nil
+}
+
+// Benchmarks returns the Table I abbreviations in registry order.
+func Benchmarks() []string {
+	out := make([]string, 0, 34)
+	for _, b := range bench.All() {
+		out = append(out, b.Abbr)
+	}
+	return out
+}
+
+// Fig15Benchmarks are the load-reuse-sensitive applications the paper calls
+// out in Figure 15 (plus KM, its cache-sensitive outlier).
+var Fig15Benchmarks = []string{"SF", "BT", "HS", "S2", "KM", "LK"}
+
+// Fig18Benchmarks are the bank-conflict-sensitive applications of Figure 18.
+var Fig18Benchmarks = []string{"GA", "BO", "BF"}
+
+// GeoMean returns the geometric mean of xs (which must be positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		acc += math.Log(x)
+	}
+	return math.Exp(acc / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// sortedKeys returns map keys in sorted order (deterministic rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

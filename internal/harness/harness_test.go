@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+)
+
+func TestMeans(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatalf("empty means must be 0")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatalf("non-positive input must yield 0")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 34 {
+		t.Fatalf("expected 34 benchmarks, got %d", len(bs))
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	h := New()
+	h.SMs = 2
+	r1, err := h.Run("DW", config.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Run("DW", config.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("identical runs must be memoized")
+	}
+	// A variant with a different name is a distinct cache entry.
+	r3, err := h.Run("DW", config.Base, &Variant{Name: "x", Mutate: func(c *config.Config) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatalf("variant must not share the cache entry")
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	h := New()
+	if _, err := h.Run("??", config.Base, nil); err == nil {
+		t.Fatalf("unknown benchmark must error")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	var buf bytes.Buffer
+	TableII(&buf)
+	out := buf.String()
+	for _, want := range []string{"Reuse buffer", "256 entries", "Verify cache", "DRAM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	buf.Reset()
+	TableIII(&buf)
+	out = buf.String()
+	for _, want := range []string{"Rename table", "Hash generation", "Verify cache", "9.9 KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+}
+
+// TestOneFigureEndToEnd exercises the harness plumbing on the cheapest
+// figure with a reduced machine; full-scale runs live in the repository's
+// bench harness.
+func TestOneFigureEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite figure in -short mode")
+	}
+	h := testHarness()
+	r, err := h.Fig19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Fig19Models {
+		if r.Avg[m] <= 0 || r.Peak[m] < r.Avg[m] {
+			t.Errorf("%v: avg=%v peak=%v", m, r.Avg[m], r.Peak[m])
+		}
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "Figure 19") {
+		t.Errorf("render missing header")
+	}
+}
+
+// TestAblationsEndToEnd exercises the ablation runners on a reduced machine.
+func TestAblationsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite ablations in -short mode")
+	}
+	h := testHarness()
+	assoc, err := h.AblationAssociativity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assoc.BypassRate) != len(assoc.Ways) || assoc.BypassRate[0] <= 0 {
+		t.Fatalf("associativity ablation malformed: %+v", assoc)
+	}
+	pend, err := h.AblationPendingQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pend.PendingPart[0] != 0 {
+		t.Fatalf("zero queue must have zero pending share, got %v", pend.PendingPart[0])
+	}
+	if pend.BypassRate[2] <= pend.BypassRate[0] {
+		t.Fatalf("the 16-entry queue should add hits over no queue: %v", pend.BypassRate)
+	}
+	gate, err := h.AblationPowerGating()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gate.RelSM[config.RLPVc] >= gate.RelSM[config.RLPV] {
+		t.Fatalf("under gating the capped policy must beat max-register: %+v", gate.RelSM)
+	}
+	sched, err := h.AblationScheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sched.Policies {
+		if sched.BypassRate[p] <= 0 || sched.Speedup[p] <= 0 {
+			t.Fatalf("scheduler ablation malformed for %s: %+v", p, sched)
+		}
+	}
+	var buf bytes.Buffer
+	assoc.WriteText(&buf)
+	pend.WriteText(&buf)
+	gate.WriteText(&buf)
+	sched.WriteText(&buf)
+	if !strings.Contains(buf.String(), "associativity") {
+		t.Fatalf("render missing")
+	}
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+)
+
+func TestWriteRunsCSV(t *testing.T) {
+	h := New()
+	h.SMs = 2
+	if _, err := h.Run("DW", config.Base, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run("DW", config.RLPV, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.WriteRunsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + two runs
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "key" || rows[0][3] != "cycles" {
+		t.Fatalf("header wrong: %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("ragged row: %v", row)
+		}
+		if row[1] != "DW" {
+			t.Fatalf("bench column wrong: %v", row)
+		}
+	}
+	if h.RunCount() != 2 {
+		t.Fatalf("RunCount = %d", h.RunCount())
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	// A partial report marshals with readable model names and omits unrun
+	// experiments.
+	rep := &Report{
+		Headline: &Headline{BypassRate: 0.25},
+		Fig19:    &Fig19Result{Avg: map[config.Model]float64{config.RLPV: 300}, Peak: map[config.Model]float64{config.RLPV: 400}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"RLPV"`) {
+		t.Fatalf("model keys must marshal by name:\n%s", out)
+	}
+	if strings.Contains(out, "fig20") {
+		t.Fatalf("unrun experiments must be omitted")
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fig19.Avg[config.RLPV] != 300 {
+		t.Fatalf("round trip lost data: %+v", back.Fig19)
+	}
+	if back.Headline.BypassRate != 0.25 {
+		t.Fatalf("headline lost: %+v", back.Headline)
+	}
+}

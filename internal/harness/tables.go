@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/energy"
+)
+
+// --- Table I: benchmark list ---
+
+// TableIRow is one application of Table I with its measured FP share.
+type TableIRow struct {
+	Name  string
+	Abbr  string
+	Suite string
+	FP    float64
+}
+
+// TableIResult reproduces Table I (the %FP column is measured, not quoted).
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableI lists the suite with measured floating-point instruction shares.
+func (h *Harness) TableI() (*TableIResult, error) {
+	out := &TableIResult{}
+	for _, b := range bench.All() {
+		r, err := h.Run(b.Abbr, config.Base, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, TableIRow{Name: b.Name, Abbr: b.Abbr, Suite: b.Suite, FP: r.Stats.FPRate()})
+	}
+	return out, nil
+}
+
+// WriteText renders the table.
+func (r *TableIResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Table I: benchmark applications (measured %%FP)\n")
+	fmt.Fprintf(w, "%-12s %-5s %-8s %6s\n", "Name", "Abbr", "Suite", "%FP")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %-5s %-8s %5.1f%%\n", row.Name, row.Abbr, row.Suite, 100*row.FP)
+	}
+}
+
+// --- Table II: simulation parameters ---
+
+// TableII renders the machine configuration (one source of truth: the
+// config package defaults).
+func TableII(w io.Writer) {
+	c := config.Default(config.RLPV)
+	fmt.Fprintf(w, "Table II: simulation parameters\n")
+	fmt.Fprintf(w, "SMs                    %d (2 schedulers each, GTO)\n", c.NumSMs)
+	fmt.Fprintf(w, "Resource limits/SM     %d warp registers, %d warps, %d blocks\n", c.PhysRegsPerSM, c.WarpsPerSM, c.BlocksPerSM)
+	fmt.Fprintf(w, "Register file          %d KB, %d bank groups\n", c.PhysRegsPerSM*128/1024, c.RFBankGroups)
+	fmt.Fprintf(w, "Scratchpad             %d KB\n", c.SharedBytesPerSM/1024)
+	fmt.Fprintf(w, "L1D                    %d KB, %d-way, %d MSHRs; T$ %d KB, C$ %d KB\n",
+		c.L1DBytes/1024, c.L1DWays, c.L1DMSHRs, c.TexBytes/1024, c.ConstBytes/1024)
+	fmt.Fprintf(w, "L2                     %d partitions x %d KB %d-way, %d-cycle latency\n",
+		c.L2Partitions, c.L2BytesPerPart/1024, c.L2Ways, c.L2Latency)
+	fmt.Fprintf(w, "DRAM                   %d-entry queue, %d-cycle latency\n", c.DRAMQueue, c.DRAMLatency)
+	fmt.Fprintf(w, "Reuse buffer           %d entries\n", c.ReuseEntries)
+	fmt.Fprintf(w, "Value signature buffer %d entries\n", c.VSBEntries)
+	fmt.Fprintf(w, "Verify cache           %d entries\n", c.VerifyCacheSize)
+	fmt.Fprintf(w, "Added backend delay    %d cycles\n", c.BackendDelay)
+}
+
+// --- Table III: hardware cost estimates ---
+
+// TableIII renders the added-component cost table: the paper's published
+// values next to this repo's analytical estimates, plus the storage total.
+func TableIII(w io.Writer) {
+	fmt.Fprintf(w, "Table III: estimated energy and latency of added components\n")
+	fmt.Fprintf(w, "%-22s %10s %10s %12s %12s\n", "Component", "paper pJ", "est pJ", "paper ns", "est ns")
+	for _, row := range energy.TableIII() {
+		fmt.Fprintf(w, "%-22s %10.2f %10.2f %12.2f %12.2f\n",
+			row.Spec.Name, row.PaperPJ, row.EstimatePJ, row.PaperNS, row.EstimateNS)
+	}
+	fmt.Fprintf(w, "Total added storage per SM: %.1f KB (paper: ~9.9 KB)\n",
+		energy.StorageKB(256, 256, 8))
+}
+
+// --- Headline numbers (sections VII-B/C) ---
+
+// Headline summarizes the paper's headline results under this simulator.
+type Headline struct {
+	BypassRate    float64 // paper: 18.7%
+	DummyFrac     float64 // paper: 1.6%
+	SMEnergySave  float64 // paper: 20.5%
+	GPUEnergySave float64 // paper: 10.7%
+	RPVEnergySave float64 // paper: 7.6% (GPU, without load reuse)
+	SpeedupGMean  float64
+}
+
+// RunHeadline computes the headline metrics across the whole suite.
+func (h *Harness) RunHeadline() (*Headline, error) {
+	var byp, dum, sm, gpuE, rpv, sp []float64
+	for _, abbr := range Benchmarks() {
+		base, err := h.Run(abbr, config.Base, nil)
+		if err != nil {
+			return nil, err
+		}
+		rlpv, err := h.Run(abbr, config.RLPV, nil)
+		if err != nil {
+			return nil, err
+		}
+		rpvr, err := h.Run(abbr, config.RPV, nil)
+		if err != nil {
+			return nil, err
+		}
+		byp = append(byp, rlpv.Stats.BypassRate())
+		dum = append(dum, float64(rlpv.Stats.DummyMovs)/float64(rlpv.Stats.Issued))
+		sm = append(sm, 1-rlpv.Energy.SM()/base.Energy.SM())
+		gpuE = append(gpuE, 1-rlpv.Energy.Total()/base.Energy.Total())
+		rpv = append(rpv, 1-rpvr.Energy.Total()/base.Energy.Total())
+		sp = append(sp, float64(base.Cycles)/float64(rlpv.Cycles))
+	}
+	return &Headline{
+		BypassRate:    Mean(byp),
+		DummyFrac:     Mean(dum),
+		SMEnergySave:  Mean(sm),
+		GPUEnergySave: Mean(gpuE),
+		RPVEnergySave: Mean(rpv),
+		SpeedupGMean:  GeoMean(sp),
+	}, nil
+}
+
+// WriteText renders the headline comparison.
+func (hl *Headline) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Headline results (measured vs paper)\n")
+	fmt.Fprintf(w, "instructions reusing prior results: %5.1f%%  (paper 18.7%%)\n", 100*hl.BypassRate)
+	fmt.Fprintf(w, "dummy MOV overhead:                 %5.2f%%  (paper 1.6%%)\n", 100*hl.DummyFrac)
+	fmt.Fprintf(w, "SM energy saving (RLPV):            %5.1f%%  (paper 20.5%%)\n", 100*hl.SMEnergySave)
+	fmt.Fprintf(w, "GPU energy saving (RLPV):           %5.1f%%  (paper 10.7%%)\n", 100*hl.GPUEnergySave)
+	fmt.Fprintf(w, "GPU energy saving (RPV):            %5.1f%%  (paper 7.6%%)\n", 100*hl.RPVEnergySave)
+	fmt.Fprintf(w, "speedup geomean (RLPV):             %6.3f\n", hl.SpeedupGMean)
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+)
+
+// sharedTestHarness memoizes runs across all harness tests in this package,
+// so the figure, ablation and trend tests pay for each simulation once.
+var (
+	sharedH     *Harness
+	sharedHOnce sync.Once
+)
+
+func testHarness() *Harness {
+	sharedHOnce.Do(func() {
+		sharedH = New()
+		sharedH.SMs = 2
+	})
+	return sharedH
+}
+
+// TestPaperTrendsHold asserts the qualitative claims of the paper's
+// evaluation on the reduced 2-SM machine: these are the properties
+// EXPERIMENTS.md reports, expressed as executable checks so a regression in
+// any subsystem (reuse engine, energy model, benchmarks) fails loudly.
+func TestPaperTrendsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite trends in -short mode")
+	}
+	h := testHarness()
+
+	hl, err := h.RunHeadline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section VII-B/C: a substantial fraction of instructions reuse results,
+	// saving double-digit SM energy and single-to-low-double-digit GPU
+	// energy, at near-baseline performance.
+	if hl.BypassRate < 0.15 || hl.BypassRate > 0.45 {
+		t.Errorf("bypass rate %.1f%% outside the plausible band", 100*hl.BypassRate)
+	}
+	if hl.SMEnergySave < 0.10 || hl.SMEnergySave > 0.30 {
+		t.Errorf("SM energy saving %.1f%% outside the band (paper 20.5%%)", 100*hl.SMEnergySave)
+	}
+	if hl.GPUEnergySave < 0.04 || hl.GPUEnergySave > 0.18 {
+		t.Errorf("GPU energy saving %.1f%% outside the band (paper 10.7%%)", 100*hl.GPUEnergySave)
+	}
+	if hl.SpeedupGMean < 0.90 || hl.SpeedupGMean > 1.10 {
+		t.Errorf("speedup geomean %.3f outside the paper's +/-10%% band", hl.SpeedupGMean)
+	}
+
+	// Figure 16 ordering: Affine+RLPV beats RLPV (synergy); NoVSB saves
+	// almost nothing; every reuse design saves something.
+	f16, err := h.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f16.Avg[config.AffineRLPV] < f16.Avg[config.RLPV]) {
+		t.Errorf("Affine+RLPV (%.3f) must beat RLPV (%.3f)", f16.Avg[config.AffineRLPV], f16.Avg[config.RLPV])
+	}
+	if f16.Avg[config.NoVSB] < 0.90 {
+		t.Errorf("NoVSB saves too much (%.3f): the VSB should be what unlocks reuse", f16.Avg[config.NoVSB])
+	}
+	for _, m := range Fig16Models {
+		if f16.Avg[m] >= 1.05 {
+			t.Errorf("%v consumes more SM energy than Base (%.3f)", m, f16.Avg[m])
+		}
+	}
+
+	// Figure 13: load reuse trims the memory pipeline relative to RPV.
+	f13, err := h.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f13.MemAvg[config.RLPV] < f13.MemAvg[config.RPV]) {
+		t.Errorf("RLPV memory-pipeline activity (%.3f) should undercut RPV (%.3f)",
+			f13.MemAvg[config.RLPV], f13.MemAvg[config.RPV])
+	}
+
+	// Figure 21: reuse grows monotonically with buffer capacity.
+	f21, err := h.Fig21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(f21.BypassRate); i++ {
+		if f21.BypassRate[i] <= f21.BypassRate[i-1] {
+			t.Errorf("Fig21 not monotone at %d entries: %v", f21.Sizes[i], f21.BypassRate)
+		}
+	}
+
+	// Figure 22: speedup decreases monotonically with added delay.
+	f22, err := h.Fig22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(f22.Speedup); i++ {
+		if f22.Speedup[i] >= f22.Speedup[i-1] {
+			t.Errorf("Fig22 not monotone at D%d: %v", f22.Delays[i], f22.Speedup)
+		}
+	}
+
+	// Figure 19: the capped policy keeps average utilization at or below
+	// Base; max-register exceeds it only via buffer-pinned dead values.
+	f19, err := h.Fig19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f19.Avg[config.RLPVc] > f19.Avg[config.Base]*1.05 {
+		t.Errorf("capped policy exceeds Base utilization: %.0f vs %.0f",
+			f19.Avg[config.RLPVc], f19.Avg[config.Base])
+	}
+}

@@ -1,0 +1,84 @@
+// Package hash implements the H3 family of hardware hash functions used by
+// the value signature buffer (paper section VII-E, citing Ramakrishna et al.
+// and Sanchez et al.). An H3 hash computes each output bit as the XOR (parity)
+// of a fixed subset of input bits; in hardware this is a tree of XOR gates per
+// output bit, which is why the paper can generate a 32-bit hash of a 1024-bit
+// warp register value in a single cycle.
+package hash
+
+import (
+	"math/bits"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+// OutputBits is the width of the value signature produced by the hash.
+const OutputBits = 32
+
+// H3 is a concrete member of the H3 family: a fixed 1024x32 binary matrix.
+// Output bit j is the parity of the input ANDed with column j of the matrix.
+// The matrix is stored row-major per output bit: matrix[j][w] selects the bits
+// of input word w that feed output bit j.
+type H3 struct {
+	matrix [OutputBits][isa.WarpSize]uint32
+}
+
+// New returns an H3 function whose matrix is derived deterministically from
+// seed. Two instances with the same seed compute the same function.
+func New(seed uint64) *H3 {
+	h := &H3{}
+	s := seed
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	next := func() uint32 {
+		// xorshift64* generator; deterministic and dependency-free.
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return uint32((s * 0x2545F4914F6CDD1D) >> 32)
+	}
+	for j := 0; j < OutputBits; j++ {
+		for w := 0; w < isa.WarpSize; w++ {
+			h.matrix[j][w] = next()
+		}
+	}
+	return h
+}
+
+// Sum32 computes the 32-bit signature of a 1024-bit warp register value.
+func (h *H3) Sum32(v isa.Vec) uint32 {
+	var out uint32
+	for j := 0; j < OutputBits; j++ {
+		var acc uint32
+		row := &h.matrix[j]
+		for w := 0; w < isa.WarpSize; w++ {
+			acc ^= v[w] & row[w]
+		}
+		out |= uint32(bits.OnesCount32(acc)&1) << uint(j)
+	}
+	return out
+}
+
+// XORGateDepth returns the depth in XOR gates of the critical path for one
+// output bit, assuming a balanced binary XOR tree over the selected input
+// bits. The paper estimates 13 gates of depth for its implementation; with a
+// dense random matrix roughly half of the 1024 input bits feed each output
+// bit, giving ceil(log2(512)) + a few margin levels.
+func (h *H3) XORGateDepth() int {
+	maxFanIn := 0
+	for j := 0; j < OutputBits; j++ {
+		n := 0
+		for w := 0; w < isa.WarpSize; w++ {
+			n += bits.OnesCount32(h.matrix[j][w])
+		}
+		if n > maxFanIn {
+			maxFanIn = n
+		}
+	}
+	depth := 0
+	for f := 1; f < maxFanIn; f <<= 1 {
+		depth++
+	}
+	return depth
+}

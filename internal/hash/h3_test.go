@@ -1,0 +1,116 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	h1 := New(42)
+	h2 := New(42)
+	var v isa.Vec
+	for i := range v {
+		v[i] = uint32(i * 2654435761)
+	}
+	if h1.Sum32(v) != h2.Sum32(v) {
+		t.Fatalf("same seed must give same function")
+	}
+	h3 := New(43)
+	if h1.Sum32(v) == h3.Sum32(v) {
+		t.Fatalf("different seeds should (overwhelmingly) differ on a random vector")
+	}
+}
+
+func TestZeroVectorHashesToZero(t *testing.T) {
+	// H3 is linear over GF(2): the zero input always maps to zero.
+	h := New(7)
+	if got := h.Sum32(isa.Vec{}); got != 0 {
+		t.Fatalf("H3(0) = %#x, want 0 (GF(2) linearity)", got)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// H3(a XOR b) == H3(a) XOR H3(b) — the defining property of the family.
+	h := New(99)
+	f := func(a, b [32]uint32) bool {
+		var x isa.Vec
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		return h.Sum32(x) == h.Sum32(isa.Vec(a))^h.Sum32(isa.Vec(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleBitSensitivity(t *testing.T) {
+	// Flipping any single input bit must change the hash unless that bit's
+	// matrix column is all-zero (probability 2^-32 per bit; none expected).
+	h := New(12345)
+	var base isa.Vec
+	ref := h.Sum32(base)
+	unchanged := 0
+	for w := 0; w < isa.WarpSize; w++ {
+		for bit := 0; bit < 32; bit++ {
+			v := base
+			v[w] ^= 1 << uint(bit)
+			if h.Sum32(v) == ref {
+				unchanged++
+			}
+		}
+	}
+	if unchanged != 0 {
+		t.Fatalf("%d single-bit flips left the hash unchanged", unchanged)
+	}
+}
+
+func TestOutputBitBalance(t *testing.T) {
+	// Each output bit should be set for roughly half of random inputs.
+	h := New(2024)
+	var counts [OutputBits]int
+	const trials = 2000
+	s := uint32(1)
+	for n := 0; n < trials; n++ {
+		var v isa.Vec
+		for i := range v {
+			s = s*1664525 + 1013904223
+			v[i] = s
+		}
+		out := h.Sum32(v)
+		for b := 0; b < OutputBits; b++ {
+			if out&(1<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		if c < trials*35/100 || c > trials*65/100 {
+			t.Errorf("output bit %d set in %d/%d trials; badly unbalanced", b, c, trials)
+		}
+	}
+}
+
+func TestXORGateDepth(t *testing.T) {
+	h := New(1)
+	d := h.XORGateDepth()
+	// ~512 of 1024 bits feed each output bit: depth should be around
+	// ceil(log2(512)) = 9..11.
+	if d < 8 || d > 12 {
+		t.Fatalf("gate depth %d outside plausible range", d)
+	}
+}
+
+func BenchmarkSum32(b *testing.B) {
+	h := New(1)
+	var v isa.Vec
+	for i := range v {
+		v[i] = uint32(i) * 0x9E3779B9
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Sum32(v)
+	}
+}

@@ -1,0 +1,165 @@
+package isa
+
+import "math"
+
+// f32 converts a register bit pattern to float32.
+func f32(x uint32) float32 { return math.Float32frombits(x) }
+
+// b32 converts a float32 to its register bit pattern.
+func b32(f float32) uint32 { return math.Float32bits(f) }
+
+// ExecLane computes the scalar result of an arithmetic opcode for one lane.
+// Operands a, b, c are the lane's source values in operand order (with any
+// immediate already substituted into its operand slot). It must only be called
+// for opcodes that produce a vector-register result; SETP, control and memory
+// opcodes are handled by the pipeline.
+func ExecLane(op Op, a, b, c uint32) uint32 {
+	switch op {
+	case OpMov, OpMovI:
+		return a
+	case OpIAdd:
+		return a + b
+	case OpISub:
+		return a - b
+	case OpIMul:
+		return a * b
+	case OpIMad:
+		return a*b + c
+	case OpIMin:
+		if int32(a) < int32(b) {
+			return a
+		}
+		return b
+	case OpIMax:
+		if int32(a) > int32(b) {
+			return a
+		}
+		return b
+	case OpIAbs:
+		if int32(a) < 0 {
+			return uint32(-int32(a))
+		}
+		return a
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpNot:
+		return ^a
+	case OpShl:
+		return a << (b & 31)
+	case OpShr:
+		return a >> (b & 31)
+	case OpSar:
+		return uint32(int32(a) >> (b & 31))
+	case OpFAdd:
+		return b32(f32(a) + f32(b))
+	case OpFSub:
+		return b32(f32(a) - f32(b))
+	case OpFMul:
+		return b32(f32(a) * f32(b))
+	case OpFFma:
+		return b32(f32(a)*f32(b) + f32(c))
+	case OpFMin:
+		return b32(float32(math.Min(float64(f32(a)), float64(f32(b)))))
+	case OpFMax:
+		return b32(float32(math.Max(float64(f32(a)), float64(f32(b)))))
+	case OpFAbs:
+		return a &^ 0x80000000
+	case OpFNeg:
+		return a ^ 0x80000000
+	case OpI2F:
+		return b32(float32(int32(a)))
+	case OpF2I:
+		return uint32(int32(f32(a)))
+	case OpFRcp:
+		return b32(1 / f32(a))
+	case OpFSqrt:
+		return b32(float32(math.Sqrt(float64(f32(a)))))
+	case OpFRsq:
+		return b32(float32(1 / math.Sqrt(float64(f32(a)))))
+	case OpFExp:
+		return b32(float32(math.Exp2(float64(f32(a)))))
+	case OpFLog:
+		return b32(float32(math.Log2(float64(f32(a)))))
+	case OpFSin:
+		return b32(float32(math.Sin(float64(f32(a)))))
+	case OpFCos:
+		return b32(float32(math.Cos(float64(f32(a)))))
+	case OpFDiv:
+		return b32(f32(a) / f32(b))
+	}
+	return 0
+}
+
+// Compare evaluates a SETP comparison for one lane. For FSetP the operands are
+// interpreted as float32 bit patterns, otherwise as signed 32-bit integers.
+func Compare(op Op, cond Cond, a, b uint32) bool {
+	if op == OpFSetP {
+		fa, fb := f32(a), f32(b)
+		switch cond {
+		case CondEQ:
+			return fa == fb
+		case CondNE:
+			return fa != fb
+		case CondLT:
+			return fa < fb
+		case CondLE:
+			return fa <= fb
+		case CondGT:
+			return fa > fb
+		case CondGE:
+			return fa >= fb
+		}
+		return false
+	}
+	ia, ib := int32(a), int32(b)
+	switch cond {
+	case CondEQ:
+		return ia == ib
+	case CondNE:
+		return ia != ib
+	case CondLT:
+		return ia < ib
+	case CondLE:
+		return ia <= ib
+	case CondGT:
+		return ia > ib
+	case CondGE:
+		return ia >= ib
+	}
+	return false
+}
+
+// ExecVec computes the warp-wide result of an arithmetic instruction. srcs are
+// the source register values in operand order; if the instruction carries an
+// immediate, it is broadcast into the operand slot following the register
+// sources. Lanes outside the active mask keep the value from old (the previous
+// content of the destination's physical register), which models how divergent
+// writes merge with preserved lanes.
+func ExecVec(in *Instr, srcs []Vec, old Vec, active Mask) Vec {
+	var a, b, c Vec
+	ops := [3]*Vec{&a, &b, &c}
+	n := 0
+	for _, s := range srcs {
+		if n < 3 {
+			*ops[n] = s
+			n++
+		}
+	}
+	if in.HasImm && n < 3 {
+		for i := range ops[n] {
+			ops[n][i] = in.Imm
+		}
+		n++
+	}
+	out := old
+	for i := 0; i < WarpSize; i++ {
+		if active.Active(i) {
+			out[i] = ExecLane(in.Op, a[i], b[i], c[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+package isa
+
+import "math"
+
+// F32Bits returns the register bit pattern of a float32 value.
+func F32Bits(f float32) uint32 { return math.Float32bits(f) }
+
+// F32FromBits interprets a register bit pattern as a float32 value.
+func F32FromBits(x uint32) float32 { return math.Float32frombits(x) }

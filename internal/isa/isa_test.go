@@ -1,0 +1,283 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskBasics(t *testing.T) {
+	if FullMask.Count() != 32 || !FullMask.Full() {
+		t.Fatalf("FullMask: count=%d full=%v", FullMask.Count(), FullMask.Full())
+	}
+	var m Mask = 0b1010
+	if m.Count() != 2 || m.Full() {
+		t.Fatalf("mask 0b1010: count=%d", m.Count())
+	}
+	if !m.Active(1) || m.Active(0) || !m.Active(3) {
+		t.Fatalf("Active bits wrong")
+	}
+}
+
+func TestOpUnits(t *testing.T) {
+	cases := map[Op]FU{
+		OpIAdd: FUSP, OpFMul: FUSP, OpMov: FUSP, OpS2R: FUSP, OpSel: FUSP,
+		OpFSin: FUSFU, OpFRcp: FUSFU, OpFDiv: FUSFU, OpFExp: FUSFU,
+		OpLd: FUMem, OpSt: FUMem,
+		OpBra: FUNone, OpBar: FUNone, OpExit: FUNone, OpJmp: FUNone, OpMemF: FUNone,
+	}
+	for op, want := range cases {
+		if got := op.Unit(); got != want {
+			t.Errorf("%v.Unit() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestOpLatencyPositive(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		if op.Latency() <= 0 {
+			t.Errorf("%v has non-positive latency", op)
+		}
+	}
+	if OpFFma.Latency() <= OpIAdd.Latency() {
+		t.Errorf("FFMA should be slower than IADD")
+	}
+	if OpFSin.Latency() <= OpFFma.Latency() {
+		t.Errorf("SFU ops should be slower than SP ops")
+	}
+}
+
+func TestIsFloat(t *testing.T) {
+	floats := []Op{OpFAdd, OpFMul, OpFFma, OpFSin, OpFSetP, OpI2F, OpF2I}
+	ints := []Op{OpIAdd, OpAnd, OpShl, OpISetP, OpMov, OpLd, OpSt, OpBra}
+	for _, op := range floats {
+		if !op.IsFloat() {
+			t.Errorf("%v should be float", op)
+		}
+	}
+	for _, op := range ints {
+		if op.IsFloat() {
+			t.Errorf("%v should not be float", op)
+		}
+	}
+}
+
+func f32b(f float32) uint32 { return math.Float32bits(f) }
+
+func i32b(x int32) uint32 { return uint32(x) }
+
+func TestExecLaneInteger(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, c uint32
+		want    uint32
+	}{
+		{OpIAdd, 3, 4, 0, 7},
+		{OpISub, 3, 4, 0, 0xFFFFFFFF},
+		{OpIMul, 7, 6, 0, 42},
+		{OpIMad, 2, 3, 10, 16},
+		{OpIMin, i32b(-5), 3, 0, i32b(-5)},
+		{OpIMax, i32b(-5), 3, 0, 3},
+		{OpIAbs, i32b(-9), 0, 0, 9},
+		{OpAnd, 0b1100, 0b1010, 0, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0, 0b0110},
+		{OpNot, 0, 0, 0, 0xFFFFFFFF},
+		{OpShl, 1, 4, 0, 16},
+		{OpShl, 1, 36, 0, 16}, // shift amount masked to 5 bits
+		{OpShr, 0x80000000, 31, 0, 1},
+		{OpSar, 0x80000000, 31, 0, 0xFFFFFFFF},
+		{OpMov, 99, 0, 0, 99},
+	}
+	for _, c := range cases {
+		if got := ExecLane(c.op, c.a, c.b, c.c); got != c.want {
+			t.Errorf("ExecLane(%v, %#x, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestExecLaneFloat(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, c float32
+		want    float32
+	}{
+		{OpFAdd, 1.5, 2.25, 0, 3.75},
+		{OpFSub, 1.5, 2.25, 0, -0.75},
+		{OpFMul, 3, 0.5, 0, 1.5},
+		{OpFFma, 2, 3, 4, 10},
+		{OpFMin, -1, 2, 0, -1},
+		{OpFMax, -1, 2, 0, 2},
+		{OpFAbs, -3.5, 0, 0, 3.5},
+		{OpFNeg, 3.5, 0, 0, -3.5},
+		{OpFRcp, 4, 0, 0, 0.25},
+		{OpFSqrt, 9, 0, 0, 3},
+		{OpFRsq, 4, 0, 0, 0.5},
+		{OpFExp, 3, 0, 0, 8},
+		{OpFLog, 8, 0, 0, 3},
+		{OpFDiv, 7, 2, 0, 3.5},
+	}
+	for _, c := range cases {
+		got := math.Float32frombits(ExecLane(c.op, f32b(c.a), f32b(c.b), f32b(c.c)))
+		if got != c.want {
+			t.Errorf("ExecLane(%v, %v, %v, %v) = %v, want %v", c.op, c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestExecLaneConversions(t *testing.T) {
+	if got := math.Float32frombits(ExecLane(OpI2F, i32b(-7), 0, 0)); got != -7 {
+		t.Errorf("I2F(-7) = %v", got)
+	}
+	if got := int32(ExecLane(OpF2I, f32b(-7.9), 0, 0)); got != -7 {
+		t.Errorf("F2I(-7.9) = %d, want -7 (truncation)", got)
+	}
+}
+
+func TestCompareConditions(t *testing.T) {
+	type tc struct {
+		cond Cond
+		a, b int32
+		want bool
+	}
+	for _, c := range []tc{
+		{CondEQ, 5, 5, true}, {CondEQ, 5, 6, false},
+		{CondNE, 5, 6, true}, {CondNE, 5, 5, false},
+		{CondLT, -1, 0, true}, {CondLT, 0, 0, false},
+		{CondLE, 0, 0, true}, {CondLE, 1, 0, false},
+		{CondGT, 1, 0, true}, {CondGT, 0, 0, false},
+		{CondGE, 0, 0, true}, {CondGE, -1, 0, false},
+	} {
+		if got := Compare(OpISetP, c.cond, uint32(c.a), uint32(c.b)); got != c.want {
+			t.Errorf("ISetP %v(%d, %d) = %v", c.cond, c.a, c.b, got)
+		}
+	}
+	if !Compare(OpFSetP, CondLT, f32b(-1.5), f32b(0)) {
+		t.Errorf("FSetP LT(-1.5, 0) should hold")
+	}
+	if Compare(OpFSetP, CondLT, f32b(2.5), f32b(0)) {
+		t.Errorf("FSetP LT(2.5, 0) should not hold")
+	}
+}
+
+func TestExecVecMergesInactiveLanes(t *testing.T) {
+	in := &Instr{Op: OpIAdd, NSrc: 2}
+	var a, b, old Vec
+	for i := range a {
+		a[i] = uint32(i)
+		b[i] = 100
+		old[i] = 777
+	}
+	out := ExecVec(in, []Vec{a, b}, old, 0x0000FFFF)
+	for i := 0; i < 16; i++ {
+		if out[i] != uint32(i)+100 {
+			t.Fatalf("active lane %d = %d", i, out[i])
+		}
+	}
+	for i := 16; i < 32; i++ {
+		if out[i] != 777 {
+			t.Fatalf("inactive lane %d = %d, want preserved 777", i, out[i])
+		}
+	}
+}
+
+func TestExecVecImmediateSubstitution(t *testing.T) {
+	in := &Instr{Op: OpIAdd, NSrc: 1, Imm: 5, HasImm: true}
+	var a Vec
+	for i := range a {
+		a[i] = uint32(i)
+	}
+	out := ExecVec(in, []Vec{a}, Vec{}, FullMask)
+	for i := range out {
+		if out[i] != uint32(i)+5 {
+			t.Fatalf("lane %d = %d, want %d", i, out[i], i+5)
+		}
+	}
+}
+
+func TestReusable(t *testing.T) {
+	reusable := []Instr{
+		{Op: OpIAdd, Dst: 1, NSrc: 2},
+		{Op: OpFFma, Dst: 1, NSrc: 3},
+		{Op: OpLd, Dst: 1, NSrc: 1, Space: SpaceGlobal},
+		{Op: OpMovI, Dst: 1, HasImm: true},
+	}
+	notReusable := []Instr{
+		{Op: OpSt, NSrc: 2, Space: SpaceGlobal, Dst: RegNone},
+		{Op: OpBra, Dst: RegNone},
+		{Op: OpBar, Dst: RegNone},
+		{Op: OpExit, Dst: RegNone},
+		{Op: OpS2R, Dst: 1},
+		{Op: OpSel, Dst: 1, NSrc: 2},
+		{Op: OpISetP, Dst: RegNone, NSrc: 2},
+	}
+	for i := range reusable {
+		if !reusable[i].Reusable() {
+			t.Errorf("%v should be reusable", reusable[i].Op)
+		}
+	}
+	for i := range notReusable {
+		if notReusable[i].Reusable() {
+			t.Errorf("%v should not be reusable", notReusable[i].Op)
+		}
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	in := Instr{Op: OpIAdd, Dst: 2, Src: [3]Reg{0, 1, RegNone}, NSrc: 2, Pred: PredNone, PDst: PredNone}
+	if got := in.String(); !strings.Contains(got, "iadd") || !strings.Contains(got, "$r2") {
+		t.Errorf("disassembly %q missing pieces", got)
+	}
+	ld := Instr{Op: OpLd, Space: SpaceShared, Dst: 3, Src: [3]Reg{4, RegNone, RegNone}, NSrc: 1, Pred: PredNone, PDst: PredNone}
+	if got := ld.String(); !strings.Contains(got, "ld.shared") || !strings.Contains(got, "[$r4]") {
+		t.Errorf("load disassembly %q", got)
+	}
+	pr := Instr{Op: OpMov, Dst: 1, Src: [3]Reg{0, RegNone, RegNone}, NSrc: 1, Pred: 2, PredNeg: true, PDst: PredNone}
+	if got := pr.String(); !strings.Contains(got, "@!$p2") {
+		t.Errorf("predicated disassembly %q", got)
+	}
+}
+
+// Property: integer add is commutative and sub is its inverse, lane-wise.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sum := ExecLane(OpIAdd, a, b, 0)
+		if sum != ExecLane(OpIAdd, b, a, 0) {
+			return false
+		}
+		return ExecLane(OpISub, sum, b, 0) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bitwise ops satisfy De Morgan's law.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lhs := ExecLane(OpNot, ExecLane(OpAnd, a, b, 0), 0, 0)
+		rhs := ExecLane(OpOr, ExecLane(OpNot, a, 0, 0), ExecLane(OpNot, b, 0, 0), 0)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExecVec with a full mask equals lane-wise ExecLane.
+func TestQuickExecVecMatchesLanes(t *testing.T) {
+	f := func(av, bv [32]uint32) bool {
+		in := &Instr{Op: OpXor, NSrc: 2}
+		out := ExecVec(in, []Vec{av, bv}, Vec{}, FullMask)
+		for i := 0; i < WarpSize; i++ {
+			if out[i] != (av[i] ^ bv[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,382 @@
+// Package kasm provides a small assembler DSL for writing warp kernels in the
+// simulator's ISA. Kernels are built programmatically: a Builder allocates
+// logical registers and predicates, emits instructions, binds labels, and
+// produces an immutable Kernel that the simulator executes.
+//
+// Control flow follows the GPU SIMT model. Conditional branches carry a
+// reconvergence point (the immediate post-dominator) that the builder derives
+// automatically: structured If/IfElse constructs reconverge at their end, a
+// forward branch reconverges at its target, and a backward branch (a loop)
+// reconverges at its fall-through.
+package kasm
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+// Kernel is an assembled, validated kernel program.
+type Kernel struct {
+	Name        string
+	Code        []isa.Instr
+	SharedBytes int // scratchpad bytes required per thread block
+	Regs        int // logical vector registers used per warp
+	Preds       int // predicate registers used per warp
+}
+
+// Label identifies a branch target within a Builder.
+type Label int
+
+// Builder incrementally assembles a Kernel.
+type Builder struct {
+	name     string
+	instrs   []isa.Instr
+	nextReg  int
+	nextPred int
+	shared   int
+	labels   []int // label -> pc, -1 while unbound
+	errs     []error
+}
+
+// NewBuilder returns an empty Builder for a kernel with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// R allocates a fresh logical vector register.
+func (b *Builder) R() isa.Reg {
+	if b.nextReg >= isa.NumLogicalRegs {
+		b.errs = append(b.errs, fmt.Errorf("kernel %s: out of logical registers (%d available)", b.name, isa.NumLogicalRegs))
+		return 0
+	}
+	r := isa.Reg(b.nextReg)
+	b.nextReg++
+	return r
+}
+
+// P allocates a fresh predicate register.
+func (b *Builder) P() isa.PReg {
+	if b.nextPred >= isa.NumPredRegs {
+		b.errs = append(b.errs, fmt.Errorf("kernel %s: out of predicate registers (%d available)", b.name, isa.NumPredRegs))
+		return 0
+	}
+	p := isa.PReg(b.nextPred)
+	b.nextPred++
+	return p
+}
+
+// Shared reserves n bytes of scratchpad memory per thread block and returns
+// the byte offset of the reservation. Reservations are 4-byte aligned.
+func (b *Builder) Shared(n int) int {
+	off := (b.shared + 3) &^ 3
+	b.shared = off + n
+	return off
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.instrs) }
+
+func (b *Builder) emit(in isa.Instr) int {
+	pc := len(b.instrs)
+	b.instrs = append(b.instrs, in)
+	return pc
+}
+
+// NewLabel creates an unbound label.
+func (b *Builder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind binds the label to the current PC.
+func (b *Builder) Bind(l Label) {
+	if b.labels[l] != -1 {
+		b.errs = append(b.errs, fmt.Errorf("kernel %s: label %d bound twice", b.name, l))
+		return
+	}
+	b.labels[l] = len(b.instrs)
+}
+
+// --- data movement ---
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src isa.Reg) {
+	b.emit(isa.Instr{Op: isa.OpMov, Dst: dst, Src: [3]isa.Reg{src, isa.RegNone, isa.RegNone}, NSrc: 1, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// MovI emits dst = imm broadcast to every lane.
+func (b *Builder) MovI(dst isa.Reg, imm uint32) {
+	b.emit(isa.Instr{Op: isa.OpMovI, Dst: dst, Src: [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone}, Imm: imm, HasImm: true, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// MovF emits dst = float32 immediate broadcast to every lane.
+func (b *Builder) MovF(dst isa.Reg, f float32) { b.MovI(dst, isa.F32Bits(f)) }
+
+// S2R emits dst = special register sr (per-lane).
+func (b *Builder) S2R(dst isa.Reg, sr isa.SpecialReg) {
+	b.emit(isa.Instr{Op: isa.OpS2R, Dst: dst, Src: [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone}, SReg: sr, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// --- arithmetic ---
+
+// Op3 emits a three-source instruction dst = op(a, b, c).
+func (b *Builder) Op3(op isa.Op, dst, a, c2, c3 isa.Reg) {
+	b.emit(isa.Instr{Op: op, Dst: dst, Src: [3]isa.Reg{a, c2, c3}, NSrc: 3, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// Op2 emits a two-source instruction dst = op(a, b).
+func (b *Builder) Op2(op isa.Op, dst, a, c isa.Reg) {
+	b.emit(isa.Instr{Op: op, Dst: dst, Src: [3]isa.Reg{a, c, isa.RegNone}, NSrc: 2, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// Op2I emits a register-immediate instruction dst = op(a, imm).
+func (b *Builder) Op2I(op isa.Op, dst, a isa.Reg, imm uint32) {
+	b.emit(isa.Instr{Op: op, Dst: dst, Src: [3]isa.Reg{a, isa.RegNone, isa.RegNone}, NSrc: 1, Imm: imm, HasImm: true, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// Op1 emits a one-source instruction dst = op(a).
+func (b *Builder) Op1(op isa.Op, dst, a isa.Reg) {
+	b.emit(isa.Instr{Op: op, Dst: dst, Src: [3]isa.Reg{a, isa.RegNone, isa.RegNone}, NSrc: 1, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// Integer arithmetic helpers.
+
+func (b *Builder) IAdd(dst, a, c isa.Reg)          { b.Op2(isa.OpIAdd, dst, a, c) }
+func (b *Builder) IAddI(dst, a isa.Reg, imm int32) { b.Op2I(isa.OpIAdd, dst, a, uint32(imm)) }
+func (b *Builder) ISub(dst, a, c isa.Reg)          { b.Op2(isa.OpISub, dst, a, c) }
+func (b *Builder) ISubI(dst, a isa.Reg, imm int32) { b.Op2I(isa.OpISub, dst, a, uint32(imm)) }
+func (b *Builder) IMul(dst, a, c isa.Reg)          { b.Op2(isa.OpIMul, dst, a, c) }
+func (b *Builder) IMulI(dst, a isa.Reg, imm int32) { b.Op2I(isa.OpIMul, dst, a, uint32(imm)) }
+func (b *Builder) IMad(dst, a, c, d isa.Reg)       { b.Op3(isa.OpIMad, dst, a, c, d) }
+func (b *Builder) IMin(dst, a, c isa.Reg)          { b.Op2(isa.OpIMin, dst, a, c) }
+func (b *Builder) IMax(dst, a, c isa.Reg)          { b.Op2(isa.OpIMax, dst, a, c) }
+func (b *Builder) IAbs(dst, a isa.Reg)             { b.Op1(isa.OpIAbs, dst, a) }
+func (b *Builder) And(dst, a, c isa.Reg)           { b.Op2(isa.OpAnd, dst, a, c) }
+func (b *Builder) AndI(dst, a isa.Reg, imm uint32) { b.Op2I(isa.OpAnd, dst, a, imm) }
+func (b *Builder) Or(dst, a, c isa.Reg)            { b.Op2(isa.OpOr, dst, a, c) }
+func (b *Builder) OrI(dst, a isa.Reg, imm uint32)  { b.Op2I(isa.OpOr, dst, a, imm) }
+func (b *Builder) Xor(dst, a, c isa.Reg)           { b.Op2(isa.OpXor, dst, a, c) }
+func (b *Builder) XorI(dst, a isa.Reg, imm uint32) { b.Op2I(isa.OpXor, dst, a, imm) }
+func (b *Builder) Not(dst, a isa.Reg)              { b.Op1(isa.OpNot, dst, a) }
+func (b *Builder) ShlI(dst, a isa.Reg, imm uint32) { b.Op2I(isa.OpShl, dst, a, imm) }
+func (b *Builder) ShrI(dst, a isa.Reg, imm uint32) { b.Op2I(isa.OpShr, dst, a, imm) }
+func (b *Builder) SarI(dst, a isa.Reg, imm uint32) { b.Op2I(isa.OpSar, dst, a, imm) }
+func (b *Builder) Shl(dst, a, c isa.Reg)           { b.Op2(isa.OpShl, dst, a, c) }
+func (b *Builder) Shr(dst, a, c isa.Reg)           { b.Op2(isa.OpShr, dst, a, c) }
+
+// Floating-point arithmetic helpers.
+
+func (b *Builder) FAdd(dst, a, c isa.Reg)          { b.Op2(isa.OpFAdd, dst, a, c) }
+func (b *Builder) FAddI(dst, a isa.Reg, f float32) { b.Op2I(isa.OpFAdd, dst, a, isa.F32Bits(f)) }
+func (b *Builder) FSub(dst, a, c isa.Reg)          { b.Op2(isa.OpFSub, dst, a, c) }
+func (b *Builder) FMul(dst, a, c isa.Reg)          { b.Op2(isa.OpFMul, dst, a, c) }
+func (b *Builder) FMulI(dst, a isa.Reg, f float32) { b.Op2I(isa.OpFMul, dst, a, isa.F32Bits(f)) }
+func (b *Builder) FFma(dst, a, c, d isa.Reg)       { b.Op3(isa.OpFFma, dst, a, c, d) }
+func (b *Builder) FMin(dst, a, c isa.Reg)          { b.Op2(isa.OpFMin, dst, a, c) }
+func (b *Builder) FMax(dst, a, c isa.Reg)          { b.Op2(isa.OpFMax, dst, a, c) }
+func (b *Builder) FAbs(dst, a isa.Reg)             { b.Op1(isa.OpFAbs, dst, a) }
+func (b *Builder) FNeg(dst, a isa.Reg)             { b.Op1(isa.OpFNeg, dst, a) }
+func (b *Builder) I2F(dst, a isa.Reg)              { b.Op1(isa.OpI2F, dst, a) }
+func (b *Builder) F2I(dst, a isa.Reg)              { b.Op1(isa.OpF2I, dst, a) }
+func (b *Builder) FRcp(dst, a isa.Reg)             { b.Op1(isa.OpFRcp, dst, a) }
+func (b *Builder) FSqrt(dst, a isa.Reg)            { b.Op1(isa.OpFSqrt, dst, a) }
+func (b *Builder) FRsq(dst, a isa.Reg)             { b.Op1(isa.OpFRsq, dst, a) }
+func (b *Builder) FExp(dst, a isa.Reg)             { b.Op1(isa.OpFExp, dst, a) }
+func (b *Builder) FLog(dst, a isa.Reg)             { b.Op1(isa.OpFLog, dst, a) }
+func (b *Builder) FSin(dst, a isa.Reg)             { b.Op1(isa.OpFSin, dst, a) }
+func (b *Builder) FCos(dst, a isa.Reg)             { b.Op1(isa.OpFCos, dst, a) }
+func (b *Builder) FDiv(dst, a, c isa.Reg)          { b.Op2(isa.OpFDiv, dst, a, c) }
+
+// --- predicates ---
+
+// ISetP emits p = cmp(int32(a), int32(b)).
+func (b *Builder) ISetP(p isa.PReg, cond isa.Cond, a, c isa.Reg) {
+	b.emit(isa.Instr{Op: isa.OpISetP, Cond: cond, Dst: isa.RegNone, Src: [3]isa.Reg{a, c, isa.RegNone}, NSrc: 2, PDst: p, Pred: isa.PredNone})
+}
+
+// ISetPI emits p = cmp(int32(a), imm).
+func (b *Builder) ISetPI(p isa.PReg, cond isa.Cond, a isa.Reg, imm int32) {
+	b.emit(isa.Instr{Op: isa.OpISetP, Cond: cond, Dst: isa.RegNone, Src: [3]isa.Reg{a, isa.RegNone, isa.RegNone}, NSrc: 1, Imm: uint32(imm), HasImm: true, PDst: p, Pred: isa.PredNone})
+}
+
+// FSetP emits p = cmp(float32(a), float32(b)).
+func (b *Builder) FSetP(p isa.PReg, cond isa.Cond, a, c isa.Reg) {
+	b.emit(isa.Instr{Op: isa.OpFSetP, Cond: cond, Dst: isa.RegNone, Src: [3]isa.Reg{a, c, isa.RegNone}, NSrc: 2, PDst: p, Pred: isa.PredNone})
+}
+
+// FSetPI emits p = cmp(float32(a), imm).
+func (b *Builder) FSetPI(p isa.PReg, cond isa.Cond, a isa.Reg, f float32) {
+	b.emit(isa.Instr{Op: isa.OpFSetP, Cond: cond, Dst: isa.RegNone, Src: [3]isa.Reg{a, isa.RegNone, isa.RegNone}, NSrc: 1, Imm: isa.F32Bits(f), HasImm: true, PDst: p, Pred: isa.PredNone})
+}
+
+// Sel emits dst = p ? a : b per lane.
+func (b *Builder) Sel(dst isa.Reg, p isa.PReg, a, c isa.Reg) {
+	b.emit(isa.Instr{Op: isa.OpSel, Dst: dst, Src: [3]isa.Reg{a, c, isa.RegNone}, NSrc: 2, PDst: p, Pred: isa.PredNone})
+}
+
+// --- memory ---
+
+// Ld emits dst = load(space, [addr + off]).
+func (b *Builder) Ld(dst isa.Reg, space isa.Space, addr isa.Reg, off int32) {
+	in := isa.Instr{Op: isa.OpLd, Space: space, Dst: dst, Src: [3]isa.Reg{addr, isa.RegNone, isa.RegNone}, NSrc: 1, Pred: isa.PredNone, PDst: isa.PredNone}
+	if off != 0 {
+		in.Imm, in.HasImm = uint32(off), true
+	}
+	b.emit(in)
+}
+
+// St emits store(space, [addr + off]) = val.
+func (b *Builder) St(space isa.Space, addr isa.Reg, val isa.Reg, off int32) {
+	if space.ReadOnly() {
+		b.errs = append(b.errs, fmt.Errorf("kernel %s: store to read-only space %s", b.name, space))
+	}
+	in := isa.Instr{Op: isa.OpSt, Space: space, Dst: isa.RegNone, Src: [3]isa.Reg{addr, val, isa.RegNone}, NSrc: 2, Pred: isa.PredNone, PDst: isa.PredNone}
+	if off != 0 {
+		in.Imm, in.HasImm = uint32(off), true
+	}
+	b.emit(in)
+}
+
+// --- control flow ---
+
+// Bar emits a block-wide barrier (__syncthreads).
+func (b *Builder) Bar() {
+	b.emit(isa.Instr{Op: isa.OpBar, Dst: isa.RegNone, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// MemFence emits a memory fence, which acts as a reuse barrier.
+func (b *Builder) MemFence() {
+	b.emit(isa.Instr{Op: isa.OpMemF, Dst: isa.RegNone, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// Exit emits a thread-exit instruction. Every kernel must end with one.
+func (b *Builder) Exit() {
+	b.emit(isa.Instr{Op: isa.OpExit, Dst: isa.RegNone, Pred: isa.PredNone, PDst: isa.PredNone})
+}
+
+// BraTo emits a per-lane conditional branch to l taken where predicate p
+// (negated if neg) is true. The reconvergence point is derived at Build time:
+// the branch target for forward branches, the fall-through for backward ones.
+func (b *Builder) BraTo(p isa.PReg, neg bool, l Label) {
+	b.emit(isa.Instr{Op: isa.OpBra, Dst: isa.RegNone, Pred: p, PredNeg: neg, PDst: isa.PredNone, Target: int(l), Join: -1})
+}
+
+// JmpTo emits an unconditional jump to l.
+func (b *Builder) JmpTo(l Label) {
+	b.emit(isa.Instr{Op: isa.OpJmp, Dst: isa.RegNone, Pred: isa.PredNone, PDst: isa.PredNone, Target: int(l)})
+}
+
+// If executes then only in lanes where p (negated if neg) is true. Lanes
+// reconverge after the construct.
+func (b *Builder) If(p isa.PReg, neg bool, then func()) {
+	end := b.NewLabel()
+	// Branch away when the condition is false.
+	bra := b.emit(isa.Instr{Op: isa.OpBra, Dst: isa.RegNone, Pred: p, PredNeg: !neg, PDst: isa.PredNone, Target: int(end), Join: int(end)})
+	then()
+	b.Bind(end)
+	_ = bra
+}
+
+// IfElse executes then in lanes where the condition holds and els in the
+// rest, reconverging afterwards.
+func (b *Builder) IfElse(p isa.PReg, neg bool, then, els func()) {
+	elseL := b.NewLabel()
+	end := b.NewLabel()
+	b.emit(isa.Instr{Op: isa.OpBra, Dst: isa.RegNone, Pred: p, PredNeg: !neg, PDst: isa.PredNone, Target: int(elseL), Join: int(end)})
+	then()
+	b.JmpTo(end)
+	b.Bind(elseL)
+	els()
+	b.Bind(end)
+}
+
+// Build validates the program and returns the assembled kernel.
+func (b *Builder) Build() (*Kernel, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.instrs) == 0 || b.instrs[len(b.instrs)-1].Op != isa.OpExit {
+		return nil, fmt.Errorf("kernel %s: must end with Exit", b.name)
+	}
+	code := make([]isa.Instr, len(b.instrs))
+	copy(code, b.instrs)
+	for pc := range code {
+		in := &code[pc]
+		switch in.Op {
+		case isa.OpBra, isa.OpJmp:
+			target := b.labels[in.Target]
+			if target < 0 {
+				return nil, fmt.Errorf("kernel %s: pc %d: branch to unbound label %d", b.name, pc, in.Target)
+			}
+			join := in.Join
+			if in.Op == isa.OpBra {
+				if join >= 0 {
+					join = b.labels[join]
+					if join < 0 {
+						return nil, fmt.Errorf("kernel %s: pc %d: unbound join label", b.name, pc)
+					}
+				} else if target > pc {
+					join = target // forward skip reconverges at the target
+				} else {
+					join = pc + 1 // backward loop reconverges at the fall-through
+				}
+			}
+			in.Target = target
+			in.Join = join
+		}
+		for _, r := range in.Sources() {
+			if !r.Valid() {
+				return nil, fmt.Errorf("kernel %s: pc %d: invalid source register", b.name, pc)
+			}
+		}
+		if in.Dst != isa.RegNone && !in.Dst.Valid() {
+			return nil, fmt.Errorf("kernel %s: pc %d: invalid destination register", b.name, pc)
+		}
+	}
+	return &Kernel{
+		Name:        b.name,
+		Code:        code,
+		SharedBytes: b.shared,
+		Regs:        b.nextReg,
+		Preds:       b.nextPred,
+	}, nil
+}
+
+// MustBuild is Build, panicking on error. Benchmark kernels are static
+// programs, so a build failure is a programming bug.
+func (b *Builder) MustBuild() *Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Listing disassembles the kernel as a numbered program listing, annotating
+// branch targets and reconvergence points.
+func (k *Kernel) Listing() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// kernel %s: %d instructions, %d regs, %d preds, %d shared bytes\n",
+		k.Name, len(k.Code), k.Regs, k.Preds, k.SharedBytes)
+	targets := map[int]bool{}
+	for i := range k.Code {
+		switch k.Code[i].Op {
+		case isa.OpBra, isa.OpJmp:
+			targets[k.Code[i].Target] = true
+		}
+	}
+	for pc := range k.Code {
+		marker := "   "
+		if targets[pc] {
+			marker = "L: "
+		}
+		fmt.Fprintf(&sb, "%s%4d: %s", marker, pc, k.Code[pc].String())
+		if k.Code[pc].Op == isa.OpBra {
+			fmt.Fprintf(&sb, "  // join @%d", k.Code[pc].Join)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,238 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+func TestBuildRequiresExit(t *testing.T) {
+	b := NewBuilder("noexit")
+	r := b.R()
+	b.MovI(r, 1)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "Exit") {
+		t.Fatalf("expected missing-Exit error, got %v", err)
+	}
+}
+
+func TestBuildRejectsUnboundLabel(t *testing.T) {
+	b := NewBuilder("unbound")
+	p := b.P()
+	l := b.NewLabel()
+	b.BraTo(p, false, l)
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("expected unbound-label error, got %v", err)
+	}
+}
+
+func TestBindTwiceFails(t *testing.T) {
+	b := NewBuilder("twice")
+	l := b.NewLabel()
+	b.Bind(l)
+	b.Bind(l)
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("expected double-bind error, got %v", err)
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	b := NewBuilder("regs")
+	for i := 0; i < isa.NumLogicalRegs; i++ {
+		b.R()
+	}
+	b.R() // one too many
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "registers") {
+		t.Fatalf("expected register exhaustion error, got %v", err)
+	}
+}
+
+func TestPredicateExhaustion(t *testing.T) {
+	b := NewBuilder("preds")
+	for i := 0; i < isa.NumPredRegs+1; i++ {
+		b.P()
+	}
+	b.Exit()
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("expected predicate exhaustion error")
+	}
+}
+
+func TestStoreToReadOnlySpaceRejected(t *testing.T) {
+	b := NewBuilder("badstore")
+	r := b.R()
+	b.St(isa.SpaceConst, r, r, 0)
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("expected read-only store rejection, got %v", err)
+	}
+}
+
+func TestBackwardBranchJoinIsFallthrough(t *testing.T) {
+	b := NewBuilder("loop")
+	i := b.R()
+	p := b.P()
+	b.MovI(i, 0)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.IAddI(i, i, 1)
+	b.ISetPI(p, isa.CondLT, i, 10)
+	b.BraTo(p, false, top)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The BraTo is at PC 3; backward, so its join must be PC 4.
+	bra := k.Code[3]
+	if bra.Op != isa.OpBra || bra.Target != 1 || bra.Join != 4 {
+		t.Fatalf("bra = %+v, want target 1 join 4", bra)
+	}
+}
+
+func TestForwardBranchJoinIsTarget(t *testing.T) {
+	b := NewBuilder("skip")
+	p := b.P()
+	r := b.R()
+	end := b.NewLabel()
+	b.BraTo(p, false, end)
+	b.MovI(r, 1)
+	b.Bind(end)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bra := k.Code[0]
+	if bra.Target != 2 || bra.Join != 2 {
+		t.Fatalf("forward bra = %+v, want target 2 join 2", bra)
+	}
+}
+
+func TestIfElseStructure(t *testing.T) {
+	b := NewBuilder("ifelse")
+	p := b.P()
+	r := b.R()
+	b.IfElse(p, false, func() {
+		b.MovI(r, 1)
+	}, func() {
+		b.MovI(r, 2)
+	})
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: bra(!p, else) / then / jmp end / else / exit.
+	if k.Code[0].Op != isa.OpBra || !k.Code[0].PredNeg {
+		t.Fatalf("IfElse head = %+v", k.Code[0])
+	}
+	if k.Code[0].Target != 3 {
+		t.Fatalf("else target = %d, want 3", k.Code[0].Target)
+	}
+	if k.Code[0].Join != 4 {
+		t.Fatalf("join = %d, want 4 (after else)", k.Code[0].Join)
+	}
+	if k.Code[2].Op != isa.OpJmp || k.Code[2].Target != 4 {
+		t.Fatalf("then-side jmp = %+v", k.Code[2])
+	}
+}
+
+func TestSharedAllocationAligned(t *testing.T) {
+	b := NewBuilder("shared")
+	o1 := b.Shared(5)
+	o2 := b.Shared(8)
+	if o1 != 0 {
+		t.Fatalf("first reservation at %d", o1)
+	}
+	if o2 != 8 {
+		t.Fatalf("second reservation at %d, want 4-byte aligned 8", o2)
+	}
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.SharedBytes != 16 {
+		t.Fatalf("SharedBytes = %d, want 16", k.SharedBytes)
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	b := NewBuilder("meta")
+	b.R()
+	b.R()
+	b.P()
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Regs != 2 || k.Preds != 1 || k.Name != "meta" || len(k.Code) != 1 {
+		t.Fatalf("metadata wrong: %+v", k)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustBuild should panic on invalid kernel")
+		}
+	}()
+	NewBuilder("bad").MustBuild() // no Exit
+}
+
+func TestEmittedOperandShapes(t *testing.T) {
+	b := NewBuilder("shapes")
+	d := b.R()
+	a := b.R()
+	c := b.R()
+	e := b.R()
+	b.IMad(d, a, c, e)
+	b.IAddI(d, a, -3)
+	b.Ld(d, isa.SpaceGlobal, a, 8)
+	b.St(isa.SpaceGlobal, a, c, -4)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Code[0].NSrc != 3 {
+		t.Errorf("IMad NSrc = %d", k.Code[0].NSrc)
+	}
+	if !k.Code[1].HasImm || int32(k.Code[1].Imm) != -3 {
+		t.Errorf("IAddI imm = %d", int32(k.Code[1].Imm))
+	}
+	if !k.Code[2].HasImm || k.Code[2].Imm != 8 {
+		t.Errorf("Ld offset = %d", k.Code[2].Imm)
+	}
+	if k.Code[3].NSrc != 2 || int32(k.Code[3].Imm) != -4 {
+		t.Errorf("St shape = %+v", k.Code[3])
+	}
+}
+
+func TestListing(t *testing.T) {
+	b := NewBuilder("listed")
+	r := b.R()
+	p := b.P()
+	b.MovI(r, 7)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.IAddI(r, r, -1)
+	b.ISetPI(p, isa.CondGT, r, 0)
+	b.BraTo(p, false, top)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := k.Listing()
+	for _, want := range []string{"kernel listed", "movi", "L: ", "bra", "join @4", "exit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}

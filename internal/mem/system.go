@@ -1,0 +1,278 @@
+package mem
+
+import (
+	"fmt"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+// Fixed pipeline latencies (cycles). These approximate the Fermi-class
+// baseline: an L1 hit is ~30 cycles from issue to writeback; Table II supplies
+// the L2 and DRAM latencies.
+const (
+	L1HitLatency    = 28
+	SharedLatency   = 24
+	ConstHitLatency = 20
+	TexHitLatency   = 26
+	NoCLatency      = 8
+	DRAMServiceGap  = 4 // cycles between DRAM request starts per partition
+)
+
+// System is the chip-wide memory system: per-SM L1-level caches, the L2
+// partitions, the DRAM channels, and the functional backing store for global,
+// constant and texture memory. Addresses are 32-bit byte addresses; all
+// accesses are 4-byte words.
+type System struct {
+	cfg *config.Config
+
+	l1d   []*Cache // per SM
+	l1c   []*Cache
+	l1t   []*Cache
+	mshrs []map[uint64]uint64 // per SM: line -> completion time
+	outst []int               // per SM: outstanding misses
+
+	l2       []*Cache // per partition
+	dramNext []uint64 // per partition: next free request slot
+
+	global map[uint32]*page
+	consts []uint32
+	tex    []uint32
+	brk    uint32 // global bump-allocator break
+
+	st *stats.Sim
+}
+
+const pageWords = 4096 // 16 KB pages for the sparse global store
+
+type page [pageWords]uint32
+
+// NewSystem builds the memory system for cfg, accumulating counters into st.
+func NewSystem(cfg *config.Config, st *stats.Sim) *System {
+	s := &System{
+		cfg:      cfg,
+		l1d:      make([]*Cache, cfg.NumSMs),
+		l1c:      make([]*Cache, cfg.NumSMs),
+		l1t:      make([]*Cache, cfg.NumSMs),
+		mshrs:    make([]map[uint64]uint64, cfg.NumSMs),
+		outst:    make([]int, cfg.NumSMs),
+		l2:       make([]*Cache, cfg.L2Partitions),
+		dramNext: make([]uint64, cfg.L2Partitions),
+		global:   make(map[uint32]*page),
+		brk:      0x1000,
+		st:       st,
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		s.l1d[i] = NewCache(cfg.L1DBytes, cfg.L1DWays, cfg.LineBytes)
+		s.l1c[i] = NewCache(cfg.ConstBytes, 4, cfg.LineBytes)
+		s.l1t[i] = NewCache(cfg.TexBytes, 4, cfg.LineBytes)
+		s.mshrs[i] = make(map[uint64]uint64)
+	}
+	for i := range s.l2 {
+		s.l2[i] = NewCache(cfg.L2BytesPerPart, cfg.L2Ways, cfg.LineBytes)
+	}
+	return s
+}
+
+// --- functional store ---
+
+// Alloc reserves words 32-bit words of global memory and returns the base
+// byte address.
+func (s *System) Alloc(words int) uint32 {
+	base := (s.brk + 127) &^ 127 // line-align allocations
+	s.brk = base + uint32(words)*4
+	return base
+}
+
+func (s *System) pageOf(addr uint32, create bool) (*page, uint32) {
+	idx := addr / 4 / pageWords
+	off := addr / 4 % pageWords
+	p := s.global[idx]
+	if p == nil && create {
+		p = new(page)
+		s.global[idx] = p
+	}
+	return p, off
+}
+
+// LoadGlobal reads the 32-bit word at byte address addr.
+func (s *System) LoadGlobal(addr uint32) uint32 {
+	p, off := s.pageOf(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[off]
+}
+
+// StoreGlobal writes the 32-bit word at byte address addr.
+func (s *System) StoreGlobal(addr, v uint32) {
+	p, off := s.pageOf(addr, true)
+	p[off] = v
+}
+
+// SetConst installs the constant-memory segment (word 0 at byte address 0).
+func (s *System) SetConst(data []uint32) {
+	s.consts = append(s.consts[:0], data...)
+}
+
+// LoadConst reads a word from constant memory.
+func (s *System) LoadConst(addr uint32) uint32 {
+	i := addr / 4
+	if int(i) >= len(s.consts) {
+		return 0
+	}
+	return s.consts[i]
+}
+
+// SetTex installs the texture-memory segment.
+func (s *System) SetTex(data []uint32) {
+	s.tex = append(s.tex[:0], data...)
+}
+
+// LoadTex reads a word from texture memory.
+func (s *System) LoadTex(addr uint32) uint32 {
+	i := addr / 4
+	if int(i) >= len(s.tex) {
+		return 0
+	}
+	return s.tex[i]
+}
+
+// Snapshot copies words 32-bit words of global memory starting at base, for
+// result checking.
+func (s *System) Snapshot(base uint32, words int) []uint32 {
+	out := make([]uint32, words)
+	for i := range out {
+		out[i] = s.LoadGlobal(base + uint32(i)*4)
+	}
+	return out
+}
+
+// --- timing ---
+
+func (s *System) partition(lineAddr uint64) int {
+	// Spread lines across partitions with a multiplicative hash so strided
+	// access patterns do not camp on one partition.
+	h := lineAddr * 0x9E3779B1
+	return int(h % uint64(len(s.l2)))
+}
+
+// l2Access models a request arriving at the L2/DRAM side and returns its
+// completion time.
+func (s *System) l2Access(lineAddr uint64, now uint64, store bool) uint64 {
+	part := s.partition(lineAddr)
+	s.st.L2Accesses++
+	// Request + response flits: 1 header each way plus line data on the
+	// response (or on the request, for stores).
+	dataFlits := uint64(s.cfg.LineBytes / 32)
+	s.st.NoCFlits += 2 + dataFlits
+	hit, writeback := s.l2[part].Access(lineAddr, store)
+	if hit {
+		s.st.L2Hits++
+		return now + NoCLatency + uint64(s.cfg.L2Latency)
+	}
+	s.st.L2Misses++
+	if writeback {
+		s.st.DRAMAccesses++ // dirty line written back to DRAM
+	}
+	s.st.DRAMAccesses++
+	start := now + NoCLatency + uint64(s.cfg.L2Latency)
+	if s.dramNext[part] > start {
+		start = s.dramNext[part]
+	}
+	s.dramNext[part] = start + DRAMServiceGap
+	return start + uint64(s.cfg.DRAMLatency)
+}
+
+// drainMSHRs releases MSHR entries whose fills have arrived.
+func (s *System) drainMSHRs(sm int, now uint64) {
+	m := s.mshrs[sm]
+	for l, done := range m {
+		if done <= now {
+			delete(m, l)
+			s.outst[sm]--
+		}
+	}
+}
+
+// AccessGlobalLoad performs the timing access for one cache line of a global
+// load from SM sm. It returns the completion time and false when no MSHR is
+// available (the requester must retry next cycle).
+func (s *System) AccessGlobalLoad(sm int, lineAddr uint64, now uint64) (uint64, bool) {
+	s.st.L1DAccesses++
+	if done, merged := s.mshrs[sm][lineAddr]; merged {
+		if done > now {
+			// Merged into an outstanding miss for the same line.
+			s.st.L1DMisses++
+			return done, true
+		}
+		// The fill already arrived; retire the stale MSHR entry and let the
+		// access proceed as a normal (hitting) cache lookup.
+		delete(s.mshrs[sm], lineAddr)
+		s.outst[sm]--
+	}
+	hit, _ := s.l1d[sm].Access(lineAddr, false)
+	if hit {
+		s.st.L1DHits++
+		return now + L1HitLatency, true
+	}
+	s.st.L1DMisses++
+	if s.outst[sm] >= s.cfg.L1DMSHRs {
+		s.drainMSHRs(sm, now)
+		if s.outst[sm] >= s.cfg.L1DMSHRs {
+			return 0, false
+		}
+	}
+	done := s.l2Access(lineAddr, now, false) + L1HitLatency
+	s.mshrs[sm][lineAddr] = done
+	s.outst[sm]++
+	return done, true
+}
+
+// AccessGlobalStore performs the timing access for one line of a global
+// store: write-evict in L1, write to L2 (write-back there). Stores complete
+// from the warp's perspective after the pipeline latency; the returned time
+// is when the memory system is done with the request.
+func (s *System) AccessGlobalStore(sm int, lineAddr uint64, now uint64) uint64 {
+	s.st.L1DAccesses++
+	if s.l1d[sm].Probe(lineAddr) {
+		s.st.L1DHits++
+	} else {
+		s.st.L1DMisses++
+	}
+	s.l1d[sm].Invalidate(lineAddr)
+	return s.l2Access(lineAddr, now, true)
+}
+
+// AccessConst performs the timing access for one line of a constant load.
+func (s *System) AccessConst(sm int, lineAddr uint64, now uint64) uint64 {
+	s.st.ConstAcc++
+	hit, _ := s.l1c[sm].Access(lineAddr, false)
+	if hit {
+		s.st.ConstHits++
+		return now + ConstHitLatency
+	}
+	return s.l2Access(lineAddr, now, false) + ConstHitLatency
+}
+
+// AccessTex performs the timing access for one line of a texture load.
+func (s *System) AccessTex(sm int, lineAddr uint64, now uint64) uint64 {
+	s.st.TexAcc++
+	hit, _ := s.l1t[sm].Access(lineAddr, false)
+	if hit {
+		s.st.TexHits++
+		return now + TexHitLatency
+	}
+	return s.l2Access(lineAddr, now, false) + TexHitLatency
+}
+
+// LineBytes returns the configured cache line size.
+func (s *System) LineBytes() int { return s.cfg.LineBytes }
+
+// CheckAddr validates a word-aligned address for functional access.
+func CheckAddr(addr uint32) error {
+	if addr%4 != 0 {
+		return fmt.Errorf("mem: unaligned word address %#x", addr)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package profile implements the repeated-computation profiler behind the
+// paper's Figure 2. A warp computation is the combination of opcode,
+// immediate, input and result values of one warp instruction; the profiler
+// slides a 1K-instruction window over the dynamic stream and counts how many
+// computations already appeared within the window. Control-flow instructions
+// and stores always count as not repeated.
+package profile
+
+import (
+	"github.com/wirsim/wir/internal/isa"
+)
+
+// WindowSize is the paper's sampling window: the past 1K dynamic warp
+// instructions.
+const WindowSize = 1000
+
+// Profiler counts repeated warp computations over a sliding window.
+type Profiler struct {
+	window []uint64
+	counts map[uint64]int
+	head   int
+	filled bool
+
+	total      uint64
+	repeated   uint64
+	repeated10 uint64 // computations seen at least 10 times in the window
+}
+
+// New returns a profiler with the standard 1K window.
+func New() *Profiler { return NewWithWindow(WindowSize) }
+
+// NewWithWindow returns a profiler with a custom window size (tests).
+func NewWithWindow(n int) *Profiler {
+	return &Profiler{
+		window: make([]uint64, n),
+		counts: make(map[uint64]int, n),
+	}
+}
+
+// sentinel marks window slots holding non-repeatable instructions.
+const sentinel = 0
+
+// Observe records one issued warp instruction. srcs are the operand values,
+// result the computed value, mask the active mask. notRepeatable marks
+// control flow and stores.
+func (p *Profiler) Observe(in *isa.Instr, srcs []isa.Vec, result isa.Vec, mask isa.Mask, notRepeatable bool) {
+	p.total++
+	if notRepeatable {
+		p.push(sentinel)
+		return
+	}
+	sig := signature(in, srcs, result, mask)
+	if c := p.counts[sig]; c > 0 {
+		p.repeated++
+		if c >= 10 {
+			p.repeated10++
+		}
+	}
+	p.push(sig)
+}
+
+func (p *Profiler) push(sig uint64) {
+	old := p.window[p.head]
+	if p.filled && old != sentinel {
+		if c := p.counts[old]; c <= 1 {
+			delete(p.counts, old)
+		} else {
+			p.counts[old] = c - 1
+		}
+	}
+	p.window[p.head] = sig
+	if sig != sentinel {
+		p.counts[sig]++
+	}
+	p.head++
+	if p.head == len(p.window) {
+		p.head = 0
+		p.filled = true
+	}
+}
+
+// Total returns the number of observed instructions.
+func (p *Profiler) Total() uint64 { return p.total }
+
+// RepeatedRate returns the fraction of instructions whose computation
+// appeared in the preceding window (Figure 2's y-axis).
+func (p *Profiler) RepeatedRate() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.repeated) / float64(p.total)
+}
+
+// Repeated10Rate returns the fraction of instructions whose computation had
+// already appeared at least 10 times in the window (the paper's 16.0%
+// observation).
+func (p *Profiler) Repeated10Rate() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.repeated10) / float64(p.total)
+}
+
+// signature hashes a warp computation: opcode, modifiers, immediate, active
+// mask, all operand lane values and the result lane values.
+func signature(in *isa.Instr, srcs []isa.Vec, result isa.Vec, mask isa.Mask) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mix(uint64(in.Op) | uint64(in.Cond)<<8 | uint64(in.Space)<<16)
+	if in.HasImm {
+		mix(uint64(in.Imm) | 1<<63)
+	}
+	mix(uint64(mask))
+	for _, s := range srcs {
+		for i := 0; i < isa.WarpSize; i++ {
+			mix(uint64(s[i]))
+		}
+	}
+	for i := 0; i < isa.WarpSize; i++ {
+		mix(uint64(result[i]))
+	}
+	if h == sentinel {
+		h = 1
+	}
+	return h
+}

@@ -1,0 +1,109 @@
+package profile
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+func add(a, b isa.Reg) *isa.Instr {
+	return &isa.Instr{Op: isa.OpIAdd, Dst: 2, Src: [3]isa.Reg{a, b, isa.RegNone}, NSrc: 2, Pred: isa.PredNone, PDst: isa.PredNone}
+}
+
+func vec(x uint32) isa.Vec {
+	var v isa.Vec
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+func TestRepeatDetection(t *testing.T) {
+	p := New()
+	in := add(0, 1)
+	srcs := []isa.Vec{vec(1), vec(2)}
+	p.Observe(in, srcs, vec(3), isa.FullMask, false)
+	if p.RepeatedRate() != 0 {
+		t.Fatalf("first occurrence is not a repeat")
+	}
+	p.Observe(in, srcs, vec(3), isa.FullMask, false)
+	if got := p.RepeatedRate(); got != 0.5 {
+		t.Fatalf("second occurrence must repeat: rate=%v", got)
+	}
+}
+
+func TestDifferentValuesDoNotRepeat(t *testing.T) {
+	p := New()
+	in := add(0, 1)
+	p.Observe(in, []isa.Vec{vec(1), vec(2)}, vec(3), isa.FullMask, false)
+	p.Observe(in, []isa.Vec{vec(1), vec(9)}, vec(10), isa.FullMask, false)
+	if p.RepeatedRate() != 0 {
+		t.Fatalf("different inputs must not count as repeats")
+	}
+}
+
+func TestControlAndStoresNeverRepeat(t *testing.T) {
+	p := New()
+	st := &isa.Instr{Op: isa.OpSt, Space: isa.SpaceGlobal, NSrc: 2, Dst: isa.RegNone, Pred: isa.PredNone, PDst: isa.PredNone}
+	for i := 0; i < 10; i++ {
+		p.Observe(st, []isa.Vec{vec(1), vec(2)}, isa.Vec{}, isa.FullMask, true)
+	}
+	if p.RepeatedRate() != 0 {
+		t.Fatalf("not-repeatable instructions must never count as repeated")
+	}
+	if p.Total() != 10 {
+		t.Fatalf("they still count toward the total")
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	p := NewWithWindow(4)
+	in := add(0, 1)
+	a := []isa.Vec{vec(1), vec(2)}
+	p.Observe(in, a, vec(3), isa.FullMask, false)
+	// Push 4 distinct fillers: the first signature leaves the window.
+	for i := uint32(0); i < 4; i++ {
+		p.Observe(in, []isa.Vec{vec(100 + i), vec(2)}, vec(102+i), isa.FullMask, false)
+	}
+	p.Observe(in, a, vec(3), isa.FullMask, false)
+	// Only the very first observation could have matched, and it expired.
+	if p.repeated != 0 {
+		t.Fatalf("expired window entries must not match, repeated=%d", p.repeated)
+	}
+}
+
+func TestRepeatWithinWindow(t *testing.T) {
+	p := NewWithWindow(8)
+	in := add(0, 1)
+	a := []isa.Vec{vec(1), vec(2)}
+	p.Observe(in, a, vec(3), isa.FullMask, false)
+	p.Observe(in, []isa.Vec{vec(50), vec(2)}, vec(52), isa.FullMask, false)
+	p.Observe(in, a, vec(3), isa.FullMask, false)
+	if p.repeated != 1 {
+		t.Fatalf("repeat within window missed, repeated=%d", p.repeated)
+	}
+}
+
+func TestRepeated10(t *testing.T) {
+	p := New()
+	in := add(0, 1)
+	a := []isa.Vec{vec(1), vec(2)}
+	for i := 0; i < 12; i++ {
+		p.Observe(in, a, vec(3), isa.FullMask, false)
+	}
+	// Occurrences 11 and 12 saw a window count >= 10.
+	if got := p.Repeated10Rate(); got != 2.0/12 {
+		t.Fatalf("Repeated10Rate = %v, want %v", got, 2.0/12)
+	}
+}
+
+func TestMaskDistinguishes(t *testing.T) {
+	p := New()
+	in := add(0, 1)
+	a := []isa.Vec{vec(1), vec(2)}
+	p.Observe(in, a, vec(3), isa.FullMask, false)
+	p.Observe(in, a, vec(3), isa.Mask(0xFFFF), false)
+	if p.repeated != 0 {
+		t.Fatalf("different active masks are different computations")
+	}
+}

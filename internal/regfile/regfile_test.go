@@ -1,0 +1,149 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+func TestPortArbitration(t *testing.T) {
+	f := New(64, 8, 0)
+	f.BeginCycle()
+	// Registers 0 and 8 share bank group 0; 1 is in group 1.
+	if !f.TryRead(0) {
+		t.Fatalf("first read must be granted")
+	}
+	if f.TryRead(8) {
+		t.Fatalf("second read on the same group must conflict")
+	}
+	if !f.TryRead(1) {
+		t.Fatalf("read on another group must succeed")
+	}
+	// Read and write ports are independent.
+	if !f.TryWrite(16) {
+		t.Fatalf("write port of group 0 is independent of its read port")
+	}
+	if f.TryWrite(24) {
+		t.Fatalf("second write on group 0 must conflict")
+	}
+	f.BeginCycle()
+	if !f.TryRead(8) {
+		t.Fatalf("ports must free up next cycle")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := New(16, 8, 0)
+	var v isa.Vec
+	for i := range v {
+		v[i] = uint32(i * 3)
+	}
+	f.Write(5, v)
+	if f.Value(5) != v {
+		t.Fatalf("read back mismatch")
+	}
+}
+
+func TestAffineDetection(t *testing.T) {
+	var affine isa.Vec
+	for i := range affine {
+		affine[i] = 100 + uint32(i)*8
+	}
+	if !IsAffine(affine) {
+		t.Fatalf("strided vector must be affine")
+	}
+	var uniform isa.Vec
+	for i := range uniform {
+		uniform[i] = 42
+	}
+	if !IsAffine(uniform) {
+		t.Fatalf("uniform vector is affine with stride 0")
+	}
+	broken := affine
+	broken[17] += 1
+	if IsAffine(broken) {
+		t.Fatalf("perturbed vector must not be affine")
+	}
+}
+
+// Property: any (base, stride) construction is affine.
+func TestQuickAffine(t *testing.T) {
+	f := func(base, stride uint32) bool {
+		var v isa.Vec
+		for i := range v {
+			v[i] = base + uint32(i)*stride
+		}
+		return IsAffine(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegfileTracksAffineOnWrite(t *testing.T) {
+	f := New(16, 8, 0)
+	var v isa.Vec
+	for i := range v {
+		v[i] = uint32(i)
+	}
+	f.Write(3, v)
+	if !f.Affine(3) {
+		t.Fatalf("affine flag not set")
+	}
+	v[5] = 999
+	f.Write(3, v)
+	if f.Affine(3) {
+		t.Fatalf("affine flag not cleared")
+	}
+}
+
+func TestVerifyCacheLRU(t *testing.T) {
+	c := NewVerifyCache(2)
+	v1 := isa.Vec{1}
+	v2 := isa.Vec{2}
+	v3 := isa.Vec{3}
+	c.Fill(1, v1)
+	c.Fill(2, v2)
+	if _, hit := c.Lookup(1); !hit {
+		t.Fatalf("entry 1 should be cached")
+	}
+	// 2 is now LRU; filling 3 evicts it.
+	c.Fill(3, v3)
+	if _, hit := c.Lookup(2); hit {
+		t.Fatalf("entry 2 should have been evicted (LRU)")
+	}
+	if got, hit := c.Lookup(1); !hit || got != v1 {
+		t.Fatalf("entry 1 lost")
+	}
+	if got, hit := c.Lookup(3); !hit || got != v3 {
+		t.Fatalf("entry 3 missing")
+	}
+}
+
+func TestVerifyCacheInvalidatedByWrite(t *testing.T) {
+	f := New(16, 8, 4)
+	var v isa.Vec
+	v[0] = 7
+	f.Write(3, v)
+	f.VerifyCacheFill(3)
+	if _, hit := f.VerifyCacheLookup(3); !hit {
+		t.Fatalf("fill did not stick")
+	}
+	v[0] = 8
+	f.Write(3, v) // a register write evicts the cache line (section VI-C)
+	if _, hit := f.VerifyCacheLookup(3); hit {
+		t.Fatalf("write must invalidate the verify-cache line")
+	}
+}
+
+func TestNoVerifyCacheConfigured(t *testing.T) {
+	f := New(16, 8, 0)
+	if f.HasVerifyCache() {
+		t.Fatalf("no cache expected")
+	}
+	if _, hit := f.VerifyCacheLookup(1); hit {
+		t.Fatalf("lookup must miss without a cache")
+	}
+	f.VerifyCacheFill(1) // must not panic
+}

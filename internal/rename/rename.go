@@ -1,0 +1,61 @@
+// Package rename implements the per-warp rename tables of the WIR design
+// (paper section V-B). Each warp owns a table mapping its 63 logical warp
+// registers to physical warp registers. An entry carries a valid bit and a
+// pin bit; the pin bit marks a logical register currently mapped to a
+// dedicated physical register for divergence handling (section V-D).
+package rename
+
+import (
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/regfile"
+)
+
+// Entry is one rename-table mapping.
+type Entry struct {
+	Phys  regfile.PhysID
+	Valid bool
+	Pin   bool
+}
+
+// Tables is the set of per-warp rename tables in one SM.
+type Tables struct {
+	entries [][]Entry
+}
+
+// New returns rename tables for the given number of warps, all invalid.
+func New(warps int) *Tables {
+	t := &Tables{entries: make([][]Entry, warps)}
+	for w := range t.entries {
+		t.entries[w] = make([]Entry, isa.NumLogicalRegs)
+	}
+	return t
+}
+
+// Reset invalidates every mapping of warp w (warp initialization).
+func (t *Tables) Reset(w int) {
+	for i := range t.entries[w] {
+		t.entries[w][i] = Entry{}
+	}
+}
+
+// Lookup returns warp w's mapping for logical register r.
+func (t *Tables) Lookup(w int, r isa.Reg) Entry { return t.entries[w][r] }
+
+// Set maps warp w's logical register r to physical register p with the given
+// pin state, returning the previous entry so the caller can release its
+// reference.
+func (t *Tables) Set(w int, r isa.Reg, p regfile.PhysID, pin bool) Entry {
+	old := t.entries[w][r]
+	t.entries[w][r] = Entry{Phys: p, Valid: true, Pin: pin}
+	return old
+}
+
+// Mappings calls fn for every valid mapping of warp w. Used when a warp
+// completes to release its references.
+func (t *Tables) Mappings(w int, fn func(r isa.Reg, e Entry)) {
+	for r, e := range t.entries[w] {
+		if e.Valid {
+			fn(isa.Reg(r), e)
+		}
+	}
+}

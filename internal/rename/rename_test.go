@@ -1,0 +1,58 @@
+package rename
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+func TestLifecycle(t *testing.T) {
+	rt := New(4)
+	if e := rt.Lookup(0, 5); e.Valid {
+		t.Fatalf("fresh table must be invalid")
+	}
+	old := rt.Set(0, 5, 100, false)
+	if old.Valid {
+		t.Fatalf("first Set should displace nothing")
+	}
+	e := rt.Lookup(0, 5)
+	if !e.Valid || e.Phys != 100 || e.Pin {
+		t.Fatalf("lookup after set: %+v", e)
+	}
+	old = rt.Set(0, 5, 200, true)
+	if !old.Valid || old.Phys != 100 {
+		t.Fatalf("second Set must return the displaced mapping, got %+v", old)
+	}
+	if e := rt.Lookup(0, 5); e.Phys != 200 || !e.Pin {
+		t.Fatalf("pin bit not recorded: %+v", e)
+	}
+}
+
+func TestWarpsIndependent(t *testing.T) {
+	rt := New(2)
+	rt.Set(0, 1, 10, false)
+	if rt.Lookup(1, 1).Valid {
+		t.Fatalf("warp 1 must not see warp 0's mappings")
+	}
+}
+
+func TestReset(t *testing.T) {
+	rt := New(2)
+	rt.Set(0, 1, 10, true)
+	rt.Set(0, 2, 11, false)
+	rt.Reset(0)
+	if rt.Lookup(0, 1).Valid || rt.Lookup(0, 2).Valid {
+		t.Fatalf("reset must invalidate all mappings")
+	}
+}
+
+func TestMappings(t *testing.T) {
+	rt := New(1)
+	rt.Set(0, 3, 30, false)
+	rt.Set(0, 7, 70, true)
+	got := map[isa.Reg]Entry{}
+	rt.Mappings(0, func(r isa.Reg, e Entry) { got[r] = e })
+	if len(got) != 2 || got[3].Phys != 30 || got[7].Phys != 70 || !got[7].Pin {
+		t.Fatalf("Mappings enumeration wrong: %+v", got)
+	}
+}

@@ -1,0 +1,262 @@
+// Package reuse implements the reuse buffer of the WIR design (paper sections
+// V-C and VI). The buffer is a direct-indexed, cache-like table whose tag is
+// [opcode, physical source register IDs, immediate] plus, for loads, the
+// thread-block ID (scratchpad only) and the block's barrier count. A hit
+// returns the physical register holding the previously computed result, so
+// the hitting instruction can bypass the whole backend. Entries may be
+// reserved in a pending state by the pending-retry mechanism (section VI-B).
+package reuse
+
+import (
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/regfile"
+)
+
+// NullBlock is the Thread Block ID field value for entries that are not
+// scratchpad loads (the paper uses 4 bits: 8 block slots + a null encoding).
+const NullBlock uint8 = 0xFF
+
+// Tag identifies a warp computation: the opcode and the identities of its
+// inputs. Two instructions with equal tags compute equal results (physical
+// register IDs act as proxies for the 1024-bit operand values).
+type Tag struct {
+	Op     isa.Op
+	Cond   isa.Cond
+	Space  isa.Space
+	Src    [3]regfile.PhysID
+	NSrc   uint8
+	Imm    uint32
+	HasImm bool
+	// Block is the SM-local thread-block slot for scratchpad loads, NullBlock
+	// otherwise (section VI-A: scratchpad address spaces are per-block).
+	Block uint8
+	// Barrier is the thread block's barrier count at execution time, recorded
+	// for loads so a load only reuses results produced since the latest
+	// barrier. Zero for arithmetic instructions.
+	Barrier uint8
+}
+
+// Hash mixes the tag into the index used for the direct-mapped lookup.
+func (t Tag) Hash() uint32 {
+	h := uint32(2166136261)
+	mix := func(x uint32) {
+		h ^= x
+		h *= 16777619
+	}
+	mix(uint32(t.Op) | uint32(t.Cond)<<8 | uint32(t.Space)<<16 | uint32(t.NSrc)<<24)
+	for i := 0; i < int(t.NSrc); i++ {
+		mix(uint32(t.Src[i]) + 1)
+	}
+	if t.HasImm {
+		mix(t.Imm ^ 0xABCD1234)
+	}
+	mix(uint32(t.Block)<<8 | uint32(t.Barrier))
+	// Avalanche finalizer: FNV's multiply only carries differences toward
+	// the high bits, but the buffer index uses the LOW bits, so fields mixed
+	// in at positions 8 and above (space, condition, block, barrier) would
+	// otherwise never influence the slot.
+	h ^= h >> 16
+	h *= 0x85EBCA6B
+	h ^= h >> 13
+	h *= 0xC2B2AE35
+	h ^= h >> 16
+	return h
+}
+
+// Entry is one reuse-buffer slot.
+type Entry struct {
+	Valid   bool
+	Pending bool
+	Tag     Tag
+	Result  regfile.PhysID
+}
+
+// LookupResult describes the outcome of a reuse-buffer lookup.
+type LookupResult int
+
+// Lookup outcomes.
+const (
+	Miss       LookupResult = iota
+	Hit                     // valid entry with a ready result
+	PendingHit              // tag matches an entry whose result is still pending
+)
+
+// Buffer is a set-associative reuse buffer. The paper's default is
+// direct-indexed (one way); it notes associative search as the alternative
+// with marginal benefit (section V-C) — reproduced by the associativity
+// ablation.
+type Buffer struct {
+	entries []Entry
+	lru     []uint64
+	ways    int
+	tick    uint64
+}
+
+// New returns a direct-indexed reuse buffer with the given number of entries.
+func New(entries int) *Buffer { return NewAssoc(entries, 1) }
+
+// NewAssoc returns a reuse buffer with entries organized into entries/ways
+// sets searched associatively.
+func NewAssoc(entries, ways int) *Buffer {
+	if ways < 1 {
+		ways = 1
+	}
+	if entries > 0 && entries%ways != 0 {
+		panic("reuse: entries must divide evenly into ways")
+	}
+	return &Buffer{entries: make([]Entry, entries), lru: make([]uint64, entries), ways: ways}
+}
+
+// Entries returns the buffer capacity.
+func (b *Buffer) Entries() int { return len(b.entries) }
+
+// setOf returns the slot range for tag t.
+func (b *Buffer) setOf(t Tag) (lo, hi int) {
+	sets := len(b.entries) / b.ways
+	s := int(t.Hash() % uint32(sets))
+	return s * b.ways, (s + 1) * b.ways
+}
+
+// Lookup searches for t. It returns the outcome, the slot index (carried with
+// the instruction for the retire-time update; on a miss this is the
+// replacement victim), and the result register on a Hit.
+func (b *Buffer) Lookup(t Tag) (LookupResult, int, regfile.PhysID) {
+	if len(b.entries) == 0 {
+		return Miss, -1, regfile.PhysNone
+	}
+	b.tick++
+	lo, hi := b.setOf(t)
+	victim := lo
+	for i := lo; i < hi; i++ {
+		e := &b.entries[i]
+		if e.Valid && e.Tag == t {
+			b.lru[i] = b.tick
+			if e.Pending {
+				return PendingHit, i, regfile.PhysNone
+			}
+			return Hit, i, e.Result
+		}
+		if !b.entries[i].Valid {
+			if b.entries[victim].Valid {
+				victim = i
+			}
+		} else if b.entries[victim].Valid && b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	return Miss, victim, regfile.PhysNone
+}
+
+// At returns a copy of the slot at index i.
+func (b *Buffer) At(i int) Entry { return b.entries[i] }
+
+// Reserve installs t at slot i in the pending state (pending-retry, section
+// VI-B). The displaced entry is returned so the caller can release its
+// references.
+func (b *Buffer) Reserve(i int, t Tag) (evicted Entry) {
+	evicted = b.entries[i]
+	b.entries[i] = Entry{Valid: true, Pending: true, Tag: t}
+	b.tick++
+	b.lru[i] = b.tick
+	return evicted
+}
+
+// Complete fills in the result of a previously reserved slot. It applies only
+// if the slot still holds the same pending tag (it may have been evicted or
+// overwritten since the reservation) and reports whether it did.
+func (b *Buffer) Complete(i int, t Tag, result regfile.PhysID) bool {
+	if i < 0 || i >= len(b.entries) {
+		return false
+	}
+	e := &b.entries[i]
+	if !e.Valid || !e.Pending || e.Tag != t {
+		return false
+	}
+	e.Pending = false
+	e.Result = result
+	return true
+}
+
+// Insert installs a completed (tag, result) pair at slot i, replacing the
+// occupant, which is returned for reference release. Used at retire by
+// designs without pending-retry.
+func (b *Buffer) Insert(i int, t Tag, result regfile.PhysID) (evicted Entry) {
+	if i < 0 || i >= len(b.entries) {
+		return Entry{}
+	}
+	evicted = b.entries[i]
+	b.entries[i] = Entry{Valid: true, Tag: t, Result: result}
+	b.tick++
+	b.lru[i] = b.tick
+	return evicted
+}
+
+// EvictSlot invalidates slot i and returns the displaced entry. Used by
+// low-register mode.
+func (b *Buffer) EvictSlot(i int) (Entry, bool) {
+	if i < 0 || i >= len(b.entries) || !b.entries[i].Valid {
+		return Entry{}, false
+	}
+	e := b.entries[i]
+	b.entries[i] = Entry{}
+	return e, true
+}
+
+// EvictAny invalidates an arbitrary valid, non-pending entry starting the
+// search at cursor c. Pending entries are skipped because an in-flight
+// instruction still expects to complete them; if only pending entries remain
+// it evicts one of those as a last resort (its completion will simply no
+// longer apply).
+func (b *Buffer) EvictAny(c int) (Entry, bool) {
+	n := len(b.entries)
+	if n == 0 {
+		return Entry{}, false
+	}
+	pendingIdx := -1
+	for k := 0; k < n; k++ {
+		i := (c + k) % n
+		if !b.entries[i].Valid {
+			continue
+		}
+		if b.entries[i].Pending {
+			if pendingIdx < 0 {
+				pendingIdx = i
+			}
+			continue
+		}
+		e := b.entries[i]
+		b.entries[i] = Entry{}
+		return e, true
+	}
+	if pendingIdx >= 0 {
+		e := b.entries[pendingIdx]
+		b.entries[pendingIdx] = Entry{}
+		return e, true
+	}
+	return Entry{}, false
+}
+
+// Occupancy returns the number of valid entries.
+func (b *Buffer) Occupancy() int {
+	n := 0
+	for i := range b.entries {
+		if i < len(b.entries) && b.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// References calls fn with every physical register referenced by entry e: its
+// recorded sources and, when not pending, its result.
+func References(e Entry, fn func(regfile.PhysID)) {
+	if !e.Valid {
+		return
+	}
+	for i := 0; i < int(e.Tag.NSrc); i++ {
+		fn(e.Tag.Src[i])
+	}
+	if !e.Pending && e.Result != regfile.PhysNone {
+		fn(e.Result)
+	}
+}

@@ -1,0 +1,137 @@
+package sm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+func TestCoalesceContiguous(t *testing.T) {
+	var addrs isa.Vec
+	for i := range addrs {
+		addrs[i] = 0x1000 + uint32(i)*4 // 32 consecutive words: one 128B line
+	}
+	lines := coalesce(addrs, isa.FullMask, 128)
+	if len(lines) != 1 || lines[0] != 0x1000/128 {
+		t.Fatalf("contiguous warp access should coalesce to one line: %v", lines)
+	}
+}
+
+func TestCoalesceStrided(t *testing.T) {
+	var addrs isa.Vec
+	for i := range addrs {
+		addrs[i] = uint32(i) * 128 // one line per lane
+	}
+	lines := coalesce(addrs, isa.FullMask, 128)
+	if len(lines) != 32 {
+		t.Fatalf("fully strided access should need 32 lines, got %d", len(lines))
+	}
+}
+
+func TestCoalesceRespectsMask(t *testing.T) {
+	var addrs isa.Vec
+	for i := range addrs {
+		addrs[i] = uint32(i) * 128
+	}
+	lines := coalesce(addrs, 0x3, 128)
+	if len(lines) != 2 {
+		t.Fatalf("only active lanes coalesce: %v", lines)
+	}
+	if len(coalesce(addrs, 0, 128)) != 0 {
+		t.Fatalf("empty mask must produce no lines")
+	}
+}
+
+// Property: the number of coalesced lines never exceeds the active lane
+// count, and every active lane's line is present.
+func TestQuickCoalesceCovers(t *testing.T) {
+	f := func(raw [32]uint32, mask uint32) bool {
+		addrs := isa.Vec(raw)
+		m := isa.Mask(mask)
+		lines := coalesce(addrs, m, 128)
+		if len(lines) > m.Count() {
+			return false
+		}
+		for i := 0; i < isa.WarpSize; i++ {
+			if !m.Active(i) {
+				continue
+			}
+			want := uint64(addrs[i]) / 128
+			found := false
+			for _, l := range lines {
+				if l == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankConflictsBroadcast(t *testing.T) {
+	var addrs isa.Vec // all lanes read word 0: broadcast, degree 1
+	if got := bankConflicts(addrs, isa.FullMask); got != 1 {
+		t.Fatalf("broadcast should not conflict, degree %d", got)
+	}
+}
+
+func TestBankConflictsConflictFree(t *testing.T) {
+	var addrs isa.Vec
+	for i := range addrs {
+		addrs[i] = uint32(i) * 4 // one word per bank
+	}
+	if got := bankConflicts(addrs, isa.FullMask); got != 1 {
+		t.Fatalf("word-interleaved access should be conflict-free, degree %d", got)
+	}
+}
+
+func TestBankConflictsWorstCase(t *testing.T) {
+	var addrs isa.Vec
+	for i := range addrs {
+		addrs[i] = uint32(i) * 32 * 4 // stride 32 words: all lanes hit bank 0
+	}
+	if got := bankConflicts(addrs, isa.FullMask); got != 32 {
+		t.Fatalf("stride-32 access should serialize 32-way, degree %d", got)
+	}
+}
+
+// Property: the serialization degree is between 1 and the active lane count.
+func TestQuickBankConflictBounds(t *testing.T) {
+	f := func(raw [32]uint32, mask uint32) bool {
+		m := isa.Mask(mask)
+		d := bankConflicts(isa.Vec(raw), m)
+		if m.Count() == 0 {
+			return d == 1 // degenerate: no accesses, one transaction slot
+		}
+		return d >= 1 && d <= m.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaneAddrOffset(t *testing.T) {
+	var base isa.Vec
+	for i := range base {
+		base[i] = uint32(i * 8)
+	}
+	in := &isa.Instr{Op: isa.OpLd, Imm: 16, HasImm: true}
+	out := laneAddr(base, in)
+	for i := range out {
+		if out[i] != base[i]+16 {
+			t.Fatalf("offset not applied at lane %d", i)
+		}
+	}
+	noOff := &isa.Instr{Op: isa.OpLd}
+	if laneAddr(base, noOff) != base {
+		t.Fatalf("no-offset load must keep addresses")
+	}
+}

@@ -1,0 +1,290 @@
+package sm
+
+import (
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/core"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/trace"
+)
+
+// issueCycle lets each scheduler issue up to one warp instruction. The
+// default policy is greedy-then-oldest (GTO): keep issuing from the last warp
+// until it stalls, then fall back to the oldest ready warp of the group.
+// Loose round-robin (LRR) rotates across ready warps instead.
+func (s *SM) issueCycle() {
+	per := s.warpsPerGroup()
+	lrr := s.cfg.Scheduler == config.SchedLRR
+	for g := 0; g < s.cfg.SchedulersPerSM; g++ {
+		lo, hi := g*per, (g+1)*per
+		pick := -1
+		if lrr {
+			start := s.schedLast[g] + 1
+			if start < lo || start >= hi {
+				start = lo
+			}
+			for k := 0; k < per; k++ {
+				w := lo + (start-lo+k)%per
+				if s.canIssue(w) {
+					pick = w
+					break
+				}
+			}
+		} else if last := s.schedLast[g]; last >= lo && last < hi && s.canIssue(last) {
+			pick = last
+		} else {
+			var bestSeq uint64
+			for w := lo; w < hi; w++ {
+				if !s.canIssue(w) {
+					continue
+				}
+				wc := s.warps[w]
+				if pick < 0 || wc.seq < bestSeq || (wc.seq == bestSeq && w < pick) {
+					pick = w
+					bestSeq = wc.seq
+				}
+			}
+		}
+		if pick >= 0 {
+			s.issueWarp(pick)
+			s.schedLast[g] = pick
+		}
+	}
+}
+
+// canIssue reports whether warp w has a hazard-free next instruction.
+func (s *SM) canIssue(w int) bool {
+	wc := s.warps[w]
+	if !wc.active || wc.done || wc.barrier {
+		return false
+	}
+	if len(s.flights) >= maxFlightsPerSM {
+		return false
+	}
+	s.mergeStack(wc)
+	if len(wc.stack) == 0 {
+		return false
+	}
+	in := s.instrAt(wc)
+	return s.scoreboardReady(wc, in)
+}
+
+// maxFlightsPerSM bounds the number of in-flight warp instructions an SM
+// tracks, standing in for finite pipeline buffering.
+const maxFlightsPerSM = 96
+
+func (s *SM) instrAt(wc *warpCtx) *isa.Instr {
+	k := s.blocks[wc.block].info.Kernel
+	return &k.Code[wc.stack[len(wc.stack)-1].pc]
+}
+
+// scoreboardReady checks RAW/WAW hazards against the per-warp scoreboard
+// (logical register IDs, as in the baseline GPU and the WIR design).
+func (s *SM) scoreboardReady(wc *warpCtx, in *isa.Instr) bool {
+	for _, r := range in.Sources() {
+		if wc.pendReg[r] > 0 {
+			return false
+		}
+	}
+	if in.HasDst() && wc.pendReg[in.Dst] > 0 {
+		return false
+	}
+	if in.Pred != isa.PredNone && wc.pendPred[in.Pred] > 0 {
+		return false
+	}
+	if in.PDst != isa.PredNone && wc.pendPred[in.PDst] > 0 {
+		return false
+	}
+	return true
+}
+
+// mergeStack pops SIMT entries that reached their reconvergence point and
+// drops fully-exited entries.
+func (s *SM) mergeStack(wc *warpCtx) {
+	for len(wc.stack) > 0 {
+		top := &wc.stack[len(wc.stack)-1]
+		top.mask &^= wc.exited
+		if top.mask == 0 && len(wc.stack) > 1 {
+			wc.stack = wc.stack[:len(wc.stack)-1]
+			continue
+		}
+		if top.rpc >= 0 && top.pc == top.rpc {
+			wc.stack = wc.stack[:len(wc.stack)-1]
+			continue
+		}
+		if top.mask == 0 {
+			// All lanes exited: the warp is done.
+			wc.stack = wc.stack[:0]
+			wc.done = true
+			s.checkBarrierRelease(wc.block)
+			s.completeBlockIfDone(wc.block)
+		}
+		return
+	}
+}
+
+// issueWarp issues the next instruction of warp w: control resolves
+// immediately; everything else executes functionally and enters the pipeline
+// as a Flight.
+func (s *SM) issueWarp(w int) {
+	wc := s.warps[w]
+	top := &wc.stack[len(wc.stack)-1]
+	pc := top.pc
+	in := s.instrAt(wc)
+	s.st.Issued++
+	if in.Op.IsFloat() {
+		s.st.FPInstrs++
+	}
+
+	// Effective mask: SIMT mask AND guard predicate.
+	mask := top.mask
+	if in.Pred != isa.PredNone {
+		pm := wc.preds[in.Pred]
+		if in.PredNeg {
+			pm = ^pm
+		}
+		if in.Op != isa.OpBra {
+			mask &= pm
+		}
+	}
+
+	if in.IsControl() {
+		s.st.Control++
+		if s.Hook != nil {
+			s.Hook(in, nil, isa.Vec{}, mask, true)
+		}
+		s.executeControl(w, wc, in, pc)
+		return
+	}
+
+	if mask == 0 {
+		// Fully predicated off: consumes an issue slot, no backend work.
+		if s.Hook != nil {
+			s.Hook(in, nil, isa.Vec{}, mask, true)
+		}
+		top.pc++
+		return
+	}
+
+	divergent := mask != isa.FullMask
+	if divergent {
+		s.st.Divergent++
+	}
+	if in.IsStore() {
+		switch in.Space {
+		case isa.SpaceGlobal:
+			s.st.GlobalStores++
+		case isa.SpaceShared:
+			s.st.SharedStores++
+		}
+	}
+
+	wc.issueSeq++
+	fl := &core.Flight{
+		Warp:      w,
+		Block:     wc.block,
+		PC:        pc,
+		In:        in,
+		Mask:      mask,
+		Divergent: divergent,
+		Issued:    s.now,
+		SeqInWarp: wc.issueSeq,
+		RBIndex:   -1,
+	}
+	srcs := s.execute(wc, fl)
+	if s.Hook != nil {
+		s.Hook(in, srcs, fl.Result, mask, in.IsStore() || !in.Reusable())
+	}
+
+	// Scoreboard reservation.
+	if in.HasDst() {
+		wc.pendReg[in.Dst]++
+	}
+	if (in.Op == isa.OpISetP || in.Op == isa.OpFSetP) && in.PDst != isa.PredNone {
+		wc.pendPred[in.PDst]++
+	}
+	wc.inflight++
+	top.pc++
+
+	s.emit(trace.KindIssue, fl)
+	if s.eng.Reuse() {
+		fl.Stage = core.StageRename
+		fl.ReadyAt = s.now + uint64(s.frontDelay())
+	} else {
+		s.eng.Rename(fl) // static mapping: resolve bank addresses immediately
+		fl.Stage = core.StageRead
+		fl.ReadyAt = s.now + 1
+	}
+	s.flights = append(s.flights, fl)
+}
+
+// frontDelay and backDelay split the configured extra backend latency across
+// the front (rename+reuse) and back (allocation) halves of the added
+// pipeline.
+func (s *SM) frontDelay() int {
+	d := s.cfg.BackendDelay / 2
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (s *SM) backDelay() int {
+	d := s.cfg.BackendDelay - s.cfg.BackendDelay/2
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// executeControl resolves branches, barriers, fences and exits at issue.
+func (s *SM) executeControl(w int, wc *warpCtx, in *isa.Instr, pc int) {
+	top := &wc.stack[len(wc.stack)-1]
+	switch in.Op {
+	case isa.OpJmp:
+		top.pc = in.Target
+	case isa.OpBra:
+		pm := isa.FullMask
+		if in.Pred != isa.PredNone {
+			pm = wc.preds[in.Pred]
+			if in.PredNeg {
+				pm = ^pm
+			}
+		}
+		taken := top.mask & pm
+		ntaken := top.mask &^ taken
+		switch {
+		case taken == 0:
+			top.pc = pc + 1
+		case ntaken == 0:
+			top.pc = in.Target
+		default:
+			// Divergence: the current entry becomes the reconvergence entry;
+			// the not-taken and taken paths execute as children (taken side
+			// first).
+			join := in.Join
+			top.pc = join
+			wc.stack = append(wc.stack,
+				simtEntry{pc: pc + 1, rpc: join, mask: ntaken},
+				simtEntry{pc: in.Target, rpc: join, mask: taken},
+			)
+		}
+	case isa.OpBar:
+		s.st.Barriers++
+		top.pc = pc + 1
+		wc.barrier = true
+		s.blocks[wc.block].arrived++
+		s.checkBarrierRelease(wc.block)
+	case isa.OpMemF:
+		s.st.Barriers++
+		top.pc = pc + 1
+		// A fence advances the block's reuse barrier count but clears only
+		// the fencing warp's own store flags; other warps' hazards persist.
+		s.eng.OnBarrier(wc.block, []int{w})
+	case isa.OpExit:
+		wc.exited |= top.mask
+		top.pc = pc + 1
+		s.mergeStack(wc)
+	case isa.OpNop:
+		top.pc = pc + 1
+	}
+}

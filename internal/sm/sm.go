@@ -1,0 +1,360 @@
+// Package sm implements the streaming multiprocessor timing model: per-warp
+// SIMT stacks, scoreboards, two GTO warp schedulers over two warp groups, the
+// banked-register-file backend with SP/SFU/MEM pipelines, and the three added
+// WIR stages (rename, reuse, register allocation) driven through the core
+// engine. One SM.Tick call advances the SM by one core cycle.
+package sm
+
+import (
+	"fmt"
+
+	"github.com/wirsim/wir/internal/trace"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/core"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+	"github.com/wirsim/wir/internal/mem"
+	"github.com/wirsim/wir/internal/regfile"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+// ProfileHook observes every issued instruction for redundancy profiling
+// (Figure 2). srcs are the operand register values in operand order, result
+// the computed value, and mask the active lane mask. notRepeatable marks
+// instructions the paper always counts as not repeated (control flow and
+// stores).
+type ProfileHook func(in *isa.Instr, srcs []isa.Vec, result isa.Vec, mask isa.Mask, notRepeatable bool)
+
+// BlockInfo describes one thread block handed to an SM for execution.
+type BlockInfo struct {
+	Kernel  *kasm.Kernel
+	Launch  int // monotonically increasing launch index (for tracing)
+	BlockX  int
+	BlockY  int
+	BlockZ  int
+	GridX   int
+	GridY   int
+	GridZ   int
+	DimX    int
+	DimY    int
+	DimZ    int
+	Threads int
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID  int
+	cfg *config.Config
+	st  *stats.Sim
+	rf  *regfile.File
+	eng *core.Engine
+	ms  *mem.System
+
+	warps  []*warpCtx
+	blocks []*blockCtx
+
+	flights  []*core.Flight
+	pendingQ []*core.Flight
+	dummies  []dummyOp
+
+	schedLast []int // per scheduler: last issued warp (GTO greedy pointer)
+	now       uint64
+	seq       uint64 // monotonic launch sequence for age ordering
+
+	liveBlocks  int
+	utilCounter int
+
+	Hook ProfileHook
+	// Trace, when non-nil, receives pipeline events (issue, bypass,
+	// dispatch, retire, dummy, barrier).
+	Trace trace.Sink
+}
+
+// emit sends a pipeline event to the tracer if one is attached.
+func (s *SM) emit(k trace.Kind, fl *core.Flight) {
+	if s.Trace == nil {
+		return
+	}
+	wc := s.warps[fl.Warp]
+	info := &s.blocks[wc.block].info
+	blockLin := (info.BlockZ*info.GridY+info.BlockY)*info.GridX + info.BlockX
+	e := trace.Event{
+		Kind: k, Cycle: s.now, SM: s.ID, Warp: fl.Warp, PC: fl.PC,
+		Seq: fl.SeqInWarp, Op: fl.In.Op.String(),
+		Launch: info.Launch, Block: blockLin, WarpInBlock: wc.inBlock,
+	}
+	if k == trace.KindRetire && fl.HasResult {
+		e.Result = trace.HashResult((*[32]uint32)(&fl.Result))
+	}
+	s.Trace.Emit(e)
+}
+
+// warpCtx is the state of one warp slot.
+type warpCtx struct {
+	active   bool
+	block    int // block slot
+	inBlock  int // warp index within the block
+	threads  isa.Mask
+	stack    []simtEntry
+	exited   isa.Mask
+	done     bool
+	barrier  bool
+	pendReg  [isa.NumLogicalRegs]uint8
+	pendPred [isa.NumPredRegs]uint8
+	issueSeq uint64 // program-order counter for trace streams
+	preds    [isa.NumPredRegs]isa.Mask
+	inflight int
+	seq      uint64
+}
+
+// blockCtx is the state of one resident thread block slot.
+type blockCtx struct {
+	active  bool
+	info    BlockInfo
+	warps   []int
+	arrived int
+	shared  []uint32
+	seq     uint64
+}
+
+type simtEntry struct {
+	pc   int
+	rpc  int // reconvergence PC; -1 for the base entry
+	mask isa.Mask
+}
+
+type dummyOp struct {
+	src, dst regfile.PhysID
+	readDone bool
+}
+
+// New builds one SM.
+func New(id int, cfg *config.Config, st *stats.Sim, ms *mem.System) *SM {
+	vce := 0
+	if cfg.Model.VerifyCache() {
+		vce = cfg.VerifyCacheSize
+	}
+	rf := regfile.New(cfg.PhysRegsPerSM, cfg.RFBankGroups, vce)
+	s := &SM{
+		ID:        id,
+		cfg:       cfg,
+		st:        st,
+		rf:        rf,
+		eng:       core.NewEngine(cfg, st, rf),
+		ms:        ms,
+		warps:     make([]*warpCtx, cfg.WarpsPerSM),
+		blocks:    make([]*blockCtx, cfg.BlocksPerSM),
+		schedLast: make([]int, cfg.SchedulersPerSM),
+	}
+	for i := range s.warps {
+		s.warps[i] = &warpCtx{}
+	}
+	for i := range s.blocks {
+		s.blocks[i] = &blockCtx{}
+	}
+	return s
+}
+
+// Engine exposes the WIR engine for invariant checks in tests.
+func (s *SM) Engine() *core.Engine { return s.eng }
+
+// FlushLoadReuse drops reusable load results at a kernel-launch boundary.
+func (s *SM) FlushLoadReuse() { s.eng.FlushLoadEntries() }
+
+// Now returns the SM's current cycle.
+func (s *SM) Now() uint64 { return s.now }
+
+// Idle reports whether the SM has no resident blocks and no in-flight work.
+func (s *SM) Idle() bool {
+	return s.liveBlocks == 0 && len(s.flights) == 0 && len(s.pendingQ) == 0 && len(s.dummies) == 0
+}
+
+// warpsPerGroup returns the number of warps each scheduler owns.
+func (s *SM) warpsPerGroup() int { return s.cfg.WarpsPerSM / s.cfg.SchedulersPerSM }
+
+// TryLaunchBlock places a block onto the SM if a slot and resources are
+// available, returning false otherwise.
+func (s *SM) TryLaunchBlock(info BlockInfo) bool {
+	warpsNeeded := (info.Threads + isa.WarpSize - 1) / isa.WarpSize
+	slot := -1
+	for i, b := range s.blocks {
+		if !b.active {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return false
+	}
+	// Gather free warp slots.
+	free := make([]int, 0, warpsNeeded)
+	for w, wc := range s.warps {
+		if !wc.active {
+			free = append(free, w)
+			if len(free) == warpsNeeded {
+				break
+			}
+		}
+	}
+	if len(free) < warpsNeeded {
+		return false
+	}
+	if !s.eng.BlockLaunch(slot, free, info.Kernel.Regs) {
+		return false
+	}
+	s.seq++
+	b := s.blocks[slot]
+	*b = blockCtx{active: true, info: info, warps: free, seq: s.seq}
+	if info.Kernel.SharedBytes > 0 {
+		b.shared = make([]uint32, (info.Kernel.SharedBytes+3)/4)
+	}
+	for i, w := range free {
+		wc := s.warps[w]
+		lanes := info.Threads - i*isa.WarpSize
+		if lanes > isa.WarpSize {
+			lanes = isa.WarpSize
+		}
+		var m isa.Mask
+		if lanes == isa.WarpSize {
+			m = isa.FullMask
+		} else {
+			m = isa.Mask(1<<uint(lanes)) - 1
+		}
+		*wc = warpCtx{
+			active:  true,
+			block:   slot,
+			inBlock: i,
+			threads: m,
+			stack:   []simtEntry{{pc: 0, rpc: -1, mask: m}},
+			seq:     s.seq,
+		}
+	}
+	s.liveBlocks++
+	return true
+}
+
+// checkBarrierRelease releases a block's barrier once every live (non-exited)
+// warp has arrived.
+func (s *SM) checkBarrierRelease(slot int) {
+	b := s.blocks[slot]
+	if !b.active || b.arrived == 0 {
+		return
+	}
+	live := 0
+	for _, ow := range b.warps {
+		if !s.warps[ow].done {
+			live++
+		}
+	}
+	if b.arrived >= live {
+		b.arrived = 0
+		for _, ow := range b.warps {
+			s.warps[ow].barrier = false
+		}
+		s.eng.OnBarrier(slot, b.warps)
+		if s.Trace != nil {
+			s.Trace.Emit(trace.Event{Kind: trace.KindBarrier, Cycle: s.now, SM: s.ID, Warp: b.warps[0], Op: "bar"})
+		}
+	}
+}
+
+// completeBlockIfDone releases a block whose warps have all exited and
+// drained.
+func (s *SM) completeBlockIfDone(slot int) {
+	b := s.blocks[slot]
+	if !b.active {
+		return
+	}
+	for _, w := range b.warps {
+		wc := s.warps[w]
+		if !wc.done || wc.inflight > 0 {
+			return
+		}
+	}
+	s.eng.BlockComplete(slot, b.warps)
+	for _, w := range b.warps {
+		s.warps[w].active = false
+	}
+	b.active = false
+	b.shared = nil
+	s.liveBlocks--
+}
+
+// Tick advances the SM by one cycle.
+func (s *SM) Tick() {
+	s.now++
+	s.rf.BeginCycle()
+	s.eng.BeginCycle()
+
+	s.processDummies()
+	reuseSlots := s.cfg.SchedulersPerSM
+	renameSlots := s.cfg.SchedulersPerSM
+	s.advanceFlights(&renameSlots, &reuseSlots)
+	s.checkPendingQueue(&reuseSlots)
+	s.issueCycle()
+	s.sampleUtilization()
+}
+
+func (s *SM) sampleUtilization() {
+	s.utilCounter++
+	if s.utilCounter >= 32 {
+		s.utilCounter = 0
+		u := uint64(s.eng.RegsInUse())
+		s.st.RegUtilSum += u
+		s.st.UtilSamples++
+		if u > s.st.RegUtilPeak {
+			s.st.RegUtilPeak = u
+		}
+	}
+}
+
+// DebugState summarizes the SM's live state for watchdog diagnostics.
+func (s *SM) DebugState() string {
+	out := fmt.Sprintf("SM%d now=%d blocks=%d flights=%d pendingQ=%d dummies=%d regsInUse=%d lowReg=%v\n",
+		s.ID, s.now, s.liveBlocks, len(s.flights), len(s.pendingQ), len(s.dummies), s.eng.RegsInUse(), s.eng.LowRegMode())
+	for i, fl := range s.flights {
+		if i >= 8 {
+			out += fmt.Sprintf("  ... %d more flights\n", len(s.flights)-8)
+			break
+		}
+		out += fmt.Sprintf("  flight w%d pc=%d %s stage=%d alloc=%d readyAt=%d\n",
+			fl.Warp, fl.PC, fl.In.Op, fl.Stage, fl.Alloc, fl.ReadyAt)
+	}
+	for w, wc := range s.warps {
+		if wc.active && !wc.done {
+			pc := -1
+			if len(wc.stack) > 0 {
+				pc = wc.stack[len(wc.stack)-1].pc
+			}
+			out += fmt.Sprintf("  warp %d pc=%d barrier=%v inflight=%d stack=%d\n", w, pc, wc.barrier, wc.inflight, len(wc.stack))
+		}
+	}
+	return out
+}
+
+// processDummies advances injected dummy MOVs: one bank read then one bank
+// write each, arbitrated like any other access.
+func (s *SM) processDummies() {
+	kept := s.dummies[:0]
+	for i := range s.dummies {
+		d := s.dummies[i]
+		if !d.readDone {
+			if s.rf.TryRead(d.src) {
+				s.st.RFReads++
+				d.readDone = true
+			} else {
+				s.st.BankRetries++
+				kept = append(kept, d)
+				continue
+			}
+		}
+		if s.rf.TryWrite(d.dst) {
+			s.st.RFWrites++
+		} else {
+			s.st.BankRetries++
+			kept = append(kept, d)
+		}
+	}
+	s.dummies = kept
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddSumsCounters(t *testing.T) {
+	a := Sim{Issued: 10, Bypassed: 3, RFReads: 7, Cycles: 100, RegUtilPeak: 50}
+	b := Sim{Issued: 5, Bypassed: 2, RFReads: 1, Cycles: 120, RegUtilPeak: 40}
+	a.Add(&b)
+	if a.Issued != 15 || a.Bypassed != 5 || a.RFReads != 8 {
+		t.Fatalf("sums wrong: %+v", a)
+	}
+	if a.Cycles != 120 {
+		t.Fatalf("Cycles should take the max, got %d", a.Cycles)
+	}
+	if a.RegUtilPeak != 50 {
+		t.Fatalf("RegUtilPeak should take the max, got %d", a.RegUtilPeak)
+	}
+}
+
+// TestAddCoversEveryField guards against forgetting to extend Add when a new
+// counter is added to Sim: summing a struct whose uint64 fields are all 1
+// into a zero struct must produce either 1 everywhere (sums and maxes alike).
+func TestAddCoversEveryField(t *testing.T) {
+	var one Sim
+	v := reflect.ValueOf(&one).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() == reflect.Uint64 {
+			f.SetUint(1)
+		}
+	}
+	var acc Sim
+	acc.Add(&one)
+	av := reflect.ValueOf(acc)
+	for i := 0; i < av.NumField(); i++ {
+		f := av.Field(i)
+		if f.Kind() == reflect.Uint64 && f.Uint() != 1 {
+			t.Errorf("field %s not accumulated by Add", av.Type().Field(i).Name)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatalf("Ratio(_, 0) must be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatalf("Ratio(3,4) = %v", Ratio(3, 4))
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	s := Sim{
+		Issued: 200, Control: 40, FPInstrs: 80, Bypassed: 50,
+		VSBLookups: 10, VSBHits: 4,
+		ReuseLookups: 20, ReuseHits: 5,
+		L1DAccesses: 100, L1DMisses: 25,
+		RegUtilSum: 300, UtilSamples: 3,
+	}
+	if got := s.BypassRate(); got != 0.25 {
+		t.Errorf("BypassRate = %v", got)
+	}
+	if got := s.FPRate(); got != 0.5 {
+		t.Errorf("FPRate = %v (FP over non-control)", got)
+	}
+	if got := s.VSBHitRate(); got != 0.4 {
+		t.Errorf("VSBHitRate = %v", got)
+	}
+	if got := s.ReuseHitRate(); got != 0.25 {
+		t.Errorf("ReuseHitRate = %v", got)
+	}
+	if got := s.L1DMissRate(); got != 0.25 {
+		t.Errorf("L1DMissRate = %v", got)
+	}
+	if got := s.AvgRegUtil(); got != 100 {
+		t.Errorf("AvgRegUtil = %v", got)
+	}
+}
+
+func TestZeroValueSafe(t *testing.T) {
+	var s Sim
+	if s.BypassRate() != 0 || s.FPRate() != 0 || s.AvgRegUtil() != 0 {
+		t.Fatalf("zero-value metrics must be zero, not NaN")
+	}
+}

@@ -1,0 +1,185 @@
+// Package trace provides low-overhead pipeline event tracing for the
+// simulator: issue, bypass, dispatch and retire events per warp instruction.
+// Traces serve two purposes: interactive debugging (wirsim -trace) and
+// differential model validation (wirdiff compares retire streams between two
+// machine models and pinpoints the first divergence).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies a pipeline event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindIssue    Kind = iota // instruction issued by a scheduler
+	KindBypass               // reuse hit: backend bypassed
+	KindDispatch             // operands collected, sent to a functional unit
+	KindRetire               // instruction retired (result architectural)
+	KindDummy                // divergence dummy MOV injected
+	KindBarrier              // block barrier released
+)
+
+var kindNames = [...]string{"issue", "bypass", "dispatch", "retire", "dummy", "barrier"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one pipeline occurrence.
+type Event struct {
+	Kind  Kind
+	Cycle uint64
+	SM    int
+	Warp  int // hardware warp slot
+	PC    int
+	Seq   uint64 // per-warp program-order sequence number
+	Op    string
+	// Launch, Block and WarpInBlock identify the logical warp independently
+	// of which SM and warp slot executed it, so streams are comparable
+	// across machine models with different scheduling.
+	Launch      int
+	Block       int
+	WarpInBlock int
+	Result      uint64 // FNV of the 32-lane result for retire events (0 otherwise)
+}
+
+// Sink receives events. Implementations must be cheap: the SM calls them
+// inline.
+type Sink interface {
+	Emit(Event)
+}
+
+// Writer streams events as text lines.
+type Writer struct {
+	W   io.Writer
+	Max int // stop printing after Max events (0 = unlimited)
+	n   int
+}
+
+// Emit implements Sink.
+func (t *Writer) Emit(e Event) {
+	if t.Max > 0 && t.n >= t.Max {
+		return
+	}
+	t.n++
+	fmt.Fprintf(t.W, "%10d sm%-2d w%-2d pc%-4d %-8s %s", e.Cycle, e.SM, e.Warp, e.PC, e.Kind, e.Op)
+	if e.Kind == KindRetire {
+		fmt.Fprintf(t.W, " => %016x", e.Result)
+	}
+	fmt.Fprintln(t.W)
+}
+
+// Count returns how many events the writer printed.
+func (t *Writer) Count() int { return t.n }
+
+// Ring keeps the last N events for post-mortem inspection.
+type Ring struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing returns a ring buffer holding n events.
+func NewRing(n int) *Ring { return &Ring{buf: make([]Event, n)} }
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the buffered events in arrival order.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// RetireRecorder collects per-(SM, warp) retire streams for differential
+// comparison between machine models.
+type RetireRecorder struct {
+	Streams map[[3]int][]Event
+}
+
+// NewRetireRecorder returns an empty recorder.
+func NewRetireRecorder() *RetireRecorder {
+	return &RetireRecorder{Streams: make(map[[3]int][]Event)}
+}
+
+// Emit implements Sink, keeping only retire events, keyed by the logical
+// (block, warp-in-block) identity.
+func (r *RetireRecorder) Emit(e Event) {
+	if e.Kind != KindRetire {
+		return
+	}
+	key := [3]int{e.Launch, e.Block, e.WarpInBlock}
+	r.Streams[key] = append(r.Streams[key], e)
+}
+
+// Divergence compares two recorders and returns a description of the first
+// mismatching retire event per warp stream, or "" if the streams agree.
+// Streams are compared in per-warp *program order* (the issue sequence
+// number): instructions may retire out of order — reuse hits retire early —
+// and scheduling may differ between models, but each warp's architectural
+// result sequence must not.
+func Divergence(a, b *RetireRecorder) string {
+	for key := range a.Streams {
+		sa := sortedBySeq(a.Streams[key])
+		sb := sortedBySeq(b.Streams[key])
+		n := len(sa)
+		if len(sb) < n {
+			n = len(sb)
+		}
+		for i := 0; i < n; i++ {
+			if sa[i].PC != sb[i].PC || sa[i].Result != sb[i].Result {
+				return fmt.Sprintf("launch %d block %d warp %d event %d: pc%d=>%016x vs pc%d=>%016x (ops %s / %s)",
+					key[0], key[1], key[2], i, sa[i].PC, sa[i].Result, sb[i].PC, sb[i].Result, sa[i].Op, sb[i].Op)
+			}
+		}
+		if len(sa) != len(sb) {
+			return fmt.Sprintf("launch %d block %d warp %d: stream lengths differ (%d vs %d)", key[0], key[1], key[2], len(sa), len(sb))
+		}
+	}
+	for key := range b.Streams {
+		if _, ok := a.Streams[key]; !ok {
+			return fmt.Sprintf("launch %d block %d warp %d: stream present only in second run", key[0], key[1], key[2])
+		}
+	}
+	return ""
+}
+
+// sortedBySeq returns the stream ordered by per-warp issue sequence.
+func sortedBySeq(s []Event) []Event {
+	out := append([]Event(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// HashResult folds a 32-lane result into the Event.Result field.
+func HashResult(lanes *[32]uint32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range lanes {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriterLimitsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, Max: 2}
+	for i := 0; i < 5; i++ {
+		w.Emit(Event{Kind: KindIssue, Cycle: uint64(i), Op: "iadd"})
+	}
+	if w.Count() != 2 {
+		t.Fatalf("printed %d, want 2", w.Count())
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("output lines = %d", got)
+	}
+}
+
+func TestWriterFormatsRetire(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf}
+	w.Emit(Event{Kind: KindRetire, Cycle: 7, SM: 1, Warp: 2, PC: 3, Op: "fmul", Result: 0xABCD})
+	out := buf.String()
+	for _, want := range []string{"retire", "fmul", "000000000000abcd", "sm1", "w2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestRingKeepsLastN(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].Cycle != 2 || ev[2].Cycle != 4 {
+		t.Fatalf("ring contents wrong: %+v", ev)
+	}
+	empty := NewRing(0)
+	empty.Emit(Event{})
+	if len(empty.Events()) != 0 {
+		t.Fatalf("zero-size ring must stay empty")
+	}
+}
+
+func TestRetireRecorderFiltersAndOrders(t *testing.T) {
+	r := NewRetireRecorder()
+	r.Emit(Event{Kind: KindIssue, WarpInBlock: 1, PC: 5})
+	r.Emit(Event{Kind: KindRetire, WarpInBlock: 1, PC: 5, Seq: 1, Result: 10})
+	r.Emit(Event{Kind: KindRetire, WarpInBlock: 1, PC: 6, Seq: 2, Result: 11})
+	s := r.Streams[[3]int{0, 0, 1}]
+	if len(s) != 2 || s[0].PC != 5 || s[1].PC != 6 {
+		t.Fatalf("stream wrong: %+v", s)
+	}
+}
+
+func TestDivergence(t *testing.T) {
+	mk := func(results ...uint64) *RetireRecorder {
+		r := NewRetireRecorder()
+		for i, res := range results {
+			r.Emit(Event{Kind: KindRetire, SM: 0, Warp: 0, PC: i, Seq: uint64(i), Result: res})
+		}
+		return r
+	}
+	if d := Divergence(mk(1, 2, 3), mk(1, 2, 3)); d != "" {
+		t.Fatalf("identical streams reported divergent: %s", d)
+	}
+	if d := Divergence(mk(1, 2, 3), mk(1, 9, 3)); !strings.Contains(d, "event 1") {
+		t.Fatalf("divergence not located: %q", d)
+	}
+	if d := Divergence(mk(1, 2), mk(1, 2, 3)); !strings.Contains(d, "lengths differ") {
+		t.Fatalf("length mismatch not reported: %q", d)
+	}
+	b := mk(1)
+	b.Emit(Event{Kind: KindRetire, Block: 3, WarpInBlock: 7, PC: 0, Result: 5})
+	if d := Divergence(mk(1), b); !strings.Contains(d, "only in second") {
+		t.Fatalf("extra stream not reported: %q", d)
+	}
+}
+
+func TestHashResultSensitivity(t *testing.T) {
+	var a, b [32]uint32
+	b[31] = 1
+	if HashResult(&a) == HashResult(&b) {
+		t.Fatalf("hash must depend on every lane")
+	}
+}

@@ -1,0 +1,72 @@
+package wir
+
+import (
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/mem"
+)
+
+// Memory is the device memory system: allocation plus functional access to
+// the global, constant and texture spaces. Obtain it from GPU.Mem.
+type Memory = mem.System
+
+// Reg is a logical warp register operand, allocated with KernelBuilder.R.
+type Reg = isa.Reg
+
+// PReg is a predicate register, allocated with KernelBuilder.P.
+type PReg = isa.PReg
+
+// Vec is a warp-wide value: one 32-bit word per lane.
+type Vec = isa.Vec
+
+// WarpSize is the number of threads per warp.
+const WarpSize = isa.WarpSize
+
+// Cond is a SETP comparison condition.
+type Cond = isa.Cond
+
+// Comparison conditions for ISetP/FSetP.
+const (
+	EQ = isa.CondEQ
+	NE = isa.CondNE
+	LT = isa.CondLT
+	LE = isa.CondLE
+	GT = isa.CondGT
+	GE = isa.CondGE
+)
+
+// Space is a memory address space for loads and stores.
+type Space = isa.Space
+
+// Memory spaces.
+const (
+	Global = isa.SpaceGlobal
+	Shared = isa.SpaceShared
+	Const  = isa.SpaceConst
+	Tex    = isa.SpaceTex
+)
+
+// SpecialReg is a per-lane special register readable with S2R.
+type SpecialReg = isa.SpecialReg
+
+// Special registers.
+const (
+	TidX    = isa.SrTidX
+	TidY    = isa.SrTidY
+	TidZ    = isa.SrTidZ
+	CtaidX  = isa.SrCtaidX
+	CtaidY  = isa.SrCtaidY
+	CtaidZ  = isa.SrCtaidZ
+	NtidX   = isa.SrNtidX
+	NtidY   = isa.SrNtidY
+	NctaidX = isa.SrNctaidX
+	NctaidY = isa.SrNctaidY
+	LaneID  = isa.SrLaneID
+	WarpID  = isa.SrWarpID
+	Tid     = isa.SrTid
+)
+
+// F32Bits returns the register bit pattern of a float32 value.
+func F32Bits(f float32) uint32 { return isa.F32Bits(f) }
+
+// F32FromBits interprets a register bit pattern as a float32 value.
+func F32FromBits(x uint32) float32 { return isa.F32FromBits(x) }

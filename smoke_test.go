@@ -1,0 +1,101 @@
+package wir_test
+
+import (
+	"testing"
+
+	wir "github.com/wirsim/wir"
+	"github.com/wirsim/wir/internal/isa"
+)
+
+// buildSaxpy assembles y[i] = a*x[i] + y[i] over one element per thread.
+func buildSaxpy(xBase, yBase uint32, a float32, n int) *wir.Kernel {
+	b := wir.NewKernelBuilder("saxpy")
+	tid := b.R()
+	bid := b.R()
+	bdim := b.R()
+	gidx := b.R()
+	addr := b.R()
+	xv := b.R()
+	yv := b.R()
+	av := b.R()
+	p := b.P()
+
+	b.S2R(tid, isa.SrTid)
+	b.S2R(bid, isa.SrCtaidX)
+	b.S2R(bdim, isa.SrNtidX)
+	b.IMad(gidx, bid, bdim, tid)
+	b.ISetPI(p, isa.CondGE, gidx, int32(n))
+	b.If(p, false, func() {
+		b.Exit()
+	})
+	b.ShlI(addr, gidx, 2)
+	b.IAddI(addr, addr, int32(xBase))
+	b.Ld(xv, isa.SpaceGlobal, addr, 0)
+	b.ShlI(addr, gidx, 2)
+	b.IAddI(addr, addr, int32(yBase))
+	b.Ld(yv, isa.SpaceGlobal, addr, 0)
+	b.MovF(av, a)
+	b.FFma(yv, av, xv, yv)
+	b.St(isa.SpaceGlobal, addr, yv, 0)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func runSaxpy(t *testing.T, model wir.Model, n int) ([]uint32, wir.Stats) {
+	t.Helper()
+	cfg := wir.DefaultConfig(model)
+	cfg.NumSMs = 2
+	g, err := wir.NewGPU(cfg)
+	if err != nil {
+		t.Fatalf("NewGPU: %v", err)
+	}
+	ms := g.Mem()
+	xBase := ms.Alloc(n)
+	yBase := ms.Alloc(n)
+	for i := 0; i < n; i++ {
+		ms.StoreGlobal(xBase+uint32(i)*4, isa.F32Bits(float32(i%7)))
+		ms.StoreGlobal(yBase+uint32(i)*4, isa.F32Bits(float32(i%3)))
+	}
+	k := buildSaxpy(xBase, yBase, 2.0, n)
+	blocks := (n + 255) / 256
+	if _, err := g.Run(&wir.Launch{Kernel: k, GridX: blocks, GridY: 1, DimX: 256}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return ms.Snapshot(yBase, n), g.Stats()
+}
+
+func TestSaxpyBase(t *testing.T) {
+	const n = 4096
+	out, st := runSaxpy(t, wir.Base, n)
+	for i := 0; i < n; i++ {
+		want := isa.F32Bits(2*float32(i%7) + float32(i%3))
+		if out[i] != want {
+			t.Fatalf("y[%d] = %#x, want %#x", i, out[i], want)
+		}
+	}
+	if st.Issued == 0 || st.Cycles == 0 {
+		t.Fatalf("no work recorded: %+v", st)
+	}
+}
+
+func TestSaxpyAllModelsMatchBase(t *testing.T) {
+	const n = 2048
+	ref, _ := runSaxpy(t, wir.Base, n)
+	for _, m := range wir.AllModels {
+		if m == wir.Base {
+			continue
+		}
+		out, st := runSaxpy(t, m, n)
+		for i := range ref {
+			if out[i] != ref[i] {
+				t.Fatalf("model %v: y[%d] = %#x, want %#x", m, i, out[i], ref[i])
+			}
+		}
+		if m == wir.RLPV && st.Bypassed == 0 {
+			t.Errorf("RLPV recorded no reuse on a redundancy-heavy kernel")
+		}
+	}
+}

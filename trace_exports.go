@@ -1,0 +1,30 @@
+package wir
+
+import "github.com/wirsim/wir/internal/trace"
+
+// TraceEvent is one pipeline occurrence (issue, bypass, dispatch, retire,
+// dummy MOV, barrier) reported by the simulator when a tracer is attached
+// with GPU.SetTracer.
+type TraceEvent = trace.Event
+
+// TraceSink receives pipeline events.
+type TraceSink = trace.Sink
+
+// TraceWriter streams pipeline events as text lines; set Max to bound output.
+type TraceWriter = trace.Writer
+
+// TraceRing keeps the most recent pipeline events for post-mortem inspection.
+type TraceRing = trace.Ring
+
+// NewTraceRing returns a ring buffer holding n events.
+func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// Pipeline event kinds.
+const (
+	TraceIssue    = trace.KindIssue
+	TraceBypass   = trace.KindBypass
+	TraceDispatch = trace.KindDispatch
+	TraceRetire   = trace.KindRetire
+	TraceDummy    = trace.KindDummy
+	TraceBarrier  = trace.KindBarrier
+)

@@ -1,0 +1,86 @@
+// Package wir is a Go reproduction of "WIR: Warp Instruction Reuse to
+// Minimize Repeated Computations in GPUs" (Kim and Ro, HPCA 2018). It bundles
+// a cycle-level GPU simulator with the paper's warp-instruction-reuse and
+// warp-register-reuse microarchitecture and an energy model, and exposes a
+// small API to assemble kernels, run them under any of the paper's machine
+// models, and collect the statistics from which the paper's figures and
+// tables are regenerated.
+//
+// Quick start:
+//
+//	cfg := wir.DefaultConfig(wir.RLPV)
+//	g, err := wir.NewGPU(cfg)
+//	// ... build a kernel with wir.NewKernelBuilder, set up memory via
+//	// g.Mem(), then:
+//	cycles, err := g.Run(&wir.Launch{Kernel: k, GridX: 64, DimX: 256})
+//	st := g.Stats()
+//	eb := wir.Energy(cfg, &st)
+package wir
+
+import (
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/energy"
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/kasm"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+// Model selects the simulated machine (paper section VII-A).
+type Model = config.Model
+
+// Machine models, re-exported from the config package.
+const (
+	Base       = config.Base
+	R          = config.R
+	RL         = config.RL
+	RLP        = config.RLP
+	RLPV       = config.RLPV
+	RPV        = config.RPV
+	RLPVc      = config.RLPVc
+	NoVSB      = config.NoVSB
+	Affine     = config.Affine
+	AffineRLPV = config.AffineRLPV
+)
+
+// AllModels lists every machine model in presentation order.
+var AllModels = config.AllModels
+
+// ParseModel resolves a model by its display name (e.g. "RLPV").
+func ParseModel(s string) (Model, error) { return config.ParseModel(s) }
+
+// Config is the machine configuration (paper Table II).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table II configuration for a model.
+func DefaultConfig(m Model) Config { return config.Default(m) }
+
+// GPU is a simulated chip.
+type GPU = gpu.GPU
+
+// Launch describes a kernel launch (grid and block dimensions).
+type Launch = gpu.Launch
+
+// NewGPU builds a simulator for the given configuration.
+func NewGPU(cfg Config) (*GPU, error) { return gpu.New(cfg) }
+
+// Kernel is an assembled kernel program.
+type Kernel = kasm.Kernel
+
+// KernelBuilder assembles kernels in the simulator's warp ISA.
+type KernelBuilder = kasm.Builder
+
+// NewKernelBuilder returns an empty kernel builder.
+func NewKernelBuilder(name string) *KernelBuilder { return kasm.NewBuilder(name) }
+
+// Stats is the counter set collected by a run.
+type Stats = stats.Sim
+
+// EnergyBreakdown is a run's energy split by component (picojoules).
+type EnergyBreakdown = energy.Breakdown
+
+// Energy computes the energy breakdown of a run under the default 45nm
+// coefficient set.
+func Energy(cfg Config, st *Stats) EnergyBreakdown {
+	c := energy.Default45nm()
+	return energy.Model(&c, st, cfg.NumSMs)
+}

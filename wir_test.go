@@ -1,0 +1,63 @@
+package wir_test
+
+import (
+	"testing"
+
+	wir "github.com/wirsim/wir"
+)
+
+func TestFacadeModels(t *testing.T) {
+	if len(wir.AllModels) != 10 {
+		t.Fatalf("expected 10 models, got %d", len(wir.AllModels))
+	}
+	m, err := wir.ParseModel("Affine+RLPV")
+	if err != nil || m != wir.AffineRLPV {
+		t.Fatalf("ParseModel: %v %v", m, err)
+	}
+}
+
+func TestFacadeConfigDefaults(t *testing.T) {
+	cfg := wir.DefaultConfig(wir.RLPV)
+	if cfg.NumSMs != 15 || cfg.ReuseEntries != 256 {
+		t.Fatalf("defaults drifted: %+v", cfg)
+	}
+	if _, err := wir.NewGPU(cfg); err != nil {
+		t.Fatalf("NewGPU: %v", err)
+	}
+	cfg.ReuseEntries = 0
+	if _, err := wir.NewGPU(cfg); err == nil {
+		t.Fatalf("invalid config must be rejected")
+	}
+}
+
+func TestFacadeFloatHelpers(t *testing.T) {
+	if wir.F32FromBits(wir.F32Bits(1.5)) != 1.5 {
+		t.Fatalf("float helpers do not round trip")
+	}
+}
+
+func TestFacadeEnergy(t *testing.T) {
+	cfg := wir.DefaultConfig(wir.Base)
+	st := wir.Stats{Cycles: 100, Issued: 50, SPOps: 40, RFReads: 80, RFWrites: 40}
+	eb := wir.Energy(cfg, &st)
+	if eb.SM() <= 0 || eb.Total() < eb.SM() {
+		t.Fatalf("energy scopes wrong: %v %v", eb.SM(), eb.Total())
+	}
+}
+
+func TestFacadeMemoryAPI(t *testing.T) {
+	g, err := wir.NewGPU(wir.DefaultConfig(wir.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := g.Mem()
+	a := ms.Alloc(8)
+	ms.StoreGlobal(a, 42)
+	if ms.LoadGlobal(a) != 42 {
+		t.Fatalf("memory round trip failed")
+	}
+	ms.SetConst([]uint32{7})
+	if ms.LoadConst(0) != 7 {
+		t.Fatalf("const segment failed")
+	}
+}

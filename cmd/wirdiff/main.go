@@ -3,6 +3,11 @@
 // architectural results, so any divergence pinpoints a reuse bug down to the
 // first affected (launch, block, warp, PC).
 //
+// Either side can instead be loaded from a JSONL trace recorded with
+// `wirsim -trace-json FILE` (-ja / -jb), so a current build can be diffed
+// against a stream recorded by an older build or on another machine. Output
+// buffers are only compared when both sides run live.
+//
 // Caveat: kernels with benign data races (e.g. BFS, where concurrent threads
 // store the same value and unordered loads may observe either state) can
 // legitimately report divergent *load* results between models while output
@@ -11,7 +16,7 @@
 //
 // Usage:
 //
-//	wirdiff [-sms N] [-a Base] [-b RLPV] <benchmark-abbr>
+//	wirdiff [-sms N] [-a Base] [-b RLPV] [-ja trace.jsonl] [-jb trace.jsonl] <benchmark-abbr>
 package main
 
 import (
@@ -29,20 +34,20 @@ func main() {
 	sms := flag.Int("sms", 4, "number of simulated SMs")
 	modelA := flag.String("a", "Base", "first machine model")
 	modelB := flag.String("b", "RLPV", "second machine model")
+	jsonA := flag.String("ja", "", "load the first retire stream from a recorded JSONL trace instead of running")
+	jsonB := flag.String("jb", "", "load the second retire stream from a recorded JSONL trace instead of running")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wirdiff [-sms N] [-a M1] [-b M2] <benchmark-abbr>")
+		fmt.Fprintln(os.Stderr, "usage: wirdiff [-sms N] [-a M1] [-b M2] [-ja FILE] [-jb FILE] <benchmark-abbr>")
 		os.Exit(2)
 	}
 	abbr := flag.Arg(0)
 	bm, err := bench.ByAbbr(abbr)
 	fatal(err)
-	ma, err := config.ParseModel(*modelA)
-	fatal(err)
-	mb, err := config.ParseModel(*modelB)
-	fatal(err)
 
-	run := func(m config.Model) (*trace.RetireRecorder, []uint32) {
+	run := func(name string) (*trace.RetireRecorder, []uint32) {
+		m, err := config.ParseModel(name)
+		fatal(err)
 		cfg := config.Default(m)
 		cfg.NumSMs = *sms
 		g, err := gpu.New(cfg)
@@ -56,16 +61,39 @@ func main() {
 		fatal(g.CheckInvariants())
 		return rec, g.Mem().Snapshot(w.OutBase, w.OutWords)
 	}
+	load := func(path string) *trace.RetireRecorder {
+		f, err := os.Open(path)
+		fatal(err)
+		defer f.Close()
+		rec, err := trace.ReadRetireRecorder(f)
+		fatal(err)
+		return rec
+	}
 
-	recA, outA := run(ma)
-	recB, outB := run(mb)
+	var recA, recB *trace.RetireRecorder
+	var outA, outB []uint32
+	labelA, labelB := *modelA, *modelB
+	if *jsonA != "" {
+		recA, labelA = load(*jsonA), *jsonA
+	} else {
+		recA, outA = run(*modelA)
+	}
+	if *jsonB != "" {
+		recB, labelB = load(*jsonB), *jsonB
+	} else {
+		recB, outB = run(*modelB)
+	}
 
 	exit := 0
 	if d := trace.Divergence(recA, recB); d != "" {
-		fmt.Printf("retire-stream divergence (%v vs %v): %s\n", ma, mb, d)
+		fmt.Printf("retire-stream divergence (%s vs %s): %s\n", labelA, labelB, d)
 		exit = 1
 	} else {
 		fmt.Printf("retire streams identical across %d warps\n", len(recA.Streams))
+	}
+	if outA == nil || outB == nil {
+		fmt.Println("output buffers not compared (recorded stream on at least one side)")
+		os.Exit(exit)
 	}
 	diffs := 0
 	for i := range outA {

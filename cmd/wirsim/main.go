@@ -3,18 +3,21 @@
 //
 // Usage:
 //
-//	wirsim [-sms N] [-model RLPV] [-list] <benchmark-abbr>
+//	wirsim [-sms N] [-model RLPV] [-list] [-interval N] [-metrics FILE]
+//	       [-stats text|json] [-trace-json FILE] [-serve :addr] <benchmark-abbr>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/wirsim/wir/internal/bench"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/trace"
 )
 
@@ -23,7 +26,12 @@ func main() {
 	modelName := flag.String("model", "RLPV", "machine model (Base, R, RL, RLP, RLPV, RPV, RLPVc, NoVSB, Affine, Affine+RLPV)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	traceN := flag.Int("trace", 0, "print the first N pipeline events")
+	traceJSON := flag.String("trace-json", "", "write every pipeline event as JSONL to this file")
 	disasm := flag.Bool("disasm", false, "print each kernel's program listing before running")
+	interval := flag.Uint64("interval", 0, "sample the counters every N cycles into an interval time series")
+	metricsOut := flag.String("metrics", "", "write the interval time series to this file (JSONL; .csv extension selects CSV)")
+	statsMode := flag.String("stats", "text", "final statistics format: text or json")
+	serveAddr := flag.String("serve", "", "serve live /metrics (Prometheus text) and /debug/pprof on this address while running")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +44,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: wirsim [-sms N] [-model M] <benchmark-abbr>")
 		os.Exit(2)
 	}
+	if *statsMode != "text" && *statsMode != "json" {
+		fmt.Fprintln(os.Stderr, "wirsim: -stats must be text or json")
+		os.Exit(2)
+	}
 	abbr := flag.Arg(0)
 	bm, err := bench.ByAbbr(abbr)
 	fatal(err)
@@ -46,9 +58,54 @@ func main() {
 	cfg.NumSMs = *sms
 	g, err := gpu.New(cfg)
 	fatal(err)
-	if *traceN > 0 {
-		g.SetTracer(&trace.Writer{W: os.Stdout, Max: *traceN})
+
+	// Telemetry: one registry feeds the live endpoint, the interval sampler
+	// and the end-of-run report. Attached only when asked for, so plain runs
+	// keep the uninstrumented fast path.
+	var (
+		reg     *metrics.Registry
+		ins     *metrics.Instruments
+		sampler *metrics.Sampler
+	)
+	telemetry := *interval > 0 || *metricsOut != "" || *serveAddr != "" || *statsMode == "json"
+	if telemetry {
+		reg = metrics.NewRegistry()
+		ins = metrics.NewInstruments(reg)
+		g.SetInstruments(ins)
 	}
+	if *interval > 0 || *metricsOut != "" {
+		if *interval == 0 {
+			*interval = 1000 // -metrics without -interval: a sane cadence, not every cycle
+		}
+		sampler = metrics.NewSampler(*interval)
+		sampler.Registry = reg
+		g.SetSampler(sampler)
+	}
+	if *serveAddr != "" {
+		metrics.Serve(*serveAddr, reg)
+		fmt.Fprintf(os.Stderr, "wirsim: serving /metrics and /debug/pprof on %s\n", *serveAddr)
+	}
+
+	var sinks trace.Multi
+	if *traceN > 0 {
+		sinks = append(sinks, &trace.Writer{W: os.Stdout, Max: *traceN})
+	}
+	var jsonSink *trace.JSONWriter
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		fatal(err)
+		defer f.Close()
+		jsonSink = trace.NewJSONWriter(f)
+		sinks = append(sinks, jsonSink)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		g.SetTracer(sinks[0])
+	default:
+		g.SetTracer(sinks)
+	}
+
 	w, err := bm.Setup(g)
 	fatal(err)
 	if *disasm {
@@ -63,10 +120,37 @@ func main() {
 	cycles, err := w.Run(g)
 	fatal(err)
 	fatal(g.CheckInvariants())
+	g.FlushSampler()
+	if jsonSink != nil {
+		fatal(jsonSink.Err())
+	}
 
 	st := g.Stats()
 	coeff := energy.Default45nm()
 	eb := energy.Model(&coeff, &st, cfg.NumSMs)
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		fatal(err)
+		if strings.HasSuffix(*metricsOut, ".csv") {
+			fatal(sampler.WriteCSV(f))
+		} else {
+			fatal(sampler.WriteJSONL(f))
+		}
+		fatal(f.Close())
+	}
+
+	if *statsMode == "json" {
+		rep := metrics.NewReport(bm.Abbr, fmt.Sprint(m), cfg.NumSMs, &st)
+		sr := g.StallReport()
+		sr.Publish(reg)
+		rep.AttachStalls(&sr)
+		rep.AttachInstruments(ins)
+		rep.RFBankConflicts = g.RFConflictCounts()
+		rep.Energy = map[string]float64{"sm": eb.SM() / 1e6, "total": eb.Total() / 1e6}
+		fatal(rep.WriteJSON(os.Stdout))
+		return
+	}
 
 	fmt.Printf("%s (%s) on %v, %d SMs\n", bm.Name, bm.Abbr, m, cfg.NumSMs)
 	fmt.Printf("cycles                 %d (IPC %.2f per SM)\n", cycles,
@@ -88,6 +172,23 @@ func main() {
 	fmt.Printf("L1D                    %d accesses, %.1f%% miss\n", st.L1DAccesses, 100*st.L1DMissRate())
 	fmt.Printf("L2 / DRAM              %d / %d accesses\n", st.L2Accesses, st.DRAMAccesses)
 	fmt.Printf("energy (uJ)            SM %.2f, total %.2f\n", eb.SM()/1e6, eb.Total()/1e6)
+	if telemetry {
+		sr := g.StallReport()
+		fmt.Printf("issue slots            %d cycles, %.1f%% issued\n",
+			sr.SchedSlotCycles, 100*float64(sr.IssueCycles)/float64(sr.SchedSlotCycles))
+		fr := sr.Fractions()
+		names := metrics.StallNames()
+		line := "stalls                "
+		for _, n := range names {
+			if fr[n] > 0.001 {
+				line += fmt.Sprintf(" %s %.1f%%", n, 100*fr[n])
+			}
+		}
+		fmt.Println(line)
+	}
+	if sampler != nil {
+		fmt.Printf("intervals recorded     %d (every %d cycles)\n", len(sampler.Samples()), sampler.Every)
+	}
 }
 
 func fatal(err error) {

@@ -1,7 +1,9 @@
 // Tracing: attach a pipeline tracer to the simulator and watch individual
 // warp instructions get issued, bypass the backend through the reuse buffer,
 // dispatch to functional units, and retire. The same hook drives the wirdiff
-// differential checker.
+// differential checker. The second half attaches the telemetry layer — an
+// interval sampler and the instrument histograms — and prints the IPC time
+// series and the issue-stall attribution for the same kernel.
 package main
 
 import (
@@ -83,4 +85,50 @@ func main() {
 
 	st := g2.Stats()
 	fmt.Printf("\n%.1f%% of instructions bypassed the backend via reuse\n", 100*st.BypassRate())
+
+	// Third run: full telemetry. Instruments feed histograms from the hot
+	// paths; the sampler snapshots the counters every 200 cycles; the stall
+	// attribution names where every non-issuing scheduler cycle went.
+	g3, err := wir.NewGPU(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms3 := g3.Mem()
+	in3 := ms3.Alloc(n)
+	out3 := ms3.Alloc(n)
+	for i := 0; i < n; i++ {
+		ms3.StoreGlobal(in3+uint32(i)*4, wir.F32Bits(float32(i%4)))
+	}
+	reg := wir.NewMetricsRegistry()
+	ins := wir.NewInstruments(reg)
+	g3.SetInstruments(ins)
+	sampler := wir.NewSampler(200)
+	sampler.Registry = reg
+	g3.SetSampler(sampler)
+	if _, err := g3.Run(&wir.Launch{Kernel: buildKernel(in3, out3), GridX: n / 128, DimX: 128}); err != nil {
+		log.Fatal(err)
+	}
+	g3.FlushSampler()
+
+	fmt.Println("\nIPC and bypass rate over time (200-cycle intervals):")
+	for _, s := range sampler.Samples() {
+		fmt.Printf("  [%5d, %5d]  ipc %.2f  bypass %4.1f%%  rf traffic %.2f/cycle\n",
+			s.Start, s.End, s.IPC, 100*s.BypassRate, s.RFTraffic)
+	}
+
+	sr := g3.StallReport()
+	fmt.Printf("\nissue-slot accounting: %d slot cycles, %d issued (%.1f%%)\n",
+		sr.SchedSlotCycles, sr.IssueCycles,
+		100*float64(sr.IssueCycles)/float64(sr.SchedSlotCycles))
+	fmt.Println("where the stalled cycles went:")
+	for reason, frac := range sr.Fractions() {
+		if frac > 0.005 {
+			fmt.Printf("  %-14s %5.1f%%\n", reason, 100*frac)
+		}
+	}
+
+	fmt.Printf("\nissue-to-retire latency: mean %.1f cycles, p50 <= %d, p99 <= %d\n",
+		ins.IssueLatency.Mean(), ins.IssueLatency.Quantile(0.5), ins.IssueLatency.Quantile(0.99))
+	fmt.Printf("reuse distance (buffer accesses between insert and hit): mean %.1f\n",
+		ins.ReuseDistance.Mean())
 }

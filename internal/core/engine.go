@@ -7,6 +7,7 @@ import (
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/hash"
 	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/regfile"
 	"github.com/wirsim/wir/internal/rename"
 	"github.com/wirsim/wir/internal/reuse"
@@ -38,8 +39,9 @@ type Engine struct {
 
 	lowReg       bool
 	evictCursor  int
-	accessedThis bool  // a reuse/VSB access happened this cycle
-	warpRegs     []int // per warp: logical registers of its kernel (capped policy)
+	accessedThis bool                 // a reuse/VSB access happened this cycle
+	warpRegs     []int                // per warp: logical registers of its kernel (capped policy)
+	ins          *metrics.Instruments // optional telemetry; nil when detached
 
 	// Base/Affine static allocation.
 	staticBase []regfile.PhysID // per warp
@@ -77,6 +79,27 @@ func NewEngine(cfg *config.Config, st *stats.Sim, rf *regfile.File) *Engine {
 		e.ranges = newRangeAlloc(cfg.PhysRegsPerSM)
 	}
 	return e
+}
+
+// SetInstruments attaches (or detaches, with nil) the telemetry instruments.
+func (e *Engine) SetInstruments(ins *metrics.Instruments) { e.ins = ins }
+
+// ReuseOccupancy returns the number of valid reuse-buffer entries (0 for
+// non-reuse models).
+func (e *Engine) ReuseOccupancy() int {
+	if e.rb == nil {
+		return 0
+	}
+	return e.rb.Occupancy()
+}
+
+// VSBOccupancy returns the number of valid VSB entries (0 for non-reuse
+// models).
+func (e *Engine) VSBOccupancy() int {
+	if e.vsbf == nil {
+		return 0
+	}
+	return e.vsbf.Occupancy()
 }
 
 // Reuse reports whether the WIR machinery is active.

@@ -28,6 +28,20 @@ const (
 	StageDone                 // retired
 )
 
+// BlockReason records why a flight's most recent advance attempt failed, so
+// the issue-stall attribution can name the resource the pipeline is waiting
+// on. It is overwritten on every blocked attempt and cleared on progress.
+type BlockReason uint8
+
+// Block reasons.
+const (
+	BlockNone BlockReason = iota
+	BlockBank             // lost register-file bank-group port arbitration
+	BlockFU               // no functional-unit dispatch slot this cycle
+	BlockReg              // no free physical register (low-register mode)
+	BlockMSHR             // L1D MSHRs full; memory injection is retrying
+)
+
 // AllocState tracks progress through the register allocation stage.
 type AllocState uint8
 
@@ -97,6 +111,11 @@ type Flight struct {
 	MemConflicts int    // scratchpad bank serialization degree
 	Issued       uint64 // issue cycle, for age-ordered arbitration
 	SeqInWarp    uint64 // per-warp program-order sequence number
+
+	// Telemetry.
+	Blocked      BlockReason // why the latest advance attempt stalled
+	Retries      uint32      // bank-conflict retries accumulated by this flight
+	PendingSince uint64      // cycle the flight entered the pending queue
 }
 
 // AddInflightRef records an in-flight reference taken on p, to be released

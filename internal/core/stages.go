@@ -108,6 +108,9 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 	switch res {
 	case reuse.Hit:
 		e.st.ReuseHits++
+		if e.ins != nil {
+			e.ins.ReuseDistance.Observe(e.rb.LastHitDistance())
+		}
 		fl.Bypassed = true
 		fl.ReuseResult = result
 		fl.DstPhys = result
@@ -247,6 +250,8 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 			}
 			match, blocked := e.verifyRead(fl)
 			if blocked {
+				fl.Blocked = BlockBank
+				fl.Retries++
 				return false
 			}
 			if match {
@@ -266,6 +271,7 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 			p, ok := e.pool.Alloc()
 			if !ok {
 				e.enterLowReg()
+				fl.Blocked = BlockReg
 				return false
 			}
 			e.st.RegAllocs++
@@ -283,6 +289,8 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 		case AllocWrite:
 			if !e.rf.TryWrite(fl.DstPhys) {
 				e.st.BankRetries++
+				fl.Blocked = BlockBank
+				fl.Retries++
 				return false
 			}
 			e.st.RFWrites++
@@ -299,6 +307,7 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 			continue
 
 		case AllocFinish:
+			fl.Blocked = BlockNone
 			return true
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/kasm"
 	"github.com/wirsim/wir/internal/mem"
+	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/sm"
 	"github.com/wirsim/wir/internal/stats"
 	"github.com/wirsim/wir/internal/trace"
@@ -57,6 +58,9 @@ type GPU struct {
 
 	cycles   uint64
 	launches int
+
+	ins     *metrics.Instruments
+	sampler *metrics.Sampler
 }
 
 // New builds a GPU for the given configuration.
@@ -94,6 +98,64 @@ func (g *GPU) SetTracer(t trace.Sink) {
 	for _, s := range g.sms {
 		s.Trace = t
 	}
+}
+
+// SetInstruments attaches telemetry instruments to every SM, the engines, and
+// the memory system (nil detaches). Attach before the first Run so the stall
+// attribution partitions every scheduler-slot cycle.
+func (g *GPU) SetInstruments(ins *metrics.Instruments) {
+	g.ins = ins
+	for _, s := range g.sms {
+		s.SetInstruments(ins)
+	}
+}
+
+// SetSampler attaches an interval sampler; the Run loop feeds it at each
+// interval boundary. Nil detaches.
+func (g *GPU) SetSampler(sp *metrics.Sampler) {
+	g.sampler = sp
+	if sp != nil && sp.NumSMs == 0 {
+		sp.NumSMs = g.cfg.NumSMs
+	}
+}
+
+// FlushSampler closes the sampler's final partial interval so the recorded
+// time series covers the whole run. Call after the last Run.
+func (g *GPU) FlushSampler() {
+	if g.sampler != nil {
+		g.sampler.Flush(g.cycles, g.Stats())
+	}
+}
+
+// StallReport aggregates the per-scheduler-slot issue/stall accounting across
+// all SMs. Meaningful when instruments were attached before the first Run;
+// with none attached, all counts are zero.
+func (g *GPU) StallReport() metrics.StallReport {
+	var r metrics.StallReport
+	r.PerSlot = make([]metrics.StallCounts, g.cfg.SchedulersPerSM)
+	for _, s := range g.sms {
+		r.SchedSlotCycles += s.Now() * uint64(g.cfg.SchedulersPerSM)
+		for _, n := range s.IssuedCycles() {
+			r.IssueCycles += n
+		}
+		for slot, c := range s.StallCounts() {
+			r.PerSlot[slot].Add(&c)
+			r.Stalls.Add(&c)
+		}
+	}
+	return r
+}
+
+// RFConflictCounts sums the per-bank-group failed register-file port claims
+// across all SMs.
+func (g *GPU) RFConflictCounts() []uint64 {
+	out := make([]uint64, g.cfg.RFBankGroups)
+	for _, s := range g.sms {
+		for i, n := range s.RFConflictCounts() {
+			out[i] += n
+		}
+	}
+	return out
 }
 
 // Occupancy returns the maximum resident blocks per SM for a launch, limited
@@ -187,6 +249,9 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 			}
 		}
 		g.cycles++
+		if g.sampler.Due(g.cycles) {
+			g.sampler.Observe(g.cycles, g.Stats())
+		}
 		if next >= total && idle {
 			break
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/stats"
 )
 
@@ -40,8 +41,12 @@ type System struct {
 	tex    []uint32
 	brk    uint32 // global bump-allocator break
 
-	st *stats.Sim
+	st  *stats.Sim
+	ins *metrics.Instruments // optional telemetry; nil when not attached
 }
+
+// SetInstruments attaches (or detaches, with nil) the telemetry instruments.
+func (s *System) SetInstruments(ins *metrics.Instruments) { s.ins = ins }
 
 const pageWords = 4096 // 16 KB pages for the sparse global store
 
@@ -200,6 +205,9 @@ func (s *System) drainMSHRs(sm int, now uint64) {
 // available (the requester must retry next cycle).
 func (s *System) AccessGlobalLoad(sm int, lineAddr uint64, now uint64) (uint64, bool) {
 	s.st.L1DAccesses++
+	if s.ins != nil {
+		s.ins.MSHROccupancy.Observe(uint64(s.outst[sm]))
+	}
 	if done, merged := s.mshrs[sm][lineAddr]; merged {
 		if done > now {
 			// Merged into an outstanding miss for the same line.

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers the full uint64 range: bucket 0 holds the value 0 and
+// bucket i (i >= 1) holds values in [2^(i-1), 2^i).
+const numBuckets = 65
+
+// Histogram is a log2-bucketed histogram of uint64 samples. The bucketing
+// matches the quantities the simulator observes — reuse distances, retry
+// counts, queue waits, latencies — whose interesting structure spans orders
+// of magnitude. Observations are a single atomic add, so the hot path stays
+// cheap and a live exporter can read concurrently. All methods are nil-safe.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf returns the bucket index for v: 0 for 0, else 1+floor(log2(v)).
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// BucketUpperBound returns the inclusive upper bound of bucket i, i.e. the
+// largest value the bucket can hold (2^i - 1; bucket 0 holds only 0).
+func BucketUpperBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Merge adds o's samples into h. Both histograms may keep being observed
+// concurrently; the merge itself is per-bucket atomic.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	h.count.Add(o.count.Load())
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1):
+// the upper bound of the bucket containing the q*count-th sample. The log2
+// bucketing bounds the relative error at 2x.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(numBuckets - 1)
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	UpperBound uint64 `json:"le"` // inclusive upper bound of the bucket
+	Count      uint64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with empty
+// buckets elided.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < numBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: BucketUpperBound(i), Count: n})
+		}
+	}
+	return s
+}

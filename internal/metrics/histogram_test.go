@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// Every value must fall at or below its bucket's upper bound, and
+		// above the previous bucket's.
+		if ub := BucketUpperBound(c.want); c.v > ub {
+			t.Errorf("value %d above bucket %d upper bound %d", c.v, c.want, ub)
+		}
+		if c.want > 0 {
+			if lb := BucketUpperBound(c.want - 1); c.v <= lb {
+				t.Errorf("value %d not above bucket %d's bound %d", c.v, c.want-1, lb)
+			}
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{0, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); got != 106.0/5 {
+		t.Fatalf("mean = %g", got)
+	}
+	s := h.Snapshot()
+	// Buckets: 0 -> [0]; 1 -> [1]; 2,3 -> le=3; 100 -> le=127.
+	want := []Bucket{{0, 1}, {1, 1}, {3, 2}, {127, 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(5)
+	a.Observe(9)
+	b.Observe(5)
+	b.Observe(1000)
+	a.Merge(b)
+	if a.Count() != 4 || a.Sum() != 5+9+5+1000 {
+		t.Fatalf("merged count=%d sum=%d", a.Count(), a.Sum())
+	}
+	s := a.Snapshot()
+	var total uint64
+	for _, bk := range s.Buckets {
+		total += bk.Count
+	}
+	if total != 4 {
+		t.Fatalf("bucket counts sum to %d", total)
+	}
+	// Merging nil or into nil must be a no-op, not a panic.
+	a.Merge(nil)
+	var nilH *Histogram
+	nilH.Merge(a)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(1) // bucket le=1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket le=1023
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 1023 {
+		t.Fatalf("p99 = %d, want 1023 (bucket upper bound)", got)
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != 1 || h.Quantile(2) != 1023 {
+		t.Fatal("quantile must clamp q to [0,1]")
+	}
+}

@@ -1,0 +1,231 @@
+// Package metrics is the simulator's telemetry layer: a registry of named
+// counters, gauges and log2-bucketed histograms fed by the hot paths of the
+// timing model, an interval sampler that turns the flat end-of-run counters
+// of internal/stats into a per-interval time series, and per-scheduler-slot
+// issue-stall attribution. Everything is designed so that a simulator built
+// without telemetry attached pays at most a nil check per event: every
+// instrument method is safe to call on a nil receiver, and the SM gates its
+// instrumentation blocks on a single pointer test.
+//
+// Counter, Gauge and Histogram values are updated with atomic operations, so
+// a live HTTP exporter (see Handler) may scrape them concurrently with the
+// simulation loop without races. Registration itself is mutex-guarded and is
+// expected to happen once, at setup time.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. All methods are nil-safe:
+// calling them on a nil *Counter is a no-op, so uninstrumented simulators can
+// share the instrumented code paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (stored as IEEE-754 bits so
+// readers and writers stay atomic).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current gauge value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry holds named instruments. Lookup-or-create methods return the same
+// instrument for the same name, so independent subsystems can share a series
+// by name.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// SetCounter overwrites (or creates) a counter so that it reads exactly n.
+// The simulator uses this to publish plain (non-atomic) internal tallies at
+// safe points such as interval boundaries.
+func (r *Registry) SetCounter(name string, n uint64) {
+	if r == nil {
+		return
+	}
+	c := r.Counter(name)
+	c.v.Store(n)
+}
+
+// names returns the sorted instrument names of the given kind.
+func sortedNames[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WritePrometheus renders every instrument in the Prometheus text exposition
+// format (counters and gauges directly; histograms as cumulative le-bucketed
+// series with _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedNames(counters) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value())
+	}
+	for _, name := range sortedNames(gauges) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name].Value())
+	}
+	for _, name := range sortedNames(hists) {
+		snap := hists[name].Snapshot()
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for _, b := range snap.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", name, snap.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+	}
+}

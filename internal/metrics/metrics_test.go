@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %g", g.Value())
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 {
+		t.Fatalf("nil histogram count = %d", h.Count())
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.SetCounter("x", 1) // must not panic
+}
+
+func TestRegistrySharesByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits")
+	b := r.Counter("hits")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("shared counter = %d, want 3", a.Value())
+	}
+	if r.Gauge("hits") == nil || r.Histogram("hits") == nil {
+		t.Fatal("kinds have independent namespaces")
+	}
+}
+
+func TestSetCounterOverwrites(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cycles").Add(10)
+	r.SetCounter("cycles", 4)
+	if got := r.Counter("cycles").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(10)
+	s := r.Snapshot()
+	if s.Counters["c"] != 7 || s.Gauges["g"] != 1.5 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot wrong: %+v", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wir_cycles").Add(100)
+	r.Gauge("wir_ipc").Set(1.25)
+	h := r.Histogram("wir_lat")
+	h.Observe(1) // bucket le=1
+	h.Observe(2) // bucket le=3
+	h.Observe(3) // bucket le=3
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE wir_cycles counter\nwir_cycles 100\n",
+		"# TYPE wir_ipc gauge\nwir_ipc 1.25\n",
+		"# TYPE wir_lat histogram\n",
+		"wir_lat_bucket{le=\"1\"} 1\n",
+		"wir_lat_bucket{le=\"3\"} 3\n", // cumulative
+		"wir_lat_bucket{le=\"+Inf\"} 3\n",
+		"wir_lat_sum 6\n",
+		"wir_lat_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}

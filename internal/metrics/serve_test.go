@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("wir_cycles").Add(42)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "wir_cycles 42") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	if code, body, _ := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+	if code, body, _ := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code=%d body=%q", code, body)
+	}
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import "fmt"
+
+// StallReason classifies why a scheduler slot failed to issue a warp
+// instruction in a cycle. The SM records exactly one reason per scheduler
+// per non-issue cycle, so per-reason counts partition the non-issue cycles:
+// their fractions sum to 1.0 (the property the Accel-Sim-style issue-stall
+// breakdowns rely on for model validation).
+type StallReason uint8
+
+// Stall reasons, roughly ordered from "no work" to "work blocked deep in the
+// backend".
+const (
+	// StallEmpty: the scheduler's warp group has no runnable warp (slots
+	// unallocated, warps exited, or the SM is idle waiting for the grid).
+	StallEmpty StallReason = iota
+	// StallBarrier: every candidate warp is parked at a block barrier.
+	StallBarrier
+	// StallPipeline: the SM's in-flight instruction buffer is full
+	// (backpressure from a slow backend).
+	StallPipeline
+	// StallScoreboard: the oldest candidate warp has a RAW/WAW hazard on a
+	// producer executing in an ALU pipeline (plain execution latency).
+	StallScoreboard
+	// StallBankConflict: the blocking producer lost register-file bank-group
+	// port arbitration and is retrying.
+	StallBankConflict
+	// StallMSHRFull: the blocking producer is a load that cannot inject its
+	// cache lines because the SM's MSHRs are exhausted.
+	StallMSHRFull
+	// StallMemLatency: the blocking producer is a memory operation in flight
+	// in the memory system (lines injected, waiting for data).
+	StallMemLatency
+	// StallPendingReuse: the blocking producer is parked in the pending-retry
+	// queue waiting for a reuse-buffer entry to resolve (paper section VI-B).
+	StallPendingReuse
+	// StallFUBusy: the blocking producer has its operands but its functional
+	// unit had no dispatch slot.
+	StallFUBusy
+	// StallRegShort: the blocking producer is waiting for a free physical
+	// register (low-register mode, paper section V-E).
+	StallRegShort
+	// StallOther: none of the above (defensive catch-all).
+	StallOther
+
+	// NumStallReasons is the number of distinct reasons.
+	NumStallReasons = int(StallOther) + 1
+)
+
+var stallNames = [NumStallReasons]string{
+	"empty", "barrier", "pipeline_full", "scoreboard", "bank_conflict",
+	"mshr_full", "mem_latency", "pending_reuse", "fu_busy", "reg_short", "other",
+}
+
+func (r StallReason) String() string {
+	if int(r) < len(stallNames) {
+		return stallNames[r]
+	}
+	return fmt.Sprintf("stall(%d)", uint8(r))
+}
+
+// StallNames returns the reason names indexed by StallReason.
+func StallNames() []string { return stallNames[:] }
+
+// StallCounts is a per-reason cycle tally for one scheduler slot.
+type StallCounts [NumStallReasons]uint64
+
+// Total returns the number of stall cycles across all reasons.
+func (c *StallCounts) Total() uint64 {
+	var t uint64
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// Inc charges one cycle to reason r.
+func (c *StallCounts) Inc(r StallReason) { c[r]++ }
+
+// Add accumulates o into c.
+func (c *StallCounts) Add(o *StallCounts) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// StallReport aggregates issue-slot accounting over a run: every scheduler
+// slot of every SM contributes one cycle per tick, split into an issue or
+// exactly one stall reason.
+type StallReport struct {
+	SchedSlotCycles uint64        `json:"sched_slot_cycles"` // scheduler-slot cycles observed
+	IssueCycles     uint64        `json:"issue_cycles"`      // slots that issued an instruction
+	Stalls          StallCounts   `json:"-"`
+	PerSlot         []StallCounts `json:"-"` // indexed by scheduler slot, summed across SMs
+}
+
+// StallCycles returns the non-issue scheduler-slot cycles.
+func (r *StallReport) StallCycles() uint64 { return r.SchedSlotCycles - r.IssueCycles }
+
+// Fractions returns each reason's share of the non-issue cycles, keyed by
+// reason name. The shares sum to 1.0 when any stall cycles were recorded.
+func (r *StallReport) Fractions() map[string]float64 {
+	out := make(map[string]float64, NumStallReasons)
+	total := r.Stalls.Total()
+	for i, n := range r.Stalls {
+		f := 0.0
+		if total > 0 {
+			f = float64(n) / float64(total)
+		}
+		out[stallNames[i]] = f
+	}
+	return out
+}
+
+// Named returns the aggregate per-reason counts keyed by reason name.
+func (r *StallReport) Named() map[string]uint64 {
+	out := make(map[string]uint64, NumStallReasons)
+	for i, n := range r.Stalls {
+		out[stallNames[i]] = n
+	}
+	return out
+}
+
+// Publish mirrors the report into registry counters (wir_issue_cycles,
+// wir_stall_cycles_<reason>), so a live /metrics scrape sees the breakdown.
+func (r *StallReport) Publish(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SetCounter("wir_sched_slot_cycles", r.SchedSlotCycles)
+	reg.SetCounter("wir_issue_cycles", r.IssueCycles)
+	for i, n := range r.Stalls {
+		reg.SetCounter("wir_stall_cycles_"+stallNames[i], n)
+	}
+}
+
+// Instruments bundles the histograms the simulator hot paths feed. A nil
+// *Instruments (or any nil member) disables the corresponding observation;
+// the SM, engine and memory system each gate on one pointer test.
+type Instruments struct {
+	Registry *Registry
+
+	// ReuseDistance: on every reuse-buffer result hit, the number of buffer
+	// accesses since the hit entry was inserted (a reuse-distance proxy that
+	// sizes the buffer: hits beyond capacity-distance would be lost to a
+	// smaller buffer; feeds the Figure 21 sweep analysis).
+	ReuseDistance *Histogram
+	// BankRetries: per retired instruction, how many register-file bank
+	// conflicts it had to retry through (Figure 18 traffic analysis).
+	BankRetries *Histogram
+	// MSHROccupancy: outstanding L1D misses observed at each global-load
+	// access (Figure 15 memory-system behaviour).
+	MSHROccupancy *Histogram
+	// PendingWait: cycles an instruction spent parked in the pending-retry
+	// queue before resolving or falling through (section VI-B sizing).
+	PendingWait *Histogram
+	// IssueLatency: issue-to-retire cycles per warp instruction.
+	IssueLatency *Histogram
+}
+
+// NewInstruments creates the standard instrument set, registered in reg
+// under the wir_* names documented in docs/OBSERVABILITY.md. reg may be nil,
+// in which case the histograms are unregistered but still collect.
+func NewInstruments(reg *Registry) *Instruments {
+	ins := &Instruments{Registry: reg}
+	if reg != nil {
+		ins.ReuseDistance = reg.Histogram("wir_reuse_distance")
+		ins.BankRetries = reg.Histogram("wir_bank_retries_per_instr")
+		ins.MSHROccupancy = reg.Histogram("wir_mshr_occupancy")
+		ins.PendingWait = reg.Histogram("wir_pending_wait_cycles")
+		ins.IssueLatency = reg.Histogram("wir_issue_latency_cycles")
+	} else {
+		ins.ReuseDistance = NewHistogram()
+		ins.BankRetries = NewHistogram()
+		ins.MSHROccupancy = NewHistogram()
+		ins.PendingWait = NewHistogram()
+		ins.IssueLatency = NewHistogram()
+	}
+	return ins
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStallReasonNames(t *testing.T) {
+	names := StallNames()
+	if len(names) != NumStallReasons {
+		t.Fatalf("%d names for %d reasons", len(names), NumStallReasons)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("name %d (%q) empty or duplicate", i, n)
+		}
+		seen[n] = true
+		if StallReason(i).String() != n {
+			t.Fatalf("String(%d) = %q, want %q", i, StallReason(i).String(), n)
+		}
+	}
+}
+
+func TestStallCounts(t *testing.T) {
+	var c StallCounts
+	c.Inc(StallEmpty)
+	c.Inc(StallScoreboard)
+	c.Inc(StallScoreboard)
+	if c.Total() != 3 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	var d StallCounts
+	d.Inc(StallBarrier)
+	c.Add(&d)
+	if c.Total() != 4 || c[StallBarrier] != 1 {
+		t.Fatalf("after add: %+v", c)
+	}
+}
+
+func TestStallReportFractionsSumToOne(t *testing.T) {
+	r := StallReport{SchedSlotCycles: 100, IssueCycles: 60}
+	r.Stalls.Inc(StallEmpty)
+	for i := 0; i < 25; i++ {
+		r.Stalls.Inc(StallMemLatency)
+	}
+	for i := 0; i < 14; i++ {
+		r.Stalls.Inc(StallScoreboard)
+	}
+	if r.StallCycles() != 40 {
+		t.Fatalf("stall cycles = %d", r.StallCycles())
+	}
+	if r.Stalls.Total() != r.StallCycles() {
+		t.Fatalf("reasons (%d) must partition the stall cycles (%d)", r.Stalls.Total(), r.StallCycles())
+	}
+	var sum float64
+	for _, f := range r.Fractions() {
+		sum += f
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("fractions sum to %g, want 1.0", sum)
+	}
+}
+
+func TestStallReportPublish(t *testing.T) {
+	r := StallReport{SchedSlotCycles: 10, IssueCycles: 7}
+	r.Stalls.Inc(StallBankConflict)
+	reg := NewRegistry()
+	r.Publish(reg)
+	if got := reg.Counter("wir_issue_cycles").Value(); got != 7 {
+		t.Fatalf("wir_issue_cycles = %d", got)
+	}
+	if got := reg.Counter("wir_stall_cycles_bank_conflict").Value(); got != 1 {
+		t.Fatalf("wir_stall_cycles_bank_conflict = %d", got)
+	}
+	r.Publish(nil) // must not panic
+}
+
+func TestNewInstruments(t *testing.T) {
+	reg := NewRegistry()
+	ins := NewInstruments(reg)
+	ins.ReuseDistance.Observe(4)
+	if got := reg.Histogram("wir_reuse_distance").Count(); got != 1 {
+		t.Fatalf("registered histogram not shared: count = %d", got)
+	}
+	// Unregistered instruments still collect.
+	free := NewInstruments(nil)
+	free.IssueLatency.Observe(10)
+	if free.IssueLatency.Count() != 1 {
+		t.Fatal("unregistered instruments must still collect")
+	}
+}

@@ -29,6 +29,7 @@ type File struct {
 
 	readBusy  []bool
 	writeBusy []bool
+	conflicts []uint64 // per bank group: failed port claims (telemetry)
 
 	vcache *VerifyCache
 }
@@ -46,6 +47,7 @@ func New(numRegs, groups, verifyEntries int) *File {
 		groups:    groups,
 		readBusy:  make([]bool, groups),
 		writeBusy: make([]bool, groups),
+		conflicts: make([]uint64, groups),
 	}
 	if verifyEntries > 0 {
 		f.vcache = NewVerifyCache(verifyEntries)
@@ -72,6 +74,7 @@ func (f *File) BeginCycle() {
 func (f *File) TryRead(p PhysID) bool {
 	g := f.Group(p)
 	if f.readBusy[g] {
+		f.conflicts[g]++
 		return false
 	}
 	f.readBusy[g] = true
@@ -82,10 +85,20 @@ func (f *File) TryRead(p PhysID) bool {
 func (f *File) TryWrite(p PhysID) bool {
 	g := f.Group(p)
 	if f.writeBusy[g] {
+		f.conflicts[g]++
 		return false
 	}
 	f.writeBusy[g] = true
 	return true
+}
+
+// ConflictCounts returns, per bank group, how many port claims failed over
+// the file's lifetime. The distribution across groups exposes bank camping
+// (e.g. strided register allocations mapping hot registers to one group).
+func (f *File) ConflictCounts() []uint64 {
+	out := make([]uint64, len(f.conflicts))
+	copy(out, f.conflicts)
+	return out
 }
 
 // Value returns the current contents of physical register p. This is the

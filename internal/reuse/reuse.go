@@ -86,10 +86,12 @@ const (
 // with marginal benefit (section V-C) — reproduced by the associativity
 // ablation.
 type Buffer struct {
-	entries []Entry
-	lru     []uint64
-	ways    int
-	tick    uint64
+	entries  []Entry
+	lru      []uint64
+	ins      []uint64 // buffer-access stamp at entry insertion (reuse distance)
+	ways     int
+	tick     uint64
+	lastDist uint64
 }
 
 // New returns a direct-indexed reuse buffer with the given number of entries.
@@ -104,7 +106,7 @@ func NewAssoc(entries, ways int) *Buffer {
 	if entries > 0 && entries%ways != 0 {
 		panic("reuse: entries must divide evenly into ways")
 	}
-	return &Buffer{entries: make([]Entry, entries), lru: make([]uint64, entries), ways: ways}
+	return &Buffer{entries: make([]Entry, entries), lru: make([]uint64, entries), ins: make([]uint64, entries), ways: ways}
 }
 
 // Entries returns the buffer capacity.
@@ -134,6 +136,7 @@ func (b *Buffer) Lookup(t Tag) (LookupResult, int, regfile.PhysID) {
 			if e.Pending {
 				return PendingHit, i, regfile.PhysNone
 			}
+			b.lastDist = b.tick - b.ins[i]
 			return Hit, i, e.Result
 		}
 		if !b.entries[i].Valid {
@@ -158,8 +161,15 @@ func (b *Buffer) Reserve(i int, t Tag) (evicted Entry) {
 	b.entries[i] = Entry{Valid: true, Pending: true, Tag: t}
 	b.tick++
 	b.lru[i] = b.tick
+	b.ins[i] = b.tick
 	return evicted
 }
+
+// LastHitDistance returns, for the most recent result Hit, the number of
+// buffer accesses between the hit entry's insertion and the hit — the
+// reuse-distance proxy the telemetry layer histograms (a hit at distance d
+// would have been lost had the entry been evicted within d accesses).
+func (b *Buffer) LastHitDistance() uint64 { return b.lastDist }
 
 // Complete fills in the result of a previously reserved slot. It applies only
 // if the slot still holds the same pending tag (it may have been evicted or
@@ -188,6 +198,7 @@ func (b *Buffer) Insert(i int, t Tag, result regfile.PhysID) (evicted Entry) {
 	b.entries[i] = Entry{Valid: true, Tag: t, Result: result}
 	b.tick++
 	b.lru[i] = b.tick
+	b.ins[i] = b.tick
 	return evicted
 }
 

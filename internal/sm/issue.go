@@ -4,6 +4,7 @@ import (
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/core"
 	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/trace"
 )
 
@@ -47,7 +48,84 @@ func (s *SM) issueCycle() {
 		if pick >= 0 {
 			s.issueWarp(pick)
 			s.schedLast[g] = pick
+			if s.mx != nil {
+				s.issuedCycles[g]++
+			}
+		} else if s.mx != nil {
+			s.stalls[g].Inc(s.classifyStall(lo, hi))
 		}
+	}
+}
+
+// classifyStall names the reason scheduler group [lo,hi) issued nothing this
+// cycle. Exactly one reason is charged per empty slot cycle, so the per-reason
+// counts partition the non-issue cycles. When warps stall for different
+// reasons in the same cycle, the most specific reason across the group wins
+// (resource waits > generic scoreboard > pipeline backpressure > barrier >
+// empty); specificity is the StallReason ordering.
+func (s *SM) classifyStall(lo, hi int) metrics.StallReason {
+	best := metrics.StallEmpty
+	upgrade := func(r metrics.StallReason) {
+		if r > best {
+			best = r
+		}
+	}
+	for w := lo; w < hi; w++ {
+		wc := s.warps[w]
+		if !wc.active || wc.done || len(wc.stack) == 0 {
+			continue // contributes "empty"
+		}
+		if wc.barrier {
+			upgrade(metrics.StallBarrier)
+			continue
+		}
+		if len(s.flights) >= maxFlightsPerSM {
+			upgrade(metrics.StallPipeline)
+			continue
+		}
+		// The warp has a next instruction but a scoreboard hazard; name the
+		// resource its oldest in-flight instruction is waiting on. (canIssue
+		// already ran mergeStack for every warp in the group this cycle, so
+		// the stack state is current.)
+		upgrade(s.hazardReason(w))
+	}
+	return best
+}
+
+// hazardReason attributes warp w's scoreboard hazard to the state of its
+// oldest in-flight instruction.
+func (s *SM) hazardReason(w int) metrics.StallReason {
+	var oldest *core.Flight
+	for _, fl := range s.flights {
+		if fl.Warp == w && (oldest == nil || fl.Issued < oldest.Issued) {
+			oldest = fl
+		}
+	}
+	for _, fl := range s.pendingQ {
+		if fl.Warp == w && (oldest == nil || fl.Issued < oldest.Issued) {
+			oldest = fl
+		}
+	}
+	if oldest == nil {
+		// The hazard is held by work outside the flight list (e.g. a dummy
+		// MOV still draining through the banks).
+		return metrics.StallScoreboard
+	}
+	switch {
+	case oldest.Stage == core.StageWaiting:
+		return metrics.StallPendingReuse
+	case oldest.Blocked == core.BlockMSHR:
+		return metrics.StallMSHRFull
+	case oldest.Blocked == core.BlockBank:
+		return metrics.StallBankConflict
+	case oldest.Blocked == core.BlockFU:
+		return metrics.StallFUBusy
+	case oldest.Blocked == core.BlockReg:
+		return metrics.StallRegShort
+	case oldest.Stage == core.StageExec && oldest.In.Op.Unit() == isa.FUMem:
+		return metrics.StallMemLatency
+	default:
+		return metrics.StallScoreboard
 	}
 }
 

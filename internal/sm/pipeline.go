@@ -94,6 +94,7 @@ func (s *SM) reuseStage(fl *core.Flight) {
 	case reuse.PendingHit:
 		if len(s.pendingQ) < s.cfg.PendingQueueSize {
 			fl.PendingWait = true
+			fl.PendingSince = s.now
 			fl.Stage = core.StageWaiting
 			s.pendingQ = append(s.pendingQ, fl)
 		} else {
@@ -118,6 +119,9 @@ func (s *SM) checkPendingQueue(reuseSlots *int) {
 	fl := s.pendingQ[0]
 	s.pendingQ = s.pendingQ[1:]
 	resolved, still := s.eng.CheckPending(fl)
+	if !still && s.mx != nil {
+		s.mx.PendingWait.Observe(s.now - fl.PendingSince)
+	}
 	switch {
 	case resolved:
 		s.emit(trace.KindBypass, fl)
@@ -143,6 +147,8 @@ func (s *SM) readAndDispatch(fl *core.Flight, spSlots, sfuSlots, memSlots *int) 
 			p := srcs[fl.SrcRead]
 			if !s.rf.TryRead(p) {
 				s.st.BankRetries++
+				fl.Blocked = core.BlockBank
+				fl.Retries++
 				return
 			}
 			s.st.RFReads++
@@ -155,6 +161,7 @@ func (s *SM) readAndDispatch(fl *core.Flight, spSlots, sfuSlots, memSlots *int) 
 		switch fl.In.Op.Unit() {
 		case isa.FUSP:
 			if *spSlots <= 0 {
+				fl.Blocked = core.BlockFU
 				return
 			}
 			*spSlots--
@@ -165,6 +172,7 @@ func (s *SM) readAndDispatch(fl *core.Flight, spSlots, sfuSlots, memSlots *int) 
 			fl.ReadyAt = s.now + uint64(fl.In.Op.Latency())
 		case isa.FUSFU:
 			if *sfuSlots <= 0 {
+				fl.Blocked = core.BlockFU
 				return
 			}
 			*sfuSlots--
@@ -172,12 +180,14 @@ func (s *SM) readAndDispatch(fl *core.Flight, spSlots, sfuSlots, memSlots *int) 
 			fl.ReadyAt = s.now + uint64(fl.In.Op.Latency())
 		case isa.FUMem:
 			if *memSlots <= 0 {
+				fl.Blocked = core.BlockFU
 				return
 			}
 			*memSlots--
 			s.st.MemOps++
 			s.startMemAccess(fl)
 		}
+		fl.Blocked = core.BlockNone
 		fl.Dispatched = true
 		fl.Stage = core.StageExec
 		s.st.Backend++
@@ -248,6 +258,7 @@ func (s *SM) injectMemLines(fl *core.Flight) {
 		case fl.MemSpace == isa.SpaceGlobal:
 			d, ok := s.ms.AccessGlobalLoad(s.ID, l, s.now)
 			if !ok {
+				fl.Blocked = core.BlockMSHR
 				return // MSHRs full; retry next cycle
 			}
 			done = d
@@ -261,6 +272,7 @@ func (s *SM) injectMemLines(fl *core.Flight) {
 		}
 		fl.MemIdx++
 	}
+	fl.Blocked = core.BlockNone
 	if fl.MemMaxDone > fl.ReadyAt {
 		fl.ReadyAt = fl.MemMaxDone
 	}
@@ -272,6 +284,10 @@ func (s *SM) retire(fl *core.Flight) {
 	wc := s.warps[fl.Warp]
 	s.eng.Retire(fl)
 	s.emit(trace.KindRetire, fl)
+	if s.mx != nil {
+		s.mx.IssueLatency.Observe(s.now - fl.Issued)
+		s.mx.BankRetries.Observe(uint64(fl.Retries))
+	}
 	in := fl.In
 	if in.HasDst() {
 		wc.pendReg[in.Dst]--

@@ -15,6 +15,7 @@ import (
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/kasm"
 	"github.com/wirsim/wir/internal/mem"
+	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/regfile"
 	"github.com/wirsim/wir/internal/stats"
 )
@@ -69,7 +70,53 @@ type SM struct {
 	// Trace, when non-nil, receives pipeline events (issue, bypass,
 	// dispatch, retire, dummy, barrier).
 	Trace trace.Sink
+
+	// Telemetry (attached with SetInstruments; nil = disabled, and the hot
+	// paths pay only the nil check).
+	mx           *metrics.Instruments
+	stalls       []metrics.StallCounts // per scheduler slot
+	issuedCycles []uint64              // per scheduler slot: cycles that issued
+	gRegs        *metrics.Gauge
+	gReuseOcc    *metrics.Gauge
+	gVSBOcc      *metrics.Gauge
 }
+
+// SetInstruments attaches (or detaches, with nil) the telemetry instruments
+// to the SM and its engine and registers the SM's live-occupancy gauges.
+// Stall attribution is recorded only while instruments are attached; attach
+// before the first Tick so stall fractions partition the whole run.
+func (s *SM) SetInstruments(mx *metrics.Instruments) {
+	s.mx = mx
+	s.eng.SetInstruments(mx)
+	s.ms.SetInstruments(mx)
+	if mx != nil && mx.Registry != nil {
+		s.gRegs = mx.Registry.Gauge(fmt.Sprintf("wir_sm%d_regs_in_use", s.ID))
+		s.gReuseOcc = mx.Registry.Gauge(fmt.Sprintf("wir_sm%d_reuse_occupancy", s.ID))
+		s.gVSBOcc = mx.Registry.Gauge(fmt.Sprintf("wir_sm%d_vsb_occupancy", s.ID))
+	} else {
+		s.gRegs, s.gReuseOcc, s.gVSBOcc = nil, nil, nil
+	}
+}
+
+// StallCounts returns a copy of the per-scheduler-slot stall attribution.
+func (s *SM) StallCounts() []metrics.StallCounts {
+	out := make([]metrics.StallCounts, len(s.stalls))
+	copy(out, s.stalls)
+	return out
+}
+
+// IssuedCycles returns, per scheduler slot, how many cycles issued an
+// instruction. Together with StallCounts this partitions every
+// scheduler-slot cycle of the run: issued + stalls = Now() per slot.
+func (s *SM) IssuedCycles() []uint64 {
+	out := make([]uint64, len(s.issuedCycles))
+	copy(out, s.issuedCycles)
+	return out
+}
+
+// RFConflictCounts returns the register file's per-bank-group failed port
+// claims.
+func (s *SM) RFConflictCounts() []uint64 { return s.rf.ConflictCounts() }
 
 // emit sends a pipeline event to the tracer if one is attached.
 func (s *SM) emit(k trace.Kind, fl *core.Flight) {
@@ -146,6 +193,9 @@ func New(id int, cfg *config.Config, st *stats.Sim, ms *mem.System) *SM {
 		warps:     make([]*warpCtx, cfg.WarpsPerSM),
 		blocks:    make([]*blockCtx, cfg.BlocksPerSM),
 		schedLast: make([]int, cfg.SchedulersPerSM),
+
+		stalls:       make([]metrics.StallCounts, cfg.SchedulersPerSM),
+		issuedCycles: make([]uint64, cfg.SchedulersPerSM),
 	}
 	for i := range s.warps {
 		s.warps[i] = &warpCtx{}
@@ -305,6 +355,14 @@ func (s *SM) sampleUtilization() {
 		s.st.UtilSamples++
 		if u > s.st.RegUtilPeak {
 			s.st.RegUtilPeak = u
+		}
+		if s.mx != nil {
+			// Piggyback the live gauges on the utilization sampling cadence
+			// so a /metrics scrape sees fresh occupancy without a per-cycle
+			// atomic store on the hot path.
+			s.gRegs.Set(float64(u))
+			s.gReuseOcc.Set(float64(s.eng.ReuseOccupancy()))
+			s.gVSBOcc.Set(float64(s.eng.VSBOccupancy()))
 		}
 	}
 }

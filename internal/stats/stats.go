@@ -2,6 +2,8 @@
 // table of the WIR paper is regenerated.
 package stats
 
+import "reflect"
+
 // Sim holds the counters of one simulation run. Counters for a multi-SM run
 // are the sums across SMs; cycle counts are the maximum across SMs (SMs run in
 // lockstep in this simulator, so they agree).
@@ -198,3 +200,48 @@ func (s *Sim) VSBHitRate() float64 { return Ratio(s.VSBHits, s.VSBLookups) }
 // reports hits as a fraction of all issued instructions; use BypassRate for
 // that).
 func (s *Sim) ReuseHitRate() float64 { return Ratio(s.ReuseHits, s.ReuseLookups) }
+
+// fieldNames caches the struct field names of Sim in declaration order.
+var fieldNames = func() []string {
+	t := reflect.TypeOf(Sim{})
+	out := make([]string, t.NumField())
+	for i := range out {
+		out[i] = t.Field(i).Name
+	}
+	return out
+}()
+
+// FieldNames returns the counter names of Sim in declaration order.
+func FieldNames() []string {
+	out := make([]string, len(fieldNames))
+	copy(out, fieldNames)
+	return out
+}
+
+// Map returns every counter of s keyed by field name. All Sim fields are
+// uint64, which the reflection walk relies on; adding a non-uint64 field
+// would panic the telemetry tests immediately.
+func (s *Sim) Map() map[string]uint64 {
+	v := reflect.ValueOf(*s)
+	out := make(map[string]uint64, len(fieldNames))
+	for i, name := range fieldNames {
+		out[name] = v.Field(i).Uint()
+	}
+	return out
+}
+
+// Delta returns cur - prev field-by-field. For cumulative counters this is
+// the activity within (prev, cur]; the interval sampler relies on deltas
+// telescoping, so summing every interval of a run reproduces the final
+// totals exactly. Note the two max-semantics fields (Cycles, RegUtilPeak)
+// are differenced like any other: their deltas are only meaningful in sum.
+func Delta(cur, prev *Sim) Sim {
+	var out Sim
+	vc := reflect.ValueOf(cur).Elem()
+	vp := reflect.ValueOf(prev).Elem()
+	vo := reflect.ValueOf(&out).Elem()
+	for i := range fieldNames {
+		vo.Field(i).SetUint(vc.Field(i).Uint() - vp.Field(i).Uint())
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONWriter(&buf)
+	events := []Event{
+		{Kind: KindIssue, Cycle: 1, SM: 0, Warp: 2, PC: 3, Seq: 1, Op: "iadd", Launch: 1, Block: 4, WarpInBlock: 0},
+		{Kind: KindRetire, Cycle: 9, SM: 0, Warp: 2, PC: 3, Seq: 1, Op: "iadd", Launch: 1, Block: 4, WarpInBlock: 0, Result: 0xDEADBEEF12345678},
+	}
+	for _, e := range events {
+		jw.Emit(e)
+	}
+	if jw.Err() != nil || jw.Count() != 2 {
+		t.Fatalf("err=%v count=%d", jw.Err(), jw.Count())
+	}
+	if !strings.Contains(buf.String(), `"schema":"wir-trace/1"`) {
+		t.Fatalf("missing schema header: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"result":"deadbeef12345678"`) {
+		t.Fatalf("result not hex-encoded: %s", buf.String())
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d events read", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestJSONWriterFilters(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONWriter(&buf).FilterKinds(KindRetire)
+	jw.SM = 1
+	jw.Warp = 3
+	jw.Emit(Event{Kind: KindIssue, SM: 1, Warp: 3})  // wrong kind
+	jw.Emit(Event{Kind: KindRetire, SM: 0, Warp: 3}) // wrong SM
+	jw.Emit(Event{Kind: KindRetire, SM: 1, Warp: 2}) // wrong warp
+	jw.Emit(Event{Kind: KindRetire, SM: 1, Warp: 3}) // passes
+	if jw.Count() != 1 {
+		t.Fatalf("filtered count = %d, want 1", jw.Count())
+	}
+}
+
+func TestReadJSONLRejectsBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"schema":"wrong/1"}` + "\n")); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	bad := `{"schema":"wir-trace/1"}` + "\n" + `{"kind":"flarp"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	bad = `{"schema":"wir-trace/1"}` + "\n" + `{"kind":"retire","result":"zzzz"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+		t.Fatal("malformed result accepted")
+	}
+}
+
+func TestReadRetireRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONWriter(&buf)
+	// Include non-retire noise: the recorder must keep only retires.
+	jw.Emit(Event{Kind: KindIssue, Launch: 1, Block: 0, WarpInBlock: 0, Seq: 1})
+	jw.Emit(Event{Kind: KindRetire, Launch: 1, Block: 0, WarpInBlock: 0, PC: 7, Seq: 1, Result: 5})
+	jw.Emit(Event{Kind: KindRetire, Launch: 1, Block: 2, WarpInBlock: 1, PC: 8, Seq: 1, Result: 6})
+	rec, err := ReadRetireRecorder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Streams) != 2 {
+		t.Fatalf("%d streams", len(rec.Streams))
+	}
+	s := rec.Streams[[3]int{1, 0, 0}]
+	if len(s) != 1 || s[0].PC != 7 || s[0].Result != 5 {
+		t.Fatalf("stream wrong: %+v", s)
+	}
+	// A recorder loaded from disk must compare clean against a live recorder
+	// of the same run.
+	live := NewRetireRecorder()
+	live.Emit(Event{Kind: KindRetire, Launch: 1, Block: 0, WarpInBlock: 0, PC: 7, Seq: 1, Result: 5})
+	live.Emit(Event{Kind: KindRetire, Launch: 1, Block: 2, WarpInBlock: 1, PC: 8, Seq: 1, Result: 6})
+	if d := Divergence(rec, live); d != "" {
+		t.Fatalf("recorded vs live diverged: %s", d)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	r1, r2 := NewRing(4), NewRing(4)
+	m := Multi{r1, r2}
+	m.Emit(Event{Cycle: 1})
+	m.Emit(Event{Cycle: 2})
+	if len(r1.Events()) != 2 || len(r2.Events()) != 2 {
+		t.Fatalf("fan-out missed a sink: %d / %d", len(r1.Events()), len(r2.Events()))
+	}
+}

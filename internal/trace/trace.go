@@ -142,7 +142,9 @@ func (r *RetireRecorder) Emit(e Event) {
 // and scheduling may differ between models, but each warp's architectural
 // result sequence must not.
 func Divergence(a, b *RetireRecorder) string {
-	for key := range a.Streams {
+	// Iterate streams in sorted key order: map order would make which
+	// divergence is reported (when several warps diverge) vary run to run.
+	for _, key := range sortedKeys(a.Streams) {
 		sa := sortedBySeq(a.Streams[key])
 		sb := sortedBySeq(b.Streams[key])
 		n := len(sa)
@@ -159,12 +161,31 @@ func Divergence(a, b *RetireRecorder) string {
 			return fmt.Sprintf("launch %d block %d warp %d: stream lengths differ (%d vs %d)", key[0], key[1], key[2], len(sa), len(sb))
 		}
 	}
-	for key := range b.Streams {
+	for _, key := range sortedKeys(b.Streams) {
 		if _, ok := a.Streams[key]; !ok {
 			return fmt.Sprintf("launch %d block %d warp %d: stream present only in second run", key[0], key[1], key[2])
 		}
 	}
 	return ""
+}
+
+// sortedKeys returns the stream keys in (launch, block, warp) order.
+func sortedKeys(m map[[3]int][]Event) [][3]int {
+	keys := make([][3]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	return keys
 }
 
 // sortedBySeq returns the stream ordered by per-warp issue sequence.

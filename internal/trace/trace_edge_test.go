@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRingWrapExact pins down the exact contents at and around the wrap
+// boundary: filling a ring of size n with exactly n events must keep all of
+// them in order, and one more event must evict exactly the oldest.
+func TestRingWrapExact(t *testing.T) {
+	const n = 4
+	r := NewRing(n)
+	for i := 0; i < n; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != n {
+		t.Fatalf("full ring holds %d events", len(ev))
+	}
+	for i := range ev {
+		if ev[i].Cycle != uint64(i) {
+			t.Fatalf("event %d cycle = %d (order broken at exact fill)", i, ev[i].Cycle)
+		}
+	}
+	r.Emit(Event{Cycle: n})
+	ev = r.Events()
+	if len(ev) != n || ev[0].Cycle != 1 || ev[n-1].Cycle != n {
+		t.Fatalf("after wrap: %+v", ev)
+	}
+}
+
+// TestDivergenceEmptyStreams: two empty recorders agree; an empty recorder
+// against a populated one reports the one-sided stream, not a panic or a
+// false match.
+func TestDivergenceEmptyStreams(t *testing.T) {
+	if d := Divergence(NewRetireRecorder(), NewRetireRecorder()); d != "" {
+		t.Fatalf("two empty recorders diverged: %s", d)
+	}
+	b := NewRetireRecorder()
+	b.Emit(Event{Kind: KindRetire, PC: 1, Seq: 1, Result: 2})
+	if d := Divergence(NewRetireRecorder(), b); !strings.Contains(d, "only in second") {
+		t.Fatalf("one-sided stream not reported: %q", d)
+	}
+	// The mirror case: a stream present only in the first recorder shows up
+	// as a length mismatch on that stream.
+	if d := Divergence(b, NewRetireRecorder()); !strings.Contains(d, "lengths differ") {
+		t.Fatalf("first-only stream not reported: %q", d)
+	}
+}
+
+// TestDivergenceOutOfOrderSeq: retire order differs (reuse hits retire
+// early), but per-warp program order (Seq) agrees — the streams must compare
+// equal regardless of arrival order.
+func TestDivergenceOutOfOrderSeq(t *testing.T) {
+	a := NewRetireRecorder()
+	a.Emit(Event{Kind: KindRetire, PC: 0, Seq: 1, Result: 10})
+	a.Emit(Event{Kind: KindRetire, PC: 1, Seq: 2, Result: 20})
+	a.Emit(Event{Kind: KindRetire, PC: 2, Seq: 3, Result: 30})
+	b := NewRetireRecorder()
+	b.Emit(Event{Kind: KindRetire, PC: 2, Seq: 3, Result: 30}) // bypass retired early
+	b.Emit(Event{Kind: KindRetire, PC: 0, Seq: 1, Result: 10})
+	b.Emit(Event{Kind: KindRetire, PC: 1, Seq: 2, Result: 20})
+	if d := Divergence(a, b); d != "" {
+		t.Fatalf("same program order reported divergent: %s", d)
+	}
+	// And a genuine mismatch is still found under reordering.
+	c := NewRetireRecorder()
+	c.Emit(Event{Kind: KindRetire, PC: 2, Seq: 3, Result: 31})
+	c.Emit(Event{Kind: KindRetire, PC: 0, Seq: 1, Result: 10})
+	c.Emit(Event{Kind: KindRetire, PC: 1, Seq: 2, Result: 20})
+	if d := Divergence(a, c); !strings.Contains(d, "event 2") {
+		t.Fatalf("mismatch not located in program order: %q", d)
+	}
+}
+
+// TestDivergenceDeterministic is the regression test for the map-iteration
+// nondeterminism: with several warps diverging at once, the reported first
+// divergence must be the same on every call (the smallest key in
+// launch/block/warp order).
+func TestDivergenceDeterministic(t *testing.T) {
+	mk := func(bump int) *RetireRecorder {
+		r := NewRetireRecorder()
+		for block := 0; block < 32; block++ {
+			res := uint64(block)
+			if bump >= 0 {
+				res += uint64(bump)
+			}
+			r.Emit(Event{Kind: KindRetire, Block: block, PC: 1, Seq: 1, Result: res})
+		}
+		return r
+	}
+	a := mk(-1)
+	b := mk(100) // every one of the 32 streams diverges
+	want := Divergence(a, b)
+	if want == "" {
+		t.Fatal("expected a divergence")
+	}
+	if !strings.Contains(want, "block 0 ") {
+		t.Fatalf("first divergence not the smallest key: %q", want)
+	}
+	for i := 0; i < 20; i++ {
+		if got := Divergence(a, b); got != want {
+			t.Fatalf("nondeterministic report:\n  first: %q\n  later: %q", want, got)
+		}
+	}
+}

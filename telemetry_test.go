@@ -1,0 +1,222 @@
+package wir_test
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	wir "github.com/wirsim/wir"
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/metrics"
+)
+
+// runInstrumented runs the KM benchmark with the full telemetry stack
+// attached: registry, instruments, and an interval sampler.
+func runInstrumented(t *testing.T, interval uint64) (*wir.GPU, *wir.MetricsRegistry, *wir.Instruments, *wir.Sampler, wir.Stats) {
+	t.Helper()
+	bm, err := bench.ByAbbr("KM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wir.DefaultConfig(wir.RLPV)
+	cfg.NumSMs = 2
+	g, err := wir.NewGPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := wir.NewMetricsRegistry()
+	ins := wir.NewInstruments(reg)
+	g.SetInstruments(ins)
+	sp := wir.NewSampler(interval)
+	sp.Registry = reg
+	g.SetSampler(sp)
+
+	w, err := bm.Setup(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	g.FlushSampler()
+	return g, reg, ins, sp, g.Stats()
+}
+
+// TestIntervalSamplerReconciles is the acceptance check for the interval time
+// series: the summed per-interval counter deltas must equal the final
+// cumulative totals, field for field.
+func TestIntervalSamplerReconciles(t *testing.T) {
+	_, _, _, sp, st := runInstrumented(t, 1000)
+	if len(sp.Samples()) < 2 {
+		t.Fatalf("only %d intervals recorded", len(sp.Samples()))
+	}
+	total := sp.SumDeltas()
+	tm, fm := total.Map(), st.Map()
+	for name, want := range fm {
+		if tm[name] != want {
+			t.Errorf("counter %s: summed intervals %d != final total %d", name, tm[name], want)
+		}
+	}
+
+	// The exported JSONL stream must parse and carry the same reconciliation.
+	var buf bytes.Buffer
+	if err := sp.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := metrics.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var issued uint64
+	for _, s := range samples {
+		issued += s.Counters["Issued"]
+	}
+	if issued != st.Issued {
+		t.Fatalf("JSONL intervals sum Issued to %d, final total %d", issued, st.Issued)
+	}
+	last := samples[len(samples)-1]
+	if last.End != st.Cycles {
+		t.Fatalf("flushed tail interval ends at %d, run took %d cycles", last.End, st.Cycles)
+	}
+}
+
+// TestStallAttributionPartitions is the acceptance check for stall
+// attribution: every scheduler-slot cycle is either an issue or exactly one
+// stall reason, so issue + stalls = slots and the stall fractions sum to 1.0.
+func TestStallAttributionPartitions(t *testing.T) {
+	g, _, _, _, st := runInstrumented(t, 1000)
+	sr := g.StallReport()
+	if sr.SchedSlotCycles == 0 {
+		t.Fatal("no scheduler-slot cycles recorded")
+	}
+	if sr.IssueCycles+sr.Stalls.Total() != sr.SchedSlotCycles {
+		t.Fatalf("issue %d + stalls %d != slot cycles %d",
+			sr.IssueCycles, sr.Stalls.Total(), sr.SchedSlotCycles)
+	}
+	if sr.IssueCycles != st.Issued {
+		t.Fatalf("issue cycles %d != issued instructions %d (one issue per slot per cycle)",
+			sr.IssueCycles, st.Issued)
+	}
+	var sum float64
+	for _, f := range sr.Fractions() {
+		sum += f
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("stall fractions sum to %g, want 1.0", sum)
+	}
+	// Per-slot tallies are a partition of the aggregate.
+	var perSlot uint64
+	for i := range sr.PerSlot {
+		perSlot += sr.PerSlot[i].Total()
+	}
+	if perSlot != sr.Stalls.Total() {
+		t.Fatalf("per-slot stalls %d != aggregate %d", perSlot, sr.Stalls.Total())
+	}
+}
+
+// TestInstrumentHistograms checks the hot-path observations hang together:
+// every retired warp instruction contributes one issue-latency and one
+// bank-retry sample, and the summed bank-retry samples equal the counter the
+// SM keeps independently (minus dummy-MOV retries, which are not flights).
+func TestInstrumentHistograms(t *testing.T) {
+	_, _, ins, _, st := runInstrumented(t, 1000)
+	flights := st.Backend + st.Bypassed
+	if got := ins.IssueLatency.Count(); got != flights {
+		t.Errorf("issue-latency samples %d != retired flights %d", got, flights)
+	}
+	if got := ins.BankRetries.Count(); got != flights {
+		t.Errorf("bank-retry samples %d != retired flights %d", got, flights)
+	}
+	if ins.BankRetries.Sum() > st.BankRetries {
+		t.Errorf("per-flight retries (%d) exceed the global retry counter (%d)",
+			ins.BankRetries.Sum(), st.BankRetries)
+	}
+	if st.ReuseHits > 0 && ins.ReuseDistance.Count() == 0 {
+		t.Error("reuse hits recorded but no reuse-distance samples")
+	}
+	if st.L1DAccesses > 0 && ins.MSHROccupancy.Count() == 0 {
+		t.Error("L1D accesses recorded but no MSHR-occupancy samples")
+	}
+	if st.PendingHits > 0 && ins.PendingWait.Count() == 0 {
+		t.Error("pending-retry hits recorded but no pending-wait samples")
+	}
+}
+
+// TestMetricsEndpoint scrapes a live registry over HTTP after a run.
+func TestMetricsEndpoint(t *testing.T) {
+	g, reg, _, _, _ := runInstrumented(t, 1000)
+	sr := g.StallReport()
+	sr.Publish(reg)
+	srv := httptest.NewServer(wir.MetricsHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"wir_reuse_distance_count",
+		"wir_issue_latency_cycles_bucket",
+		"wir_interval_ipc",
+		"wir_sched_slot_cycles",
+		"wir_stall_cycles_mem_latency",
+		"wir_sm0_regs_in_use",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestTelemetryDetachedIsClean: a GPU without instruments must run
+// identically (no telemetry state leaks into the timing model) and report
+// empty telemetry rather than panicking.
+func TestTelemetryDetachedIsClean(t *testing.T) {
+	bm, err := bench.ByAbbr("KM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(attach bool) wir.Stats {
+		cfg := wir.DefaultConfig(wir.RLPV)
+		cfg.NumSMs = 2
+		g, err := wir.NewGPU(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			g.SetInstruments(wir.NewInstruments(wir.NewMetricsRegistry()))
+		}
+		w, err := bm.Setup(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Run(g); err != nil {
+			t.Fatal(err)
+		}
+		return g.Stats()
+	}
+	plain := run(false)
+	instrumented := run(true)
+	if plain != instrumented {
+		t.Fatalf("telemetry changed simulation results:\nplain:        %+v\ninstrumented: %+v", plain, instrumented)
+	}
+	// Telemetry accessors are safe with nothing attached.
+	cfg := wir.DefaultConfig(wir.RLPV)
+	cfg.NumSMs = 1
+	g, err := wir.NewGPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.FlushSampler()
+	if sr := g.StallReport(); sr.IssueCycles != 0 || sr.Stalls.Total() != 0 {
+		t.Fatalf("detached stall report not empty: %+v", sr)
+	}
+}

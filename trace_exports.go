@@ -19,6 +19,20 @@ type TraceRing = trace.Ring
 // NewTraceRing returns a ring buffer holding n events.
 func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
 
+// TraceJSONWriter streams pipeline events as schema-versioned JSON lines,
+// optionally filtered by kind, SM and warp.
+type TraceJSONWriter = trace.JSONWriter
+
+// NewTraceJSONWriter returns a JSONL sink writing to w with the schema header
+// already emitted.
+var NewTraceJSONWriter = trace.NewJSONWriter
+
+// TraceMulti fans pipeline events out to several sinks.
+type TraceMulti = trace.Multi
+
+// ReadTraceJSONL parses a JSONL trace written by a TraceJSONWriter.
+var ReadTraceJSONL = trace.ReadJSONL
+
 // Pipeline event kinds.
 const (
 	TraceIssue    = trace.KindIssue

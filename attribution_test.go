@@ -1,0 +1,176 @@
+package wir_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	wir "github.com/wirsim/wir"
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/metrics"
+)
+
+// runAttributed runs the KM benchmark with the per-PC attribution collector
+// attached, with or without the metrics instruments, and returns the
+// collector, the final counters, the stall report and the cycle count.
+func runAttributed(t *testing.T, instruments bool) (*wir.AttrCollector, wir.Stats, wir.StallReport, uint64) {
+	t.Helper()
+	bm, err := bench.ByAbbr("KM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wir.DefaultConfig(wir.RLPV)
+	cfg.NumSMs = 2
+	g, err := wir.NewGPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instruments {
+		g.SetInstruments(wir.NewInstruments(wir.NewMetricsRegistry()))
+	}
+	c := wir.NewAttrCollector()
+	g.SetAttribution(c)
+	w, err := bm.Setup(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := w.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return c, g.Stats(), g.StallReport(), cycles
+}
+
+// TestAttributionReconciles is the acceptance check for the attribution
+// layer: per-PC sums must equal the matching aggregate counters exactly,
+// with the instruments both attached and detached.
+func TestAttributionReconciles(t *testing.T) {
+	for _, mode := range []struct {
+		name        string
+		instruments bool
+	}{
+		{"instruments-on", true},
+		{"instruments-off", false},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			c, st, sr, _ := runAttributed(t, mode.instruments)
+			tot := c.Totals()
+			checks := []struct {
+				name       string
+				perPC, agg uint64
+			}{
+				{"Issued", tot.Issued, st.Issued},
+				{"Bypassed", tot.Bypassed, st.Bypassed},
+				{"ReuseHits", tot.ReuseHits, st.ReuseHits},
+				{"ReuseMisses", tot.ReuseMisses, st.ReuseMisses},
+				{"VSBFalsePos", tot.VSBFalsePos, st.VSBFalsePos},
+				{"DummyMovs", tot.DummyMovs, st.DummyMovs},
+				{"BankRetries", tot.BankRetries, st.BankRetries},
+			}
+			for _, ck := range checks {
+				if ck.perPC != ck.agg {
+					t.Errorf("%s: per-PC sum %d != aggregate %d", ck.name, ck.perPC, ck.agg)
+				}
+			}
+
+			// Stall blame (per-PC plus the unattributed bucket) must cover the
+			// stall report reason for reason.
+			stalls := c.StallTotals()
+			for i, n := range sr.Stalls {
+				if stalls[i] != n {
+					t.Errorf("stall reason %s: attributed %d != report %d",
+						metrics.StallReason(i), stalls[i], n)
+				}
+			}
+			if tot.EnergyPJ <= 0 {
+				t.Error("per-PC energy attribution is zero")
+			}
+			if len(c.Hotspots(5)) == 0 {
+				t.Error("no hotspots recorded")
+			}
+		})
+	}
+}
+
+// TestAttributionProfileRoundTrip writes the gzip'd pprof profile and parses
+// it back, checking the sample sums against the collector totals.
+func TestAttributionProfileRoundTrip(t *testing.T) {
+	c, _, _, cycles := runAttributed(t, false)
+	var buf bytes.Buffer
+	if err := c.WriteProfile(&buf, cycles); err != nil {
+		t.Fatal(err)
+	}
+	p, err := wir.ParsePprof(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParsePprof: %v", err)
+	}
+	if len(p.SampleType) != 3 {
+		t.Fatalf("got %d sample types, want 3", len(p.SampleType))
+	}
+	if p.DurationNanos != int64(cycles)*1000 {
+		t.Errorf("DurationNanos = %d, want %d", p.DurationNanos, int64(cycles)*1000)
+	}
+	var sumCycles, sumIssued uint64
+	for _, s := range p.Samples {
+		if len(s.Values) != 3 {
+			t.Fatalf("sample has %d values, want 3", len(s.Values))
+		}
+		sumCycles += uint64(s.Values[0])
+		sumIssued += uint64(s.Values[2])
+		if len(s.LocationIDs) == 0 {
+			t.Fatal("sample with no locations")
+		}
+	}
+	tot := c.Totals()
+	if sumCycles != tot.Cycles {
+		t.Errorf("profile cycles %d != collector total %d", sumCycles, tot.Cycles)
+	}
+	if sumIssued != tot.Issued {
+		t.Errorf("profile issued %d != collector total %d", sumIssued, tot.Issued)
+	}
+	// Every location must resolve to a function with the kernel disassembly
+	// baked into its name.
+	funcs := map[uint64]string{}
+	for _, f := range p.Functions {
+		funcs[f.ID] = f.Name
+	}
+	for _, l := range p.Locations {
+		if len(l.Lines) == 0 {
+			t.Fatal("location with no line info")
+		}
+		if _, ok := funcs[l.Lines[0].FunctionID]; !ok {
+			t.Fatalf("location %d references unknown function %d", l.ID, l.Lines[0].FunctionID)
+		}
+	}
+}
+
+// TestAttributionProfileReadableByPprof shells out to `go tool pprof -raw`
+// (the acceptance criterion) when a go toolchain is on PATH.
+func TestAttributionProfileReadableByPprof(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	c, _, _, cycles := runAttributed(t, false)
+	path := filepath.Join(t.TempDir(), "cpu.pb.gz")
+	var buf bytes.Buffer
+	if err := c.WriteProfile(&buf, cycles); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(goBin, "tool", "pprof", "-raw", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -raw: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "cycles/cycles") {
+		t.Fatalf("pprof -raw output missing sample type:\n%s", out)
+	}
+}

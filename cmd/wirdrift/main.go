@@ -1,0 +1,58 @@
+// Command wirdrift compares two wir-stats/1 reports and fails when headline
+// derived metrics drift beyond a relative tolerance. CI uses it to gate the
+// benchmark smoke run against the committed baseline:
+//
+//	wirdrift -max 0.15 BENCH_baseline.json BENCH_ci.json
+//
+// Exit status: 0 within tolerance, 1 on drift, 2 on usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/wirsim/wir/internal/metrics"
+)
+
+func main() {
+	max := flag.Float64("max", 0.15, "maximum allowed relative drift (0.15 = 15%)")
+	keys := flag.String("keys", "", "comma-separated derived metrics to compare (default: ipc_per_sm,bypass_rate)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: wirdrift [-max FRAC] [-keys a,b] baseline.json current.json")
+		os.Exit(2)
+	}
+	base := readReport(flag.Arg(0))
+	cur := readReport(flag.Arg(1))
+
+	var keyList []string
+	if *keys != "" {
+		keyList = strings.Split(*keys, ",")
+	}
+	violations := metrics.DriftViolations(base, cur, *max, keyList...)
+	if len(violations) == 0 {
+		fmt.Printf("wirdrift: %s vs %s within %.0f%% tolerance\n", flag.Arg(0), flag.Arg(1), 100**max)
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "wirdrift:", v)
+	}
+	os.Exit(1)
+}
+
+func readReport(path string) *metrics.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirdrift:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	r, err := metrics.ReadReport(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wirdrift: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return r
+}

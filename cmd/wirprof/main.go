@@ -1,26 +1,49 @@
 // Command wirprof runs the repeated-computation profiler (paper Figure 2)
-// on one benchmark or the whole suite.
+// on one benchmark or the whole suite, or — with -hotspots — runs the full
+// machine model and reports the per-PC attribution hotspots.
 //
 // Usage:
 //
-//	wirprof [-sms N] [benchmark-abbr]
+//	wirprof [-sms N] [-json|-csv] [benchmark-abbr]
+//	wirprof -hotspots 10 [-model RLPV] [-json|-csv] KM
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
+	"github.com/wirsim/wir/internal/attr"
 	"github.com/wirsim/wir/internal/bench"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/profile"
 )
 
+// profRow is one Figure-2 profile line in machine-readable form.
+type profRow struct {
+	App          string  `json:"app"`
+	Repeated     float64 `json:"repeated"`
+	Repeated10x  float64 `json:"repeated_10x"`
+	Instructions uint64  `json:"instructions"`
+}
+
 func main() {
 	sms := flag.Int("sms", 15, "number of simulated SMs")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of the text table")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of the text table")
+	hotspots := flag.Int("hotspots", 0, "run the machine model and report the top-N per-PC hotspots instead of the Figure-2 profile")
+	modelName := flag.String("model", "RLPV", "machine model for -hotspots runs")
 	flag.Parse()
 
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "wirprof: -json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
 	targets := bench.All()
 	if flag.NArg() == 1 {
 		b, err := bench.ByAbbr(flag.Arg(0))
@@ -29,9 +52,17 @@ func main() {
 			os.Exit(1)
 		}
 		targets = []*bench.Benchmark{b}
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: wirprof [-sms N] [-json|-csv] [-hotspots N] [benchmark-abbr]")
+		os.Exit(2)
 	}
-	fmt.Printf("%-4s %10s %14s %12s\n", "App", "repeated", "repeated>=10x", "instructions")
-	var sum, sum10 float64
+
+	if *hotspots > 0 {
+		runHotspots(targets, *sms, *modelName, *hotspots, *jsonOut, *csvOut)
+		return
+	}
+
+	var rows []profRow
 	for _, bm := range targets {
 		cfg := config.Default(config.Base)
 		cfg.NumSMs = *sms
@@ -43,14 +74,108 @@ func main() {
 		fatal(err)
 		_, err = w.Run(g)
 		fatal(err)
-		fmt.Printf("%-4s %9.1f%% %13.1f%% %12d\n",
-			bm.Abbr, 100*p.RepeatedRate(), 100*p.Repeated10Rate(), p.Total())
-		sum += p.RepeatedRate()
-		sum10 += p.Repeated10Rate()
+		rows = append(rows, profRow{
+			App:          bm.Abbr,
+			Repeated:     p.RepeatedRate(),
+			Repeated10x:  p.Repeated10Rate(),
+			Instructions: p.Total(),
+		})
 	}
-	if len(targets) > 1 {
-		n := float64(len(targets))
-		fmt.Printf("%-4s %9.1f%% %13.1f%%   (paper: 31.4%% / 16.0%%)\n", "AVG", 100*sum/n, 100*sum10/n)
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(rows))
+	case *csvOut:
+		w := csv.NewWriter(os.Stdout)
+		fatal(w.Write([]string{"app", "repeated", "repeated_10x", "instructions"}))
+		for _, r := range rows {
+			fatal(w.Write([]string{
+				r.App,
+				strconv.FormatFloat(r.Repeated, 'f', 4, 64),
+				strconv.FormatFloat(r.Repeated10x, 'f', 4, 64),
+				strconv.FormatUint(r.Instructions, 10),
+			}))
+		}
+		w.Flush()
+		fatal(w.Error())
+	default:
+		fmt.Printf("%-4s %10s %14s %12s\n", "App", "repeated", "repeated>=10x", "instructions")
+		var sum, sum10 float64
+		for _, r := range rows {
+			fmt.Printf("%-4s %9.1f%% %13.1f%% %12d\n",
+				r.App, 100*r.Repeated, 100*r.Repeated10x, r.Instructions)
+			sum += r.Repeated
+			sum10 += r.Repeated10x
+		}
+		if len(rows) > 1 {
+			n := float64(len(rows))
+			fmt.Printf("%-4s %9.1f%% %13.1f%%   (paper: 31.4%% / 16.0%%)\n", "AVG", 100*sum/n, 100*sum10/n)
+		}
+	}
+}
+
+// runHotspots runs each target under the requested machine model with the
+// attribution collector attached and reports the top-N per-PC records.
+func runHotspots(targets []*bench.Benchmark, sms int, modelName string, n int, jsonOut, csvOut bool) {
+	m, err := config.ParseModel(modelName)
+	fatal(err)
+	var all []metrics.Hotspot
+	for _, bm := range targets {
+		cfg := config.Default(m)
+		cfg.NumSMs = sms
+		g, err := gpu.New(cfg)
+		fatal(err)
+		c := attr.NewCollector()
+		g.SetAttribution(c)
+		w, err := bm.Setup(g)
+		fatal(err)
+		_, err = w.Run(g)
+		fatal(err)
+		hs := c.Hotspots(n)
+		if len(targets) > 1 && !jsonOut && !csvOut {
+			fmt.Printf("%s (%s)\n", bm.Name, bm.Abbr)
+			attr.WriteHotspots(os.Stdout, hs)
+			fmt.Println()
+		}
+		all = append(all, hs...)
+	}
+
+	switch {
+	case jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(all))
+	case csvOut:
+		w := csv.NewWriter(os.Stdout)
+		fatal(w.Write([]string{
+			"kernel", "pc", "op", "issued", "bypassed", "reuse_hits", "reuse_misses",
+			"vsb_false_pos", "dummy_movs", "bank_retries", "cycles", "energy_pj", "stall_cycles",
+		}))
+		for _, h := range all {
+			fatal(w.Write([]string{
+				h.Kernel,
+				strconv.Itoa(h.PC),
+				h.Op,
+				strconv.FormatUint(h.Issued, 10),
+				strconv.FormatUint(h.Bypassed, 10),
+				strconv.FormatUint(h.ReuseHits, 10),
+				strconv.FormatUint(h.ReuseMisses, 10),
+				strconv.FormatUint(h.VSBFalsePos, 10),
+				strconv.FormatUint(h.DummyMovs, 10),
+				strconv.FormatUint(h.BankRetries, 10),
+				strconv.FormatUint(h.Cycles, 10),
+				strconv.FormatFloat(h.EnergyPJ, 'f', 0, 64),
+				strconv.FormatUint(h.StallCycles, 10),
+			}))
+		}
+		w.Flush()
+		fatal(w.Error())
+	default:
+		if len(targets) == 1 {
+			attr.WriteHotspots(os.Stdout, all)
+		}
 	}
 }
 

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	wirsim [-sms N] [-model RLPV] [-list] [-interval N] [-metrics FILE]
-//	       [-stats text|json] [-trace-json FILE] [-serve :addr] <benchmark-abbr>
+//	       [-stats text|json] [-trace-json FILE] [-serve :addr]
+//	       [-pprof FILE] [-perfetto FILE] [-hotspots N] <benchmark-abbr>
 package main
 
 import (
@@ -13,11 +14,13 @@ import (
 	"os"
 	"strings"
 
+	"github.com/wirsim/wir/internal/attr"
 	"github.com/wirsim/wir/internal/bench"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/gpu"
 	"github.com/wirsim/wir/internal/metrics"
+	"github.com/wirsim/wir/internal/perfetto"
 	"github.com/wirsim/wir/internal/trace"
 )
 
@@ -32,6 +35,9 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write the interval time series to this file (JSONL; .csv extension selects CSV)")
 	statsMode := flag.String("stats", "text", "final statistics format: text or json")
 	serveAddr := flag.String("serve", "", "serve live /metrics (Prometheus text) and /debug/pprof on this address while running")
+	pprofOut := flag.String("pprof", "", "write a per-PC attribution profile (gzip'd pprof) of simulated cycles/energy to this file")
+	perfettoOut := flag.String("perfetto", "", "write the pipeline trace as Perfetto/Chrome trace-event JSON to this file")
+	hotspots := flag.Int("hotspots", 0, "print the top-N per-PC hotspots after the run")
 	flag.Parse()
 
 	if *list {
@@ -86,6 +92,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wirsim: serving /metrics and /debug/pprof on %s\n", *serveAddr)
 	}
 
+	// Per-PC attribution feeds the pprof profile, the hotspot table, and the
+	// hotspots section of the JSON report. Like the instruments it is opt-in
+	// and attached before the run so the sums cover everything.
+	var collector *attr.Collector
+	if *pprofOut != "" || *hotspots > 0 || *statsMode == "json" {
+		collector = attr.NewCollector()
+		g.SetAttribution(collector)
+	}
+
 	var sinks trace.Multi
 	if *traceN > 0 {
 		sinks = append(sinks, &trace.Writer{W: os.Stdout, Max: *traceN})
@@ -97,6 +112,11 @@ func main() {
 		defer f.Close()
 		jsonSink = trace.NewJSONWriter(f)
 		sinks = append(sinks, jsonSink)
+	}
+	var perfettoSink *perfetto.Recorder
+	if *perfettoOut != "" {
+		perfettoSink = &perfetto.Recorder{}
+		sinks = append(sinks, perfettoSink)
 	}
 	switch len(sinks) {
 	case 0:
@@ -140,6 +160,23 @@ func main() {
 		fatal(f.Close())
 	}
 
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		fatal(err)
+		fatal(collector.WriteProfile(f, cycles))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "wirsim: wrote pprof profile to %s (view: go tool pprof -http=: %s)\n",
+			*pprofOut, *pprofOut)
+	}
+	if *perfettoOut != "" {
+		f, err := os.Create(*perfettoOut)
+		fatal(err)
+		fatal(perfetto.Write(f, perfettoSink.Events))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "wirsim: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+			len(perfettoSink.Events), *perfettoOut)
+	}
+
 	if *statsMode == "json" {
 		rep := metrics.NewReport(bm.Abbr, fmt.Sprint(m), cfg.NumSMs, &st)
 		sr := g.StallReport()
@@ -148,6 +185,11 @@ func main() {
 		rep.AttachInstruments(ins)
 		rep.RFBankConflicts = g.RFConflictCounts()
 		rep.Energy = map[string]float64{"sm": eb.SM() / 1e6, "total": eb.Total() / 1e6}
+		n := *hotspots
+		if n <= 0 {
+			n = 10
+		}
+		rep.Hotspots = collector.Hotspots(n)
 		fatal(rep.WriteJSON(os.Stdout))
 		return
 	}
@@ -188,6 +230,10 @@ func main() {
 	}
 	if sampler != nil {
 		fmt.Printf("intervals recorded     %d (every %d cycles)\n", len(sampler.Samples()), sampler.Every)
+	}
+	if *hotspots > 0 {
+		fmt.Printf("\ntop %d hotspots by simulated cycles\n", *hotspots)
+		attr.WriteHotspots(os.Stdout, collector.Hotspots(*hotspots))
 	}
 }
 

@@ -1,0 +1,57 @@
+// Command wirtrace converts a recorded wir-trace/1 JSONL pipeline trace into
+// Chrome trace-event JSON for the Perfetto UI (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Usage:
+//
+//	wirsim -trace-json run.jsonl KM
+//	wirtrace -o run.json run.jsonl    # or: wirtrace < run.jsonl > run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/wirsim/wir/internal/perfetto"
+	"github.com/wirsim/wir/internal/trace"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: wirtrace [-o out.json] [trace.jsonl]")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		fatal(err)
+		defer f.Close()
+		in = f
+	}
+	events, err := trace.ReadJSONL(in)
+	fatal(err)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer func() { fatal(f.Close()) }()
+		w = f
+	}
+	fatal(perfetto.Write(w, events))
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wirtrace: wrote %d pipeline events to %s\n", len(events), *out)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirtrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+package attr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/wirsim/wir/internal/pprofenc"
+)
+
+// Profile renders the collected attribution as a pprof profile readable by
+// `go tool pprof` (and its -http flamegraph view): each kernel becomes a
+// function in a synthetic source file "<kernel>.kasm" whose line numbers are
+// PC+1, and each PC becomes a leaf function named with its disassembly. One
+// sample is emitted per (kernel, SM, PC) with the SM carried as a numeric
+// label, so `pprof -tagfocus` can isolate one SM. Sample values are
+// [simulated cycles, energy pJ, issued count]; cycles is the default view.
+// cycles is the run length in core cycles, reported as the profile duration
+// at the 1 cycle = 1µs convention the Perfetto export also uses.
+func (c *Collector) Profile(cycles uint64) *pprofenc.Profile {
+	p := &pprofenc.Profile{
+		SampleType: []pprofenc.ValueType{
+			{Type: "cycles", Unit: "cycles"},
+			{Type: "energy", Unit: "picojoules"},
+			{Type: "issued", Unit: "count"},
+		},
+		PeriodType:        pprofenc.ValueType{Type: "cycles", Unit: "cycles"},
+		Period:            1,
+		DurationNanos:     int64(cycles) * 1000,
+		DefaultSampleType: "cycles",
+		Comments:          []string{"wirsim per-PC attribution profile"},
+	}
+	const memStart, memLimit = 0x1000, 0x10000000
+	p.Mappings = []pprofenc.Mapping{{
+		ID: 1, MemoryStart: memStart, MemoryLimit: memLimit,
+		Filename: "[wirsim]", BuildID: "wir-attr",
+	}}
+
+	var (
+		nextFn  uint64
+		nextLoc uint64
+		// One function+location per kernel (the flamegraph root frame) and
+		// per (kernel, pc) leaf, shared across SMs.
+		kernelFn  = map[string]uint64{}
+		kernelLoc = map[string]uint64{}
+		pcLoc     = map[string]map[int]uint64{}
+	)
+	addFn := func(f pprofenc.Function) uint64 {
+		nextFn++
+		f.ID = nextFn
+		p.Functions = append(p.Functions, f)
+		return nextFn
+	}
+	addLoc := func(fn uint64, line int64) uint64 {
+		nextLoc++
+		p.Locations = append(p.Locations, pprofenc.Location{
+			ID: nextLoc, MappingID: 1, Address: memStart + nextLoc*16,
+			Lines: []pprofenc.Line{{FunctionID: fn, Line: line}},
+		})
+		return nextLoc
+	}
+
+	// Walk tables in a deterministic order: kernel name, then SM.
+	tables := append([]*Table(nil), c.tables...)
+	sort.Slice(tables, func(i, j int) bool {
+		if tables[i].Kernel.Name != tables[j].Kernel.Name {
+			return tables[i].Kernel.Name < tables[j].Kernel.Name
+		}
+		return tables[i].SM < tables[j].SM
+	})
+	for _, t := range tables {
+		name := t.Kernel.Name
+		file := name + ".kasm"
+		if _, ok := kernelFn[name]; !ok {
+			fn := addFn(pprofenc.Function{Name: name, SystemName: name, Filename: file, StartLine: 1})
+			kernelFn[name] = fn
+			kernelLoc[name] = addLoc(fn, 1)
+			pcLoc[name] = map[int]uint64{}
+		}
+		for pc := range t.PCs {
+			r := &t.PCs[pc]
+			if !r.active() {
+				continue
+			}
+			loc, ok := pcLoc[name][pc]
+			if !ok {
+				sys := fmt.Sprintf("%s:%d", name, pc)
+				fn := addFn(pprofenc.Function{
+					Name:       sys + " " + t.Kernel.Disasm(pc),
+					SystemName: sys,
+					Filename:   file,
+					StartLine:  int64(pc) + 1,
+				})
+				loc = addLoc(fn, int64(pc)+1)
+				pcLoc[name][pc] = loc
+			}
+			p.Samples = append(p.Samples, pprofenc.Sample{
+				LocationIDs: []uint64{loc, kernelLoc[name]},
+				Values:      []int64{int64(r.Cycles), int64(r.EnergyPJ + 0.5), int64(r.Issued)},
+				Labels:      []pprofenc.Label{{Key: "sm", Num: int64(t.SM), NumUnit: "id"}},
+			})
+		}
+	}
+	return p
+}
+
+// WriteProfile writes the gzip'd profile for a run of the given cycle count.
+func (c *Collector) WriteProfile(w io.Writer, cycles uint64) error {
+	return c.Profile(cycles).WriteGzip(w)
+}

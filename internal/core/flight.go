@@ -6,6 +6,7 @@
 package core
 
 import (
+	"github.com/wirsim/wir/internal/attr"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/regfile"
 	"github.com/wirsim/wir/internal/reuse"
@@ -95,6 +96,7 @@ type Flight struct {
 	HasVSBCand    bool
 	VerifyCounted bool // VerifyReads counted (one-shot across retry cycles)
 	VCacheTried   bool // verify cache consulted (one-shot)
+	VerifiedBank  bool // the verify-read touched the register banks
 
 	// In-flight references to release at retire.
 	Refs []regfile.PhysID
@@ -116,6 +118,10 @@ type Flight struct {
 	Blocked      BlockReason // why the latest advance attempt stalled
 	Retries      uint32      // bank-conflict retries accumulated by this flight
 	PendingSince uint64      // cycle the flight entered the pending queue
+	// Attr is the per-PC attribution record this flight reports to; nil when
+	// attribution is detached. Resolved once at issue so the engine's stage
+	// hooks are a nil-safe method call, not a table lookup.
+	Attr *attr.PCStats
 }
 
 // AddInflightRef records an in-flight reference taken on p, to be released

@@ -108,6 +108,7 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 	switch res {
 	case reuse.Hit:
 		e.st.ReuseHits++
+		fl.Attr.IncReuseHit()
 		if e.ins != nil {
 			e.ins.ReuseDistance.Observe(e.rb.LastHitDistance())
 		}
@@ -121,6 +122,7 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 		// execution (queue capacity).
 	case reuse.Miss:
 		e.st.ReuseMisses++
+		fl.Attr.IncReuseMiss()
 		if idx < 0 {
 			break
 		}
@@ -163,6 +165,7 @@ func (e *Engine) CheckPending(fl *Flight) (resolved, stillPending bool) {
 	}
 	e.st.ReuseHits++
 	e.st.PendingHits++
+	fl.Attr.IncReuseHit()
 	fl.Bypassed = true
 	fl.ReuseResult = ent.Result
 	fl.DstPhys = ent.Result
@@ -264,6 +267,7 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 				continue
 			}
 			e.st.VSBFalsePos++
+			fl.Attr.IncVSBFalsePos()
 			fl.Alloc = AllocGetReg
 			continue
 
@@ -331,6 +335,7 @@ func (e *Engine) verifyRead(fl *Flight) (match, blocked bool) {
 		return false, true
 	}
 	e.st.RFVerify++
+	fl.VerifiedBank = true
 	v := e.rf.Value(fl.VSBCand)
 	if e.model.VerifyCache() && e.rf.HasVerifyCache() {
 		e.st.VerifyCacheOp++

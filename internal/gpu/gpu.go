@@ -6,6 +6,7 @@ package gpu
 import (
 	"fmt"
 
+	"github.com/wirsim/wir/internal/attr"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/kasm"
@@ -61,6 +62,7 @@ type GPU struct {
 
 	ins     *metrics.Instruments
 	sampler *metrics.Sampler
+	attr    *attr.Collector
 }
 
 // New builds a GPU for the given configuration.
@@ -109,6 +111,20 @@ func (g *GPU) SetInstruments(ins *metrics.Instruments) {
 		s.SetInstruments(ins)
 	}
 }
+
+// SetAttribution attaches a per-PC attribution collector to every SM (nil
+// detaches). Attach before the first Run so the per-PC sums reconcile
+// exactly with the aggregate counters and the stall blame partitions every
+// scheduler-slot cycle. Attribution works with or without instruments.
+func (g *GPU) SetAttribution(c *attr.Collector) {
+	g.attr = c
+	for _, s := range g.sms {
+		s.SetAttribution(c)
+	}
+}
+
+// Attribution returns the attached collector, or nil.
+func (g *GPU) Attribution() *attr.Collector { return g.attr }
 
 // SetSampler attaches an interval sampler; the Run loop feeds it at each
 // interval boundary. Nil detaches.

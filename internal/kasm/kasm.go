@@ -354,6 +354,16 @@ func (b *Builder) MustBuild() *Kernel {
 	return k
 }
 
+// Disasm returns the disassembly of the single instruction at pc, or "" when
+// pc is out of range. The per-PC attribution layer uses it to label profile
+// frames and hotspot rows.
+func (k *Kernel) Disasm(pc int) string {
+	if pc < 0 || pc >= len(k.Code) {
+		return ""
+	}
+	return k.Code[pc].String()
+}
+
 // Listing disassembles the kernel as a numbered program listing, annotating
 // branch targets and reconvergence points.
 func (k *Kernel) Listing() string {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"github.com/wirsim/wir/internal/stats"
@@ -28,6 +29,28 @@ type Report struct {
 	Histograms       map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	RFBankConflicts  []uint64                     `json:"rf_bank_conflicts_per_group,omitempty"`
 	Energy           map[string]float64           `json:"energy_uj,omitempty"`
+	// Hotspots is the per-PC attribution top-N (internal/attr), present when
+	// attribution was attached to the run.
+	Hotspots []Hotspot `json:"hotspots,omitempty"`
+}
+
+// Hotspot is one merged per-PC attribution record, ranked by attributed
+// cycles. It lives here (not in internal/attr) so the report schema has no
+// dependency on the collection machinery.
+type Hotspot struct {
+	Kernel      string  `json:"kernel"`
+	PC          int     `json:"pc"`
+	Op          string  `json:"op"` // disassembly of the instruction
+	Issued      uint64  `json:"issued"`
+	Bypassed    uint64  `json:"bypassed,omitempty"`
+	ReuseHits   uint64  `json:"reuse_hits,omitempty"`
+	ReuseMisses uint64  `json:"reuse_misses,omitempty"`
+	VSBFalsePos uint64  `json:"vsb_false_pos,omitempty"`
+	DummyMovs   uint64  `json:"dummy_movs,omitempty"`
+	BankRetries uint64  `json:"bank_retries,omitempty"`
+	Cycles      uint64  `json:"cycles"`
+	EnergyPJ    float64 `json:"energy_pj"`
+	StallCycles uint64  `json:"stall_cycles"`
 }
 
 // StallSection is the JSON rendering of a StallReport.
@@ -106,6 +129,56 @@ func ReadReport(rd io.Reader) (*Report, error) {
 		return nil, errSchema(r.Schema)
 	}
 	return &r, nil
+}
+
+// DriftViolations compares the derived metrics of two reports and returns a
+// description of each key whose relative drift from base exceeds maxRel
+// (0.15 = 15%). With no keys given it checks the CI regression pair:
+// ipc_per_sm and bypass_rate. A zero baseline with a nonzero current value
+// counts as a violation (relative drift is undefined there).
+func DriftViolations(base, cur *Report, maxRel float64, keys ...string) []string {
+	if len(keys) == 0 {
+		keys = []string{"ipc_per_sm", "bypass_rate"}
+	}
+	var out []string
+	for _, k := range keys {
+		b, okB := base.Derived[k]
+		c, okC := cur.Derived[k]
+		if !okB || !okC {
+			out = append(out, "derived metric "+k+" missing from "+missingSide(okB, okC)+" report")
+			continue
+		}
+		if b == 0 {
+			if c != 0 {
+				out = append(out, fmtDrift(k, b, c, 0, maxRel))
+			}
+			continue
+		}
+		rel := (c - b) / b
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > maxRel {
+			out = append(out, fmtDrift(k, b, c, rel, maxRel))
+		}
+	}
+	return out
+}
+
+func missingSide(okB, okC bool) string {
+	switch {
+	case !okB && !okC:
+		return "both"
+	case !okB:
+		return "baseline"
+	default:
+		return "current"
+	}
+}
+
+func fmtDrift(key string, base, cur, rel, maxRel float64) string {
+	return fmt.Sprintf("%s: baseline %.6g, current %.6g (%.1f%% drift, %.0f%% allowed)",
+		key, base, cur, 100*rel, 100*maxRel)
 }
 
 type errSchema string

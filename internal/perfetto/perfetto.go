@@ -1,0 +1,180 @@
+// Package perfetto converts wir-trace pipeline events into the Chrome
+// trace-event JSON format, which the Perfetto UI (ui.perfetto.dev) and
+// chrome://tracing both load. Each SM becomes a process, each hardware warp
+// slot a thread; an instruction's issue→retire lifetime renders as an async
+// slice on its warp track (async, because a warp holds many overlapping
+// in-flight instructions), and bypasses, dummy-MOV injections, dispatches
+// and barrier releases render as instant events. Timestamps use the fixed
+// convention 1 simulated cycle = 1 µs, matching the attribution profile's
+// duration stamp.
+package perfetto
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/wirsim/wir/internal/trace"
+)
+
+// TraceEvent is one Chrome trace-event object. Only the fields this
+// converter emits are modeled; see the Trace Event Format spec for the full
+// schema.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"` // microseconds; 1 simulated cycle = 1 µs
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// cat is the category every emitted slice and instant carries, so the UI can
+// filter simulator events as one group.
+const cat = "wir"
+
+// flightKey identifies one in-flight instruction across its issue and retire
+// events: the logical warp identity plus the per-warp program-order
+// sequence number (PC alone is ambiguous in loops).
+type flightKey struct {
+	sm, warp, launch, block, wib int
+	seq                          uint64
+}
+
+// Convert turns pipeline events into trace events. Events may be any subset
+// of a recorded stream (filters applied upstream are fine): a retire with no
+// matching issue is dropped rather than emitting an unbalanced async end,
+// and an issue with no retire renders as an unfinished slice, which the UI
+// shows as such.
+func Convert(events []trace.Event) []TraceEvent {
+	out := make([]TraceEvent, 0, len(events)+16)
+
+	// Metadata: name each SM process and warp thread that appears anywhere
+	// in the stream, in sorted order so output is deterministic.
+	sms := map[int]bool{}
+	warps := map[[2]int]bool{}
+	for i := range events {
+		sms[events[i].SM] = true
+		warps[[2]int{events[i].SM, events[i].Warp}] = true
+	}
+	for _, sm := range sortedInts(sms) {
+		out = append(out, TraceEvent{
+			Name: "process_name", Phase: "M", PID: sm,
+			Args: map[string]any{"name": fmt.Sprintf("SM %d", sm)},
+		})
+	}
+	wkeys := make([][2]int, 0, len(warps))
+	for k := range warps {
+		wkeys = append(wkeys, k)
+	}
+	sort.Slice(wkeys, func(i, j int) bool {
+		if wkeys[i][0] != wkeys[j][0] {
+			return wkeys[i][0] < wkeys[j][0]
+		}
+		return wkeys[i][1] < wkeys[j][1]
+	})
+	for _, k := range wkeys {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Phase: "M", PID: k[0], TID: k[1],
+			Args: map[string]any{"name": fmt.Sprintf("warp %d", k[1])},
+		})
+	}
+
+	open := map[flightKey]string{}
+	nextID := 0
+	for i := range events {
+		e := &events[i]
+		name := fmt.Sprintf("%s pc%d", e.Op, e.PC)
+		base := TraceEvent{Name: name, Cat: cat, TS: e.Cycle, PID: e.SM, TID: e.Warp}
+		switch e.Kind {
+		case trace.KindIssue:
+			nextID++
+			id := fmt.Sprintf("%x", nextID)
+			open[key(e)] = id
+			base.Phase = "b"
+			base.ID = id
+			base.Args = issueArgs(e)
+			out = append(out, base)
+		case trace.KindRetire:
+			id, ok := open[key(e)]
+			if !ok {
+				continue // stream started after this instruction issued
+			}
+			delete(open, key(e))
+			base.Phase = "e"
+			base.ID = id
+			out = append(out, base)
+		case trace.KindBypass, trace.KindDispatch, trace.KindDummy:
+			base.Phase = "i"
+			base.Scope = "t"
+			base.Name = e.Kind.String() + " " + name
+			out = append(out, base)
+		case trace.KindBarrier:
+			base.Phase = "i"
+			base.Scope = "p"
+			base.Name = "barrier release"
+			out = append(out, base)
+		}
+	}
+	return out
+}
+
+func key(e *trace.Event) flightKey {
+	return flightKey{sm: e.SM, warp: e.Warp, launch: e.Launch, block: e.Block, wib: e.WarpInBlock, seq: e.Seq}
+}
+
+func issueArgs(e *trace.Event) map[string]any {
+	args := map[string]any{
+		"pc": e.PC, "seq": e.Seq, "launch": e.Launch,
+		"block": e.Block, "warp_in_block": e.WarpInBlock,
+	}
+	if e.Kernel != "" {
+		args["kernel"] = e.Kernel
+	}
+	return args
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Write converts events and writes them as a JSON array, one event per line
+// (the array-of-events form both Perfetto and chrome://tracing accept).
+func Write(w io.Writer, events []trace.Event) error {
+	tevs := Convert(events)
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i := range tevs {
+		b, err := json.Marshal(&tevs[i])
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(tevs)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// Recorder is a trace.Sink that buffers every event for a post-run Convert.
+type Recorder struct {
+	Events []trace.Event
+}
+
+// Emit implements trace.Sink.
+func (r *Recorder) Emit(e trace.Event) { r.Events = append(r.Events, e) }

@@ -1,0 +1,131 @@
+package pprofenc
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleProfile() *Profile {
+	return &Profile{
+		SampleType: []ValueType{
+			{Type: "cycles", Unit: "cycles"},
+			{Type: "energy", Unit: "picojoules"},
+		},
+		Samples: []Sample{
+			{
+				LocationIDs: []uint64{1, 2},
+				Values:      []int64{120, 4500},
+				Labels: []Label{
+					{Key: "sm", Num: 3, NumUnit: "id"},
+					{Key: "kernel", Str: "km_scale"},
+				},
+			},
+			{LocationIDs: []uint64{2}, Values: []int64{7, 0}},
+		},
+		Mappings: []Mapping{{
+			ID: 1, MemoryStart: 0x1000, MemoryLimit: 0x2000,
+			Filename: "[wirsim]", BuildID: "wir-attr",
+		}},
+		Locations: []Location{
+			{ID: 1, MappingID: 1, Address: 0x1001, Lines: []Line{{FunctionID: 1, Line: 4}}},
+			{ID: 2, MappingID: 1, Address: 0x1002, Lines: []Line{{FunctionID: 2, Line: 1}}},
+		},
+		Functions: []Function{
+			{ID: 1, Name: "km_scale:3 mul r4, r2, r3", SystemName: "km_scale:3", Filename: "km_scale.kasm", StartLine: 4},
+			{ID: 2, Name: "km_scale", Filename: "km_scale.kasm", StartLine: 1},
+		},
+		Comments:          []string{"wirsim attribution profile"},
+		DurationNanos:     123456,
+		PeriodType:        ValueType{Type: "cycles", Unit: "cycles"},
+		Period:            1,
+		DefaultSampleType: "cycles",
+	}
+}
+
+func TestRoundTripRaw(t *testing.T) {
+	want := sampleProfile()
+	got, err := Parse(want.Marshal())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestRoundTripGzip(t *testing.T) {
+	want := sampleProfile()
+	var bb bytes.Buffer
+	if err := want.WriteGzip(&bb); err != nil {
+		t.Fatalf("WriteGzip: %v", err)
+	}
+	if b := bb.Bytes(); len(b) < 2 || b[0] != 0x1F || b[1] != 0x8B {
+		t.Fatalf("output is not gzip (starts %x)", bb.Bytes()[:2])
+	}
+	got, err := Parse(bb.Bytes())
+	if err != nil {
+		t.Fatalf("Parse gzip: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("gzip round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := &Profile{}
+	got, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatalf("Parse empty: %v", err)
+	}
+	if len(got.Samples) != 0 || len(got.SampleType) != 0 {
+		t.Fatalf("empty profile grew content: %+v", got)
+	}
+}
+
+func TestUnpackedRepeatedInts(t *testing.T) {
+	// Hand-encode a sample whose location_id and value fields use the
+	// unpacked (wire type 0) encoding some writers emit.
+	var s buf
+	s.tag(1, 0)
+	s.varint(9)
+	s.tag(1, 0)
+	s.varint(8)
+	s.tag(2, 0)
+	s.varint(41)
+
+	var e buf
+	e.bytesField(2, s.b)
+	e.bytesField(6, nil) // string_table[0] = ""
+
+	p, err := Parse(e.b)
+	if err != nil {
+		t.Fatalf("Parse unpacked: %v", err)
+	}
+	if len(p.Samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(p.Samples))
+	}
+	if want := []uint64{9, 8}; !reflect.DeepEqual(p.Samples[0].LocationIDs, want) {
+		t.Fatalf("location ids %v, want %v", p.Samples[0].LocationIDs, want)
+	}
+	if want := []int64{41}; !reflect.DeepEqual(p.Samples[0].Values, want) {
+		t.Fatalf("values %v, want %v", p.Samples[0].Values, want)
+	}
+}
+
+func TestBadStringIndex(t *testing.T) {
+	var e buf
+	e.intField(14, 5) // default_sample_type points past the table
+	e.bytesField(6, nil)
+	if _, err := Parse(e.b); err == nil {
+		t.Fatal("want error for out-of-range string index")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	p := sampleProfile()
+	raw := p.Marshal()
+	if _, err := Parse(raw[:len(raw)/2]); err == nil {
+		t.Fatal("want error for truncated input")
+	}
+}

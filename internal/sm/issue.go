@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"github.com/wirsim/wir/internal/attr"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/core"
 	"github.com/wirsim/wir/internal/isa"
@@ -48,26 +49,43 @@ func (s *SM) issueCycle() {
 		if pick >= 0 {
 			s.issueWarp(pick)
 			s.schedLast[g] = pick
-			if s.mx != nil {
+			if s.mx != nil || s.attr != nil {
 				s.issuedCycles[g]++
 			}
-		} else if s.mx != nil {
-			s.stalls[g].Inc(s.classifyStall(lo, hi))
+		} else if s.mx != nil || s.attr != nil {
+			reason, blamed := s.classifyStall(lo, hi)
+			s.stalls[g].Inc(reason)
+			if s.attr != nil {
+				// Blame the stall cycle on the blocking producer's PC; cycles
+				// with no blamable producer (empty group, barrier, pipeline
+				// backpressure, work outside the flight list) accumulate in
+				// the collector so the per-PC sums still partition the
+				// aggregate stall report exactly.
+				if blamed != nil && blamed.Attr != nil {
+					blamed.Attr.AddStall(reason)
+				} else {
+					s.attr.NoteUnattributedStall(reason)
+				}
+			}
 		}
 	}
 }
 
 // classifyStall names the reason scheduler group [lo,hi) issued nothing this
-// cycle. Exactly one reason is charged per empty slot cycle, so the per-reason
-// counts partition the non-issue cycles. When warps stall for different
-// reasons in the same cycle, the most specific reason across the group wins
-// (resource waits > generic scoreboard > pipeline backpressure > barrier >
-// empty); specificity is the StallReason ordering.
-func (s *SM) classifyStall(lo, hi int) metrics.StallReason {
+// cycle and, when the winning reason traces to an in-flight producer, returns
+// that flight so per-PC attribution can blame its PC. Exactly one reason is
+// charged per empty slot cycle, so the per-reason counts partition the
+// non-issue cycles. When warps stall for different reasons in the same cycle,
+// the most specific reason across the group wins (resource waits > generic
+// scoreboard > pipeline backpressure > barrier > empty); specificity is the
+// StallReason ordering.
+func (s *SM) classifyStall(lo, hi int) (metrics.StallReason, *core.Flight) {
 	best := metrics.StallEmpty
-	upgrade := func(r metrics.StallReason) {
+	var bestFl *core.Flight
+	upgrade := func(r metrics.StallReason, fl *core.Flight) {
 		if r > best {
 			best = r
+			bestFl = fl
 		}
 	}
 	for w := lo; w < hi; w++ {
@@ -76,11 +94,11 @@ func (s *SM) classifyStall(lo, hi int) metrics.StallReason {
 			continue // contributes "empty"
 		}
 		if wc.barrier {
-			upgrade(metrics.StallBarrier)
+			upgrade(metrics.StallBarrier, nil)
 			continue
 		}
 		if len(s.flights) >= maxFlightsPerSM {
-			upgrade(metrics.StallPipeline)
+			upgrade(metrics.StallPipeline, nil)
 			continue
 		}
 		// The warp has a next instruction but a scoreboard hazard; name the
@@ -89,12 +107,13 @@ func (s *SM) classifyStall(lo, hi int) metrics.StallReason {
 		// the stack state is current.)
 		upgrade(s.hazardReason(w))
 	}
-	return best
+	return best, bestFl
 }
 
 // hazardReason attributes warp w's scoreboard hazard to the state of its
-// oldest in-flight instruction.
-func (s *SM) hazardReason(w int) metrics.StallReason {
+// oldest in-flight instruction, returning that instruction as the blamed
+// producer (nil when the hazard is held by work outside the flight list).
+func (s *SM) hazardReason(w int) (metrics.StallReason, *core.Flight) {
 	var oldest *core.Flight
 	for _, fl := range s.flights {
 		if fl.Warp == w && (oldest == nil || fl.Issued < oldest.Issued) {
@@ -109,23 +128,23 @@ func (s *SM) hazardReason(w int) metrics.StallReason {
 	if oldest == nil {
 		// The hazard is held by work outside the flight list (e.g. a dummy
 		// MOV still draining through the banks).
-		return metrics.StallScoreboard
+		return metrics.StallScoreboard, nil
 	}
 	switch {
 	case oldest.Stage == core.StageWaiting:
-		return metrics.StallPendingReuse
+		return metrics.StallPendingReuse, oldest
 	case oldest.Blocked == core.BlockMSHR:
-		return metrics.StallMSHRFull
+		return metrics.StallMSHRFull, oldest
 	case oldest.Blocked == core.BlockBank:
-		return metrics.StallBankConflict
+		return metrics.StallBankConflict, oldest
 	case oldest.Blocked == core.BlockFU:
-		return metrics.StallFUBusy
+		return metrics.StallFUBusy, oldest
 	case oldest.Blocked == core.BlockReg:
-		return metrics.StallRegShort
+		return metrics.StallRegShort, oldest
 	case oldest.Stage == core.StageExec && oldest.In.Op.Unit() == isa.FUMem:
-		return metrics.StallMemLatency
+		return metrics.StallMemLatency, oldest
 	default:
-		return metrics.StallScoreboard
+		return metrics.StallScoreboard, oldest
 	}
 }
 
@@ -209,6 +228,15 @@ func (s *SM) issueWarp(w int) {
 	pc := top.pc
 	in := s.instrAt(wc)
 	s.st.Issued++
+	var rec *attr.PCStats
+	if s.attr != nil {
+		// Every issued instruction — control and fully-predicated-off ones
+		// included — counts here, mirroring st.Issued, and is charged the
+		// frontend energy the aggregate model charges per issue.
+		rec = s.blocks[wc.block].atab.At(pc)
+		rec.Issued++
+		rec.EnergyPJ += s.attrCost.Frontend
+	}
 	if in.Op.IsFloat() {
 		s.st.FPInstrs++
 	}
@@ -267,6 +295,7 @@ func (s *SM) issueWarp(w int) {
 		Issued:    s.now,
 		SeqInWarp: wc.issueSeq,
 		RBIndex:   -1,
+		Attr:      rec,
 	}
 	srcs := s.execute(wc, fl)
 	if s.Hook != nil {

@@ -57,7 +57,14 @@ func (s *SM) advanceFlights(renameSlots, reuseSlots *int) {
 			if s.now >= fl.ReadyAt && s.eng.AllocStep(fl) {
 				if fl.DummyMov {
 					s.st.DummyMovs++
-					s.dummies = append(s.dummies, dummyOp{src: fl.DummySrc, dst: fl.DstPhys})
+					if fl.Attr != nil && s.attrCost != nil {
+						// The dummy MOV is frontend work plus one bank read
+						// and one bank write, charged to the PC whose
+						// divergent redefine injected it.
+						fl.Attr.DummyMovs++
+						fl.Attr.EnergyPJ += s.attrCost.Frontend + 2*rfBanksPerAccess*s.attrCost.RFBank
+					}
+					s.dummies = append(s.dummies, dummyOp{src: fl.DummySrc, dst: fl.DstPhys, rec: fl.Attr})
 					s.emit(trace.KindDummy, fl)
 				}
 				fl.Stage = core.StageRetire
@@ -288,6 +295,16 @@ func (s *SM) retire(fl *core.Flight) {
 		s.mx.IssueLatency.Observe(s.now - fl.Issued)
 		s.mx.BankRetries.Observe(uint64(fl.Retries))
 	}
+	if fl.Attr != nil {
+		fl.Attr.Cycles += s.now - fl.Issued
+		fl.Attr.BankRetries += uint64(fl.Retries)
+		if fl.Bypassed {
+			fl.Attr.Bypassed++
+		}
+		if s.attrCost != nil {
+			fl.Attr.EnergyPJ += s.backendEnergy(fl)
+		}
+	}
 	in := fl.In
 	if in.HasDst() {
 		wc.pendReg[in.Dst]--
@@ -308,4 +325,48 @@ func (s *SM) retire(fl *core.Flight) {
 	if wc.done {
 		s.completeBlockIfDone(wc.block)
 	}
+}
+
+// rfBanksPerAccess is the number of 128-bit banks one full-width warp
+// register access touches (mirrors the aggregate energy model's factor).
+const rfBanksPerAccess = 8
+
+// backendEnergy estimates the backend dynamic energy of one retired flight
+// for per-PC attribution: register-bank traffic (operand reads, the result
+// write if one was performed, and a bank verify-read if one happened), plus
+// the functional-unit or memory-path activation. Bypassed flights did none
+// of this and cost only their frontend issue, charged at issue time. This is
+// a documented estimate of baseline-SM dynamic energy — WIR-structure and
+// static terms stay whole-run in the aggregate model.
+func (s *SM) backendEnergy(fl *core.Flight) float64 {
+	c := s.attrCost
+	e := float64(fl.SrcRead) * rfBanksPerAccess * c.RFBank
+	if fl.NeedWrite {
+		e += rfBanksPerAccess * c.RFBank
+	}
+	if fl.VerifiedBank {
+		e += rfBanksPerAccess * c.RFBank
+	}
+	if !fl.Dispatched {
+		return e
+	}
+	switch fl.In.Op.Unit() {
+	case isa.FUSP:
+		e += float64(isa.WarpSize) * c.SPLane
+	case isa.FUSFU:
+		e += float64(isa.WarpSize) * c.SFULane
+	case isa.FUMem:
+		e += c.MemPipe
+		switch fl.MemSpace {
+		case isa.SpaceShared:
+			e += float64(fl.MemConflicts) * c.SharedAcc
+		case isa.SpaceGlobal:
+			e += float64(len(fl.MemLines)) * c.L1DAcc
+		case isa.SpaceConst:
+			e += float64(len(fl.MemLines)) * c.ConstAcc
+		case isa.SpaceTex:
+			e += float64(len(fl.MemLines)) * c.TexAcc
+		}
+	}
+	return e
 }

@@ -10,8 +10,10 @@ import (
 
 	"github.com/wirsim/wir/internal/trace"
 
+	"github.com/wirsim/wir/internal/attr"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/core"
+	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/kasm"
 	"github.com/wirsim/wir/internal/mem"
@@ -79,6 +81,11 @@ type SM struct {
 	gRegs        *metrics.Gauge
 	gReuseOcc    *metrics.Gauge
 	gVSBOcc      *metrics.Gauge
+
+	// Per-PC attribution (attached with SetAttribution; nil = disabled, and
+	// the hot paths pay only the nil check).
+	attr     *attr.Collector
+	attrCost *energy.Coefficients
 }
 
 // SetInstruments attaches (or detaches, with nil) the telemetry instruments
@@ -95,6 +102,33 @@ func (s *SM) SetInstruments(mx *metrics.Instruments) {
 		s.gVSBOcc = mx.Registry.Gauge(fmt.Sprintf("wir_sm%d_vsb_occupancy", s.ID))
 	} else {
 		s.gRegs, s.gReuseOcc, s.gVSBOcc = nil, nil, nil
+	}
+}
+
+// SetAttribution attaches (or detaches, with nil) the per-PC attribution
+// collector. Like the instruments, attach before the first Tick so the
+// per-PC sums reconcile with the aggregate counters over the whole run.
+// Attribution also enables the per-slot issue/stall accounting, so a
+// StallReport is meaningful with attribution attached even when the
+// instruments are not.
+func (s *SM) SetAttribution(c *attr.Collector) {
+	s.attr = c
+	if c != nil {
+		s.attrCost = &c.Cost
+	} else {
+		s.attrCost = nil
+	}
+	// Blocks resident at attach/detach time resolve their table lazily at
+	// the next issue; refresh their cached pointer here so mid-run attach
+	// does not mix nil and live records within one block.
+	for _, b := range s.blocks {
+		if b.active {
+			if c != nil {
+				b.atab = c.Table(b.info.Kernel, s.ID)
+			} else {
+				b.atab = nil
+			}
+		}
 	}
 }
 
@@ -130,6 +164,7 @@ func (s *SM) emit(k trace.Kind, fl *core.Flight) {
 		Kind: k, Cycle: s.now, SM: s.ID, Warp: fl.Warp, PC: fl.PC,
 		Seq: fl.SeqInWarp, Op: fl.In.Op.String(),
 		Launch: info.Launch, Block: blockLin, WarpInBlock: wc.inBlock,
+		Kernel: info.Kernel.Name,
 	}
 	if k == trace.KindRetire && fl.HasResult {
 		e.Result = trace.HashResult((*[32]uint32)(&fl.Result))
@@ -163,6 +198,7 @@ type blockCtx struct {
 	arrived int
 	shared  []uint32
 	seq     uint64
+	atab    *attr.Table // per-PC attribution table, cached at launch
 }
 
 type simtEntry struct {
@@ -174,6 +210,7 @@ type simtEntry struct {
 type dummyOp struct {
 	src, dst regfile.PhysID
 	readDone bool
+	rec      *attr.PCStats // attribution record of the injecting PC (nil ok)
 }
 
 // New builds one SM.
@@ -256,6 +293,9 @@ func (s *SM) TryLaunchBlock(info BlockInfo) bool {
 	s.seq++
 	b := s.blocks[slot]
 	*b = blockCtx{active: true, info: info, warps: free, seq: s.seq}
+	if s.attr != nil {
+		b.atab = s.attr.Table(info.Kernel, s.ID)
+	}
 	if info.Kernel.SharedBytes > 0 {
 		b.shared = make([]uint32, (info.Kernel.SharedBytes+3)/4)
 	}
@@ -304,7 +344,7 @@ func (s *SM) checkBarrierRelease(slot int) {
 		}
 		s.eng.OnBarrier(slot, b.warps)
 		if s.Trace != nil {
-			s.Trace.Emit(trace.Event{Kind: trace.KindBarrier, Cycle: s.now, SM: s.ID, Warp: b.warps[0], Op: "bar"})
+			s.Trace.Emit(trace.Event{Kind: trace.KindBarrier, Cycle: s.now, SM: s.ID, Warp: b.warps[0], Op: "bar", Kernel: b.info.Kernel.Name})
 		}
 	}
 }
@@ -403,6 +443,9 @@ func (s *SM) processDummies() {
 				d.readDone = true
 			} else {
 				s.st.BankRetries++
+				if d.rec != nil {
+					d.rec.BankRetries++
+				}
 				kept = append(kept, d)
 				continue
 			}
@@ -411,6 +454,9 @@ func (s *SM) processDummies() {
 			s.st.RFWrites++
 		} else {
 			s.st.BankRetries++
+			if d.rec != nil {
+				d.rec.BankRetries++
+			}
 			kept = append(kept, d)
 		}
 	}

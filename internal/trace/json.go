@@ -30,6 +30,9 @@ type jsonEvent struct {
 	Block       int    `json:"block"`
 	WarpInBlock int    `json:"wib"`
 	Result      string `json:"result,omitempty"`
+	// Kernel is optional (added after wir-trace/1 shipped, omitted when
+	// empty) so old readers and old recorded streams stay compatible.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 func toJSONEvent(e Event) jsonEvent {
@@ -37,6 +40,7 @@ func toJSONEvent(e Event) jsonEvent {
 		Kind: e.Kind.String(), Cycle: e.Cycle, SM: e.SM, Warp: e.Warp,
 		PC: e.PC, Seq: e.Seq, Op: e.Op,
 		Launch: e.Launch, Block: e.Block, WarpInBlock: e.WarpInBlock,
+		Kernel: e.Kernel,
 	}
 	if e.Kind == KindRetire {
 		je.Result = fmt.Sprintf("%016x", e.Result)
@@ -48,6 +52,7 @@ func fromJSONEvent(je jsonEvent) (Event, error) {
 	e := Event{
 		Cycle: je.Cycle, SM: je.SM, Warp: je.Warp, PC: je.PC, Seq: je.Seq,
 		Op: je.Op, Launch: je.Launch, Block: je.Block, WarpInBlock: je.WarpInBlock,
+		Kernel: je.Kernel,
 	}
 	found := false
 	for k, n := range kindNames {

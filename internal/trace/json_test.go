@@ -10,7 +10,7 @@ func TestJSONWriterRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	jw := NewJSONWriter(&buf)
 	events := []Event{
-		{Kind: KindIssue, Cycle: 1, SM: 0, Warp: 2, PC: 3, Seq: 1, Op: "iadd", Launch: 1, Block: 4, WarpInBlock: 0},
+		{Kind: KindIssue, Cycle: 1, SM: 0, Warp: 2, PC: 3, Seq: 1, Op: "iadd", Launch: 1, Block: 4, WarpInBlock: 0, Kernel: "kmeans"},
 		{Kind: KindRetire, Cycle: 9, SM: 0, Warp: 2, PC: 3, Seq: 1, Op: "iadd", Launch: 1, Block: 4, WarpInBlock: 0, Result: 0xDEADBEEF12345678},
 	}
 	for _, e := range events {
@@ -36,6 +36,34 @@ func TestJSONWriterRoundTrip(t *testing.T) {
 		if got[i] != events[i] {
 			t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
 		}
+	}
+}
+
+// TestJSONKernelFieldIsOptional checks the wir-trace/1 compatibility rule:
+// the kernel field is additive. Events without it (as written by older
+// producers) still parse, and events that omit it don't serialize the key.
+func TestJSONKernelFieldIsOptional(t *testing.T) {
+	// A stream exactly as an older writer would emit it: no kernel key.
+	old := `{"schema":"wir-trace/1"}` + "\n" +
+		`{"kind":"issue","cycle":1,"sm":0,"warp":2,"pc":3,"seq":1,"op":"iadd"}` + "\n"
+	got, err := ReadJSONL(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("old-format line rejected: %v", err)
+	}
+	if len(got) != 1 || got[0].Kernel != "" {
+		t.Fatalf("got %+v", got)
+	}
+
+	var buf bytes.Buffer
+	jw := NewJSONWriter(&buf)
+	jw.Emit(Event{Kind: KindIssue, Cycle: 1, SM: 0, Warp: 2, PC: 3, Seq: 1, Op: "iadd"})
+	jw.Emit(Event{Kind: KindIssue, Cycle: 2, SM: 0, Warp: 2, PC: 4, Seq: 2, Op: "imul", Kernel: "kmeans"})
+	lines := strings.SplitN(strings.TrimSpace(buf.String()), "\n", 2)
+	if strings.Contains(lines[0], "kernel") {
+		t.Fatalf("empty kernel must be omitted: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"kernel":"kmeans"`) {
+		t.Fatalf("kernel field missing: %s", lines[1])
 	}
 }
 

@@ -49,6 +49,10 @@ type Event struct {
 	Block       int
 	WarpInBlock int
 	Result      uint64 // FNV of the 32-lane result for retire events (0 otherwise)
+	// Kernel names the kernel the warp is executing, when known. Optional:
+	// readers must tolerate an empty name (streams recorded before the field
+	// existed omit it), so the JSONL schema stays wir-trace/1.
+	Kernel string
 }
 
 // Sink receives events. Implementations must be cheap: the SM calls them

@@ -4,7 +4,8 @@
 //
 //	wirdrift -max 0.15 BENCH_baseline.json BENCH_ci.json
 //
-// Exit status: 0 within tolerance, 1 on drift, 2 on usage or read errors.
+// Exit status: 0 within tolerance, 2 on usage or read errors, 3 on drift
+// (the shared "run judged bad" code — see docs/ROBUSTNESS.md).
 package main
 
 import (
@@ -39,7 +40,7 @@ func main() {
 	for _, v := range violations {
 		fmt.Fprintln(os.Stderr, "wirdrift:", v)
 	}
-	os.Exit(1)
+	os.Exit(3)
 }
 
 func readReport(path string) *metrics.Report {

@@ -1,0 +1,251 @@
+// Command wirfuzz sweeps the random-program generator over a seed range with
+// the golden-model oracle, the deadlock watchdog, and (optionally) the chaos
+// fault injector attached. Without chaos, every seed must run cleanly: zero
+// oracle divergences, invariants intact, and — when the model under test is
+// not Base — an output image bit-identical to the Base model's. With chaos,
+// every seed must satisfy the robustness contract instead (value-changing
+// faults are detected, wedges trip the watchdog, nothing corrupts silently).
+//
+// Failing seeds are minimized by shrinking the generated program (smallest
+// failing -len, which generation is deterministic in) and written as a JSON
+// artifact for CI to upload.
+//
+// Usage:
+//
+//	wirfuzz [-start N] [-n N] [-model RLPV] [-sms N] [-len N]
+//	        [-shared auto|on|off] [-watchdog N] [-chaos seed,rate,kinds]
+//	        [-out failures.json] [-v]
+//
+// Exit status: 0 when every seed passes, 1 on runtime errors, 2 on usage
+// errors, 3 when any seed fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/wirsim/wir/internal/chaos"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/fuzz"
+)
+
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitFault   = 3
+)
+
+// failure is one minimized failing seed, serialized into the -out artifact.
+type failure struct {
+	Seed   int64  `json:"seed"`
+	Len    int    `json:"len"` // smallest failing program length
+	Model  string `json:"model"`
+	Shared bool   `json:"shared"`
+	Chaos  string `json:"chaos,omitempty"`
+	Error  string `json:"error"`
+	Repro  string `json:"repro"`
+}
+
+// sweep holds the resolved command line.
+type sweep struct {
+	model     config.Model
+	modelName string
+	sms       int
+	length    int
+	shared    string // auto, on, off
+	watchdog  uint64
+	chaosSpec string // original spec; per-seed injectors re-derive the seed
+	chaosRest string // "rate,kinds" tail of the spec
+	chaosSeed int64
+	verbose   bool
+}
+
+func main() {
+	start := flag.Int64("start", 0, "first seed")
+	n := flag.Int("n", 200, "number of seeds")
+	modelName := flag.String("model", "RLPV", "machine model under test")
+	sms := flag.Int("sms", 2, "number of simulated SMs")
+	length := flag.Int("len", 24, "instructions in the generated top-level block")
+	shared := flag.String("shared", "auto", "scratchpad round trips: auto (alternate by seed), on, off")
+	watchdog := flag.Uint64("watchdog", 20000, "cycles without a retire before the watchdog fires")
+	chaosSpec := flag.String("chaos", "", "inject faults: seed,rate,kinds — the seed is offset per run so every program sees distinct faults")
+	out := flag.String("out", "", "write minimized failing seeds as JSON to this file")
+	verbose := flag.Bool("v", false, "log every seed")
+	flag.Parse()
+
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: wirfuzz [-start N] [-n N] [-model M] [-chaos seed,rate,kinds] [-out FILE]")
+		os.Exit(exitUsage)
+	}
+	m, err := config.ParseModel(*modelName)
+	usageCheck(err)
+	if *n <= 0 || *length <= 0 {
+		usageCheck(fmt.Errorf("wirfuzz: -n and -len must be positive"))
+	}
+	switch *shared {
+	case "auto", "on", "off":
+	default:
+		usageCheck(fmt.Errorf("wirfuzz: -shared must be auto, on, or off"))
+	}
+	sw := &sweep{
+		model: m, modelName: *modelName, sms: *sms, length: *length,
+		shared: *shared, watchdog: *watchdog, verbose: *verbose,
+	}
+	if *chaosSpec != "" {
+		inj, err := chaos.Parse(*chaosSpec)
+		usageCheck(err)
+		sw.chaosSpec = *chaosSpec
+		sw.chaosSeed = inj.Seed
+		sw.chaosRest = (*chaosSpec)[strings.Index(*chaosSpec, ",")+1:]
+	}
+
+	var failures []failure
+	for seed := *start; seed < *start+int64(*n); seed++ {
+		err := sw.runOne(seed, sw.length)
+		if err == nil {
+			if sw.verbose {
+				fmt.Fprintf(os.Stderr, "wirfuzz: seed %d ok\n", seed)
+			}
+			continue
+		}
+		minLen, minErr := sw.minimize(seed)
+		if minErr != nil {
+			err = minErr
+		}
+		f := failure{
+			Seed: seed, Len: minLen, Model: sw.modelName,
+			Shared: sw.sharedFor(seed), Chaos: sw.chaosFor(seed),
+			Error: err.Error(),
+			Repro: fmt.Sprintf("wirfuzz -start %d -n 1 -len %d -model %s -shared %s -watchdog %d",
+				seed, minLen, sw.modelName, onOff(sw.sharedFor(seed)), sw.watchdog),
+		}
+		if f.Chaos != "" {
+			f.Repro += " -chaos " + f.Chaos
+		}
+		failures = append(failures, f)
+		fmt.Fprintf(os.Stderr, "wirfuzz: seed %d FAILED (minimized to len %d): %v\n", seed, minLen, err)
+	}
+
+	if *out != "" {
+		writeArtifact(*out, failures)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "wirfuzz: %d of %d seeds failed\n", len(failures), *n)
+		os.Exit(exitFault)
+	}
+	fmt.Fprintf(os.Stderr, "wirfuzz: %d seeds clean (model %s, start %d)\n", *n, sw.modelName, *start)
+}
+
+// sharedFor resolves the scratchpad setting for one seed. Auto alternates so
+// half the sweep exercises barriers and shared-memory checking.
+func (sw *sweep) sharedFor(seed int64) bool {
+	switch sw.shared {
+	case "on":
+		return true
+	case "off":
+		return false
+	}
+	return seed%2 == 1
+}
+
+// chaosFor renders the per-seed chaos spec ("" when chaos is off). Offsetting
+// the configured seed by the program seed gives every run a distinct — but
+// reproducible — fault sequence.
+func (sw *sweep) chaosFor(seed int64) string {
+	if sw.chaosSpec == "" {
+		return ""
+	}
+	return fmt.Sprintf("%d,%s", sw.chaosSeed+seed, sw.chaosRest)
+}
+
+// injFor builds the per-seed injector (nil when chaos is off).
+func (sw *sweep) injFor(seed int64) *chaos.Injector {
+	spec := sw.chaosFor(seed)
+	if spec == "" {
+		return nil
+	}
+	inj, err := chaos.Parse(spec)
+	if err != nil { // validated at startup; re-derivation cannot fail
+		fatal(err)
+	}
+	return inj
+}
+
+// runOne executes one seed at one program length and judges it against the
+// robustness contract.
+func (sw *sweep) runOne(seed int64, length int) error {
+	o := fuzz.DefaultOptions(seed)
+	o.Len = length
+	o.WithShared = sw.sharedFor(seed)
+	inj := sw.injFor(seed)
+	res, err := fuzz.Execute(o, fuzz.RunConfig{
+		Model: sw.model, NumSMs: sw.sms, Watchdog: sw.watchdog,
+		Oracle: true, Chaos: inj,
+	})
+	if err != nil {
+		fatal(err) // setup errors are driver bugs, not seed failures
+	}
+	var ref []uint32
+	if inj == nil && sw.model != config.Base {
+		// Clean runs must also agree bit-for-bit with the Base model.
+		rres, err := fuzz.Execute(o, fuzz.RunConfig{Model: config.Base, NumSMs: sw.sms, Watchdog: sw.watchdog, Oracle: true})
+		if err != nil {
+			fatal(err)
+		}
+		if rerr := fuzz.Check(rres, nil, nil); rerr != nil {
+			return fmt.Errorf("base reference failed: %w", rerr)
+		}
+		ref = rres.Output
+	}
+	return fuzz.Check(res, ref, inj)
+}
+
+// minimize finds the smallest program length at which the seed still fails,
+// returning it with the error observed there. Generation is deterministic in
+// (seed, len), so scanning up from 1 finds the least failing prefix shape.
+func (sw *sweep) minimize(seed int64) (int, error) {
+	for l := 1; l < sw.length; l++ {
+		if err := sw.runOne(seed, l); err != nil {
+			return l, err
+		}
+	}
+	return sw.length, nil
+}
+
+func writeArtifact(path string, failures []failure) {
+	f, err := os.Create(path)
+	fatal(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if failures == nil {
+		failures = []failure{}
+	}
+	fatal(enc.Encode(failures))
+	fatal(f.Close())
+	fmt.Fprintf(os.Stderr, "wirfuzz: wrote %d failure(s) to %s\n", len(failures), path)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirfuzz:", err)
+		os.Exit(exitRuntime)
+	}
+}
+
+func usageCheck(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirfuzz:", err)
+		os.Exit(exitUsage)
+	}
+}

@@ -5,10 +5,17 @@
 //
 //	wirsim [-sms N] [-model RLPV] [-list] [-interval N] [-metrics FILE]
 //	       [-stats text|json] [-trace-json FILE] [-serve :addr]
-//	       [-pprof FILE] [-perfetto FILE] [-hotspots N] <benchmark-abbr>
+//	       [-pprof FILE] [-perfetto FILE] [-hotspots N]
+//	       [-oracle] [-watchdog N] [-chaos seed,rate,kinds] <benchmark-abbr>
+//
+// Exit status: 0 on success, 1 on runtime errors (I/O, setup), 2 on usage
+// errors, 3 when the run itself is judged bad — an oracle divergence, an
+// invariant violation, or a watchdog firing.
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,12 +23,23 @@ import (
 
 	"github.com/wirsim/wir/internal/attr"
 	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/gpu"
 	"github.com/wirsim/wir/internal/metrics"
+	"github.com/wirsim/wir/internal/oracle"
 	"github.com/wirsim/wir/internal/perfetto"
 	"github.com/wirsim/wir/internal/trace"
+)
+
+// Exit codes (documented in docs/ROBUSTNESS.md; wirfuzz and wirdrift use the
+// same taxonomy).
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitFault   = 3
 )
 
 func main() {
@@ -38,6 +56,9 @@ func main() {
 	pprofOut := flag.String("pprof", "", "write a per-PC attribution profile (gzip'd pprof) of simulated cycles/energy to this file")
 	perfettoOut := flag.String("perfetto", "", "write the pipeline trace as Perfetto/Chrome trace-event JSON to this file")
 	hotspots := flag.Int("hotspots", 0, "print the top-N per-PC hotspots after the run")
+	useOracle := flag.Bool("oracle", false, "run the golden-model oracle in lockstep and fail on any divergence")
+	watchdog := flag.Uint64("watchdog", 0, "fail if no instruction retires for N cycles (0 = absolute backstop only)")
+	chaosSpec := flag.String("chaos", "", "inject deterministic faults: seed,rate,kinds (e.g. 1,0.001,all — see docs/ROBUSTNESS.md)")
 	flag.Parse()
 
 	if *list {
@@ -47,21 +68,27 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wirsim [-sms N] [-model M] <benchmark-abbr>")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: wirsim [-sms N] [-model M] [-oracle] [-watchdog N] [-chaos seed,rate,kinds] <benchmark-abbr>")
+		os.Exit(exitUsage)
 	}
 	if *statsMode != "text" && *statsMode != "json" {
 		fmt.Fprintln(os.Stderr, "wirsim: -stats must be text or json")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	abbr := flag.Arg(0)
 	bm, err := bench.ByAbbr(abbr)
-	fatal(err)
+	usageCheck(err)
 	m, err := config.ParseModel(*modelName)
-	fatal(err)
+	usageCheck(err)
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		inj, err = chaos.Parse(*chaosSpec)
+		usageCheck(err)
+	}
 
 	cfg := config.Default(m)
 	cfg.NumSMs = *sms
+	cfg.WatchdogCycles = *watchdog
 	g, err := gpu.New(cfg)
 	fatal(err)
 
@@ -101,16 +128,33 @@ func main() {
 		g.SetAttribution(collector)
 	}
 
+	var chk *oracle.Checker
+	if *useOracle {
+		chk = oracle.New(g.Mem())
+		chk.Attr = collector
+		oracle.Attach(g, chk)
+	}
+	if inj != nil {
+		g.SetChaos(inj)
+	}
+
 	var sinks trace.Multi
 	if *traceN > 0 {
 		sinks = append(sinks, &trace.Writer{W: os.Stdout, Max: *traceN})
 	}
-	var jsonSink *trace.JSONWriter
+	// The JSONL sink writes through an explicit buffer that is flushed and
+	// closed after the run with every error checked: a full disk or broken
+	// pipe must fail the run, not silently truncate the trace.
+	var (
+		jsonSink  *trace.JSONWriter
+		traceFile *os.File
+		traceBuf  *bufio.Writer
+	)
 	if *traceJSON != "" {
-		f, err := os.Create(*traceJSON)
+		traceFile, err = os.Create(*traceJSON)
 		fatal(err)
-		defer f.Close()
-		jsonSink = trace.NewJSONWriter(f)
+		traceBuf = bufio.NewWriter(traceFile)
+		jsonSink = trace.NewJSONWriter(traceBuf)
 		sinks = append(sinks, jsonSink)
 	}
 	var perfettoSink *perfetto.Recorder
@@ -137,12 +181,37 @@ func main() {
 			}
 		}
 	}
-	cycles, err := w.Run(g)
-	fatal(err)
-	fatal(g.CheckInvariants())
+	cycles, runErr := w.Run(g)
+
+	// Finalize the trace before judging the run: a watchdog diagnosis is
+	// exactly when the trace is most wanted.
 	g.FlushSampler()
 	if jsonSink != nil {
 		fatal(jsonSink.Err())
+		fatal(traceBuf.Flush())
+		fatal(traceFile.Close())
+	}
+	if inj != nil {
+		fmt.Fprintln(os.Stderr, "wirsim:", inj.Summary())
+	}
+
+	var we *gpu.WatchdogError
+	if errors.As(runErr, &we) {
+		fmt.Fprintln(os.Stderr, "wirsim:", we.Error())
+		os.Exit(exitFault)
+	}
+	fatal(runErr)
+	if err := g.CheckInvariants(); err != nil {
+		fmt.Fprintln(os.Stderr, "wirsim: invariant violated:", err)
+		os.Exit(exitFault)
+	}
+	if chk != nil {
+		chk.CheckMemory()
+		if err := chk.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "wirsim:", err)
+			os.Exit(exitFault)
+		}
+		fmt.Fprintln(os.Stderr, "wirsim: oracle: clean (0 divergences)")
 	}
 
 	st := g.Stats()
@@ -240,6 +309,15 @@ func main() {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wirsim:", err)
-		os.Exit(1)
+		os.Exit(exitRuntime)
+	}
+}
+
+// usageCheck fails with the usage exit code: the command line named something
+// that does not exist (benchmark, model, chaos spec).
+func usageCheck(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirsim:", err)
+		os.Exit(exitUsage)
 	}
 }

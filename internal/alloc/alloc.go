@@ -116,17 +116,27 @@ func (p *Pool) Release(r regfile.PhysID) bool {
 // Refs returns r's current reference count (for invariant checks).
 func (p *Pool) Refs(r regfile.PhysID) uint32 { return p.refs[r] }
 
-// CheckConservation verifies that in-use plus free equals the register count
-// and that no free register has a nonzero count. It returns an error
-// describing the first violation found.
+// NumRegs returns the total physical register count the pool manages.
+func (p *Pool) NumRegs() int { return len(p.refs) }
+
+// CheckConservation verifies that in-use plus free equals the register count,
+// that no free register has a nonzero count, and that no register appears on
+// the free list twice (a double release corrupts the pool silently otherwise:
+// the same register would be handed to two different allocations). It returns
+// an error describing the first violation found.
 func (p *Pool) CheckConservation() error {
 	if p.inUse+p.FreeCount() != len(p.refs) {
 		return fmt.Errorf("alloc: %d in use + %d free != %d registers", p.inUse, p.FreeCount(), len(p.refs))
 	}
+	seen := make(map[regfile.PhysID]bool, p.FreeCount())
 	for _, r := range p.free[p.head:] {
 		if p.refs[r] != 0 {
 			return fmt.Errorf("alloc: register %d is free but has %d references", r, p.refs[r])
 		}
+		if seen[r] {
+			return fmt.Errorf("alloc: register %d appears on the free list twice", r)
+		}
+		seen[r] = true
 	}
 	return nil
 }

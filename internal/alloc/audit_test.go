@@ -1,0 +1,51 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConservationCatchesFreeListDuplicate seeds the corruption a double
+// release would produce — the same register queued twice — and checks the
+// audit reports it rather than letting two allocations share a register.
+func TestConservationCatchesFreeListDuplicate(t *testing.T) {
+	p := New(8)
+	if err := p.CheckConservation(); err != nil {
+		t.Fatalf("fresh pool must pass: %v", err)
+	}
+	// Overwrite one free-list slot with the head entry: counts stay balanced,
+	// but one register is now queued twice (and another silently vanished).
+	p.free[len(p.free)-1] = p.free[p.head]
+	err := p.CheckConservation()
+	if err == nil {
+		t.Fatal("duplicate free-list entry must fail the audit")
+	}
+	if !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("want the duplicate diagnosis, got: %v", err)
+	}
+}
+
+// TestConservationCatchesFreeWithRefs seeds a register that is simultaneously
+// on the free list and referenced — the state a lost release-ordering bug
+// produces.
+func TestConservationCatchesFreeWithRefs(t *testing.T) {
+	p := New(8)
+	p.refs[p.free[p.head]]++
+	err := p.CheckConservation()
+	if err == nil {
+		t.Fatal("referenced free register must fail the audit")
+	}
+	if !strings.Contains(err.Error(), "free but has") {
+		t.Fatalf("want the free-with-refs diagnosis, got: %v", err)
+	}
+}
+
+// TestConservationCatchesCountSkew seeds an in-use counter that disagrees
+// with the free list.
+func TestConservationCatchesCountSkew(t *testing.T) {
+	p := New(8)
+	p.inUse++
+	if err := p.CheckConservation(); err == nil {
+		t.Fatal("in-use/free skew must fail the audit")
+	}
+}

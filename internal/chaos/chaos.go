@@ -1,0 +1,254 @@
+// Package chaos implements a deterministic seeded fault injector for the
+// simulator. It corrupts the WIR pipeline at four architecturally interesting
+// points — operand values, reuse-buffer lookups, VSB entries, and
+// verify-reads — plus one timing point (dropping a retire to wedge a warp),
+// so the robustness suite can assert that the verify-read path catches every
+// value-changing corruption it is responsible for, that the golden-model
+// oracle catches the rest, and that the deadlock watchdog converts a wedged
+// pipeline into a diagnosis.
+//
+// Injection is deterministic: the simulator is single-threaded and ticks in a
+// fixed order, and the injector draws from one seeded PRNG, so a (seed, rate,
+// kinds) triple reproduces the exact same faults on every run.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+// Kind enumerates the fault classes the injector can produce.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// OperandBit flips one bit of one active lane of one source operand
+	// before execution. This corrupts the architectural result and must be
+	// caught by the oracle (no hardware mechanism guards plain execution).
+	OperandBit Kind = iota
+	// FalseHit forges a reuse-buffer hit on a miss: the instruction bypasses
+	// the backend with the result register of an unrelated entry. Reuse-buffer
+	// tags are exact (physical source IDs), so the real hardware cannot
+	// produce this; only the oracle catches it.
+	FalseHit
+	// VSBPoison swaps the result registers of two valid VSB entries, so
+	// subsequent hash hits return candidates holding the wrong value. The
+	// verify-read must refute every such candidate (this is precisely the
+	// hash-collision case it exists for), leaving architectural state intact.
+	VSBPoison
+	// DropVerify skips the verify-read and accepts the VSB candidate
+	// unverified — modeling a disabled or broken verify path. Value-changing
+	// acceptances corrupt architectural state and must be caught by the
+	// oracle.
+	DropVerify
+	// Wedge silently drops a flight at retire: its scoreboard entries never
+	// clear and the warp deadlocks, which the watchdog must convert into a
+	// diagnostic report.
+	Wedge
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"operandbit", "falsehit", "vsbpoison", "dropverify", "wedge"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKinds parses a "+"-separated list of kind names ("all" selects every
+// kind) into a bitmask.
+func ParseKinds(s string) (uint8, error) {
+	if s == "all" {
+		return 1<<numKinds - 1, nil
+	}
+	var mask uint8
+	for _, name := range strings.Split(s, "+") {
+		found := false
+		for k, n := range kindNames {
+			if n == name {
+				mask |= 1 << uint(k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("chaos: unknown fault kind %q (known: %s, all)", name, strings.Join(kindNames[:], ", "))
+		}
+	}
+	return mask, nil
+}
+
+// Injector draws deterministic fault decisions. All hook methods are nil-safe
+// so the pipeline pays only a pointer test when chaos is disabled.
+type Injector struct {
+	Seed  int64
+	Rate  float64
+	kinds uint8
+	rng   *rand.Rand
+
+	injected      [numKinds]uint64 // faults actually applied
+	valueChanging [numKinds]uint64 // subset whose architectural effect differs
+}
+
+// New returns an injector for the given seed, per-opportunity probability,
+// and kind bitmask (from ParseKinds).
+func New(seed int64, rate float64, kinds uint8) *Injector {
+	return &Injector{Seed: seed, Rate: rate, kinds: kinds, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Parse builds an injector from a "seed,rate,kinds" spec, e.g.
+// "7,0.001,vsbpoison+dropverify" or "1,0.01,all".
+func Parse(spec string) (*Injector, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("chaos: spec must be seed,rate,kinds — got %q", spec)
+	}
+	seed, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bad seed %q: %v", parts[0], err)
+	}
+	rate, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("chaos: rate must be a probability in [0,1], got %q", parts[1])
+	}
+	kinds, err := ParseKinds(parts[2])
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, rate, kinds), nil
+}
+
+// roll decides one injection opportunity for kind k.
+func (i *Injector) roll(k Kind) bool {
+	if i == nil || i.kinds&(1<<uint(k)) == 0 {
+		return false
+	}
+	return i.rng.Float64() < i.Rate
+}
+
+// RollOperandBit reports whether this execution should corrupt an operand.
+func (i *Injector) RollOperandBit() bool { return i.roll(OperandBit) }
+
+// RollFalseHit reports whether this reuse-buffer miss should be forged into a
+// hit.
+func (i *Injector) RollFalseHit() bool { return i.roll(FalseHit) }
+
+// RollVSBPoison reports whether this VSB access should first corrupt the
+// buffer.
+func (i *Injector) RollVSBPoison() bool { return i.roll(VSBPoison) }
+
+// RollDropVerify reports whether this verify-read should be skipped.
+func (i *Injector) RollDropVerify() bool { return i.roll(DropVerify) }
+
+// RollWedge reports whether this retire should be dropped.
+func (i *Injector) RollWedge() bool { return i.roll(Wedge) }
+
+// FlipBit flips one random bit of one random active lane of one source
+// operand in place. It returns false (and leaves srcs alone) when there is
+// nothing to flip.
+func (i *Injector) FlipBit(srcs []isa.Vec, mask isa.Mask) bool {
+	if i == nil || len(srcs) == 0 || mask == 0 {
+		return false
+	}
+	lanes := make([]int, 0, isa.WarpSize)
+	for l := 0; l < isa.WarpSize; l++ {
+		if mask.Active(l) {
+			lanes = append(lanes, l)
+		}
+	}
+	s := i.rng.Intn(len(srcs))
+	l := lanes[i.rng.Intn(len(lanes))]
+	srcs[s][l] ^= 1 << uint(i.rng.Intn(32))
+	return true
+}
+
+// Cursor returns a deterministic pseudo-random cursor in [0, n), used to pick
+// victim entries for buffer corruption.
+func (i *Injector) Cursor(n int) int {
+	if i == nil || n <= 0 {
+		return 0
+	}
+	return i.rng.Intn(n)
+}
+
+// Note records an applied fault of kind k and whether it changed
+// architectural values (ground truth established at the injection site).
+func (i *Injector) Note(k Kind, valueChanging bool) {
+	if i == nil {
+		return
+	}
+	i.injected[k]++
+	if valueChanging {
+		i.valueChanging[k]++
+	}
+}
+
+// Injected returns how many faults of kind k were applied.
+func (i *Injector) Injected(k Kind) uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.injected[k]
+}
+
+// ValueChanging returns how many applied faults of kind k changed
+// architectural values.
+func (i *Injector) ValueChanging(k Kind) uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.valueChanging[k]
+}
+
+// TotalInjected returns the number of faults applied across all kinds.
+func (i *Injector) TotalInjected() uint64 {
+	if i == nil {
+		return 0
+	}
+	var n uint64
+	for k := Kind(0); k < numKinds; k++ {
+		n += i.injected[k]
+	}
+	return n
+}
+
+// TotalValueChanging returns, across all kinds, the number of applied faults
+// whose architectural effect differed from the clean execution. VSBPoison
+// never contributes: a poisoned candidate is value-changing only if accepted,
+// and acceptance requires the verify-read to have compared equal values.
+func (i *Injector) TotalValueChanging() uint64 {
+	if i == nil {
+		return 0
+	}
+	var n uint64
+	for k := Kind(0); k < numKinds; k++ {
+		n += i.valueChanging[k]
+	}
+	return n
+}
+
+// Summary renders the per-kind injection counts for logs and reports.
+func (i *Injector) Summary() string {
+	if i == nil {
+		return "chaos: disabled"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: seed=%d rate=%g", i.Seed, i.Rate)
+	for k := Kind(0); k < numKinds; k++ {
+		if i.kinds&(1<<uint(k)) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%d", kindNames[k], i.injected[k])
+		if i.valueChanging[k] > 0 {
+			fmt.Fprintf(&b, " (%d value-changing)", i.valueChanging[k])
+		}
+	}
+	return b.String()
+}

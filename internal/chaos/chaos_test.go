@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+func TestParseKinds(t *testing.T) {
+	all, err := ParseKinds("all")
+	if err != nil || all != 1<<numKinds-1 {
+		t.Fatalf("all = %b, err %v", all, err)
+	}
+	m, err := ParseKinds("vsbpoison+dropverify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1<<uint(VSBPoison)|1<<uint(DropVerify) {
+		t.Fatalf("mask = %b", m)
+	}
+	if _, err := ParseKinds("nosuchkind"); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := Parse("7,0.25,wedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Seed != 7 || inj.Rate != 0.25 || inj.kinds != 1<<uint(Wedge) {
+		t.Fatalf("parsed %+v", inj)
+	}
+	for _, bad := range []string{"", "1,0.5", "x,0.5,all", "1,weird,all", "1,2.0,all", "1,0.5,zzz"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("spec %q must be rejected", bad)
+		}
+	}
+}
+
+// TestDeterminism: the same (seed, rate, kinds) triple must reproduce the
+// exact same decision sequence — failing-seed reproduction depends on it.
+func TestDeterminism(t *testing.T) {
+	run := func() []bool {
+		inj := New(42, 0.5, 1<<numKinds-1)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, inj.RollOperandBit(), inj.RollWedge())
+			var v [2]isa.Vec
+			out = append(out, inj.FlipBit(v[:], isa.FullMask))
+			out = append(out, inj.Cursor(17)%3 == 0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical injectors", i)
+		}
+	}
+}
+
+// TestNilSafety: every hook must be callable on a nil injector (the disabled
+// path in the pipeline).
+func TestNilSafety(t *testing.T) {
+	var inj *Injector
+	if inj.RollOperandBit() || inj.RollFalseHit() || inj.RollVSBPoison() || inj.RollDropVerify() || inj.RollWedge() {
+		t.Fatal("nil injector must never fire")
+	}
+	var v [1]isa.Vec
+	if inj.FlipBit(v[:], isa.FullMask) {
+		t.Fatal("nil injector must not flip")
+	}
+	inj.Note(OperandBit, true)
+	if inj.TotalInjected() != 0 || inj.TotalValueChanging() != 0 || inj.Cursor(5) != 0 {
+		t.Fatal("nil injector must count nothing")
+	}
+	if !strings.Contains(inj.Summary(), "disabled") {
+		t.Fatal("nil summary must say disabled")
+	}
+}
+
+func TestFlipBitRespectsMaskAndSources(t *testing.T) {
+	inj := New(1, 1, 1<<numKinds-1)
+	if inj.FlipBit(nil, isa.FullMask) {
+		t.Fatal("no sources: nothing to flip")
+	}
+	var v [1]isa.Vec
+	if inj.FlipBit(v[:], 0) {
+		t.Fatal("empty mask: nothing to flip")
+	}
+	// With only lane 3 active, the flip must land in lane 3.
+	for i := 0; i < 32; i++ {
+		var s [2]isa.Vec
+		if !inj.FlipBit(s[:], isa.Mask(1<<3)) {
+			t.Fatal("flip must apply")
+		}
+		for src := range s {
+			for l := range s[src] {
+				if l != 3 && s[src][l] != 0 {
+					t.Fatalf("flip landed in inactive lane %d", l)
+				}
+			}
+		}
+		if s[0][3] == 0 && s[1][3] == 0 {
+			t.Fatal("flip changed nothing")
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	inj := New(1, 1, 1<<numKinds-1)
+	inj.Note(FalseHit, true)
+	inj.Note(FalseHit, false)
+	inj.Note(Wedge, false)
+	if inj.Injected(FalseHit) != 2 || inj.ValueChanging(FalseHit) != 1 {
+		t.Fatalf("falsehit counters: %d/%d", inj.Injected(FalseHit), inj.ValueChanging(FalseHit))
+	}
+	if inj.TotalInjected() != 3 || inj.TotalValueChanging() != 1 {
+		t.Fatalf("totals: %d/%d", inj.TotalInjected(), inj.TotalValueChanging())
+	}
+	s := inj.Summary()
+	if !strings.Contains(s, "falsehit=2") || !strings.Contains(s, "1 value-changing") {
+		t.Fatalf("summary: %s", s)
+	}
+}
+
+func TestRateZeroNeverFires(t *testing.T) {
+	inj := New(9, 0, 1<<numKinds-1)
+	for i := 0; i < 1000; i++ {
+		if inj.RollOperandBit() || inj.RollWedge() {
+			t.Fatal("rate 0 must never fire")
+		}
+	}
+}

@@ -168,6 +168,9 @@ type Config struct {
 	PendingQueueSize int // pending-retry queue entries (paper default 16)
 	BackendDelay     int // extra pipeline cycles added by the reuse stages (default 4)
 	MaxBarrierCount  int // reuse-buffer barrier counter saturation (5 bits -> 31)
+
+	// Robustness harness.
+	WatchdogCycles uint64 // fire the deadlock watchdog after this many cycles without a retire (0 = absolute backstop only)
 }
 
 // Default returns the paper's Table II configuration for the given model.

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/regfile"
+)
+
+// drainedEngine runs a small block to completion so the idle audit has real
+// reuse-buffer and VSB state to reconcile against.
+func drainedEngine(t *testing.T) (*Engine, *regfile.File) {
+	t.Helper()
+	e, rf, _, _ := testEngine(config.RLPV, 256)
+	e.BlockLaunch(0, []int{0, 1}, 8)
+	runFlight(t, e, rf, 0, 0, moviInstr(0, 7), isa.FullMask, uniformVec(7))
+	runFlight(t, e, rf, 0, 0, moviInstr(1, 9), isa.FullMask, uniformVec(9))
+	runFlight(t, e, rf, 0, 0, iaddInstr(2, 0, 1), isa.FullMask, uniformVec(16))
+	runFlight(t, e, rf, 1, 0, moviInstr(0, 7), isa.FullMask, uniformVec(7))
+	runFlight(t, e, rf, 1, 0, iaddInstr(2, 0, 1), isa.FullMask, uniformVec(16))
+	e.BlockComplete(0, []int{0, 1})
+	return e, rf
+}
+
+// TestAuditIdleCleanAfterDrain checks the end-of-kernel audit passes on a
+// properly drained engine, with live reuse/VSB entries still referencing
+// registers.
+func TestAuditIdleCleanAfterDrain(t *testing.T) {
+	e, _ := drainedEngine(t)
+	if err := e.AuditIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuditIdleCatchesRenameLeak seeds a rename mapping that survived block
+// completion — the leak an unreleased logical register produces.
+func TestAuditIdleCatchesRenameLeak(t *testing.T) {
+	e, _ := drainedEngine(t)
+	e.rt.Set(0, 3, e.pool.Zero, false)
+	err := e.AuditIdle()
+	if err == nil {
+		t.Fatal("surviving rename mapping must fail the audit")
+	}
+	if !strings.Contains(err.Error(), "rename mapping") {
+		t.Fatalf("want the rename-leak diagnosis, got: %v", err)
+	}
+}
+
+// TestAuditIdleCatchesPinBitLeak seeds a pinned mapping surviving block
+// completion: a pin bit that never cleared would block VSB sharing of that
+// register forever.
+func TestAuditIdleCatchesPinBitLeak(t *testing.T) {
+	e, _ := drainedEngine(t)
+	e.rt.Set(1, 5, e.pool.Zero, true)
+	err := e.AuditIdle()
+	if err == nil {
+		t.Fatal("surviving pinned mapping must fail the audit")
+	}
+	if !strings.Contains(err.Error(), "pin=true") {
+		t.Fatalf("want the pin-bit diagnosis, got: %v", err)
+	}
+}
+
+// TestAuditIdleCatchesRefcountLeak seeds one extra reference — the state a
+// lost in-flight release produces — and checks the reconciliation reports the
+// exact register.
+func TestAuditIdleCatchesRefcountLeak(t *testing.T) {
+	e, _ := drainedEngine(t)
+	e.pool.AddRef(e.pool.Zero)
+	err := e.AuditIdle()
+	if err == nil {
+		t.Fatal("leaked reference must fail the audit")
+	}
+	if !strings.Contains(err.Error(), "refcount mismatch") {
+		t.Fatalf("want the refcount diagnosis, got: %v", err)
+	}
+}
+
+// TestAuditIdleNonReuseStaticLeak checks the non-reuse audit: a baseline
+// engine whose static register accounting did not return to zero.
+func TestAuditIdleNonReuseStaticLeak(t *testing.T) {
+	e, _, _, _ := testEngine(config.Base, 256)
+	e.BlockLaunch(0, []int{0}, 8)
+	if err := e.AuditIdle(); err == nil {
+		t.Fatal("resident block's static registers must fail the idle audit")
+	}
+	e.BlockComplete(0, []int{0})
+	if err := e.AuditIdle(); err != nil {
+		t.Fatal(err)
+	}
+}

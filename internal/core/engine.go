@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/wirsim/wir/internal/alloc"
+	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/hash"
 	"github.com/wirsim/wir/internal/isa"
@@ -42,6 +43,7 @@ type Engine struct {
 	accessedThis bool                 // a reuse/VSB access happened this cycle
 	warpRegs     []int                // per warp: logical registers of its kernel (capped policy)
 	ins          *metrics.Instruments // optional telemetry; nil when detached
+	chaos        *chaos.Injector      // optional fault injector; nil when detached
 
 	// Base/Affine static allocation.
 	staticBase []regfile.PhysID // per warp
@@ -84,6 +86,9 @@ func NewEngine(cfg *config.Config, st *stats.Sim, rf *regfile.File) *Engine {
 // SetInstruments attaches (or detaches, with nil) the telemetry instruments.
 func (e *Engine) SetInstruments(ins *metrics.Instruments) { e.ins = ins }
 
+// SetChaos attaches (or detaches, with nil) the fault injector.
+func (e *Engine) SetChaos(inj *chaos.Injector) { e.chaos = inj }
+
 // ReuseOccupancy returns the number of valid reuse-buffer entries (0 for
 // non-reuse models).
 func (e *Engine) ReuseOccupancy() int {
@@ -120,6 +125,15 @@ func (e *Engine) RegsInUse() int {
 // LowRegMode reports whether the SM is currently draining reuse structures to
 // free registers.
 func (e *Engine) LowRegMode() bool { return e.lowReg }
+
+// FreeRegs returns the number of free physical registers (pool free count in
+// reuse models, unallocated range capacity otherwise).
+func (e *Engine) FreeRegs() int {
+	if e.Reuse() {
+		return e.pool.FreeCount()
+	}
+	return e.cfg.PhysRegsPerSM - e.staticUse
+}
 
 // Pool exposes the register pool for invariant checks in tests; it is nil for
 // non-reuse models.
@@ -311,6 +325,50 @@ func (e *Engine) CheckInvariants() error {
 		return nil
 	}
 	return e.pool.CheckConservation()
+}
+
+// AuditIdle runs the end-of-kernel invariant audit. It must be called only
+// when the SM has fully drained (no resident blocks, no in-flight work), when
+// every reference left in the pool is accounted for by exactly three holders:
+// the permanent zero-register reference, the reuse buffer's recorded sources
+// and results, and the VSB's result registers. It reports rename-table leaks
+// (a valid mapping — pinned or not — surviving block completion), reference
+// leaks (counts above the reconstructed expectation, e.g. a lost in-flight
+// release), and premature releases (counts below it, which would let a live
+// reuse result be recycled and silently corrupt a later hit).
+func (e *Engine) AuditIdle() error {
+	if !e.Reuse() {
+		if e.staticUse != 0 {
+			return fmt.Errorf("core: idle SM still holds %d static registers", e.staticUse)
+		}
+		return nil
+	}
+	if err := e.pool.CheckConservation(); err != nil {
+		return err
+	}
+	for w := 0; w < e.cfg.WarpsPerSM; w++ {
+		var leak error
+		e.rt.Mappings(w, func(r isa.Reg, ent rename.Entry) {
+			if leak == nil {
+				leak = fmt.Errorf("core: idle SM has rename mapping w%d r%d -> phys %d (pin=%v)", w, r, ent.Phys, ent.Pin)
+			}
+		})
+		if leak != nil {
+			return leak
+		}
+	}
+	expected := make([]uint32, e.pool.NumRegs())
+	expected[e.pool.Zero] = 1
+	for i := 0; i < e.rb.Entries(); i++ {
+		reuse.References(e.rb.At(i), func(p regfile.PhysID) { expected[p]++ })
+	}
+	e.vsbf.Refs(func(p regfile.PhysID) { expected[p]++ })
+	for p := range expected {
+		if got := e.pool.Refs(regfile.PhysID(p)); got != expected[p] {
+			return fmt.Errorf("core: idle refcount mismatch on phys %d: pool says %d, structures account for %d", p, got, expected[p])
+		}
+	}
+	return nil
 }
 
 // --- low register mode (paper section V-E) ---

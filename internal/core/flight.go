@@ -122,6 +122,13 @@ type Flight struct {
 	// attribution is detached. Resolved once at issue so the engine's stage
 	// hooks are a nil-safe method call, not a table lookup.
 	Attr *attr.PCStats
+
+	// ChaosDirty marks a result corrupted by operand-bit injection. Whether
+	// the corruption is architecturally value-changing is settled at retire:
+	// a reuse-buffer hit discards the corrupted result and bypasses with the
+	// donor's clean value (tags are physical source IDs, so the flipped
+	// operand value does not change the tag), healing the fault.
+	ChaosDirty bool
 }
 
 // AddInflightRef records an in-flight reference taken on p, to be released

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/reuse"
 )
@@ -121,6 +122,28 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 		// The SM decides whether to queue the flight or fall through to
 		// execution (queue capacity).
 	case reuse.Miss:
+		if e.chaos.RollFalseHit() {
+			if donor, ok := e.rb.AnyReady(e.chaos.Cursor(e.rb.Entries())); ok {
+				// Forge a hit with an unrelated entry's result register, with
+				// the full bookkeeping of a real hit so the pipeline degrades
+				// identically. The tag match was a lie, so when the donor's
+				// value differs from the true result this corrupts
+				// architectural state in a way only the oracle can see (reuse
+				// tags are exact in real hardware; there is no verify here).
+				e.chaos.Note(chaos.FalseHit, e.rf.Value(donor.Result) != fl.Result)
+				e.st.ReuseHits++
+				fl.Attr.IncReuseHit()
+				if e.ins != nil {
+					e.ins.ReuseDistance.Observe(e.rb.LastHitDistance())
+				}
+				fl.Bypassed = true
+				fl.ReuseResult = donor.Result
+				fl.DstPhys = donor.Result
+				e.addRef(donor.Result)
+				fl.AddInflightRef(donor.Result)
+				return reuse.Hit
+			}
+		}
 		e.st.ReuseMisses++
 		fl.Attr.IncReuseMiss()
 		if idx < 0 {
@@ -218,6 +241,16 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 					fl.VSBHash = e.h.Sum32(fl.Result)
 					fl.VSBHashed = true
 					e.st.HashOps++
+				}
+				if e.chaos.RollVSBPoison() {
+					// Swap the result registers of two VSB entries: their
+					// hashes now name registers holding different values. The
+					// verify-read must refute every poisoned candidate (this
+					// is the hash-collision case it exists for), so this fault
+					// is never value-changing — it only costs false positives.
+					if e.vsbf.SwapAny(e.chaos.Cursor(e.vsbf.Entries()), e.chaos.Cursor(e.vsbf.Entries())) {
+						e.chaos.Note(chaos.VSBPoison, false)
+					}
 				}
 				e.st.VSBLookups++
 				e.accessedThis = true
@@ -321,6 +354,15 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 // verify cache, then fall back to the register banks. blocked means no bank
 // port was available this cycle.
 func (e *Engine) verifyRead(fl *Flight) (match, blocked bool) {
+	if e.chaos.RollDropVerify() {
+		// Accept the candidate without verifying — a disabled or broken
+		// verify path. Peek at the register (no port accounting: the whole
+		// point is that no read happened) to record whether this acceptance
+		// corrupts architectural state; the oracle must catch every one that
+		// does.
+		e.chaos.Note(chaos.DropVerify, e.rf.Value(fl.VSBCand) != fl.Result)
+		return true, false
+	}
 	if e.model.VerifyCache() && e.rf.HasVerifyCache() && !fl.VCacheTried {
 		fl.VCacheTried = true
 		e.st.VerifyCacheOp++

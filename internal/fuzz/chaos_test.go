@@ -1,0 +1,173 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/chaos"
+	"github.com/wirsim/wir/internal/config"
+)
+
+func chaosSeeds() int64 {
+	if testing.Short() {
+		return 4
+	}
+	return 12
+}
+
+// mask builds a kind bitmask from the given kinds.
+func mask(kinds ...chaos.Kind) uint8 {
+	var m uint8
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// chaosSweep runs seeds with the given injector kind/rate under RLPV with the
+// oracle attached, checks every run against the robustness contract, and
+// returns how many runs applied at least one fault (so callers can assert the
+// sweep was not vacuous).
+func chaosSweep(t *testing.T, k chaos.Kind, rate float64, check func(t *testing.T, seed int64, inj *chaos.Injector, res *Result, ref *Result)) int {
+	t.Helper()
+	active := 0
+	for seed := int64(0); seed < chaosSeeds(); seed++ {
+		o := DefaultOptions(seed)
+		o.WithShared = seed%2 == 1
+		ref, err := Execute(o, RunConfig{Model: config.RLPV, Oracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(ref, nil, nil); err != nil {
+			t.Fatalf("seed %d clean reference: %v", seed, err)
+		}
+		inj := chaos.New(seed, rate, mask(k))
+		res, err := Execute(o, RunConfig{Model: config.RLPV, Oracle: true, Watchdog: 20000, Chaos: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(res, nil, inj); err != nil {
+			t.Fatalf("seed %d %v: %v", seed, k, err)
+		}
+		if inj.Injected(k) > 0 {
+			active++
+		}
+		if check != nil {
+			check(t, seed, inj, res, ref)
+		}
+	}
+	if active == 0 {
+		t.Fatalf("no %v fault was ever applied; the sweep is vacuous", k)
+	}
+	return active
+}
+
+// TestChaosOperandBit: corrupted operands have no hardware guard; every
+// value-changing flip must surface as an oracle divergence.
+func TestChaosOperandBit(t *testing.T) {
+	detected := 0
+	chaosSweep(t, chaos.OperandBit, 0.002, func(t *testing.T, seed int64, inj *chaos.Injector, res, ref *Result) {
+		if inj.TotalValueChanging() > 0 && res.OracleTotal > 0 {
+			detected++
+		}
+	})
+	if detected == 0 {
+		t.Fatal("no value-changing operand flip was ever detected; the assertion is vacuous")
+	}
+}
+
+// TestChaosFalseHit: forged reuse hits bypass execution with an unrelated
+// entry's register; the oracle must catch every one whose value differs.
+func TestChaosFalseHit(t *testing.T) {
+	chaosSweep(t, chaos.FalseHit, 0.005, nil)
+}
+
+// TestChaosVSBPoisonCaughtByVerify is the verify-read 100%-coverage
+// assertion: poisoned VSB entries hand out candidates holding wrong values,
+// and the verify-read must refute every one — outputs stay bit-identical to
+// the clean run, the oracle stays silent, and the refuted candidates show up
+// as false positives in the stats.
+func TestChaosVSBPoisonCaughtByVerify(t *testing.T) {
+	falsePos := uint64(0)
+	chaosSweep(t, chaos.VSBPoison, 0.02, func(t *testing.T, seed int64, inj *chaos.Injector, res, ref *Result) {
+		if vc := inj.ValueChanging(chaos.VSBPoison); vc != 0 {
+			t.Fatalf("seed %d: %d poisoned candidates escaped the verify-read", seed, vc)
+		}
+		for i := range ref.Output {
+			if res.Output[i] != ref.Output[i] {
+				t.Fatalf("seed %d: out[%d] = %#x, want %#x — a poisoned candidate corrupted state", seed, i, res.Output[i], ref.Output[i])
+			}
+		}
+		falsePos += res.Stats.VSBFalsePos
+	})
+	if falsePos == 0 {
+		t.Fatal("poison was injected but no verify-read ever refuted a candidate; the assertion is vacuous")
+	}
+}
+
+// TestChaosDropVerify models a disabled verify path: unverified candidates
+// with wrong values corrupt architectural state, and the oracle — not the
+// hardware — must catch them. VSBPoison rides along to guarantee wrong-valued
+// candidates exist (true hash collisions are too rare at this scale), so the
+// disabled-verify-under-injection case actually exercises the oracle.
+func TestChaosDropVerify(t *testing.T) {
+	detected := 0
+	accepted := uint64(0)
+	for seed := int64(0); seed < chaosSeeds(); seed++ {
+		o := DefaultOptions(seed)
+		o.WithShared = seed%2 == 1
+		inj := chaos.New(seed, 0.05, mask(chaos.DropVerify, chaos.VSBPoison))
+		res, err := Execute(o, RunConfig{Model: config.RLPV, Oracle: true, Watchdog: 20000, Chaos: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(res, nil, inj); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		accepted += inj.ValueChanging(chaos.DropVerify)
+		if inj.ValueChanging(chaos.DropVerify) > 0 && res.OracleTotal > 0 {
+			detected++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no dropped verify ever accepted a wrong value; the assertion is vacuous")
+	}
+	if detected == 0 {
+		t.Fatal("wrong values were accepted but the oracle never diverged")
+	}
+}
+
+// TestChaosWedgeTripsWatchdog: a dropped retire wedges its warp, and the
+// watchdog must fire within N cycles of the last retire — with a diagnosis
+// naming the stuck warp's scoreboard state.
+func TestChaosWedgeTripsWatchdog(t *testing.T) {
+	const n = 5000
+	fired := 0
+	for seed := int64(0); seed < chaosSeeds(); seed++ {
+		o := DefaultOptions(seed)
+		inj := chaos.New(seed, 0.001, mask(chaos.Wedge))
+		res, err := Execute(o, RunConfig{Model: config.RLPV, Oracle: true, Watchdog: n, Chaos: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(res, nil, inj); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Watchdog == nil {
+			continue
+		}
+		fired++
+		if res.Watchdog.Quiet != n {
+			t.Fatalf("seed %d: watchdog fired after %d quiet cycles, want exactly %d", seed, res.Watchdog.Quiet, n)
+		}
+		if !strings.Contains(res.Watchdog.Report, "scoreboard=") {
+			t.Fatalf("seed %d: diagnosis lacks scoreboard state:\n%s", seed, res.Watchdog.Report)
+		}
+		if !strings.Contains(res.Watchdog.Report, "stall=") {
+			t.Fatalf("seed %d: diagnosis lacks stall taxonomy:\n%s", seed, res.Watchdog.Report)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no wedge ever tripped the watchdog; the assertion is vacuous")
+	}
+}

@@ -1,0 +1,200 @@
+// Package fuzz generates random — but deterministic, given a seed — kernels
+// exercising arithmetic, transcendentals, predication, divergent control
+// flow, scratchpad traffic with barriers, and global loads, and runs them
+// under any machine model with the golden-model oracle, the deadlock
+// watchdog, and the chaos fault injector attached. Every model must produce
+// bit-identical outputs for every generated program: reuse is never allowed
+// to change results. The generated kernels are race-free (scratchpad accesses
+// are barrier-ordered and lane-private), which the oracle's in-order
+// emulation requires.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+	"github.com/wirsim/wir/internal/mem"
+)
+
+// Options shapes one generated program. The zero value is invalid; use
+// DefaultOptions and override.
+type Options struct {
+	Seed       int64
+	Len        int  // instructions in the top-level block (minimization shrinks this)
+	Regs       int  // live registers the program mutates
+	Threads    int  // total threads in the grid
+	BlockDim   int  // threads per block
+	WithShared bool // include barrier-ordered scratchpad round trips
+}
+
+// DefaultOptions returns the generator shape used by the soundness sweeps.
+func DefaultOptions(seed int64) Options {
+	return Options{Seed: seed, Len: 24, Regs: 10, Threads: 512, BlockDim: 128}
+}
+
+// InputWords is the size of the global input segment programs load from.
+const InputWords = 256
+
+// SeedInput allocates and fills the input segment for a seed. The values are
+// quantized (small mantissas, low entropy) so integer and float paths collide
+// often enough to exercise reuse.
+func SeedInput(ms *mem.System, seed int64) uint32 {
+	in := ms.Alloc(InputWords)
+	r := rand.New(rand.NewSource(seed ^ 0x5EED))
+	for i := 0; i < InputWords; i++ {
+		ms.StoreGlobal(in+uint32(i)*4, uint32(r.Intn(8))<<r.Intn(4))
+	}
+	return in
+}
+
+// OutputWords returns the size of the output segment Build's kernel stores.
+func (o *Options) OutputWords() int { return o.Threads * o.Regs }
+
+// Build assembles the random kernel for o, loading from the global segment at
+// in and storing every live register to the segment at out (so any value
+// corruption is observable in the final memory image).
+func Build(o Options, in, out uint32) *kasm.Kernel {
+	rp := &randProg{
+		r: rand.New(rand.NewSource(o.Seed)),
+		b: kasm.NewBuilder(fmt.Sprintf("rand%d", o.Seed)),
+	}
+	b := rp.b
+	var sh int
+	if o.WithShared {
+		sh = b.Shared(256 * 4)
+	}
+	gidx := b.R()
+	tid := b.R()
+	bid := b.R()
+	bdim := b.R()
+	b.S2R(tid, isa.SrTid)
+	b.S2R(bid, isa.SrCtaidX)
+	b.S2R(bdim, isa.SrNtidX)
+	b.IMad(gidx, bid, bdim, tid)
+
+	// Seed the live set with a mix of quantized constants, thread identity,
+	// and global data.
+	addr := b.R()
+	for i := 0; i < o.Regs; i++ {
+		v := b.R()
+		switch rp.r.Intn(4) {
+		case 0:
+			b.MovI(v, uint32(rp.r.Intn(16)))
+		case 1:
+			b.MovF(v, float32(rp.r.Intn(8))*0.5)
+		case 2:
+			b.AndI(v, gidx, uint32(rp.r.Intn(63)+1))
+		default:
+			idx := b.R()
+			b.AndI(idx, gidx, 255)
+			b.ShlI(addr, idx, 2)
+			b.IAddI(addr, addr, int32(in))
+			b.Ld(v, isa.SpaceGlobal, addr, 0)
+		}
+		rp.live = append(rp.live, v)
+	}
+
+	rp.emitBlock(o.Len, sh, o.WithShared, tid)
+
+	// Store every live register so any corruption is observable.
+	for i, v := range rp.live {
+		idx := b.R()
+		b.IMulI(idx, gidx, int32(len(rp.live)))
+		b.IAddI(idx, idx, int32(i))
+		b.ShlI(addr, idx, 2)
+		b.IAddI(addr, addr, int32(out))
+		b.St(isa.SpaceGlobal, addr, v, 0)
+	}
+	b.Exit()
+	return b.MustBuild()
+}
+
+// randProg is the builder state of one program generation.
+type randProg struct {
+	r     *rand.Rand
+	b     *kasm.Builder
+	live  []isa.Reg
+	preds []isa.PReg
+	depth int
+}
+
+func (rp *randProg) pick() isa.Reg { return rp.live[rp.r.Intn(len(rp.live))] }
+
+// emitBlock emits n random instructions, possibly recursing into divergent
+// regions.
+func (rp *randProg) emitBlock(n, sh int, withShared bool, tid isa.Reg) {
+	b := rp.b
+	for i := 0; i < n; i++ {
+		dst := rp.pick()
+		switch rp.r.Intn(12) {
+		case 0:
+			b.IAdd(dst, rp.pick(), rp.pick())
+		case 1:
+			b.ISub(dst, rp.pick(), rp.pick())
+		case 2:
+			b.IMul(dst, rp.pick(), rp.pick())
+		case 3:
+			b.Xor(dst, rp.pick(), rp.pick())
+		case 4:
+			b.IMin(dst, rp.pick(), rp.pick())
+		case 5:
+			b.FAdd(dst, rp.pick(), rp.pick())
+		case 6:
+			b.FMul(dst, rp.pick(), rp.pick())
+		case 7:
+			b.FFma(dst, rp.pick(), rp.pick(), rp.pick())
+		case 8:
+			b.IAddI(dst, rp.pick(), int32(rp.r.Intn(64)-32))
+		case 9:
+			// Transcendental on a bounded value to keep values tame.
+			t := rp.pick()
+			b.AndI(dst, t, 0xFF)
+			b.I2F(dst, dst)
+			b.FSqrt(dst, dst)
+		case 10:
+			if rp.depth < 2 {
+				// Divergent region guarded by a per-lane comparison.
+				p := rp.pickPred()
+				q := rp.pick()
+				b.ISetPI(p, isa.CondLT, q, int32(rp.r.Intn(1<<20)))
+				rp.depth++
+				inner := rp.r.Intn(6) + 1
+				if rp.r.Intn(2) == 0 {
+					b.If(p, false, func() { rp.emitBlock(inner, sh, false, tid) })
+				} else {
+					b.IfElse(p, false,
+						func() { rp.emitBlock(inner, sh, false, tid) },
+						func() { rp.emitBlock(inner, sh, false, tid) })
+				}
+				rp.depth--
+			} else {
+				b.IAdd(dst, rp.pick(), rp.pick())
+			}
+		default:
+			if withShared && rp.depth == 0 {
+				// Scratchpad round trip with barriers on both sides.
+				sa := rp.b.R()
+				b.AndI(sa, tid, 255)
+				b.ShlI(sa, sa, 2)
+				b.IAddI(sa, sa, int32(sh))
+				b.Bar()
+				b.St(isa.SpaceShared, sa, rp.pick(), 0)
+				b.Bar()
+				b.Ld(dst, isa.SpaceShared, sa, 0)
+			} else {
+				b.Or(dst, rp.pick(), rp.pick())
+			}
+		}
+	}
+}
+
+// pickPred returns the predicate register for the current nesting depth,
+// allocating lazily (one per depth keeps within the 8-predicate budget).
+func (rp *randProg) pickPred() isa.PReg {
+	for len(rp.preds) <= rp.depth {
+		rp.preds = append(rp.preds, rp.b.P())
+	}
+	return rp.preds[rp.depth]
+}

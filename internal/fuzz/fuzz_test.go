@@ -1,0 +1,80 @@
+package fuzz
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+)
+
+// sweepSeeds returns the seed count for the soundness sweeps: 200 in full
+// runs (the acceptance bar for zero false divergences), trimmed under -short.
+func sweepSeeds() int64 {
+	if testing.Short() {
+		return 25
+	}
+	return 200
+}
+
+// TestOracleCleanSweep is the zero-false-divergence bar: across many random
+// programs, with and without reuse, with and without scratchpad traffic, the
+// lockstep oracle must stay silent, the invariants must hold, and the reuse
+// model's outputs must be bit-identical to the baseline's.
+func TestOracleCleanSweep(t *testing.T) {
+	n := sweepSeeds()
+	for seed := int64(0); seed < n; seed++ {
+		o := DefaultOptions(seed)
+		o.WithShared = seed%2 == 1
+		ref, err := Execute(o, RunConfig{Model: config.Base, Oracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(ref, nil, nil); err != nil {
+			t.Fatalf("seed %d Base: %v", seed, err)
+		}
+		res, err := Execute(o, RunConfig{Model: config.RLPV, Oracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(res, ref.Output, nil); err != nil {
+			t.Fatalf("seed %d RLPV: %v", seed, err)
+		}
+	}
+}
+
+// TestBuildDeterministic checks the generator is a pure function of its
+// options: the failing-seed minimizer depends on rebuilding the exact program.
+func TestBuildDeterministic(t *testing.T) {
+	o := DefaultOptions(11)
+	a := Build(o, 0x1000, 0x2000)
+	b := Build(o, 0x1000, 0x2000)
+	if len(a.Code) != len(b.Code) {
+		t.Fatalf("same seed built %d vs %d instructions", len(a.Code), len(b.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instruction %d differs across identical builds", i)
+		}
+	}
+}
+
+// TestLenShrinksProgram checks the minimizer's lever: a smaller Len yields a
+// program no larger than the original.
+func TestLenShrinksProgram(t *testing.T) {
+	o := DefaultOptions(11)
+	full := Build(o, 0x1000, 0x2000)
+	o.Len = 1
+	small := Build(o, 0x1000, 0x2000)
+	if len(small.Code) >= len(full.Code) {
+		t.Fatalf("Len=1 program (%d instrs) not smaller than Len=24 (%d)", len(small.Code), len(full.Code))
+	}
+}
+
+// TestExecuteRejectsBadGeometry checks setup errors surface as errors, not
+// panics or bogus results.
+func TestExecuteRejectsBadGeometry(t *testing.T) {
+	o := DefaultOptions(1)
+	o.Threads = 100 // not a multiple of BlockDim
+	if _, err := Execute(o, RunConfig{Model: config.Base}); err == nil {
+		t.Fatal("non-multiple thread count must be rejected")
+	}
+}

@@ -1,0 +1,132 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/wirsim/wir/internal/chaos"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/oracle"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+// RunConfig shapes one fuzz execution.
+type RunConfig struct {
+	Model    config.Model
+	NumSMs   int    // 0 defaults to 2 (enough for cross-SM dispatch, fast)
+	Watchdog uint64 // cycles without a retire before the watchdog fires (0 = backstop only)
+	Chaos    *chaos.Injector
+	Oracle   bool
+}
+
+// Result is everything one execution produced; Check evaluates it against
+// the robustness contract.
+type Result struct {
+	Cycles       uint64
+	Output       []uint32 // final output segment (nil when the run errored)
+	Divergences  []oracle.Divergence
+	OracleTotal  int // total divergences found (Divergences is capped)
+	RunErr       error
+	Watchdog     *gpu.WatchdogError // set when RunErr is a watchdog firing
+	InvariantErr error
+	Stats        stats.Sim
+}
+
+// Execute builds the program for o, runs it under rc, and collects the
+// oracle, watchdog, and invariant outcomes. The returned error reports setup
+// problems only (invalid config); execution failures land in the Result.
+func Execute(o Options, rc RunConfig) (*Result, error) {
+	if o.BlockDim <= 0 || o.Threads <= 0 || o.Threads%o.BlockDim != 0 {
+		return nil, fmt.Errorf("fuzz: threads %d must be a positive multiple of block dim %d", o.Threads, o.BlockDim)
+	}
+	cfg := config.Default(rc.Model)
+	cfg.NumSMs = rc.NumSMs
+	if cfg.NumSMs == 0 {
+		cfg.NumSMs = 2
+	}
+	cfg.WatchdogCycles = rc.Watchdog
+	g, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ms := g.Mem()
+	in := SeedInput(ms, o.Seed)
+	out := ms.Alloc(o.OutputWords())
+	k := Build(o, in, out)
+
+	var chk *oracle.Checker
+	if rc.Oracle {
+		chk = oracle.New(ms)
+		oracle.Attach(g, chk)
+	}
+	if rc.Chaos != nil {
+		g.SetChaos(rc.Chaos)
+	}
+
+	res := &Result{}
+	res.Cycles, err = g.Run(&gpu.Launch{Kernel: k, GridX: o.Threads / o.BlockDim, DimX: o.BlockDim})
+	if err != nil {
+		res.RunErr = err
+		var we *gpu.WatchdogError
+		if errors.As(err, &we) {
+			res.Watchdog = we
+		}
+		return res, nil
+	}
+	res.Output = ms.Snapshot(out, o.OutputWords())
+	res.Stats = g.Stats()
+	if chk != nil {
+		chk.CheckMemory()
+		res.Divergences = chk.Divergences()
+		res.OracleTotal = chk.Total()
+	}
+	res.InvariantErr = g.CheckInvariants()
+	return res, nil
+}
+
+// Check evaluates a completed execution against the robustness contract:
+//
+//   - A watchdog firing is expected if and only if wedge faults were injected.
+//   - With no value-changing faults applied, the run must be clean: zero
+//     divergences, invariants hold, and (when ref is non-nil) the output image
+//     must be bit-identical to ref.
+//   - With value-changing faults applied (and the oracle attached), the oracle
+//     must have reported at least one divergence — a silent corruption is the
+//     failure the whole harness exists to catch.
+//
+// inj may be nil (no chaos); ref may be nil (no reference image).
+func Check(res *Result, ref []uint32, inj *chaos.Injector) error {
+	if res.Watchdog != nil {
+		if inj.Injected(chaos.Wedge) > 0 {
+			return nil // expected: a wedged warp must trip the watchdog
+		}
+		return fmt.Errorf("fuzz: watchdog fired without wedge injection: %v", res.RunErr)
+	}
+	if res.RunErr != nil {
+		return fmt.Errorf("fuzz: run failed: %v", res.RunErr)
+	}
+	if inj.Injected(chaos.Wedge) > 0 {
+		return errors.New("fuzz: wedge faults injected but the watchdog never fired")
+	}
+	if res.InvariantErr != nil {
+		return fmt.Errorf("fuzz: invariant violated: %v", res.InvariantErr)
+	}
+	if vc := inj.TotalValueChanging(); vc > 0 {
+		if res.OracleTotal == 0 {
+			return fmt.Errorf("fuzz: %d value-changing faults injected but the oracle saw no divergence", vc)
+		}
+		return nil
+	}
+	if res.OracleTotal > 0 {
+		return fmt.Errorf("fuzz: false divergence with no value-changing fault: %s", res.Divergences[0].String())
+	}
+	if ref != nil {
+		for i := range ref {
+			if res.Output[i] != ref[i] {
+				return fmt.Errorf("fuzz: out[%d] = %#x, want %#x", i, res.Output[i], ref[i])
+			}
+		}
+	}
+	return nil
+}

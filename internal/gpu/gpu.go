@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"github.com/wirsim/wir/internal/attr"
+	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/kasm"
@@ -63,6 +64,9 @@ type GPU struct {
 	ins     *metrics.Instruments
 	sampler *metrics.Sampler
 	attr    *attr.Collector
+
+	launchHook func(l *Launch, infos []sm.BlockInfo)
+	chaos      *chaos.Injector
 }
 
 // New builds a GPU for the given configuration.
@@ -99,6 +103,41 @@ func (g *GPU) SetProfileHook(h sm.ProfileHook) {
 func (g *GPU) SetTracer(t trace.Sink) {
 	for _, s := range g.sms {
 		s.Trace = t
+	}
+}
+
+// SetLaunchHook installs a hook observing every kernel launch before its
+// first block dispatches. The infos slice holds the exact BlockInfo values
+// the dispatcher will hand to the SMs, in linear block order — a golden-model
+// checker emulates from these so grid decomposition cannot drift between the
+// two models.
+func (g *GPU) SetLaunchHook(h func(l *Launch, infos []sm.BlockInfo)) {
+	g.launchHook = h
+}
+
+// SetRetireHook installs a per-retire observation hook on every SM (lockstep
+// oracle checking). Nil detaches.
+func (g *GPU) SetRetireHook(h sm.RetireHook) {
+	for _, s := range g.sms {
+		s.Retire = h
+	}
+}
+
+// SetBlockDoneHook installs a block-completion hook on every SM. Nil
+// detaches.
+func (g *GPU) SetBlockDoneHook(h sm.BlockDoneHook) {
+	for _, s := range g.sms {
+		s.BlockDone = h
+	}
+}
+
+// SetChaos attaches the deterministic fault injector to every SM (nil
+// detaches). The simulator is single-threaded, so one injector shared across
+// SMs draws from one PRNG stream and a fixed seed reproduces the same faults.
+func (g *GPU) SetChaos(inj *chaos.Injector) {
+	g.chaos = inj
+	for _, s := range g.sms {
+		s.SetChaos(inj)
 	}
 }
 
@@ -224,11 +263,14 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 	start := g.cycles
 	g.launches++
 
-	makeInfo := func(i int) sm.BlockInfo {
+	// Materialize every block descriptor upfront: the dispatcher and any
+	// launch hook (golden-model oracle) see the identical decomposition.
+	infos := make([]sm.BlockInfo, total)
+	for i := range infos {
 		bx := i % l.GridX
 		by := i / l.GridX % maxi(l.GridY, 1)
 		bz := i / (l.GridX * maxi(l.GridY, 1))
-		return sm.BlockInfo{
+		infos[i] = sm.BlockInfo{
 			Kernel: l.Kernel,
 			Launch: g.launches,
 			BlockX: bx, BlockY: by, BlockZ: bz,
@@ -237,9 +279,19 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 			Threads: l.ThreadsPerBlock(),
 		}
 	}
+	if g.launchHook != nil {
+		g.launchHook(l, infos)
+	}
 
+	// The absolute backstop bounds any launch even with the configurable
+	// watchdog disabled; the configurable watchdog fires on retire progress,
+	// which also catches control-only livelock (control instructions never
+	// retire through the backend).
 	const watchdogSlack = 50_000_000
 	deadline := g.cycles + watchdogSlack
+	wd := g.cfg.WatchdogCycles
+	lastRetired := g.totalRetired()
+	lastProgress := g.cycles
 	for {
 		// Dispatch as many blocks as fit, round-robin over SMs.
 		for next < total {
@@ -248,7 +300,7 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 				if next >= total {
 					break
 				}
-				if s.TryLaunchBlock(makeInfo(next)) {
+				if s.TryLaunchBlock(infos[next]) {
 					next++
 					placed = true
 				}
@@ -271,14 +323,15 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 		if next >= total && idle {
 			break
 		}
+		if r := g.totalRetired(); r != lastRetired {
+			lastRetired = r
+			lastProgress = g.cycles
+		}
+		if wd > 0 && g.cycles-lastProgress >= wd {
+			return 0, g.watchdogError(l, next, total, g.cycles-lastProgress, wd)
+		}
 		if g.cycles > deadline {
-			detail := ""
-			for _, s := range g.sms {
-				if !s.Idle() {
-					detail += s.DebugState()
-				}
-			}
-			return 0, fmt.Errorf("gpu: watchdog expired running %s (%d/%d blocks dispatched)\n%s", l.Kernel.Name, next, total, detail)
+			return 0, g.watchdogError(l, next, total, g.cycles-lastProgress, watchdogSlack)
 		}
 	}
 	// A finished launch is a device-wide synchronization point: memory
@@ -303,12 +356,15 @@ func (g *GPU) Stats() stats.Sim {
 	return out
 }
 
-// CheckInvariants asks every SM's engine to verify its internal invariants.
+// CheckInvariants asks every SM to verify its structural invariants (engine
+// conservation, verify-cache coherence, and — once drained — the idle-state
+// refcount/rename/free-list audit), then audits the memory system's MSHR
+// bookkeeping.
 func (g *GPU) CheckInvariants() error {
 	for _, s := range g.sms {
-		if err := s.Engine().CheckInvariants(); err != nil {
+		if err := s.CheckInvariants(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return g.ms.CheckInvariants(g.cycles)
 }

@@ -1,0 +1,54 @@
+package gpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WatchdogError reports a deadlocked or livelocked launch: no warp retired an
+// instruction for Quiet cycles. Report carries the full diagnosis — per-warp
+// stall taxonomy and scoreboard entries, in-flight instructions with their
+// blocking resources, pending-retry queues, reuse/VSB/register-pool
+// occupancies, and MSHR occupancy — rendered at the moment the watchdog fired.
+type WatchdogError struct {
+	Kernel string
+	Cycle  uint64 // chip cycle at which the watchdog fired
+	Quiet  uint64 // cycles since the last retire
+	Limit  uint64 // configured threshold (or the absolute backstop)
+	Report string
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("gpu: watchdog fired running %s at cycle %d: no retire for %d cycles (limit %d)\n%s",
+		e.Kernel, e.Cycle, e.Quiet, e.Limit, e.Report)
+}
+
+// watchdogError assembles the diagnosis for a stalled launch.
+func (g *GPU) watchdogError(l *Launch, dispatched, total int, quiet, limit uint64) *WatchdogError {
+	var b strings.Builder
+	fmt.Fprintf(&b, "launch: %d/%d blocks dispatched\n", dispatched, total)
+	for i, s := range g.sms {
+		if s.Idle() {
+			continue
+		}
+		b.WriteString(s.Diagnose())
+		fmt.Fprintf(&b, "  mshr occupancy=%d\n", g.ms.MSHROccupancy(i))
+	}
+	return &WatchdogError{
+		Kernel: l.Kernel.Name,
+		Cycle:  g.cycles,
+		Quiet:  quiet,
+		Limit:  limit,
+		Report: b.String(),
+	}
+}
+
+// totalRetired sums the retired-instruction counters across SMs; the watchdog
+// treats any increase as forward progress.
+func (g *GPU) totalRetired() uint64 {
+	var n uint64
+	for _, st := range g.smStat {
+		n += st.Retired
+	}
+	return n
+}

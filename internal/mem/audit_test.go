@@ -1,0 +1,57 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+func auditSystem() *System {
+	cfg := config.Default(config.Base)
+	cfg.NumSMs = 1
+	return NewSystem(&cfg, &stats.Sim{})
+}
+
+// TestMSHRAuditCleanAfterDrain drives a real miss through the MSHRs and
+// checks the audit passes once its fill time has passed.
+func TestMSHRAuditCleanAfterDrain(t *testing.T) {
+	s := auditSystem()
+	done, ok := s.AccessGlobalLoad(0, 3, 0)
+	if !ok {
+		t.Fatal("first miss must get an MSHR")
+	}
+	if err := s.CheckInvariants(done + 1); err != nil {
+		t.Fatalf("drained MSHRs must pass the audit: %v", err)
+	}
+}
+
+// TestMSHRAuditCatchesLeak seeds an entry whose fill never arrives — the
+// state a lost fill event produces — and checks the audit reports it.
+func TestMSHRAuditCatchesLeak(t *testing.T) {
+	s := auditSystem()
+	s.mshrs[0][7] = 1 << 40
+	s.outst[0]++
+	err := s.CheckInvariants(1000)
+	if err == nil {
+		t.Fatal("undrainable MSHR entry must fail the audit")
+	}
+	if !strings.Contains(err.Error(), "leak") {
+		t.Fatalf("want the leak diagnosis, got: %v", err)
+	}
+}
+
+// TestMSHRAuditCatchesCountSkew seeds an outstanding-miss counter that
+// disagrees with the MSHR map.
+func TestMSHRAuditCatchesCountSkew(t *testing.T) {
+	s := auditSystem()
+	s.outst[0]++
+	err := s.CheckInvariants(0)
+	if err == nil {
+		t.Fatal("counter/map skew must fail the audit")
+	}
+	if !strings.Contains(err.Error(), "skew") {
+		t.Fatalf("want the skew diagnosis, got: %v", err)
+	}
+}

@@ -277,6 +277,28 @@ func (s *System) AccessTex(sm int, lineAddr uint64, now uint64) uint64 {
 // LineBytes returns the configured cache line size.
 func (s *System) LineBytes() int { return s.cfg.LineBytes }
 
+// MSHROccupancy returns SM sm's outstanding-miss count (watchdog diagnostics).
+func (s *System) MSHROccupancy(sm int) int { return s.outst[sm] }
+
+// CheckInvariants audits the MSHR bookkeeping at a quiesce point (every
+// in-flight load's completion time has passed): after draining entries whose
+// fills arrived by now, every SM must have an empty MSHR map whose entry count
+// matches its outstanding-miss counter. A residual entry or counter skew is an
+// MSHR leak — outstanding misses that would eventually wedge the SM against
+// the MSHR limit.
+func (s *System) CheckInvariants(now uint64) error {
+	for sm := range s.mshrs {
+		s.drainMSHRs(sm, now)
+		if len(s.mshrs[sm]) != s.outst[sm] {
+			return fmt.Errorf("mem: sm%d MSHR count skew: %d entries vs %d outstanding", sm, len(s.mshrs[sm]), s.outst[sm])
+		}
+		if s.outst[sm] != 0 {
+			return fmt.Errorf("mem: sm%d leaks %d MSHR entries at quiesce", sm, s.outst[sm])
+		}
+	}
+	return nil
+}
+
 // CheckAddr validates a word-aligned address for functional access.
 func CheckAddr(addr uint32) error {
 	if addr%4 != 0 {

@@ -1,0 +1,17 @@
+package oracle
+
+import (
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/sm"
+)
+
+// Attach wires the checker into a GPU: the launch hook runs the golden-model
+// emulation over the exact block decomposition the dispatcher will use, the
+// retire hook checks every writeback in lockstep, and the block-done hook
+// compares final scratchpad images. Call before the first Run; after the last
+// Run, call CheckMemory and inspect Divergences.
+func Attach(g *gpu.GPU, c *Checker) {
+	g.SetLaunchHook(func(l *gpu.Launch, infos []sm.BlockInfo) { c.BeginLaunch(infos) })
+	g.SetRetireHook(c.OnRetire)
+	g.SetBlockDoneHook(c.OnBlockDone)
+}

@@ -1,0 +1,46 @@
+package regfile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/isa"
+)
+
+// TestVerifyCacheAuditCatchesStaleLine seeds the corruption the audit exists
+// for: a register write that bypassed Write and left a verify-cache line
+// holding the old value. A stale line would make verify-reads lie, silently
+// accepting wrong VSB candidates.
+func TestVerifyCacheAuditCatchesStaleLine(t *testing.T) {
+	f := New(32, 8, 4)
+	var v isa.Vec
+	for i := range v {
+		v[i] = uint32(i) * 3
+	}
+	f.Write(5, v)
+	if _, hit := f.VerifyCacheLookup(5); hit {
+		t.Fatal("cold cache must miss")
+	}
+	f.VerifyCacheFill(5)
+	if err := f.AuditVerifyCache(); err != nil {
+		t.Fatalf("coherent cache must pass: %v", err)
+	}
+	// Mutate the register behind the cache's back.
+	f.vals[5][0] ^= 1
+	err := f.AuditVerifyCache()
+	if err == nil {
+		t.Fatal("stale verify-cache line must fail the audit")
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("want the staleness diagnosis, got: %v", err)
+	}
+}
+
+// TestVerifyCacheAuditNoCacheIsClean checks the audit is a no-op without a
+// verify cache configured.
+func TestVerifyCacheAuditNoCacheIsClean(t *testing.T) {
+	f := New(32, 8, 0)
+	if err := f.AuditVerifyCache(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -140,6 +140,28 @@ func (f *File) VerifyCacheFill(p PhysID) {
 // HasVerifyCache reports whether a verify cache is configured.
 func (f *File) HasVerifyCache() bool { return f.vcache != nil }
 
+// AuditVerifyCache verifies verify-cache coherence: every valid line must
+// hold the current contents of the register it is tagged with. The write path
+// invalidates on every register write, so a stale line means a write bypassed
+// Write — exactly the kind of bug that would make verify-reads lie.
+func (f *File) AuditVerifyCache() error {
+	if f.vcache == nil {
+		return nil
+	}
+	for i, t := range f.vcache.tags {
+		if t == PhysNone {
+			continue
+		}
+		if int(t) >= len(f.vals) {
+			return fmt.Errorf("regfile: verify-cache line %d tags nonexistent register %d", i, t)
+		}
+		if f.vcache.vals[i] != f.vals[t] {
+			return fmt.Errorf("regfile: verify-cache line %d is stale for register %d (cached != current)", i, t)
+		}
+	}
+	return nil
+}
+
 // IsAffine reports whether all adjacent lanes of v differ by one common
 // stride, i.e. v can be represented as a (32-bit base, 32-bit stride) tuple
 // (paper section VII-A, Affine model).

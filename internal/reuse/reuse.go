@@ -258,6 +258,23 @@ func (b *Buffer) Occupancy() int {
 	return n
 }
 
+// AnyReady returns a valid, non-pending entry chosen by the rotating cursor
+// c, without modifying the buffer. The chaos injector uses it to pick a donor
+// entry when forging a false hit.
+func (b *Buffer) AnyReady(c int) (Entry, bool) {
+	n := len(b.entries)
+	if n == 0 {
+		return Entry{}, false
+	}
+	for k := 0; k < n; k++ {
+		i := (c + k) % n
+		if b.entries[i].Valid && !b.entries[i].Pending {
+			return b.entries[i], true
+		}
+	}
+	return Entry{}, false
+}
+
 // References calls fn with every physical register referenced by entry e: its
 // recorded sources and, when not pending, its result.
 func References(e Entry, fn func(regfile.PhysID)) {

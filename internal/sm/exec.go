@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/core"
 	"github.com/wirsim/wir/internal/isa"
 )
@@ -73,6 +74,16 @@ func (s *SM) execute(wc *warpCtx, fl *core.Flight) []isa.Vec {
 	default:
 		fl.Result = isa.ExecVec(in, srcs, old, fl.Mask)
 		fl.HasResult = true
+		if s.chaos.RollOperandBit() && s.chaos.FlipBit(srcs, fl.Mask) {
+			clean := fl.Result
+			fl.Result = isa.ExecVec(in, srcs, old, fl.Mask)
+			// Value-changing is settled at retire: a reuse hit replaces the
+			// corrupted result with the donor's clean value (see ChaosDirty).
+			fl.ChaosDirty = fl.Result != clean
+			if !fl.ChaosDirty {
+				s.chaos.Note(chaos.OperandBit, false)
+			}
+		}
 	}
 	return srcs
 }

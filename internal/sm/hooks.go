@@ -1,0 +1,162 @@
+package sm
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wirsim/wir/internal/chaos"
+	"github.com/wirsim/wir/internal/core"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// RetireEvent describes one retired non-control instruction for lockstep
+// checking against a golden model. Arch is the architectural value of the
+// destination register after the retire (the value a subsequent reader of
+// Dst would observe), read through the rename table so bypassed and
+// VSB-shared destinations are checked against the register they actually
+// resolve to.
+type RetireEvent struct {
+	Kernel      *kasm.Kernel
+	SM          int
+	Warp        int // SM warp slot
+	Launch      int
+	Block       int // linear block index within the launch
+	WarpInBlock int
+	PC          int
+	Seq         uint64 // program-order sequence within the warp (1-based)
+	In          *isa.Instr
+	Mask        isa.Mask
+	Result      isa.Vec // value computed at issue
+	HasResult   bool
+	Arch        isa.Vec // architectural destination value after retire
+	HasArch     bool
+	Bypassed    bool
+}
+
+// RetireHook observes every retired non-control instruction.
+type RetireHook func(ev *RetireEvent)
+
+// BlockDoneHook observes each completed thread block with its final
+// scratchpad image (nil when the kernel declares no shared memory), before
+// the SM releases it.
+type BlockDoneHook func(info *BlockInfo, shared []uint32)
+
+// SetChaos attaches (or detaches, with nil) the fault injector to the SM and
+// its engine. The hot paths pay only a nil check when chaos is disabled.
+func (s *SM) SetChaos(inj *chaos.Injector) {
+	s.chaos = inj
+	s.eng.SetChaos(inj)
+}
+
+// CheckInvariants verifies the SM's structural invariants: the engine's
+// conservation checks always, plus the full idle-state audit (rename tables
+// clean, refcounts reconciled against the reuse buffer and VSB, verify cache
+// coherent) once the SM has drained.
+func (s *SM) CheckInvariants() error {
+	if err := s.eng.CheckInvariants(); err != nil {
+		return fmt.Errorf("sm%d: %w", s.ID, err)
+	}
+	if err := s.rf.AuditVerifyCache(); err != nil {
+		return fmt.Errorf("sm%d: %w", s.ID, err)
+	}
+	if s.Idle() {
+		if err := s.eng.AuditIdle(); err != nil {
+			return fmt.Errorf("sm%d: %w", s.ID, err)
+		}
+	}
+	return nil
+}
+
+// Diagnose renders the SM's live state for the deadlock watchdog: per-warp
+// stall taxonomy and scoreboard entries, every in-flight instruction with its
+// stage and blocking resource, the pending-retry queue, and the engine's
+// reuse/VSB/register-pool occupancies.
+func (s *SM) Diagnose() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SM%d now=%d blocks=%d flights=%d pendingQ=%d dummies=%d\n",
+		s.ID, s.now, s.liveBlocks, len(s.flights), len(s.pendingQ), len(s.dummies))
+	fmt.Fprintf(&b, "  engine: regsInUse=%d free=%d lowReg=%v reuseOcc=%d vsbOcc=%d\n",
+		s.eng.RegsInUse(), s.eng.FreeRegs(), s.eng.LowRegMode(), s.eng.ReuseOccupancy(), s.eng.VSBOccupancy())
+	for i, fl := range s.flights {
+		if i >= 16 {
+			fmt.Fprintf(&b, "  ... %d more flights\n", len(s.flights)-16)
+			break
+		}
+		fmt.Fprintf(&b, "  flight w%d pc=%d %s stage=%d alloc=%d blocked=%d readyAt=%d retries=%d\n",
+			fl.Warp, fl.PC, fl.In.Op, fl.Stage, fl.Alloc, fl.Blocked, fl.ReadyAt, fl.Retries)
+	}
+	for i, fl := range s.pendingQ {
+		if i >= 8 {
+			fmt.Fprintf(&b, "  ... %d more pending\n", len(s.pendingQ)-8)
+			break
+		}
+		fmt.Fprintf(&b, "  pending w%d pc=%d %s since=%d\n", fl.Warp, fl.PC, fl.In.Op, fl.PendingSince)
+	}
+	for w, wc := range s.warps {
+		if !wc.active || wc.done {
+			continue
+		}
+		pc := -1
+		if len(wc.stack) > 0 {
+			pc = wc.stack[len(wc.stack)-1].pc
+		}
+		fmt.Fprintf(&b, "  warp %d pc=%d barrier=%v inflight=%d stack=%d", w, pc, wc.barrier, wc.inflight, len(wc.stack))
+		if !wc.barrier && wc.inflight > 0 {
+			reason, blamed := s.hazardReason(w)
+			fmt.Fprintf(&b, " stall=%v", reason)
+			if blamed != nil {
+				fmt.Fprintf(&b, " (producer pc=%d %s)", blamed.PC, blamed.In.Op)
+			}
+		}
+		sb := scoreboardSummary(wc)
+		if sb != "" {
+			fmt.Fprintf(&b, " scoreboard=[%s]", sb)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// scoreboardSummary lists a warp's nonzero scoreboard entries.
+func scoreboardSummary(wc *warpCtx) string {
+	var parts []string
+	for r, n := range wc.pendReg {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("r%d:%d", r, n))
+		}
+	}
+	for p, n := range wc.pendPred {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("p%d:%d", p, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// retireEvent builds the lockstep-check event for a retiring flight. Called
+// after the engine's Retire so the rename table maps the destination to its
+// final physical register.
+func (s *SM) retireEvent(wc *warpCtx, fl *core.Flight) *RetireEvent {
+	info := &s.blocks[wc.block].info
+	ev := &RetireEvent{
+		Kernel:      info.Kernel,
+		SM:          s.ID,
+		Warp:        fl.Warp,
+		Launch:      info.Launch,
+		Block:       (info.BlockZ*info.GridY+info.BlockY)*info.GridX + info.BlockX,
+		WarpInBlock: wc.inBlock,
+		PC:          fl.PC,
+		Seq:         fl.SeqInWarp,
+		In:          fl.In,
+		Mask:        fl.Mask,
+		Result:      fl.Result,
+		HasResult:   fl.HasResult,
+		Bypassed:    fl.Bypassed,
+	}
+	if fl.In.HasDst() {
+		ev.Arch = s.eng.RegValue(fl.Warp, fl.In.Dst)
+		ev.HasArch = true
+	}
+	return ev
+}

@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/core"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/mem"
@@ -72,6 +73,14 @@ func (s *SM) advanceFlights(renameSlots, reuseSlots *int) {
 			}
 		case core.StageRetire:
 			if s.now >= fl.ReadyAt {
+				if s.chaos.RollWedge() {
+					// Drop the flight without retiring: the scoreboard never
+					// clears and the warp wedges, which the watchdog must
+					// convert into a diagnostic.
+					s.chaos.Note(chaos.Wedge, false)
+					done = true
+					break
+				}
 				s.retire(fl)
 				done = true
 			}
@@ -289,7 +298,16 @@ func (s *SM) injectMemLines(fl *core.Flight) {
 // clears, and statistics are recorded.
 func (s *SM) retire(fl *core.Flight) {
 	wc := s.warps[fl.Warp]
+	if fl.ChaosDirty {
+		// A bypassed dirty flight took the donor's clean value instead of the
+		// corrupted result, so the fault healed architecturally.
+		s.chaos.Note(chaos.OperandBit, !fl.Bypassed)
+	}
 	s.eng.Retire(fl)
+	s.st.Retired++
+	if s.Retire != nil {
+		s.Retire(s.retireEvent(wc, fl))
+	}
 	s.emit(trace.KindRetire, fl)
 	if s.mx != nil {
 		s.mx.IssueLatency.Observe(s.now - fl.Issued)

@@ -11,6 +11,7 @@ import (
 	"github.com/wirsim/wir/internal/trace"
 
 	"github.com/wirsim/wir/internal/attr"
+	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/core"
 	"github.com/wirsim/wir/internal/energy"
@@ -72,6 +73,15 @@ type SM struct {
 	// Trace, when non-nil, receives pipeline events (issue, bypass,
 	// dispatch, retire, dummy, barrier).
 	Trace trace.Sink
+	// Retire, when non-nil, receives every retired non-control instruction
+	// with its architectural writeback (lockstep oracle checking).
+	Retire RetireHook
+	// BlockDone, when non-nil, receives each completed block with its final
+	// scratchpad image, before the SM releases it.
+	BlockDone BlockDoneHook
+
+	// chaos, when non-nil, injects deterministic faults into the pipeline.
+	chaos *chaos.Injector
 
 	// Telemetry (attached with SetInstruments; nil = disabled, and the hot
 	// paths pay only the nil check).
@@ -361,6 +371,9 @@ func (s *SM) completeBlockIfDone(slot int) {
 		if !wc.done || wc.inflight > 0 {
 			return
 		}
+	}
+	if s.BlockDone != nil {
+		s.BlockDone(&b.info, b.shared)
 	}
 	s.eng.BlockComplete(slot, b.warps)
 	for _, w := range b.warps {

@@ -17,6 +17,7 @@ type Sim struct {
 	Divergent  uint64 // instructions issued with a partial active mask
 	DummyMovs  uint64 // injected divergence-handling MOVs (section V-D)
 	Backend    uint64 // instructions that entered backend execution
+	Retired    uint64 // non-control instructions retired (watchdog progress)
 	Bypassed   uint64 // instructions that reused a prior result (no backend)
 	LowRegMode uint64 // cycles spent in low-register mode
 
@@ -106,6 +107,7 @@ func (s *Sim) Add(o *Sim) {
 	s.Divergent += o.Divergent
 	s.DummyMovs += o.DummyMovs
 	s.Backend += o.Backend
+	s.Retired += o.Retired
 	s.Bypassed += o.Bypassed
 	s.LowRegMode += o.LowRegMode
 	s.SPOps += o.SPOps

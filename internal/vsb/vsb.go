@@ -162,3 +162,45 @@ func (b *Buffer) Occupancy() int {
 	}
 	return n
 }
+
+// Refs calls fn with the physical register of every valid entry, so the
+// engine's idle-state audit can reconcile the pool's reference counts.
+func (b *Buffer) Refs(fn func(regfile.PhysID)) {
+	for i, v := range b.valid {
+		if v {
+			fn(b.regs[i])
+		}
+	}
+}
+
+// SwapAny exchanges the result registers of two distinct valid entries chosen
+// by the rotating cursors c1 and c2, reporting whether a swap happened. The
+// chaos injector uses it to poison the buffer: each entry's hash then names a
+// register holding a different value, which the verify-read must refute. The
+// swap moves references between entries without creating or dropping any, so
+// pool reference counts stay balanced.
+func (b *Buffer) SwapAny(c1, c2 int) bool {
+	n := len(b.valid)
+	if n < 2 {
+		return false
+	}
+	first := -1
+	for k := 0; k < n; k++ {
+		i := (c1 + k) % n
+		if b.valid[i] {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return false
+	}
+	for k := 0; k < n; k++ {
+		i := (c2 + k) % n
+		if b.valid[i] && i != first && b.regs[i] != b.regs[first] {
+			b.regs[first], b.regs[i] = b.regs[i], b.regs[first]
+			return true
+		}
+	}
+	return false
+}

@@ -1,191 +1,17 @@
 package wir_test
 
 import (
-	"fmt"
-	"math/rand"
 	"testing"
 
-	wir "github.com/wirsim/wir"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/fuzz"
 )
 
-// randProg generates a random (but deterministic, given the seed) kernel
-// exercising arithmetic, transcendentals, predication, divergent control
-// flow, scratchpad traffic with barriers, and global loads. Every model must
-// produce bit-identical outputs for every generated program: reuse is never
-// allowed to change results.
-type randProg struct {
-	r     *rand.Rand
-	b     *wir.KernelBuilder
-	live  []wir.Reg // registers holding defined values
-	preds []wir.PReg
-	depth int
-}
-
-const randProgRegs = 10
-
-func buildRandProg(seed int64, in uint32, out uint32, withShared bool) *wir.Kernel {
-	rp := &randProg{r: rand.New(rand.NewSource(seed)), b: wir.NewKernelBuilder(fmt.Sprintf("rand%d", seed))}
-	b := rp.b
-	var sh int
-	if withShared {
-		sh = b.Shared(256 * 4)
-	}
-	gidx := b.R()
-	tid := b.R()
-	bid := b.R()
-	bdim := b.R()
-	b.S2R(tid, wir.Tid)
-	b.S2R(bid, wir.CtaidX)
-	b.S2R(bdim, wir.NtidX)
-	b.IMad(gidx, bid, bdim, tid)
-
-	// Seed the live set with a mix of quantized constants, thread identity,
-	// and global data.
-	addr := b.R()
-	for i := 0; i < randProgRegs; i++ {
-		v := b.R()
-		switch rp.r.Intn(4) {
-		case 0:
-			b.MovI(v, uint32(rp.r.Intn(16)))
-		case 1:
-			b.MovF(v, float32(rp.r.Intn(8))*0.5)
-		case 2:
-			b.AndI(v, gidx, uint32(rp.r.Intn(63)+1))
-		default:
-			idx := b.R()
-			b.AndI(idx, gidx, 255)
-			b.ShlI(addr, idx, 2)
-			b.IAddI(addr, addr, int32(in))
-			b.Ld(v, wir.Global, addr, 0)
-		}
-		rp.live = append(rp.live, v)
-	}
-
-	rp.emitBlock(24, sh, withShared, tid)
-
-	// Store every live register so any corruption is observable.
-	for i, v := range rp.live {
-		idx := b.R()
-		b.IMulI(idx, gidx, int32(len(rp.live)))
-		b.IAddI(idx, idx, int32(i))
-		b.ShlI(addr, idx, 2)
-		b.IAddI(addr, addr, int32(out))
-		b.St(wir.Global, addr, v, 0)
-	}
-	b.Exit()
-	return b.MustBuild()
-}
-
-func (rp *randProg) pick() wir.Reg { return rp.live[rp.r.Intn(len(rp.live))] }
-
-// emitBlock emits n random instructions, possibly recursing into divergent
-// regions.
-func (rp *randProg) emitBlock(n, sh int, withShared bool, tid wir.Reg) {
-	b := rp.b
-	for i := 0; i < n; i++ {
-		dst := rp.pick()
-		switch rp.r.Intn(12) {
-		case 0:
-			b.IAdd(dst, rp.pick(), rp.pick())
-		case 1:
-			b.ISub(dst, rp.pick(), rp.pick())
-		case 2:
-			b.IMul(dst, rp.pick(), rp.pick())
-		case 3:
-			b.Xor(dst, rp.pick(), rp.pick())
-		case 4:
-			b.IMin(dst, rp.pick(), rp.pick())
-		case 5:
-			b.FAdd(dst, rp.pick(), rp.pick())
-		case 6:
-			b.FMul(dst, rp.pick(), rp.pick())
-		case 7:
-			b.FFma(dst, rp.pick(), rp.pick(), rp.pick())
-		case 8:
-			b.IAddI(dst, rp.pick(), int32(rp.r.Intn(64)-32))
-		case 9:
-			// Transcendental on a bounded value to avoid NaN-vs-NaN payload
-			// ambiguity across nothing — results are deterministic anyway,
-			// but keep values tame.
-			t := rp.pick()
-			b.AndI(dst, t, 0xFF)
-			b.I2F(dst, dst)
-			b.FSqrt(dst, dst)
-		case 10:
-			if rp.depth < 2 {
-				// Divergent region guarded by a per-lane comparison.
-				p := rp.pickPred()
-				q := rp.pick()
-				b.ISetPI(p, wir.LT, q, int32(rp.r.Intn(1<<20)))
-				rp.depth++
-				inner := rp.r.Intn(6) + 1
-				if rp.r.Intn(2) == 0 {
-					b.If(p, false, func() { rp.emitBlock(inner, sh, false, tid) })
-				} else {
-					b.IfElse(p, false,
-						func() { rp.emitBlock(inner, sh, false, tid) },
-						func() { rp.emitBlock(inner, sh, false, tid) })
-				}
-				rp.depth--
-			} else {
-				b.IAdd(dst, rp.pick(), rp.pick())
-			}
-		default:
-			if withShared && rp.depth == 0 {
-				// Scratchpad round trip with barriers on both sides.
-				sa := rp.b.R()
-				b.AndI(sa, tid, 255)
-				b.ShlI(sa, sa, 2)
-				b.IAddI(sa, sa, int32(sh))
-				b.Bar()
-				b.St(wir.Shared, sa, rp.pick(), 0)
-				b.Bar()
-				b.Ld(dst, wir.Shared, sa, 0)
-			} else {
-				b.Or(dst, rp.pick(), rp.pick())
-			}
-		}
-	}
-}
-
-// pickPred returns the predicate register for the current nesting depth,
-// allocating lazily (one per depth keeps within the 8-predicate budget).
-func (rp *randProg) pickPred() wir.PReg {
-	for len(rp.preds) <= rp.depth {
-		rp.preds = append(rp.preds, rp.b.P())
-	}
-	return rp.preds[rp.depth]
-}
-
-func runRandProg(t *testing.T, seed int64, m wir.Model, withShared bool) []uint32 {
-	t.Helper()
-	cfg := wir.DefaultConfig(m)
-	cfg.NumSMs = 2
-	g, err := wir.NewGPU(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ms := g.Mem()
-	in := ms.Alloc(256)
-	r := rand.New(rand.NewSource(seed ^ 0x5EED))
-	for i := 0; i < 256; i++ {
-		ms.StoreGlobal(in+uint32(i)*4, uint32(r.Intn(8))<<r.Intn(4))
-	}
-	const threads = 512
-	out := ms.Alloc(threads * randProgRegs)
-	k := buildRandProg(seed, in, out, withShared)
-	if _, err := g.Run(&wir.Launch{Kernel: k, GridX: threads / 128, DimX: 128}); err != nil {
-		t.Fatalf("seed %d model %v: %v", seed, m, err)
-	}
-	if err := g.CheckInvariants(); err != nil {
-		t.Fatalf("seed %d model %v: %v", seed, m, err)
-	}
-	return ms.Snapshot(out, threads*randProgRegs)
-}
-
 // TestRandomProgramsAllModelsAgree is the repository's strongest soundness
-// check: for randomly generated kernels, every machine model must produce
-// outputs bit-identical to the baseline.
+// check: for randomly generated kernels — produced by internal/fuzz, the same
+// generator cmd/wirfuzz and the chaos suites sweep — every machine model must
+// produce outputs bit-identical to the baseline, with the golden-model oracle
+// attached and the structural invariants audited on every run.
 func TestRandomProgramsAllModelsAgree(t *testing.T) {
 	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
 	if testing.Short() {
@@ -193,17 +19,25 @@ func TestRandomProgramsAllModelsAgree(t *testing.T) {
 	}
 	for _, seed := range seeds {
 		for _, withShared := range []bool{false, true} {
-			ref := runRandProg(t, seed, wir.Base, withShared)
-			for _, m := range wir.AllModels {
-				if m == wir.Base {
+			o := fuzz.DefaultOptions(seed)
+			o.WithShared = withShared
+			ref, err := fuzz.Execute(o, fuzz.RunConfig{Model: config.Base, Oracle: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fuzz.Check(ref, nil, nil); err != nil {
+				t.Fatalf("seed %d shared=%v base: %v", seed, withShared, err)
+			}
+			for _, m := range config.AllModels {
+				if m == config.Base {
 					continue
 				}
-				got := runRandProg(t, seed, m, withShared)
-				for i := range ref {
-					if got[i] != ref[i] {
-						t.Fatalf("seed %d shared=%v model %v: out[%d] = %#x, want %#x",
-							seed, withShared, m, i, got[i], ref[i])
-					}
+				res, err := fuzz.Execute(o, fuzz.RunConfig{Model: m, Oracle: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fuzz.Check(res, ref.Output, nil); err != nil {
+					t.Fatalf("seed %d shared=%v model %v: %v", seed, withShared, m, err)
 				}
 			}
 		}

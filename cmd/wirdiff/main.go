@@ -17,6 +17,10 @@
 // Usage:
 //
 //	wirdiff [-sms N] [-a Base] [-b RLPV] [-ja trace.jsonl] [-jb trace.jsonl] <benchmark-abbr>
+//
+// Exit status: 0 when the streams (and outputs, if compared) agree, 1 on
+// runtime errors, 2 on usage errors, 3 on any divergence — the shared
+// taxonomy of wirsim/wirfuzz/wirdrift (docs/ROBUSTNESS.md).
 package main
 
 import (
@@ -30,6 +34,13 @@ import (
 	"github.com/wirsim/wir/internal/trace"
 )
 
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitFault   = 3
+)
+
 func main() {
 	sms := flag.Int("sms", 4, "number of simulated SMs")
 	modelA := flag.String("a", "Base", "first machine model")
@@ -39,7 +50,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wirdiff [-sms N] [-a M1] [-b M2] [-ja FILE] [-jb FILE] <benchmark-abbr>")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	abbr := flag.Arg(0)
 	bm, err := bench.ByAbbr(abbr)
@@ -84,10 +95,10 @@ func main() {
 		recB, outB = run(*modelB)
 	}
 
-	exit := 0
+	exit := exitOK
 	if d := trace.Divergence(recA, recB); d != "" {
 		fmt.Printf("retire-stream divergence (%s vs %s): %s\n", labelA, labelB, d)
-		exit = 1
+		exit = exitFault // the run is judged bad, not a tool failure
 	} else {
 		fmt.Printf("retire streams identical across %d warps\n", len(recA.Streams))
 	}
@@ -106,7 +117,7 @@ func main() {
 	}
 	if diffs > 0 {
 		fmt.Printf("%d/%d output words differ\n", diffs, len(outA))
-		exit = 1
+		exit = exitFault
 	} else {
 		fmt.Printf("output buffers identical (%d words)\n", len(outA))
 	}
@@ -116,6 +127,6 @@ func main() {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wirdiff:", err)
-		os.Exit(1)
+		os.Exit(exitRuntime)
 	}
 }

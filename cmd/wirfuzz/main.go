@@ -71,7 +71,7 @@ func main() {
 	sms := flag.Int("sms", 2, "number of simulated SMs")
 	length := flag.Int("len", 24, "instructions in the generated top-level block")
 	shared := flag.String("shared", "auto", "scratchpad round trips: auto (alternate by seed), on, off")
-	watchdog := flag.Uint64("watchdog", 20000, "cycles without a retire before the watchdog fires")
+	watchdog := flag.Uint64("watchdog", 0, "cycles without a retire before the watchdog fires (0 derives the limit from DRAM latency and MSHR depth)")
 	chaosSpec := flag.String("chaos", "", "inject faults: seed,rate,kinds — the seed is offset per run so every program sees distinct faults")
 	out := flag.String("out", "", "write minimized failing seeds as JSON to this file")
 	verbose := flag.Bool("v", false, "log every seed")

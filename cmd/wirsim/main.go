@@ -6,11 +6,12 @@
 //	wirsim [-sms N] [-model RLPV] [-list] [-interval N] [-metrics FILE]
 //	       [-stats text|json] [-trace-json FILE] [-serve :addr]
 //	       [-pprof FILE] [-perfetto FILE] [-hotspots N]
-//	       [-oracle] [-watchdog N] [-chaos seed,rate,kinds] <benchmark-abbr>
+//	       [-oracle] [-watchdog N] [-audit] [-chaos seed,rate,kinds] <benchmark-abbr>
 //
 // Exit status: 0 on success, 1 on runtime errors (I/O, setup), 2 on usage
 // errors, 3 when the run itself is judged bad — an oracle divergence, an
-// invariant violation, or a watchdog firing.
+// invariant violation (end of run or, with -audit, at a kernel boundary), or
+// a watchdog firing.
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/oracle"
 	"github.com/wirsim/wir/internal/perfetto"
@@ -57,7 +59,8 @@ func main() {
 	perfettoOut := flag.String("perfetto", "", "write the pipeline trace as Perfetto/Chrome trace-event JSON to this file")
 	hotspots := flag.Int("hotspots", 0, "print the top-N per-PC hotspots after the run")
 	useOracle := flag.Bool("oracle", false, "run the golden-model oracle in lockstep and fail on any divergence")
-	watchdog := flag.Uint64("watchdog", 0, "fail if no instruction retires for N cycles (0 = absolute backstop only)")
+	watchdog := flag.Int64("watchdog", -1, "fail if no instruction retires for N cycles (-1 derives N from DRAM latency and MSHR depth, 0 = absolute backstop only)")
+	audit := flag.Bool("audit", false, "run the structural invariant auditors at every kernel boundary, not just end of run")
 	chaosSpec := flag.String("chaos", "", "inject deterministic faults: seed,rate,kinds (e.g. 1,0.001,all — see docs/ROBUSTNESS.md)")
 	flag.Parse()
 
@@ -88,9 +91,16 @@ func main() {
 
 	cfg := config.Default(m)
 	cfg.NumSMs = *sms
-	cfg.WatchdogCycles = *watchdog
+	if *watchdog < 0 {
+		cfg.WatchdogCycles = mem.AutoWatchdog(&cfg)
+	} else {
+		cfg.WatchdogCycles = uint64(*watchdog)
+	}
 	g, err := gpu.New(cfg)
 	fatal(err)
+	if *audit {
+		g.SetLaunchAudit(true)
+	}
 
 	// Telemetry: one registry feeds the live endpoint, the interval sampler
 	// and the end-of-run report. Attached only when asked for, so plain runs
@@ -198,6 +208,11 @@ func main() {
 	var we *gpu.WatchdogError
 	if errors.As(runErr, &we) {
 		fmt.Fprintln(os.Stderr, "wirsim:", we.Error())
+		os.Exit(exitFault)
+	}
+	var ae *gpu.AuditError
+	if errors.As(runErr, &ae) {
+		fmt.Fprintln(os.Stderr, "wirsim:", ae.Error())
 		os.Exit(exitFault)
 	}
 	fatal(runErr)

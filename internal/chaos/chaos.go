@@ -2,10 +2,12 @@
 // simulator. It corrupts the WIR pipeline at four architecturally interesting
 // points — operand values, reuse-buffer lookups, VSB entries, and
 // verify-reads — plus one timing point (dropping a retire to wedge a warp),
-// so the robustness suite can assert that the verify-read path catches every
+// and the memory hierarchy at three more (a fill that never arrives, a fill
+// delivered twice, a stale L1D line serving pre-store data), so the
+// robustness suite can assert that the verify-read path catches every
 // value-changing corruption it is responsible for, that the golden-model
-// oracle catches the rest, and that the deadlock watchdog converts a wedged
-// pipeline into a diagnosis.
+// oracle catches the rest, that the MSHR auditor catches bookkeeping skew,
+// and that the deadlock watchdog converts a wedged pipeline into a diagnosis.
 //
 // Injection is deterministic: the simulator is single-threaded and ticks in a
 // fixed order, and the injector draws from one seeded PRNG, so a (seed, rate,
@@ -14,6 +16,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -49,11 +52,29 @@ const (
 	// clear and the warp deadlocks, which the watchdog must convert into a
 	// diagnostic report.
 	Wedge
+	// DropFill makes an MSHR fill never arrive: the entry's completion time
+	// is pushed past any reachable cycle, so the requesting warp waits
+	// forever and the SM wedges against the MSHR limit. The watchdog must
+	// convert this into a diagnosis showing the stuck MSHR occupancy.
+	DropFill
+	// DoubleFill re-delivers a fill that already completed, decrementing the
+	// outstanding-miss counter twice for one entry. The end-of-kernel MSHR
+	// invariant audit must catch the resulting counter skew.
+	DoubleFill
+	// StaleL1D drops the write-evict invalidate of a resident L1D line, so
+	// later loads of that line are served values from before the store. The
+	// corruption is value-accurate on the functional load path (SM loads see
+	// the stale word, the golden model sees the truth), so the oracle's
+	// lockstep load check must catch every serve that differs.
+	StaleL1D
 
 	numKinds
 )
 
-var kindNames = [numKinds]string{"operandbit", "falsehit", "vsbpoison", "dropverify", "wedge"}
+var kindNames = [numKinds]string{
+	"operandbit", "falsehit", "vsbpoison", "dropverify", "wedge",
+	"dropfill", "doublefill", "stalel1d",
+}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -64,11 +85,11 @@ func (k Kind) String() string {
 
 // ParseKinds parses a "+"-separated list of kind names ("all" selects every
 // kind) into a bitmask.
-func ParseKinds(s string) (uint8, error) {
+func ParseKinds(s string) (uint16, error) {
 	if s == "all" {
 		return 1<<numKinds - 1, nil
 	}
-	var mask uint8
+	var mask uint16
 	for _, name := range strings.Split(s, "+") {
 		found := false
 		for k, n := range kindNames {
@@ -90,7 +111,7 @@ func ParseKinds(s string) (uint8, error) {
 type Injector struct {
 	Seed  int64
 	Rate  float64
-	kinds uint8
+	kinds uint16
 	rng   *rand.Rand
 
 	injected      [numKinds]uint64 // faults actually applied
@@ -99,7 +120,7 @@ type Injector struct {
 
 // New returns an injector for the given seed, per-opportunity probability,
 // and kind bitmask (from ParseKinds).
-func New(seed int64, rate float64, kinds uint8) *Injector {
+func New(seed int64, rate float64, kinds uint16) *Injector {
 	return &Injector{Seed: seed, Rate: rate, kinds: kinds, rng: rand.New(rand.NewSource(seed))}
 }
 
@@ -115,7 +136,9 @@ func Parse(spec string) (*Injector, error) {
 		return nil, fmt.Errorf("chaos: bad seed %q: %v", parts[0], err)
 	}
 	rate, err := strconv.ParseFloat(parts[1], 64)
-	if err != nil || rate < 0 || rate > 1 {
+	// NaN compares false against every bound, so the range check alone would
+	// accept it and silently disable injection while reporting chaos enabled.
+	if err != nil || math.IsNaN(rate) || rate < 0 || rate > 1 {
 		return nil, fmt.Errorf("chaos: rate must be a probability in [0,1], got %q", parts[1])
 	}
 	kinds, err := ParseKinds(parts[2])
@@ -149,6 +172,24 @@ func (i *Injector) RollDropVerify() bool { return i.roll(DropVerify) }
 
 // RollWedge reports whether this retire should be dropped.
 func (i *Injector) RollWedge() bool { return i.roll(Wedge) }
+
+// RollDropFill reports whether this newly allocated MSHR entry's fill should
+// never arrive.
+func (i *Injector) RollDropFill() bool { return i.roll(DropFill) }
+
+// RollDoubleFill reports whether this completed fill should be delivered a
+// second time.
+func (i *Injector) RollDoubleFill() bool { return i.roll(DoubleFill) }
+
+// RollStaleL1D reports whether this store's write-evict invalidate should be
+// dropped, leaving the resident line stale.
+func (i *Injector) RollStaleL1D() bool { return i.roll(StaleL1D) }
+
+// StaleArmed reports whether stale-line injection is enabled at all; the
+// memory system only maintains its pre-store shadow values when it is.
+func (i *Injector) StaleArmed() bool {
+	return i != nil && i.kinds&(1<<uint(StaleL1D)) != 0
+}
 
 // FlipBit flips one random bit of one random active lane of one source
 // operand in place. It returns false (and leaves srcs alone) when there is
@@ -188,6 +229,19 @@ func (i *Injector) Note(k Kind, valueChanging bool) {
 	if valueChanging {
 		i.valueChanging[k]++
 	}
+}
+
+// MarkValueChanging upgrades one already-noted fault of kind k to
+// value-changing. Faults whose architectural effect is only observable later
+// (a stale line is noted at the store but corrupts at a subsequent load) are
+// noted with valueChanging=false and upgraded here when the effect lands. The
+// count is capped at the applied count so repeated serves of one fault cannot
+// overcount.
+func (i *Injector) MarkValueChanging(k Kind) {
+	if i == nil || i.valueChanging[k] >= i.injected[k] {
+		return
+	}
+	i.valueChanging[k]++
 }
 
 // Injected returns how many faults of kind k were applied.

@@ -19,6 +19,13 @@ func TestParseKinds(t *testing.T) {
 	if m != 1<<uint(VSBPoison)|1<<uint(DropVerify) {
 		t.Fatalf("mask = %b", m)
 	}
+	m, err = ParseKinds("dropfill+doublefill+stalel1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1<<uint(DropFill)|1<<uint(DoubleFill)|1<<uint(StaleL1D) {
+		t.Fatalf("memory kinds mask = %b", m)
+	}
 	if _, err := ParseKinds("nosuchkind"); err == nil {
 		t.Fatal("unknown kind must be rejected")
 	}
@@ -32,7 +39,10 @@ func TestParseSpec(t *testing.T) {
 	if inj.Seed != 7 || inj.Rate != 0.25 || inj.kinds != 1<<uint(Wedge) {
 		t.Fatalf("parsed %+v", inj)
 	}
-	for _, bad := range []string{"", "1,0.5", "x,0.5,all", "1,weird,all", "1,2.0,all", "1,0.5,zzz"} {
+	// NaN compares false against every bound, so a naive range check accepts
+	// it and silently disables injection; non-finite rates must be rejected.
+	for _, bad := range []string{"", "1,0.5", "x,0.5,all", "1,weird,all", "1,2.0,all", "1,0.5,zzz",
+		"1,NaN,all", "1,nan,all", "1,+Inf,all", "1,-Inf,all"} {
 		if _, err := Parse(bad); err == nil {
 			t.Fatalf("spec %q must be rejected", bad)
 		}
@@ -65,9 +75,11 @@ func TestDeterminism(t *testing.T) {
 // path in the pipeline).
 func TestNilSafety(t *testing.T) {
 	var inj *Injector
-	if inj.RollOperandBit() || inj.RollFalseHit() || inj.RollVSBPoison() || inj.RollDropVerify() || inj.RollWedge() {
+	if inj.RollOperandBit() || inj.RollFalseHit() || inj.RollVSBPoison() || inj.RollDropVerify() || inj.RollWedge() ||
+		inj.RollDropFill() || inj.RollDoubleFill() || inj.RollStaleL1D() || inj.StaleArmed() {
 		t.Fatal("nil injector must never fire")
 	}
+	inj.MarkValueChanging(StaleL1D)
 	var v [1]isa.Vec
 	if inj.FlipBit(v[:], isa.FullMask) {
 		t.Fatal("nil injector must not flip")
@@ -123,6 +135,38 @@ func TestCounters(t *testing.T) {
 	s := inj.Summary()
 	if !strings.Contains(s, "falsehit=2") || !strings.Contains(s, "1 value-changing") {
 		t.Fatalf("summary: %s", s)
+	}
+}
+
+// TestMarkValueChanging: late upgrades (a stale line noted at the store,
+// found value-changing at a later load) are capped at the applied count so
+// repeated serves of one fault cannot overcount.
+func TestMarkValueChanging(t *testing.T) {
+	inj := New(1, 1, 1<<numKinds-1)
+	inj.MarkValueChanging(StaleL1D) // nothing applied yet: must not count
+	if inj.ValueChanging(StaleL1D) != 0 {
+		t.Fatal("upgrade without an applied fault must not count")
+	}
+	inj.Note(StaleL1D, false)
+	inj.Note(StaleL1D, false)
+	for i := 0; i < 5; i++ {
+		inj.MarkValueChanging(StaleL1D)
+	}
+	if got := inj.ValueChanging(StaleL1D); got != 2 {
+		t.Fatalf("value-changing = %d, want capped at 2 applied", got)
+	}
+	if inj.TotalValueChanging() != 2 {
+		t.Fatalf("total = %d", inj.TotalValueChanging())
+	}
+}
+
+// TestStaleArmed: the shadow bookkeeping in mem keys off this.
+func TestStaleArmed(t *testing.T) {
+	if !New(1, 0, 1<<uint(StaleL1D)).StaleArmed() {
+		t.Fatal("stalel1d in the mask must arm the shadow")
+	}
+	if New(1, 1, 1<<uint(Wedge)).StaleArmed() {
+		t.Fatal("stalel1d not in the mask must not arm the shadow")
 	}
 }
 

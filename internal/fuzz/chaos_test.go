@@ -16,8 +16,8 @@ func chaosSeeds() int64 {
 }
 
 // mask builds a kind bitmask from the given kinds.
-func mask(kinds ...chaos.Kind) uint8 {
-	var m uint8
+func mask(kinds ...chaos.Kind) uint16 {
+	var m uint16
 	for _, k := range kinds {
 		m |= 1 << uint(k)
 	}
@@ -134,6 +134,103 @@ func TestChaosDropVerify(t *testing.T) {
 	}
 	if detected == 0 {
 		t.Fatal("wrong values were accepted but the oracle never diverged")
+	}
+}
+
+// TestChaosDropFillTripsWatchdog: a dropped MSHR fill leaves its requester —
+// and every merged requester — waiting forever; the watchdog must fire, and
+// its diagnosis must show the pinned MSHR entry as nonzero occupancy.
+func TestChaosDropFillTripsWatchdog(t *testing.T) {
+	pinned := 0
+	chaosSweep(t, chaos.DropFill, 0.02, func(t *testing.T, seed int64, inj *chaos.Injector, res, ref *Result) {
+		if inj.Injected(chaos.DropFill) == 0 {
+			return
+		}
+		if res.Watchdog == nil {
+			t.Fatalf("seed %d: dropped fill never tripped the watchdog", seed)
+		}
+		for _, line := range strings.Split(res.Watchdog.Report, "\n") {
+			if strings.Contains(line, "mshr occupancy=") && !strings.Contains(line, "occupancy=0") {
+				pinned++
+				break
+			}
+		}
+	})
+	if pinned == 0 {
+		t.Fatal("no watchdog diagnosis ever showed the pinned MSHR entry")
+	}
+}
+
+// TestChaosDoubleFillCaughtByAudit: a re-delivered fill double-decrements the
+// outstanding-miss counter. The corruption is purely structural — outputs stay
+// bit-identical and the oracle stays silent — so only the MSHR audit can see
+// it, and Check requires the audit to report the skew for every affected seed.
+func TestChaosDoubleFillCaughtByAudit(t *testing.T) {
+	chaosSweep(t, chaos.DoubleFill, 0.25, func(t *testing.T, seed int64, inj *chaos.Injector, res, ref *Result) {
+		if inj.Injected(chaos.DoubleFill) == 0 {
+			return
+		}
+		if res.OracleTotal != 0 {
+			t.Fatalf("seed %d: doublefill must not corrupt values, oracle saw %d divergences", seed, res.OracleTotal)
+		}
+		for i := range ref.Output {
+			if res.Output[i] != ref.Output[i] {
+				t.Fatalf("seed %d: out[%d] = %#x, want %#x — doublefill corrupted data", seed, i, res.Output[i], ref.Output[i])
+			}
+		}
+	})
+}
+
+// TestChaosStaleL1DCaughtByOracle: a dropped write-evict invalidate leaves a
+// resident line serving pre-store values; every load that actually observes a
+// differing stale value is value-changing, and the oracle must diverge on it
+// (enforced per seed by Check). The sweep must produce at least one such serve.
+func TestChaosStaleL1DCaughtByOracle(t *testing.T) {
+	served := 0
+	chaosSweep(t, chaos.StaleL1D, 0.1, func(t *testing.T, seed int64, inj *chaos.Injector, res, ref *Result) {
+		if inj.ValueChanging(chaos.StaleL1D) > 0 {
+			served++
+		}
+	})
+	if served == 0 {
+		t.Fatal("no stale line ever served a differing value; the oracle assertion is vacuous")
+	}
+}
+
+// TestChaosRateZeroCleanSweep: an attached-but-inert injector — rate 0 with
+// every kind armed, or a positive rate with no kinds — must leave every run
+// bit-identical to the no-chaos reference with zero divergences.
+func TestChaosRateZeroCleanSweep(t *testing.T) {
+	for seed := int64(0); seed < chaosSeeds(); seed++ {
+		o := DefaultOptions(seed)
+		o.WithShared = seed%2 == 1
+		ref, err := Execute(o, RunConfig{Model: config.RLPV, Oracle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(ref, nil, nil); err != nil {
+			t.Fatalf("seed %d clean reference: %v", seed, err)
+		}
+		allKinds, err := chaos.ParseKinds("all")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inert := []*chaos.Injector{
+			chaos.New(seed, 0, allKinds),
+			chaos.New(seed, 0.5, 0),
+		}
+		for i, inj := range inert {
+			res, err := Execute(o, RunConfig{Model: config.RLPV, Oracle: true, Chaos: inj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(res, ref.Output, inj); err != nil {
+				t.Fatalf("seed %d inert injector %d: %v", seed, i, err)
+			}
+			if res.Cycles != ref.Cycles {
+				t.Fatalf("seed %d inert injector %d: %d cycles vs %d — the hooks perturbed timing", seed, i, res.Cycles, ref.Cycles)
+			}
+		}
 	}
 }
 

@@ -1,12 +1,14 @@
 // Package fuzz generates random — but deterministic, given a seed — kernels
 // exercising arithmetic, transcendentals, predication, divergent control
-// flow, scratchpad traffic with barriers, and global loads, and runs them
-// under any machine model with the golden-model oracle, the deadlock
-// watchdog, and the chaos fault injector attached. Every model must produce
-// bit-identical outputs for every generated program: reuse is never allowed
-// to change results. The generated kernels are race-free (scratchpad accesses
-// are barrier-ordered and lane-private), which the oracle's in-order
-// emulation requires.
+// flow, scratchpad traffic with barriers, and global loads and stores
+// (including lane-private store→load round trips through the output segment,
+// which exercise the L1D write-evict path), and runs them under any machine
+// model with the golden-model oracle, the deadlock watchdog, and the chaos
+// fault injector attached. Every model must produce bit-identical outputs for
+// every generated program: reuse is never allowed to change results. The
+// generated kernels are race-free (scratchpad and global read-write accesses
+// are barrier-ordered or lane-private), which the oracle's in-order emulation
+// requires.
 package fuzz
 
 import (
@@ -53,12 +55,14 @@ func SeedInput(ms *mem.System, seed int64) uint32 {
 func (o *Options) OutputWords() int { return o.Threads * o.Regs }
 
 // Build assembles the random kernel for o, loading from the global segment at
-// in and storing every live register to the segment at out (so any value
-// corruption is observable in the final memory image).
+// in, round-tripping through lane-private words of the segment at out, and
+// finally storing every live register to out (so any value corruption is
+// observable in the final memory image).
 func Build(o Options, in, out uint32) *kasm.Kernel {
 	rp := &randProg{
-		r: rand.New(rand.NewSource(o.Seed)),
-		b: kasm.NewBuilder(fmt.Sprintf("rand%d", o.Seed)),
+		r:   rand.New(rand.NewSource(o.Seed)),
+		b:   kasm.NewBuilder(fmt.Sprintf("rand%d", o.Seed)),
+		out: out,
 	}
 	b := rp.b
 	var sh int
@@ -73,6 +77,7 @@ func Build(o Options, in, out uint32) *kasm.Kernel {
 	b.S2R(bid, isa.SrCtaidX)
 	b.S2R(bdim, isa.SrNtidX)
 	b.IMad(gidx, bid, bdim, tid)
+	rp.gidx = gidx
 
 	// Seed the live set with a mix of quantized constants, thread identity,
 	// and global data.
@@ -118,6 +123,8 @@ type randProg struct {
 	live  []isa.Reg
 	preds []isa.PReg
 	depth int
+	gidx  isa.Reg // global linear thread index
+	out   uint32  // output segment base (also the global round-trip scratch)
 }
 
 func (rp *randProg) pick() isa.Reg { return rp.live[rp.r.Intn(len(rp.live))] }
@@ -128,7 +135,7 @@ func (rp *randProg) emitBlock(n, sh int, withShared bool, tid isa.Reg) {
 	b := rp.b
 	for i := 0; i < n; i++ {
 		dst := rp.pick()
-		switch rp.r.Intn(12) {
+		switch rp.r.Intn(13) {
 		case 0:
 			b.IAdd(dst, rp.pick(), rp.pick())
 		case 1:
@@ -171,6 +178,24 @@ func (rp *randProg) emitBlock(n, sh int, withShared bool, tid isa.Reg) {
 				rp.depth--
 			} else {
 				b.IAdd(dst, rp.pick(), rp.pick())
+			}
+		case 11:
+			if rp.depth == 0 {
+				// Global store→load round trip through this thread's private
+				// slice of the output segment (every word is overwritten by
+				// the final stores, so the output image stays deterministic
+				// and race-free). This exercises the L1D write-evict path —
+				// the one the stalel1d chaos kind corrupts. The load is never
+				// reuse-eligible: the warp's own store disqualifies it.
+				ga := b.R()
+				b.IMulI(ga, rp.gidx, int32(len(rp.live)))
+				b.IAddI(ga, ga, int32(rp.r.Intn(len(rp.live))))
+				b.ShlI(ga, ga, 2)
+				b.IAddI(ga, ga, int32(rp.out))
+				b.St(isa.SpaceGlobal, ga, rp.pick(), 0)
+				b.Ld(dst, isa.SpaceGlobal, ga, 0)
+			} else {
+				b.ISub(dst, rp.pick(), rp.pick())
 			}
 		default:
 			if withShared && rp.depth == 0 {

@@ -3,19 +3,24 @@ package fuzz
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/oracle"
 	"github.com/wirsim/wir/internal/stats"
 )
 
 // RunConfig shapes one fuzz execution.
 type RunConfig struct {
-	Model    config.Model
-	NumSMs   int    // 0 defaults to 2 (enough for cross-SM dispatch, fast)
-	Watchdog uint64 // cycles without a retire before the watchdog fires (0 = backstop only)
+	Model  config.Model
+	NumSMs int // 0 defaults to 2 (enough for cross-SM dispatch, fast)
+	// Watchdog is the quiet-cycle limit before the deadlock watchdog fires.
+	// 0 derives it from the config's DRAM latency and MSHR depth
+	// (mem.AutoWatchdog) — a fuzz run always wants a watchdog.
+	Watchdog uint64
 	Chaos    *chaos.Injector
 	Oracle   bool
 }
@@ -46,6 +51,9 @@ func Execute(o Options, rc RunConfig) (*Result, error) {
 		cfg.NumSMs = 2
 	}
 	cfg.WatchdogCycles = rc.Watchdog
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = mem.AutoWatchdog(&cfg)
+	}
 	g, err := gpu.New(cfg)
 	if err != nil {
 		return nil, err
@@ -87,7 +95,10 @@ func Execute(o Options, rc RunConfig) (*Result, error) {
 
 // Check evaluates a completed execution against the robustness contract:
 //
-//   - A watchdog firing is expected if and only if wedge faults were injected.
+//   - A watchdog firing is expected if and only if wedging faults (wedge, or
+//     dropfill — a fill that never arrives) were injected.
+//   - Doublefill faults skew the outstanding-miss counter; the MSHR invariant
+//     audit must report it. Any other invariant violation is a failure.
 //   - With no value-changing faults applied, the run must be clean: zero
 //     divergences, invariants hold, and (when ref is non-nil) the output image
 //     must be bit-identical to ref.
@@ -97,19 +108,27 @@ func Execute(o Options, rc RunConfig) (*Result, error) {
 //
 // inj may be nil (no chaos); ref may be nil (no reference image).
 func Check(res *Result, ref []uint32, inj *chaos.Injector) error {
+	wedging := inj.Injected(chaos.Wedge) + inj.Injected(chaos.DropFill)
 	if res.Watchdog != nil {
-		if inj.Injected(chaos.Wedge) > 0 {
-			return nil // expected: a wedged warp must trip the watchdog
+		if wedging > 0 {
+			return nil // expected: a wedged warp or dropped fill must trip the watchdog
 		}
-		return fmt.Errorf("fuzz: watchdog fired without wedge injection: %v", res.RunErr)
+		return fmt.Errorf("fuzz: watchdog fired without wedge or dropfill injection: %v", res.RunErr)
 	}
 	if res.RunErr != nil {
 		return fmt.Errorf("fuzz: run failed: %v", res.RunErr)
 	}
-	if inj.Injected(chaos.Wedge) > 0 {
-		return errors.New("fuzz: wedge faults injected but the watchdog never fired")
+	if wedging > 0 {
+		return errors.New("fuzz: wedge/dropfill faults injected but the watchdog never fired")
 	}
-	if res.InvariantErr != nil {
+	if inj.Injected(chaos.DoubleFill) > 0 {
+		if res.InvariantErr == nil {
+			return errors.New("fuzz: doublefill faults injected but the MSHR audit saw no counter skew")
+		}
+		if !strings.Contains(res.InvariantErr.Error(), "MSHR") {
+			return fmt.Errorf("fuzz: doublefill expected an MSHR audit error, got: %v", res.InvariantErr)
+		}
+	} else if res.InvariantErr != nil {
 		return fmt.Errorf("fuzz: invariant violated: %v", res.InvariantErr)
 	}
 	if vc := inj.TotalValueChanging(); vc > 0 {

@@ -1,0 +1,100 @@
+package gpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/chaos"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// leakyGPU builds a one-SM GPU with an always-firing doublefill injector and a
+// kernel that re-loads a line after its fill arrived — the address of the
+// second load depends on the first load's value, so it cannot dispatch before
+// the fill, and the re-access delivers the (still outstanding) MSHR entry.
+// That delivery double-decrements the outstanding-miss counter, planting
+// exactly the mid-run leak the launch-boundary audit must catch.
+func leakyGPU(t *testing.T) (*GPU, *Launch) {
+	t.Helper()
+	cfg := config.Default(config.Base)
+	cfg.NumSMs = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetChaos(chaos.New(1, 1, 1<<uint(chaos.DoubleFill)))
+
+	in := g.Mem().Alloc(isa.WarpSize)
+	out := g.Mem().Alloc(isa.WarpSize)
+	g.Mem().StoreGlobal(in, 5)
+
+	b := kasm.NewBuilder("leaky")
+	gidx := emitIdx(b)
+	a1, a2, v1, v2 := b.R(), b.R(), b.R(), b.R()
+	b.MovI(a1, in)
+	b.Ld(v1, isa.SpaceGlobal, a1, 0) // cold miss: the fill lands after the DRAM round trip
+	b.ISub(v2, v1, v1)               // zero, but data-dependent on the fill
+	b.IAdd(a2, a1, v2)               // the same address, not computable until the fill arrived
+	b.Ld(v2, isa.SpaceGlobal, a2, 0) // re-access past the fill time: the delivery rolls doublefill
+	b.IAdd(v1, v1, v2)
+	storeTo(b, out, gidx, v1)
+	b.Exit()
+	return g, &Launch{Kernel: b.MustBuild(), GridX: 1, DimX: isa.WarpSize}
+}
+
+// TestLaunchAuditCatchesMidRunLeak: with the launch-boundary audit enabled, a
+// leak planted during launch 1 of a multi-launch run surfaces as an
+// *AuditError at that boundary — before launch 2 runs — pinned to the launch
+// that created it.
+func TestLaunchAuditCatchesMidRunLeak(t *testing.T) {
+	g, l := leakyGPU(t)
+	g.SetLaunchAudit(true)
+	_, err := g.Run(l)
+	var ae *AuditError
+	if !errors.As(err, &ae) {
+		t.Fatalf("launch 1 must fail the boundary audit, got: %v", err)
+	}
+	if ae.Launch != 1 || ae.Kernel != "leaky" {
+		t.Fatalf("the error must pin the leaking launch, got launch %d kernel %q", ae.Launch, ae.Kernel)
+	}
+	if !strings.Contains(ae.Error(), "MSHR") {
+		t.Fatalf("want the MSHR diagnosis, got: %v", ae)
+	}
+}
+
+// TestLaunchAuditOffDefersToEndOfRun is the contrast case: without -audit the
+// leaky launches both complete and only the caller's end-of-run audit sees
+// the (now unattributable) leak.
+func TestLaunchAuditOffDefersToEndOfRun(t *testing.T) {
+	g, l := leakyGPU(t)
+	for launch := 1; launch <= 2; launch++ {
+		if _, err := g.Run(l); err != nil {
+			t.Fatalf("launch %d must complete without the boundary audit: %v", launch, err)
+		}
+	}
+	err := g.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "MSHR") {
+		t.Fatalf("the end-of-run audit must still catch the leak, got: %v", err)
+	}
+}
+
+// TestLaunchAuditCleanRun: the boundary audit must stay silent on a clean
+// multi-launch run.
+func TestLaunchAuditCleanRun(t *testing.T) {
+	g := newGPU(t, config.RLPV)
+	g.SetLaunchAudit(true)
+	out := g.Mem().Alloc(256)
+	b := kasm.NewBuilder("clean")
+	gidx := emitIdx(b)
+	storeTo(b, out, gidx, gidx)
+	b.Exit()
+	l := &Launch{Kernel: b.MustBuild(), GridX: 2, DimX: 128}
+	for launch := 1; launch <= 2; launch++ {
+		if _, err := g.Run(l); err != nil {
+			t.Fatalf("clean launch %d failed the boundary audit: %v", launch, err)
+		}
+	}
+}

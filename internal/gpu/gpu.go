@@ -65,8 +65,9 @@ type GPU struct {
 	sampler *metrics.Sampler
 	attr    *attr.Collector
 
-	launchHook func(l *Launch, infos []sm.BlockInfo)
-	chaos      *chaos.Injector
+	launchHook  func(l *Launch, infos []sm.BlockInfo)
+	chaos       *chaos.Injector
+	launchAudit bool
 }
 
 // New builds a GPU for the given configuration.
@@ -131,15 +132,24 @@ func (g *GPU) SetBlockDoneHook(h sm.BlockDoneHook) {
 	}
 }
 
-// SetChaos attaches the deterministic fault injector to every SM (nil
-// detaches). The simulator is single-threaded, so one injector shared across
-// SMs draws from one PRNG stream and a fixed seed reproduces the same faults.
+// SetChaos attaches the deterministic fault injector to every SM and the
+// memory system (nil detaches). The simulator is single-threaded, so one
+// injector shared across SMs draws from one PRNG stream and a fixed seed
+// reproduces the same faults.
 func (g *GPU) SetChaos(inj *chaos.Injector) {
 	g.chaos = inj
 	for _, s := range g.sms {
 		s.SetChaos(inj)
 	}
+	g.ms.SetChaos(inj)
 }
+
+// SetLaunchAudit enables (or disables) running the structural invariant
+// auditors at every kernel-launch boundary, not just when the caller asks at
+// end of run. A violation surfaces as an *AuditError from Run, so long
+// multi-launch workloads catch a mid-run leak at the boundary that created
+// it instead of attributing it to the final kernel.
+func (g *GPU) SetLaunchAudit(on bool) { g.launchAudit = on }
 
 // SetInstruments attaches telemetry instruments to every SM, the engines, and
 // the memory system (nil detaches). Attach before the first Run so the stall
@@ -339,6 +349,11 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 	// served from pre-boundary load-reuse entries.
 	for _, s := range g.sms {
 		s.FlushLoadReuse()
+	}
+	if g.launchAudit {
+		if err := g.CheckInvariants(); err != nil {
+			return 0, &AuditError{Kernel: l.Kernel.Name, Launch: g.launches, Err: err}
+		}
 	}
 	return g.cycles - start, nil
 }

@@ -23,6 +23,21 @@ func (e *WatchdogError) Error() string {
 		e.Kernel, e.Cycle, e.Quiet, e.Limit, e.Report)
 }
 
+// AuditError reports a structural invariant violation detected at a
+// kernel-launch boundary (SetLaunchAudit). It pins the leak to the launch
+// that created it, which an end-of-run audit cannot do.
+type AuditError struct {
+	Kernel string
+	Launch int // 1-based launch ordinal
+	Err    error
+}
+
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("gpu: invariant violated at the boundary of launch %d (%s): %v", e.Launch, e.Kernel, e.Err)
+}
+
+func (e *AuditError) Unwrap() error { return e.Err }
+
 // watchdogError assembles the diagnosis for a stalled launch.
 func (g *GPU) watchdogError(l *Launch, dispatched, total int, quiet, limit uint64) *WatchdogError {
 	var b strings.Builder

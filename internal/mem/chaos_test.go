@@ -1,0 +1,244 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wirsim/wir/internal/chaos"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/stats"
+)
+
+// chaosSystem builds a one-SM system with an always-firing injector for the
+// given kinds.
+func chaosSystem(kinds uint16) (*System, *chaos.Injector) {
+	cfg := config.Default(config.Base)
+	cfg.NumSMs = 1
+	s := NewSystem(&cfg, &stats.Sim{})
+	inj := chaos.New(1, 1, kinds)
+	s.SetChaos(inj)
+	return s, inj
+}
+
+func kindMask(kinds ...chaos.Kind) uint16 {
+	var m uint16
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// TestDropFillNeverDrains: a dropped fill pins its MSHR entry past any
+// reachable cycle, so the requester's completion time never arrives and the
+// quiesce audit reports the leak.
+func TestDropFillNeverDrains(t *testing.T) {
+	s, inj := chaosSystem(kindMask(chaos.DropFill))
+	done, ok := s.AccessGlobalLoad(0, 7, 0)
+	if !ok {
+		t.Fatal("first miss must get an MSHR")
+	}
+	if done < 1<<40 {
+		t.Fatalf("dropped fill must complete far in the future, got %d", done)
+	}
+	if inj.Injected(chaos.DropFill) != 1 {
+		t.Fatalf("dropfill count = %d", inj.Injected(chaos.DropFill))
+	}
+	// A merged access waits on the same never-arriving fill.
+	if d2, ok := s.AccessGlobalLoad(0, 7, 10); !ok || d2 != done {
+		t.Fatalf("merged access must share the dropped fill: %d vs %d", d2, done)
+	}
+	err := s.CheckInvariants(1_000_000)
+	if err == nil || !strings.Contains(err.Error(), "leak") {
+		t.Fatalf("dropped fill must audit as an MSHR leak, got: %v", err)
+	}
+	if s.MSHROccupancy(0) == 0 {
+		t.Fatal("the watchdog diagnosis must see nonzero MSHR occupancy")
+	}
+}
+
+// TestDoubleFillSkewsCounter: a re-delivered fill double-decrements the
+// outstanding-miss counter; the audit must call the skew out.
+func TestDoubleFillSkewsCounter(t *testing.T) {
+	s, inj := chaosSystem(kindMask(chaos.DoubleFill))
+	done, ok := s.AccessGlobalLoad(0, 9, 0)
+	if !ok {
+		t.Fatal("miss must get an MSHR")
+	}
+	// Re-access after the fill arrived: the delivery path rolls doublefill.
+	if _, ok := s.AccessGlobalLoad(0, 9, done+1); !ok {
+		t.Fatal("post-fill access must proceed")
+	}
+	if inj.Injected(chaos.DoubleFill) != 1 {
+		t.Fatalf("doublefill count = %d", inj.Injected(chaos.DoubleFill))
+	}
+	err := s.CheckInvariants(done + 10)
+	if err == nil || !strings.Contains(err.Error(), "skew") {
+		t.Fatalf("double delivery must audit as MSHR count skew, got: %v", err)
+	}
+}
+
+// TestDoubleFillOnLimitDrain exercises the other delivery point: the drain
+// under MSHR-limit pressure.
+func TestDoubleFillOnLimitDrain(t *testing.T) {
+	cfg := config.Default(config.Base)
+	cfg.NumSMs = 1
+	cfg.L1DMSHRs = 1
+	s := NewSystem(&cfg, &stats.Sim{})
+	inj := chaos.New(1, 1, kindMask(chaos.DoubleFill))
+	s.SetChaos(inj)
+	done, ok := s.AccessGlobalLoad(0, 3, 0)
+	if !ok {
+		t.Fatal("first miss must get the MSHR")
+	}
+	// At the limit, a different line forces a drain once the fill arrived.
+	if _, ok := s.AccessGlobalLoad(0, 4, done+1); !ok {
+		t.Fatal("drain must free the MSHR")
+	}
+	if inj.Injected(chaos.DoubleFill) != 1 {
+		t.Fatalf("doublefill count = %d", inj.Injected(chaos.DoubleFill))
+	}
+	err := s.CheckInvariants(1_000_000)
+	if err == nil || !strings.Contains(err.Error(), "skew") {
+		t.Fatalf("want skew diagnosis, got: %v", err)
+	}
+}
+
+// TestStaleL1DServesPreStoreValue walks the full stalel1d life cycle: a
+// resident line whose invalidate is dropped serves the pre-store value on the
+// SM path only; the functional truth (LoadGlobal, Snapshot, the oracle's view)
+// is unaffected, and a refill clears the staleness.
+func TestStaleL1DServesPreStoreValue(t *testing.T) {
+	s, inj := chaosSystem(kindMask(chaos.StaleL1D))
+	addr := s.Alloc(4)
+	line := uint64(addr) / uint64(s.LineBytes())
+
+	s.StoreGlobal(addr, 0xA)
+	// Make the line resident, then wait out the fill.
+	done, _ := s.AccessGlobalLoad(0, line, 0)
+	if _, ok := s.AccessGlobalLoad(0, line, done+1); !ok {
+		t.Fatal("post-fill access must hit")
+	}
+	if got := s.LoadGlobalSM(0, addr); got != 0xA {
+		t.Fatalf("clean resident line must serve the truth, got %#x", got)
+	}
+
+	// Store 0xB: the injector drops the write-evict invalidate.
+	s.StoreGlobal(addr, 0xB)
+	s.AccessGlobalStore(0, line, done+2)
+	if inj.Injected(chaos.StaleL1D) != 1 {
+		t.Fatalf("stalel1d count = %d", inj.Injected(chaos.StaleL1D))
+	}
+	if got := s.LoadGlobalSM(0, addr); got != 0xA {
+		t.Fatalf("stale line must serve the pre-store value 0xA, got %#x", got)
+	}
+	if inj.ValueChanging(chaos.StaleL1D) != 1 {
+		t.Fatal("a differing stale serve must be marked value-changing")
+	}
+	if got := s.LoadGlobal(addr); got != 0xB {
+		t.Fatalf("the functional truth must be 0xB, got %#x", got)
+	}
+	if snap := s.Snapshot(addr, 1); snap[0] != 0xB {
+		t.Fatalf("Snapshot must see the truth, got %#x", snap[0])
+	}
+
+	// A refill (miss after eviction) clears the staleness.
+	s.l1d[0].Invalidate(line)
+	if _, ok := s.AccessGlobalLoad(0, line, done+1000); !ok {
+		t.Fatal("refill access must proceed")
+	}
+	if got := s.LoadGlobalSM(0, addr); got != 0xB {
+		t.Fatalf("refilled line must serve the truth, got %#x", got)
+	}
+	// The MSHR bookkeeping stays clean: staleness is a value fault, not a
+	// structural one.
+	if err := s.CheckInvariants(1_000_000); err != nil {
+		t.Fatalf("stalel1d must not skew the MSHR audit: %v", err)
+	}
+}
+
+// TestStaleL1DNonResidentStoreUnaffected: dropping an invalidate only matters
+// for resident lines; stores to absent lines never roll, so a rate-1 injector
+// stays silent without residency.
+func TestStaleL1DNonResidentStoreUnaffected(t *testing.T) {
+	s, inj := chaosSystem(kindMask(chaos.StaleL1D))
+	addr := s.Alloc(4)
+	s.StoreGlobal(addr, 1)
+	s.AccessGlobalStore(0, uint64(addr)/uint64(s.LineBytes()), 0)
+	if inj.Injected(chaos.StaleL1D) != 0 {
+		t.Fatal("a store to a non-resident line has no invalidate to drop")
+	}
+	if got := s.LoadGlobalSM(0, addr); got != 1 {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+// TestChaosCleanWhenRateZero: an attached rate-0 injector must leave the
+// timing and functional behaviour bit-identical to no injector at all.
+func TestChaosCleanWhenRateZero(t *testing.T) {
+	run := func(attach bool) []uint64 {
+		cfg := config.Default(config.Base)
+		cfg.NumSMs = 1
+		s := NewSystem(&cfg, &stats.Sim{})
+		if attach {
+			s.SetChaos(chaos.New(5, 0, 1<<uint(chaos.StaleL1D)|1<<uint(chaos.DropFill)|1<<uint(chaos.DoubleFill)))
+		}
+		var out []uint64
+		for i := 0; i < 8; i++ {
+			a := s.Alloc(4)
+			s.StoreGlobal(a, uint32(i))
+			l := uint64(a) / uint64(s.LineBytes())
+			d, _ := s.AccessGlobalLoad(0, l, uint64(i*10))
+			out = append(out, d)
+			s.AccessGlobalStore(0, l, d+1)
+			out = append(out, uint64(s.LoadGlobalSM(0, a)))
+		}
+		if err := s.CheckInvariants(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rate-0 injector changed behaviour at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAutoWatchdog: the derived quiet-cycle limit must exceed a worst-case
+// full-MSHR drain — every MSHR filled with misses serialized behind one DRAM
+// partition — measured empirically, and scale with the config.
+func TestAutoWatchdog(t *testing.T) {
+	cfg := config.Default(config.Base)
+	cfg.NumSMs = 1
+	cfg.L2Partitions = 1
+	cfg.L2BytesPerPart = cfg.LineBytes // one-line L2: every miss goes to DRAM
+	s := NewSystem(&cfg, &stats.Sim{})
+	var worst uint64
+	for i := 0; i < cfg.L1DMSHRs; i++ {
+		done, ok := s.AccessGlobalLoad(0, uint64(i*131+7), 0)
+		if !ok {
+			t.Fatalf("miss %d rejected below the MSHR limit", i)
+		}
+		if done > worst {
+			worst = done
+		}
+	}
+	wd := AutoWatchdog(&cfg)
+	if wd <= worst {
+		t.Fatalf("derived limit %d must exceed the worst-case full-MSHR drain %d", wd, worst)
+	}
+	// The limit tracks the memory configuration.
+	bigger := cfg
+	bigger.DRAMLatency = cfg.DRAMLatency * 10
+	if AutoWatchdog(&bigger) <= wd {
+		t.Fatal("a slower DRAM must raise the derived limit")
+	}
+	tiny := cfg
+	tiny.L1DMSHRs = 1
+	tiny.L2Latency = 1
+	tiny.DRAMLatency = 1
+	if AutoWatchdog(&tiny) < 10_000 {
+		t.Fatal("the floor must keep tiny configs above transient scheduling gaps")
+	}
+}

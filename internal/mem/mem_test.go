@@ -77,6 +77,28 @@ func TestFunctionalGlobalMemory(t *testing.T) {
 	}
 }
 
+// TestAllocAlignsToConfiguredLine: Alloc must align to the configured line
+// size, not a hardcoded 128 — with 256-byte lines a 128-aligned allocation
+// can straddle a line, breaking the coalescer's one-line assumption for
+// segment-sized accesses.
+func TestAllocAlignsToConfiguredLine(t *testing.T) {
+	for _, lineBytes := range []int{32, 128, 256} {
+		cfg := config.Default(config.Base)
+		cfg.NumSMs = 1
+		cfg.LineBytes = lineBytes
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		s := NewSystem(&cfg, &stats.Sim{})
+		for i := 0; i < 4; i++ {
+			a := s.Alloc(3) // odd sizes force realignment on the next call
+			if a%uint32(lineBytes) != 0 {
+				t.Fatalf("lineBytes=%d: allocation %d at %#x is not line-aligned", lineBytes, i, a)
+			}
+		}
+	}
+}
+
 func TestConstAndTexSegments(t *testing.T) {
 	s, _ := testSystem()
 	s.SetConst([]uint32{10, 20, 30})

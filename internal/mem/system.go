@@ -2,7 +2,9 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
+	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/stats"
@@ -43,10 +45,19 @@ type System struct {
 
 	st  *stats.Sim
 	ins *metrics.Instruments // optional telemetry; nil when not attached
+
+	chaos      *chaos.Injector   // optional fault injector; nil when not attached
+	staleLines []map[uint64]bool // per SM: resident L1D lines whose invalidate was dropped
+	staleVals  map[uint32]uint32 // word values from before the last store (stalel1d shadow)
 }
 
 // SetInstruments attaches (or detaches, with nil) the telemetry instruments.
 func (s *System) SetInstruments(ins *metrics.Instruments) { s.ins = ins }
+
+// SetChaos attaches (or detaches, with nil) the fault injector. The memory
+// system hosts the dropfill, doublefill and stalel1d kinds; every hook is a
+// nil pointer test when chaos is disabled.
+func (s *System) SetChaos(inj *chaos.Injector) { s.chaos = inj }
 
 const pageWords = 4096 // 16 KB pages for the sparse global store
 
@@ -67,11 +78,13 @@ func NewSystem(cfg *config.Config, st *stats.Sim) *System {
 		brk:      0x1000,
 		st:       st,
 	}
+	s.staleLines = make([]map[uint64]bool, cfg.NumSMs)
 	for i := 0; i < cfg.NumSMs; i++ {
 		s.l1d[i] = NewCache(cfg.L1DBytes, cfg.L1DWays, cfg.LineBytes)
 		s.l1c[i] = NewCache(cfg.ConstBytes, 4, cfg.LineBytes)
 		s.l1t[i] = NewCache(cfg.TexBytes, 4, cfg.LineBytes)
 		s.mshrs[i] = make(map[uint64]uint64)
+		s.staleLines[i] = make(map[uint64]bool)
 	}
 	for i := range s.l2 {
 		s.l2[i] = NewCache(cfg.L2BytesPerPart, cfg.L2Ways, cfg.LineBytes)
@@ -84,7 +97,8 @@ func NewSystem(cfg *config.Config, st *stats.Sim) *System {
 // Alloc reserves words 32-bit words of global memory and returns the base
 // byte address.
 func (s *System) Alloc(words int) uint32 {
-	base := (s.brk + 127) &^ 127 // line-align allocations
+	line := uint32(s.cfg.LineBytes) // line-align allocations (LineBytes is a validated power of two)
+	base := (s.brk + line - 1) &^ (line - 1)
 	s.brk = base + uint32(words)*4
 	return base
 }
@@ -112,7 +126,37 @@ func (s *System) LoadGlobal(addr uint32) uint32 {
 // StoreGlobal writes the 32-bit word at byte address addr.
 func (s *System) StoreGlobal(addr, v uint32) {
 	p, off := s.pageOf(addr, true)
+	if s.chaos.StaleArmed() {
+		// Shadow the pre-store value so a stale line can serve it later.
+		if s.staleVals == nil {
+			s.staleVals = make(map[uint32]uint32)
+		}
+		s.staleVals[addr] = p[off]
+	}
 	p[off] = v
+}
+
+// LoadGlobalSM is the functional load path the SMs use: like LoadGlobal, but
+// when the word's L1D line in sm was left stale by a dropped invalidate
+// (stalel1d chaos), it serves the value from before the last store. The
+// golden-model oracle and Snapshot read through LoadGlobal and keep seeing
+// the truth, so every differing stale serve is a value divergence the oracle
+// must flag.
+func (s *System) LoadGlobalSM(sm int, addr uint32) uint32 {
+	v := s.LoadGlobal(addr)
+	if s.chaos == nil || len(s.staleLines[sm]) == 0 {
+		return v
+	}
+	line := uint64(addr) / uint64(s.cfg.LineBytes)
+	if !s.staleLines[sm][line] {
+		return v
+	}
+	old, ok := s.staleVals[addr]
+	if !ok || old == v {
+		return v
+	}
+	s.chaos.MarkValueChanging(chaos.StaleL1D)
+	return old
 }
 
 // SetConst installs the constant-memory segment (word 0 at byte address 0).
@@ -189,8 +233,54 @@ func (s *System) l2Access(lineAddr uint64, now uint64, store bool) uint64 {
 	return start + uint64(s.cfg.DRAMLatency)
 }
 
-// drainMSHRs releases MSHR entries whose fills have arrived.
+// neverFill is the completion time of a dropped fill: far past any reachable
+// cycle (the absolute backstop is 50M), so the entry never drains and its
+// requester waits forever.
+const neverFill = ^uint64(0) >> 2
+
+// deliverFill retires one MSHR entry whose fill has arrived. With chaos
+// attached the fill may be re-delivered (doublefill), double-decrementing the
+// outstanding-miss counter — exactly the bookkeeping skew the end-of-kernel
+// MSHR audit exists to catch.
+func (s *System) deliverFill(sm int, lineAddr uint64) {
+	delete(s.mshrs[sm], lineAddr)
+	s.outst[sm]--
+	if s.chaos.RollDoubleFill() {
+		s.outst[sm]--
+		s.chaos.Note(chaos.DoubleFill, false)
+	}
+}
+
+// drainMSHRs delivers fills that have arrived, releasing their MSHR entries.
 func (s *System) drainMSHRs(sm int, now uint64) {
+	m := s.mshrs[sm]
+	if s.chaos == nil {
+		for l, done := range m {
+			if done <= now {
+				delete(m, l)
+				s.outst[sm]--
+			}
+		}
+		return
+	}
+	// Chaos draws one PRNG roll per delivered fill, and Go map iteration
+	// order is not deterministic — deliver in sorted line order so a seed
+	// reproduces the same fault sequence on every run.
+	var arrived []uint64
+	for l, done := range m {
+		if done <= now {
+			arrived = append(arrived, l)
+		}
+	}
+	sort.Slice(arrived, func(i, j int) bool { return arrived[i] < arrived[j] })
+	for _, l := range arrived {
+		s.deliverFill(sm, l)
+	}
+}
+
+// settleMSHRs releases arrived entries without chaos injection: the audit
+// path must observe counter skew, not create it.
+func (s *System) settleMSHRs(sm int, now uint64) {
 	m := s.mshrs[sm]
 	for l, done := range m {
 		if done <= now {
@@ -214,10 +304,9 @@ func (s *System) AccessGlobalLoad(sm int, lineAddr uint64, now uint64) (uint64, 
 			s.st.L1DMisses++
 			return done, true
 		}
-		// The fill already arrived; retire the stale MSHR entry and let the
-		// access proceed as a normal (hitting) cache lookup.
-		delete(s.mshrs[sm], lineAddr)
-		s.outst[sm]--
+		// The fill already arrived; deliver it (retiring the MSHR entry) and
+		// let the access proceed as a normal (hitting) cache lookup.
+		s.deliverFill(sm, lineAddr)
 	}
 	hit, _ := s.l1d[sm].Access(lineAddr, false)
 	if hit {
@@ -225,6 +314,9 @@ func (s *System) AccessGlobalLoad(sm int, lineAddr uint64, now uint64) (uint64, 
 		return now + L1HitLatency, true
 	}
 	s.st.L1DMisses++
+	if s.chaos != nil {
+		delete(s.staleLines[sm], lineAddr) // the refill replaces stale data
+	}
 	if s.outst[sm] >= s.cfg.L1DMSHRs {
 		s.drainMSHRs(sm, now)
 		if s.outst[sm] >= s.cfg.L1DMSHRs {
@@ -232,6 +324,12 @@ func (s *System) AccessGlobalLoad(sm int, lineAddr uint64, now uint64) (uint64, 
 		}
 	}
 	done := s.l2Access(lineAddr, now, false) + L1HitLatency
+	if s.chaos.RollDropFill() {
+		// The fill never arrives: the entry pins an MSHR until the watchdog
+		// fires and its requester (and every merged requester) waits forever.
+		done = neverFill
+		s.chaos.Note(chaos.DropFill, false)
+	}
 	s.mshrs[sm][lineAddr] = done
 	s.outst[sm]++
 	return done, true
@@ -243,12 +341,23 @@ func (s *System) AccessGlobalLoad(sm int, lineAddr uint64, now uint64) (uint64, 
 // is when the memory system is done with the request.
 func (s *System) AccessGlobalStore(sm int, lineAddr uint64, now uint64) uint64 {
 	s.st.L1DAccesses++
-	if s.l1d[sm].Probe(lineAddr) {
+	resident := s.l1d[sm].Probe(lineAddr)
+	if resident {
 		s.st.L1DHits++
 	} else {
 		s.st.L1DMisses++
 	}
-	s.l1d[sm].Invalidate(lineAddr)
+	if resident && s.chaos.RollStaleL1D() {
+		// Drop the write-evict invalidate: the resident line keeps serving
+		// pre-store values (via LoadGlobalSM) until refilled or evicted.
+		s.staleLines[sm][lineAddr] = true
+		s.chaos.Note(chaos.StaleL1D, false)
+	} else {
+		s.l1d[sm].Invalidate(lineAddr)
+		if s.chaos != nil {
+			delete(s.staleLines[sm], lineAddr)
+		}
+	}
 	return s.l2Access(lineAddr, now, true)
 }
 
@@ -288,7 +397,7 @@ func (s *System) MSHROccupancy(sm int) int { return s.outst[sm] }
 // the MSHR limit.
 func (s *System) CheckInvariants(now uint64) error {
 	for sm := range s.mshrs {
-		s.drainMSHRs(sm, now)
+		s.settleMSHRs(sm, now)
 		if len(s.mshrs[sm]) != s.outst[sm] {
 			return fmt.Errorf("mem: sm%d MSHR count skew: %d entries vs %d outstanding", sm, len(s.mshrs[sm]), s.outst[sm])
 		}
@@ -297,6 +406,23 @@ func (s *System) CheckInvariants(now uint64) error {
 		}
 	}
 	return nil
+}
+
+// AutoWatchdog derives a default deadlock-watchdog quiet-cycle limit from the
+// memory configuration. The longest legitimate chip-wide retire gap is
+// bounded by a full MSHR complement of misses serialized behind a single
+// DRAM partition; the limit is that worst-case per-miss round trip times the
+// MSHR depth with a 4x safety factor, floored so tiny configs keep headroom
+// over transient scheduling gaps.
+func AutoWatchdog(cfg *config.Config) uint64 {
+	perMiss := uint64(NoCLatency) + uint64(cfg.L2Latency) + uint64(cfg.DRAMLatency) +
+		uint64(DRAMServiceGap) + uint64(L1HitLatency)
+	wd := 4 * perMiss * uint64(cfg.L1DMSHRs)
+	const floor = 10_000
+	if wd < floor {
+		return floor
+	}
+	return wd
 }
 
 // CheckAddr validates a word-aligned address for functional access.

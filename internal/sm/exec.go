@@ -170,7 +170,9 @@ func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase, old isa.Vec) {
 	case isa.SpaceGlobal:
 		for i := 0; i < isa.WarpSize; i++ {
 			if fl.Mask.Active(i) {
-				out[i] = s.ms.LoadGlobal(addrs[i] &^ 3)
+				// The per-SM path can serve a chaos-staled L1D line; the
+				// golden model reads through LoadGlobal and sees the truth.
+				out[i] = s.ms.LoadGlobalSM(s.ID, addrs[i]&^3)
 			}
 		}
 		fl.MemLines = coalesce(addrs, fl.Mask, s.ms.LineBytes())

@@ -7,8 +7,10 @@
 package wir_test
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +22,11 @@ import (
 // benchByAbbr resolves a suite benchmark for the throughput measurement.
 func benchByAbbr(abbr string) (*bench.Benchmark, error) { return bench.ByAbbr(abbr) }
 
+// benchWorkers widens the harness worker pool: the simulations behind a
+// figure run concurrently, while the rendered rows stay byte-identical to a
+// serial run (docs/PERFORMANCE.md).
+var benchWorkers = flag.Int("j", runtime.NumCPU(), "parallel simulations in the bench harness worker pool")
+
 var (
 	benchHarness     *harness.Harness
 	benchHarnessOnce sync.Once
@@ -30,6 +37,7 @@ var (
 func sharedHarness() *harness.Harness {
 	benchHarnessOnce.Do(func() {
 		benchHarness = harness.New()
+		benchHarness.SetParallelism(*benchWorkers)
 	})
 	return benchHarness
 }

@@ -2,52 +2,41 @@
 //
 // Usage:
 //
-//	wirbench [-sms N] [-v] [-exp LIST] [-json FILE] [-csv FILE]
+//	wirbench [-sms N] [-j N] [-parallel] [-v] [-exp LIST] [-json FILE]
+//	         [-csv FILE] [-speed FILE]
 //
 // LIST is a comma-separated subset of:
 // headline, fig2, fig12..fig22, table1, table2, table3,
 // ablation-assoc, ablation-pending, ablation-gating — or "all" (default).
+// -j widens the sweep worker pool (simulations of a figure run concurrently;
+// output is byte-identical to -j 1 — see docs/PERFORMANCE.md).
 // -json writes the complete machine-readable report (running everything);
 // -csv dumps every raw simulation as one row.
+// -speed times the selected experiments at -j 1 and -j N on fresh harnesses
+// and writes a wir-speed/1 throughput report instead of figure text.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/wirsim/wir/internal/harness"
 )
 
-func main() {
-	sms := flag.Int("sms", 15, "number of simulated SMs (paper: 15)")
-	verbose := flag.Bool("v", false, "print per-run progress")
-	exp := flag.String("exp", "all", "comma-separated experiments to run")
-	jsonPath := flag.String("json", "", "additionally write the full report as JSON to this file (runs all experiments)")
-	csvPath := flag.String("csv", "", "additionally write every raw run as CSV to this file")
-	flag.Parse()
+// step is one selectable experiment.
+type step struct {
+	name string
+	run  func(h *harness.Harness, out io.Writer) error
+}
 
-	h := harness.New()
-	h.SMs = *sms
-	if *verbose {
-		h.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
-	}
-
-	want := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(strings.ToLower(e))] = true
-	}
-	all := want["all"]
-	sel := func(name string) bool { return all || want[name] }
-	out := os.Stdout
-
-	type step struct {
-		name string
-		run  func() error
-	}
-	steps := []step{
-		{"headline", func() error {
+// steps enumerates every experiment in presentation order.
+func steps() []step {
+	return []step{
+		{"headline", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.RunHeadline()
 			if err != nil {
 				return err
@@ -55,7 +44,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig2", func() error {
+		{"fig2", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig2()
 			if err != nil {
 				return err
@@ -63,7 +52,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig12", func() error {
+		{"fig12", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig12()
 			if err != nil {
 				return err
@@ -71,7 +60,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig13", func() error {
+		{"fig13", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig13()
 			if err != nil {
 				return err
@@ -79,7 +68,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig14", func() error {
+		{"fig14", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig14()
 			if err != nil {
 				return err
@@ -87,7 +76,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig15", func() error {
+		{"fig15", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig15()
 			if err != nil {
 				return err
@@ -95,7 +84,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig16", func() error {
+		{"fig16", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig16()
 			if err != nil {
 				return err
@@ -103,7 +92,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig17", func() error {
+		{"fig17", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig17()
 			if err != nil {
 				return err
@@ -111,7 +100,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig18", func() error {
+		{"fig18", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig18()
 			if err != nil {
 				return err
@@ -119,7 +108,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig19", func() error {
+		{"fig19", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig19()
 			if err != nil {
 				return err
@@ -127,7 +116,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig20", func() error {
+		{"fig20", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig20()
 			if err != nil {
 				return err
@@ -135,7 +124,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig21", func() error {
+		{"fig21", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig21()
 			if err != nil {
 				return err
@@ -143,7 +132,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"fig22", func() error {
+		{"fig22", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.Fig22()
 			if err != nil {
 				return err
@@ -151,7 +140,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"table1", func() error {
+		{"table1", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.TableI()
 			if err != nil {
 				return err
@@ -159,15 +148,15 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"table2", func() error {
+		{"table2", func(h *harness.Harness, out io.Writer) error {
 			harness.TableII(out)
 			return nil
 		}},
-		{"table3", func() error {
+		{"table3", func(h *harness.Harness, out io.Writer) error {
 			harness.TableIII(out)
 			return nil
 		}},
-		{"ablation-assoc", func() error {
+		{"ablation-assoc", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.AblationAssociativity()
 			if err != nil {
 				return err
@@ -175,7 +164,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"ablation-pending", func() error {
+		{"ablation-pending", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.AblationPendingQueue()
 			if err != nil {
 				return err
@@ -183,7 +172,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"ablation-gating", func() error {
+		{"ablation-gating", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.AblationPowerGating()
 			if err != nil {
 				return err
@@ -191,7 +180,7 @@ func main() {
 			r.WriteText(out)
 			return nil
 		}},
-		{"ablation-scheduler", func() error {
+		{"ablation-scheduler", func(h *harness.Harness, out io.Writer) error {
 			r, err := h.AblationScheduler()
 			if err != nil {
 				return err
@@ -200,15 +189,56 @@ func main() {
 			return nil
 		}},
 	}
+}
+
+func main() {
+	sms := flag.Int("sms", 15, "number of simulated SMs (paper: 15)")
+	workers := flag.Int("j", runtime.NumCPU(), "parallel simulations in the sweep worker pool")
+	parallelSM := flag.Bool("parallel", false, "also step each simulation's SMs in parallel goroutines (bit-identical)")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	exp := flag.String("exp", "all", "comma-separated experiments to run")
+	jsonPath := flag.String("json", "", "additionally write the full report as JSON to this file (runs all experiments)")
+	csvPath := flag.String("csv", "", "additionally write every raw run as CSV to this file")
+	speedPath := flag.String("speed", "", "time the selected experiments at -j 1 and -j N on fresh harnesses; write a wir-speed/1 report to this file and skip figure output")
+	flag.Parse()
+
+	newHarness := func(w int) *harness.Harness {
+		h := harness.New()
+		h.SMs = *sms
+		h.ParallelSM = *parallelSM
+		h.SetParallelism(w)
+		if *verbose {
+			h.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		}
+		return h
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	if *speedPath != "" {
+		if err := runSpeed(*speedPath, *sms, *workers, newHarness, sel); err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	h := newHarness(*workers)
+	out := os.Stdout
 	ran := 0
-	for _, s := range steps {
+	for _, s := range steps() {
 		if !sel(s.name) {
 			continue
 		}
 		if ran > 0 {
 			fmt.Fprintln(out)
 		}
-		if err := s.run(); err != nil {
+		if err := s.run(h, out); err != nil {
 			fmt.Fprintf(os.Stderr, "wirbench: %s: %v\n", s.name, err)
 			os.Exit(1)
 		}

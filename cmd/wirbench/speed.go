@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/wirsim/wir/internal/harness"
+	"github.com/wirsim/wir/internal/speed"
+)
+
+// runSpeed measures sweep throughput: every selected experiment runs twice —
+// once at -j 1, once at the requested width — each pass on a FRESH harness so
+// the memoization cache of the first pass cannot serve the second. Figure
+// text goes to io.Discard (rendering is not what is being measured, and the
+// byte-identical-output guarantee is the conformance suite's job); what is
+// recorded per experiment is wall time and the simulated cycles its runs
+// produced, which makes the report comparable across machines as
+// cycles-per-second.
+func runSpeed(path string, sms, workers int, newHarness func(int) *harness.Harness, sel func(string) bool) error {
+	widths := []int{1, workers}
+	if workers <= 1 {
+		widths = []int{1, 1} // keep the two-run shape; speedup degenerates to ~1
+	}
+	rep := &speed.Report{SMs: sms, CPUs: runtime.NumCPU()}
+	for _, w := range widths {
+		h := newHarness(w)
+		run := speed.Run{Workers: w}
+		for _, s := range steps() {
+			if !sel(s.name) {
+				continue
+			}
+			before := h.SimCycles()
+			t0 := time.Now()
+			if err := s.run(h, io.Discard); err != nil {
+				return fmt.Errorf("%s (workers=%d): %w", s.name, w, err)
+			}
+			run.Experiments = append(run.Experiments, speed.Experiment{
+				Name:      s.name,
+				WallMS:    float64(time.Since(t0).Microseconds()) / 1000,
+				SimCycles: h.SimCycles() - before,
+			})
+		}
+		if len(run.Experiments) == 0 {
+			return fmt.Errorf("no experiment selected for -speed")
+		}
+		rep.Runs = append(rep.Runs, run)
+		fmt.Fprintf(os.Stderr, "wirbench: speed pass -j %d done\n", w)
+	}
+	rep.Finalize()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wirbench: wrote %s (%d cpus, speedup %.2fx at -j %d)\n",
+		path, rep.CPUs, rep.Speedup, widths[len(widths)-1])
+	return nil
+}

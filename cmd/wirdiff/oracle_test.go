@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/trace"
+)
+
+const oracleTestAbbr = "KM"
+const oracleTestSMs = 2
+
+// recordRetireStream runs the benchmark live under RLPV and writes its
+// retire-only wir-trace/1 stream, standing in for a stream recorded by
+// another build.
+func recordRetireStream(t *testing.T) []byte {
+	t.Helper()
+	bm, err := bench.ByAbbr(oracleTestAbbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default(config.RLPV)
+	cfg.NumSMs = oracleTestSMs
+	g, err := gpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	jw := trace.NewJSONWriter(&buf).FilterKinds(trace.KindRetire)
+	g.SetTracer(jw)
+	w, err := bm.Setup(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestOracleReplayExitCodes is the -oracle contract: a faithfully recorded
+// stream audits clean (exit 0) and a tampered one is judged bad (exit 3).
+func TestOracleReplayExitCodes(t *testing.T) {
+	stream := recordRetireStream(t)
+	bm, err := bench.ByAbbr(oracleTestAbbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.jsonl")
+	if err := os.WriteFile(good, stream, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := oracleReplay(bm, good, oracleTestSMs); code != exitOK {
+		t.Errorf("good recording: exit %d, want %d", code, exitOK)
+	}
+
+	// Flip the leading hex digit of every recorded result hash: at least one
+	// value-producing instruction must then mismatch the golden model.
+	re := regexp.MustCompile(`"result":"([0-9a-f])`)
+	tampered := re.ReplaceAllFunc(stream, func(m []byte) []byte {
+		out := append([]byte(nil), m...) // m aliases stream; never mutate it
+		if out[len(out)-1] == '0' {
+			out[len(out)-1] = '1'
+		} else {
+			out[len(out)-1] = '0'
+		}
+		return out
+	})
+	if bytes.Equal(stream, tampered) {
+		t.Fatal("tampering changed nothing — no result fields in the recording?")
+	}
+	bad := filepath.Join(dir, "tampered.jsonl")
+	if err := os.WriteFile(bad, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := oracleReplay(bm, bad, oracleTestSMs); code != exitFault {
+		t.Errorf("tampered recording: exit %d, want %d", code, exitFault)
+	}
+}

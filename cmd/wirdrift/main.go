@@ -4,6 +4,12 @@
 //
 //	wirdrift -max 0.15 BENCH_baseline.json BENCH_ci.json
 //
+// With -speed, the inputs are wir-speed/1 throughput reports instead
+// (wirbench -speed), and the gate fails when simulated cycles-per-second at
+// any common worker count drops more than the tolerance:
+//
+//	wirdrift -speed -max 0.25 BENCH_speed.json BENCH_speed_ci.json
+//
 // Exit status: 0 within tolerance, 2 on usage or read errors, 3 on drift
 // (the shared "run judged bad" code — see docs/ROBUSTNESS.md).
 package main
@@ -15,15 +21,28 @@ import (
 	"strings"
 
 	"github.com/wirsim/wir/internal/metrics"
+	"github.com/wirsim/wir/internal/speed"
 )
 
 func main() {
 	max := flag.Float64("max", 0.15, "maximum allowed relative drift (0.15 = 15%)")
 	keys := flag.String("keys", "", "comma-separated derived metrics to compare (default: ipc_per_sm,bypass_rate)")
+	speedMode := flag.Bool("speed", false, "compare wir-speed/1 throughput reports instead of wir-stats/1 metric reports")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: wirdrift [-max FRAC] [-keys a,b] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: wirdrift [-speed] [-max FRAC] [-keys a,b] baseline.json current.json")
 		os.Exit(2)
+	}
+	if *speedMode {
+		violations := speed.Compare(readSpeed(flag.Arg(0)), readSpeed(flag.Arg(1)), *max)
+		if len(violations) == 0 {
+			fmt.Printf("wirdrift: %s vs %s throughput within %.0f%% tolerance\n", flag.Arg(0), flag.Arg(1), 100**max)
+			return
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "wirdrift:", v)
+		}
+		os.Exit(3)
 	}
 	base := readReport(flag.Arg(0))
 	cur := readReport(flag.Arg(1))
@@ -41,6 +60,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wirdrift:", v)
 	}
 	os.Exit(3)
+}
+
+func readSpeed(path string) *speed.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirdrift:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	r, err := speed.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wirdrift: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return r
 }
 
 func readReport(path string) *metrics.Report {

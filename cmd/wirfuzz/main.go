@@ -6,13 +6,15 @@
 // every seed must satisfy the robustness contract instead (value-changing
 // faults are detected, wedges trip the watchdog, nothing corrupts silently).
 //
-// Failing seeds are minimized by shrinking the generated program (smallest
-// failing -len, which generation is deterministic in) and written as a JSON
-// artifact for CI to upload.
+// Failing seeds are minimized in two phases — the smallest failing -len
+// prefix, then muting individual top-level instruction slots (fuzz.Minimize),
+// which shrinks multi-instruction failures below the prefix-length floor —
+// and written as a JSON artifact for CI to upload. A minimized skip set
+// replays with -skip.
 //
 // Usage:
 //
-//	wirfuzz [-start N] [-n N] [-model RLPV] [-sms N] [-len N]
+//	wirfuzz [-start N] [-n N] [-model RLPV] [-sms N] [-len N] [-skip 1,3,9]
 //	        [-shared auto|on|off] [-watchdog N] [-chaos seed,rate,kinds]
 //	        [-out failures.json] [-v]
 //
@@ -25,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/wirsim/wir/internal/chaos"
@@ -42,7 +46,9 @@ const (
 // failure is one minimized failing seed, serialized into the -out artifact.
 type failure struct {
 	Seed   int64  `json:"seed"`
-	Len    int    `json:"len"` // smallest failing program length
+	Len    int    `json:"len"`            // smallest failing program length
+	Skip   []int  `json:"skip,omitempty"` // muted slots within that length
+	Live   int    `json:"live"`           // instructions actually emitted
 	Model  string `json:"model"`
 	Shared bool   `json:"shared"`
 	Chaos  string `json:"chaos,omitempty"`
@@ -56,6 +62,7 @@ type sweep struct {
 	modelName string
 	sms       int
 	length    int
+	skip      []int
 	shared    string // auto, on, off
 	watchdog  uint64
 	chaosSpec string // original spec; per-seed injectors re-derive the seed
@@ -70,6 +77,7 @@ func main() {
 	modelName := flag.String("model", "RLPV", "machine model under test")
 	sms := flag.Int("sms", 2, "number of simulated SMs")
 	length := flag.Int("len", 24, "instructions in the generated top-level block")
+	skipSpec := flag.String("skip", "", "comma-separated top-level slots to mute (replays a minimized failure)")
 	shared := flag.String("shared", "auto", "scratchpad round trips: auto (alternate by seed), on, off")
 	watchdog := flag.Uint64("watchdog", 0, "cycles without a retire before the watchdog fires (0 derives the limit from DRAM latency and MSHR depth)")
 	chaosSpec := flag.String("chaos", "", "inject faults: seed,rate,kinds — the seed is offset per run so every program sees distinct faults")
@@ -91,8 +99,10 @@ func main() {
 	default:
 		usageCheck(fmt.Errorf("wirfuzz: -shared must be auto, on, or off"))
 	}
+	skip, err := parseSkip(*skipSpec, *length)
+	usageCheck(err)
 	sw := &sweep{
-		model: m, modelName: *modelName, sms: *sms, length: *length,
+		model: m, modelName: *modelName, sms: *sms, length: *length, skip: skip,
 		shared: *shared, watchdog: *watchdog, verbose: *verbose,
 	}
 	if *chaosSpec != "" {
@@ -105,29 +115,34 @@ func main() {
 
 	var failures []failure
 	for seed := *start; seed < *start+int64(*n); seed++ {
-		err := sw.runOne(seed, sw.length)
+		err := sw.run(sw.optionsFor(seed, sw.length, sw.skip), seed)
 		if err == nil {
 			if sw.verbose {
 				fmt.Fprintf(os.Stderr, "wirfuzz: seed %d ok\n", seed)
 			}
 			continue
 		}
-		minLen, minErr := sw.minimize(seed)
+		min, minErr := sw.minimize(seed)
 		if minErr != nil {
 			err = minErr
 		}
 		f := failure{
-			Seed: seed, Len: minLen, Model: sw.modelName,
+			Seed: seed, Len: min.Len, Skip: min.Skip, Live: min.Live(),
+			Model:  sw.modelName,
 			Shared: sw.sharedFor(seed), Chaos: sw.chaosFor(seed),
 			Error: err.Error(),
 			Repro: fmt.Sprintf("wirfuzz -start %d -n 1 -len %d -model %s -shared %s -watchdog %d",
-				seed, minLen, sw.modelName, onOff(sw.sharedFor(seed)), sw.watchdog),
+				seed, min.Len, sw.modelName, onOff(sw.sharedFor(seed)), sw.watchdog),
+		}
+		if len(min.Skip) > 0 {
+			f.Repro += " -skip " + skipString(min.Skip)
 		}
 		if f.Chaos != "" {
 			f.Repro += " -chaos " + f.Chaos
 		}
 		failures = append(failures, f)
-		fmt.Fprintf(os.Stderr, "wirfuzz: seed %d FAILED (minimized to len %d): %v\n", seed, minLen, err)
+		fmt.Fprintf(os.Stderr, "wirfuzz: seed %d FAILED (minimized to %d live of len %d): %v\n",
+			seed, min.Live(), min.Len, err)
 	}
 
 	if *out != "" {
@@ -175,12 +190,17 @@ func (sw *sweep) injFor(seed int64) *chaos.Injector {
 	return inj
 }
 
-// runOne executes one seed at one program length and judges it against the
-// robustness contract.
-func (sw *sweep) runOne(seed int64, length int) error {
+// optionsFor builds the generator options for one seed.
+func (sw *sweep) optionsFor(seed int64, length int, skip []int) fuzz.Options {
 	o := fuzz.DefaultOptions(seed)
 	o.Len = length
+	o.Skip = skip
 	o.WithShared = sw.sharedFor(seed)
+	return o
+}
+
+// run executes one option set and judges it against the robustness contract.
+func (sw *sweep) run(o fuzz.Options, seed int64) error {
 	inj := sw.injFor(seed)
 	res, err := fuzz.Execute(o, fuzz.RunConfig{
 		Model: sw.model, NumSMs: sw.sms, Watchdog: sw.watchdog,
@@ -204,16 +224,48 @@ func (sw *sweep) runOne(seed int64, length int) error {
 	return fuzz.Check(res, ref, inj)
 }
 
-// minimize finds the smallest program length at which the seed still fails,
-// returning it with the error observed there. Generation is deterministic in
-// (seed, len), so scanning up from 1 finds the least failing prefix shape.
-func (sw *sweep) minimize(seed int64) (int, error) {
-	for l := 1; l < sw.length; l++ {
-		if err := sw.runOne(seed, l); err != nil {
-			return l, err
+// minimize shrinks a failing seed — the smallest failing prefix length, then
+// per-slot muting — and returns the minimal option set with the error
+// observed there.
+func (sw *sweep) minimize(seed int64) (fuzz.Options, error) {
+	var lastErr error
+	min := fuzz.Minimize(sw.optionsFor(seed, sw.length, sw.skip), func(o fuzz.Options) bool {
+		if err := sw.run(o, seed); err != nil {
+			lastErr = err
+			return true
 		}
+		return false
+	})
+	return min, lastErr
+}
+
+// parseSkip parses the -skip slot list.
+func parseSkip(spec string, length int) ([]int, error) {
+	if spec == "" {
+		return nil, nil
 	}
-	return sw.length, nil
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("wirfuzz: bad -skip entry %q: %v", part, err)
+		}
+		if v < 0 || v >= length {
+			return nil, fmt.Errorf("wirfuzz: -skip slot %d outside 0..%d", v, length-1)
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// skipString renders a skip set for a repro command line.
+func skipString(skip []int) string {
+	parts := make([]string, len(skip))
+	for i, s := range skip {
+		parts[i] = strconv.Itoa(s)
+	}
+	return strings.Join(parts, ",")
 }
 
 func writeArtifact(path string, failures []failure) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wirsim [-sms N] [-model RLPV] [-list] [-interval N] [-metrics FILE]
+//	wirsim [-sms N] [-model RLPV] [-parallel] [-list] [-interval N] [-metrics FILE]
 //	       [-stats text|json] [-trace-json FILE] [-serve :addr]
 //	       [-pprof FILE] [-perfetto FILE] [-hotspots N]
 //	       [-oracle] [-watchdog N] [-audit] [-chaos seed,rate,kinds] <benchmark-abbr>
@@ -61,6 +61,7 @@ func main() {
 	useOracle := flag.Bool("oracle", false, "run the golden-model oracle in lockstep and fail on any divergence")
 	watchdog := flag.Int64("watchdog", -1, "fail if no instruction retires for N cycles (-1 derives N from DRAM latency and MSHR depth, 0 = absolute backstop only)")
 	audit := flag.Bool("audit", false, "run the structural invariant auditors at every kernel boundary, not just end of run")
+	parallel := flag.Bool("parallel", false, "step SMs in parallel goroutines (bit-identical to serial; falls back to serial when -chaos, per-PC attribution, or -stats json is active)")
 	chaosSpec := flag.String("chaos", "", "inject deterministic faults: seed,rate,kinds (e.g. 1,0.001,all — see docs/ROBUSTNESS.md)")
 	flag.Parse()
 
@@ -101,6 +102,7 @@ func main() {
 	if *audit {
 		g.SetLaunchAudit(true)
 	}
+	g.SetParallel(*parallel)
 
 	// Telemetry: one registry feeds the live endpoint, the interval sampler
 	// and the end-of-run report. Attached only when asked for, so plain runs

@@ -29,7 +29,17 @@ type Options struct {
 	Threads    int  // total threads in the grid
 	BlockDim   int  // threads per block
 	WithShared bool // include barrier-ordered scratchpad round trips
+	// Skip lists top-level slots (0..Len-1) whose instructions are generated
+	// but not emitted. A skipped slot consumes exactly the random draws and
+	// register allocations of the unskipped program, so every remaining
+	// instruction is bit-identical to its counterpart in the full program —
+	// which is what lets Minimize remove slots one by one while a planted
+	// failure keeps reproducing.
+	Skip []int
 }
+
+// Live returns how many top-level slots actually emit instructions.
+func (o *Options) Live() int { return o.Len - len(o.Skip) }
 
 // DefaultOptions returns the generator shape used by the soundness sweeps.
 func DefaultOptions(seed int64) Options {
@@ -60,9 +70,13 @@ func (o *Options) OutputWords() int { return o.Threads * o.Regs }
 // observable in the final memory image).
 func Build(o Options, in, out uint32) *kasm.Kernel {
 	rp := &randProg{
-		r:   rand.New(rand.NewSource(o.Seed)),
-		b:   kasm.NewBuilder(fmt.Sprintf("rand%d", o.Seed)),
-		out: out,
+		r:    rand.New(rand.NewSource(o.Seed)),
+		b:    kasm.NewBuilder(fmt.Sprintf("rand%d", o.Seed)),
+		out:  out,
+		skip: make(map[int]bool, len(o.Skip)),
+	}
+	for _, s := range o.Skip {
+		rp.skip[s] = true
 	}
 	b := rp.b
 	var sh int
@@ -125,59 +139,115 @@ type randProg struct {
 	depth int
 	gidx  isa.Reg // global linear thread index
 	out   uint32  // output segment base (also the global round-trip scratch)
+	skip  map[int]bool
+	slot  int  // next top-level slot index
+	mute  bool // true while generating a skipped slot: draw, allocate, emit nothing
 }
 
 func (rp *randProg) pick() isa.Reg { return rp.live[rp.r.Intn(len(rp.live))] }
 
 // emitBlock emits n random instructions, possibly recursing into divergent
-// regions.
+// regions. Top-level slots listed in Options.Skip run in mute mode: the
+// random draws and register allocations happen exactly as in the unskipped
+// program (so downstream generation is bit-identical) but no instruction is
+// emitted. Nested blocks inherit the muting of the slot that opened them.
 func (rp *randProg) emitBlock(n, sh int, withShared bool, tid isa.Reg) {
 	b := rp.b
 	for i := 0; i < n; i++ {
+		if rp.depth == 0 {
+			rp.mute = rp.skip[rp.slot]
+			rp.slot++
+		}
 		dst := rp.pick()
 		switch rp.r.Intn(13) {
 		case 0:
-			b.IAdd(dst, rp.pick(), rp.pick())
+			x, y := rp.pick(), rp.pick()
+			if !rp.mute {
+				b.IAdd(dst, x, y)
+			}
 		case 1:
-			b.ISub(dst, rp.pick(), rp.pick())
+			x, y := rp.pick(), rp.pick()
+			if !rp.mute {
+				b.ISub(dst, x, y)
+			}
 		case 2:
-			b.IMul(dst, rp.pick(), rp.pick())
+			x, y := rp.pick(), rp.pick()
+			if !rp.mute {
+				b.IMul(dst, x, y)
+			}
 		case 3:
-			b.Xor(dst, rp.pick(), rp.pick())
+			x, y := rp.pick(), rp.pick()
+			if !rp.mute {
+				b.Xor(dst, x, y)
+			}
 		case 4:
-			b.IMin(dst, rp.pick(), rp.pick())
+			x, y := rp.pick(), rp.pick()
+			if !rp.mute {
+				b.IMin(dst, x, y)
+			}
 		case 5:
-			b.FAdd(dst, rp.pick(), rp.pick())
+			x, y := rp.pick(), rp.pick()
+			if !rp.mute {
+				b.FAdd(dst, x, y)
+			}
 		case 6:
-			b.FMul(dst, rp.pick(), rp.pick())
+			x, y := rp.pick(), rp.pick()
+			if !rp.mute {
+				b.FMul(dst, x, y)
+			}
 		case 7:
-			b.FFma(dst, rp.pick(), rp.pick(), rp.pick())
+			x, y, z := rp.pick(), rp.pick(), rp.pick()
+			if !rp.mute {
+				b.FFma(dst, x, y, z)
+			}
 		case 8:
-			b.IAddI(dst, rp.pick(), int32(rp.r.Intn(64)-32))
+			x, imm := rp.pick(), int32(rp.r.Intn(64)-32)
+			if !rp.mute {
+				b.IAddI(dst, x, imm)
+			}
 		case 9:
 			// Transcendental on a bounded value to keep values tame.
 			t := rp.pick()
-			b.AndI(dst, t, 0xFF)
-			b.I2F(dst, dst)
-			b.FSqrt(dst, dst)
+			if !rp.mute {
+				b.AndI(dst, t, 0xFF)
+				b.I2F(dst, dst)
+				b.FSqrt(dst, dst)
+			}
 		case 10:
 			if rp.depth < 2 {
 				// Divergent region guarded by a per-lane comparison.
 				p := rp.pickPred()
 				q := rp.pick()
-				b.ISetPI(p, isa.CondLT, q, int32(rp.r.Intn(1<<20)))
+				imm := int32(rp.r.Intn(1 << 20))
+				if !rp.mute {
+					b.ISetPI(p, isa.CondLT, q, imm)
+				}
 				rp.depth++
 				inner := rp.r.Intn(6) + 1
 				if rp.r.Intn(2) == 0 {
-					b.If(p, false, func() { rp.emitBlock(inner, sh, false, tid) })
+					if rp.mute {
+						// Quiet recursion: the branch structure is dropped but
+						// the body still consumes its draws.
+						rp.emitBlock(inner, sh, false, tid)
+					} else {
+						b.If(p, false, func() { rp.emitBlock(inner, sh, false, tid) })
+					}
 				} else {
-					b.IfElse(p, false,
-						func() { rp.emitBlock(inner, sh, false, tid) },
-						func() { rp.emitBlock(inner, sh, false, tid) })
+					if rp.mute {
+						rp.emitBlock(inner, sh, false, tid)
+						rp.emitBlock(inner, sh, false, tid)
+					} else {
+						b.IfElse(p, false,
+							func() { rp.emitBlock(inner, sh, false, tid) },
+							func() { rp.emitBlock(inner, sh, false, tid) })
+					}
 				}
 				rp.depth--
 			} else {
-				b.IAdd(dst, rp.pick(), rp.pick())
+				x, y := rp.pick(), rp.pick()
+				if !rp.mute {
+					b.IAdd(dst, x, y)
+				}
 			}
 		case 11:
 			if rp.depth == 0 {
@@ -188,30 +258,46 @@ func (rp *randProg) emitBlock(n, sh int, withShared bool, tid isa.Reg) {
 				// the one the stalel1d chaos kind corrupts. The load is never
 				// reuse-eligible: the warp's own store disqualifies it.
 				ga := b.R()
-				b.IMulI(ga, rp.gidx, int32(len(rp.live)))
-				b.IAddI(ga, ga, int32(rp.r.Intn(len(rp.live))))
-				b.ShlI(ga, ga, 2)
-				b.IAddI(ga, ga, int32(rp.out))
-				b.St(isa.SpaceGlobal, ga, rp.pick(), 0)
-				b.Ld(dst, isa.SpaceGlobal, ga, 0)
+				off := int32(rp.r.Intn(len(rp.live)))
+				v := rp.pick()
+				if !rp.mute {
+					b.IMulI(ga, rp.gidx, int32(len(rp.live)))
+					b.IAddI(ga, ga, off)
+					b.ShlI(ga, ga, 2)
+					b.IAddI(ga, ga, int32(rp.out))
+					b.St(isa.SpaceGlobal, ga, v, 0)
+					b.Ld(dst, isa.SpaceGlobal, ga, 0)
+				}
 			} else {
-				b.ISub(dst, rp.pick(), rp.pick())
+				x, y := rp.pick(), rp.pick()
+				if !rp.mute {
+					b.ISub(dst, x, y)
+				}
 			}
 		default:
 			if withShared && rp.depth == 0 {
 				// Scratchpad round trip with barriers on both sides.
 				sa := rp.b.R()
-				b.AndI(sa, tid, 255)
-				b.ShlI(sa, sa, 2)
-				b.IAddI(sa, sa, int32(sh))
-				b.Bar()
-				b.St(isa.SpaceShared, sa, rp.pick(), 0)
-				b.Bar()
-				b.Ld(dst, isa.SpaceShared, sa, 0)
+				v := rp.pick()
+				if !rp.mute {
+					b.AndI(sa, tid, 255)
+					b.ShlI(sa, sa, 2)
+					b.IAddI(sa, sa, int32(sh))
+					b.Bar()
+					b.St(isa.SpaceShared, sa, v, 0)
+					b.Bar()
+					b.Ld(dst, isa.SpaceShared, sa, 0)
+				}
 			} else {
-				b.Or(dst, rp.pick(), rp.pick())
+				x, y := rp.pick(), rp.pick()
+				if !rp.mute {
+					b.Or(dst, x, y)
+				}
 			}
 		}
+	}
+	if rp.depth == 0 {
+		rp.mute = false
 	}
 }
 

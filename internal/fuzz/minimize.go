@@ -1,0 +1,62 @@
+package fuzz
+
+import "sort"
+
+// Minimize shrinks a failing option set while the predicate keeps failing.
+// It first finds the smallest failing prefix length (the classic -len scan:
+// generation is deterministic in (seed, len), so shorter programs are exact
+// prefixes in generation order), then greedily mutes individual top-level
+// slots via Options.Skip. Because a skipped slot consumes exactly the random
+// draws of the unskipped program, every surviving instruction is bit-identical
+// to its counterpart in the original — a multi-instruction failure therefore
+// keeps reproducing until only its participating instructions remain, well
+// below the prefix-length floor (the smallest Len covering the last
+// participant).
+//
+// fails must report true for o itself; Minimize never returns an option set
+// the predicate passed on.
+func Minimize(o Options, fails func(Options) bool) Options {
+	// Phase 1: smallest failing prefix. Scanning up from 1 matches the
+	// historical wirfuzz behavior and keeps every later skip probe cheap.
+	for l := 1; l < o.Len; l++ {
+		c := o
+		c.Len = l
+		c.Skip = nil
+		if fails(c) {
+			o = c
+			break
+		}
+	}
+
+	// Phase 2: greedy within-block muting. High slots first: the failure's
+	// last participant fixed the prefix length, so the tail is dense with
+	// participants and the head is where most slots drop.
+	skip := make(map[int]bool, len(o.Skip))
+	for _, s := range o.Skip {
+		skip[s] = true
+	}
+	for i := o.Len - 1; i >= 0; i-- {
+		if skip[i] {
+			continue
+		}
+		skip[i] = true
+		c := o
+		c.Skip = sortedSlots(skip)
+		if fails(c) {
+			o = c
+		} else {
+			delete(skip, i)
+		}
+	}
+	return o
+}
+
+// sortedSlots renders a skip set as the sorted slice Options carries.
+func sortedSlots(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,79 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+func skipHas(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMinimizeBelowPrefixFloor plants a failure that needs two instructions —
+// slots 2 and 9 — the shape prefix-length minimization is blind to: any prefix
+// covering slot 9 keeps all ten leading slots alive. Skip minimization must
+// get the live count down to exactly the two participants.
+func TestMinimizeBelowPrefixFloor(t *testing.T) {
+	o := DefaultOptions(1)
+	o.Len = 24
+	calls := 0
+	fails := func(c Options) bool {
+		calls++
+		return c.Len > 9 && !skipHas(c.Skip, 2) && !skipHas(c.Skip, 9)
+	}
+	if !fails(o) {
+		t.Fatal("planted predicate must fail the starting options")
+	}
+	min := Minimize(o, fails)
+	if !fails(min) {
+		t.Fatal("Minimize returned a passing option set")
+	}
+	if min.Len != 10 {
+		t.Errorf("prefix phase: Len = %d, want 10", min.Len)
+	}
+	if got := min.Live(); got != 2 {
+		t.Errorf("live slots = %d (skip %v), want 2 — skip minimization must beat the Len=10 floor", got, min.Skip)
+	}
+	if skipHas(min.Skip, 2) || skipHas(min.Skip, 9) {
+		t.Errorf("skip set %v mutes a participating slot", min.Skip)
+	}
+	t.Logf("minimized to Len=%d Skip=%v in %d probes", min.Len, min.Skip, calls)
+}
+
+// TestSkipPreservesSoundness checks the mute machinery end to end: programs
+// with muted slots must still assemble, run, and stay oracle-clean — i.e. a
+// skipped slot changes nothing about the instructions that remain.
+func TestSkipPreservesSoundness(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		o := DefaultOptions(seed)
+		o.WithShared = seed%2 == 1
+		o.Skip = []int{1, 3, 7, 8, 15}
+		res, err := Execute(o, RunConfig{NumSMs: 2, Oracle: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cerr := Check(res, nil, nil); cerr != nil {
+			t.Errorf("seed %d with skips: %v", seed, cerr)
+		}
+	}
+}
+
+// TestSkipAllIsEmptyButValid mutes every slot: the kernel degenerates to the
+// seeding prologue plus the final stores and must still be a valid program.
+func TestSkipAllIsEmptyButValid(t *testing.T) {
+	o := DefaultOptions(3)
+	for i := 0; i < o.Len; i++ {
+		o.Skip = append(o.Skip, i)
+	}
+	res, err := Execute(o, RunConfig{NumSMs: 2, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := Check(res, nil, nil); cerr != nil {
+		t.Error(cerr)
+	}
+}

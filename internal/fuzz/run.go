@@ -11,6 +11,7 @@ import (
 	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/oracle"
 	"github.com/wirsim/wir/internal/stats"
+	"github.com/wirsim/wir/internal/trace"
 )
 
 // RunConfig shapes one fuzz execution.
@@ -23,6 +24,12 @@ type RunConfig struct {
 	Watchdog uint64
 	Chaos    *chaos.Injector
 	Oracle   bool
+	// Parallel enables goroutine-per-SM stepping (bit-identical to serial;
+	// declined automatically when Chaos is set — see gpu.SetParallel).
+	Parallel bool
+	// Trace, when non-nil, receives the run's pipeline events (determinism
+	// conformance captures both modes' streams through this).
+	Trace trace.Sink
 }
 
 // Result is everything one execution produced; Check evaluates it against
@@ -71,6 +78,10 @@ func Execute(o Options, rc RunConfig) (*Result, error) {
 	if rc.Chaos != nil {
 		g.SetChaos(rc.Chaos)
 	}
+	if rc.Trace != nil {
+		g.SetTracer(rc.Trace)
+	}
+	g.SetParallel(rc.Parallel)
 
 	res := &Result{}
 	res.Cycles, err = g.Run(&gpu.Launch{Kernel: k, GridX: o.Threads / o.BlockDim, DimX: o.BlockDim})

@@ -68,6 +68,9 @@ type GPU struct {
 	launchHook  func(l *Launch, infos []sm.BlockInfo)
 	chaos       *chaos.Injector
 	launchAudit bool
+
+	parallel bool // goroutine-per-SM stepping requested (see SetParallel)
+	profiled bool // a profile hook is attached (forces serial stepping)
 }
 
 // New builds a GPU for the given configuration.
@@ -94,7 +97,10 @@ func (g *GPU) Config() *config.Config { return &g.cfg }
 func (g *GPU) Mem() *mem.System { return g.ms }
 
 // SetProfileHook installs a per-instruction observation hook on every SM.
+// While a hook is attached, Run steps serially even when SetParallel is on:
+// the hook observes issue-time state from every SM through one callback.
 func (g *GPU) SetProfileHook(h sm.ProfileHook) {
+	g.profiled = h != nil
 	for _, s := range g.sms {
 		s.Hook = h
 	}
@@ -302,6 +308,10 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 	wd := g.cfg.WatchdogCycles
 	lastRetired := g.totalRetired()
 	lastProgress := g.cycles
+	runner := g.startParallel() // nil: step serially
+	if runner != nil {
+		defer runner.stop()
+	}
 	for {
 		// Dispatch as many blocks as fit, round-robin over SMs.
 		for next < total {
@@ -320,10 +330,14 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 			}
 		}
 		idle := true
-		for _, s := range g.sms {
-			s.Tick()
-			if !s.Idle() {
-				idle = false
+		if runner != nil {
+			idle = runner.cycle()
+		} else {
+			for _, s := range g.sms {
+				s.Tick()
+				if !s.Idle() {
+					idle = false
+				}
 			}
 		}
 		g.cycles++

@@ -1,0 +1,230 @@
+// Parallel intra-run stepping: one goroutine per SM, bit-identical to the
+// serial Tick loop.
+//
+// The serial loop establishes one invariant the rest of the simulator depends
+// on: within a cycle, SM i's ENTIRE Tick — functional loads/stores at issue
+// time and timing-model Access* calls — happens before SM i+1's. The NoC/L2/
+// DRAM model, the MSHR bookkeeping, and cross-SM same-cycle store→load
+// visibility all observe that order.
+//
+// The parallel driver keeps the invariant with a chained completion gate:
+// every SM steps its SM-local pipeline work concurrently, but before its
+// first shared-memory-system access of the cycle, SM k blocks until SMs
+// 0..k-1 have fully finished their Tick (sm.SM.SetGate / enterShared). SM 0
+// never waits, SM 1 waits only for SM 0, and so on — shared-state work
+// serializes in exactly the serial order while frontend/backend pipeline work
+// overlaps.
+//
+// Observation hooks (trace sink, retire hook, block-done hook) fire inside
+// the SM-local phase, so in parallel mode they are redirected into per-SM
+// buffers and replayed at the cycle barrier in SM-index order — byte-for-byte
+// the serial delivery order. Retire and block-done events share one ordered
+// buffer per SM because the oracle's block accounting depends on their
+// relative order.
+package gpu
+
+import (
+	"sync"
+
+	"github.com/wirsim/wir/internal/sm"
+	"github.com/wirsim/wir/internal/trace"
+)
+
+// SetParallel enables (or disables) goroutine-per-SM stepping for subsequent
+// Run calls. Parallel stepping is bit-identical to serial execution; it is
+// declined automatically (Run stays serial) when a chaos injector, a profile
+// hook, or an attribution collector is attached, because those observe
+// SM-local work through shared non-atomic state whose draw/update order the
+// gate does not cover (see docs/PERFORMANCE.md).
+func (g *GPU) SetParallel(on bool) { g.parallel = on }
+
+// canParallel reports whether the next Run may use the parallel driver.
+func (g *GPU) canParallel() bool {
+	return g.parallel && len(g.sms) > 1 && g.chaos == nil && !g.profiled && g.attr == nil
+}
+
+// cycleGate is the chained completion gate. finish(k) marks SM k's Tick
+// complete; waitFor(k) blocks until SMs 0..k-1 have all finished.
+type cycleGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done int    // SMs 0..done-1 have finished this cycle
+	fin  []bool // per-SM finished flag (out-of-order completions park here)
+}
+
+func newCycleGate(n int) *cycleGate {
+	cg := &cycleGate{fin: make([]bool, n)}
+	cg.cond = sync.NewCond(&cg.mu)
+	return cg
+}
+
+// reset re-arms the gate for a new cycle.
+func (cg *cycleGate) reset() {
+	cg.mu.Lock()
+	cg.done = 0
+	for i := range cg.fin {
+		cg.fin[i] = false
+	}
+	cg.mu.Unlock()
+}
+
+// waitFor blocks until SMs 0..k-1 have finished the current cycle.
+func (cg *cycleGate) waitFor(k int) {
+	cg.mu.Lock()
+	for cg.done < k {
+		cg.cond.Wait()
+	}
+	cg.mu.Unlock()
+}
+
+// finish marks SM k complete and advances the contiguous-completion frontier.
+func (cg *cycleGate) finish(k int) {
+	cg.mu.Lock()
+	cg.fin[k] = true
+	for cg.done < len(cg.fin) && cg.fin[cg.done] {
+		cg.done++
+	}
+	cg.cond.Broadcast()
+	cg.mu.Unlock()
+}
+
+// hookItem is one deferred retire or block-done delivery. The two share one
+// ordered buffer so their intra-SM interleaving replays exactly.
+type hookItem struct {
+	retire *sm.RetireEvent // nil for block-done items
+	info   sm.BlockInfo    // copied: the block slot is reused at next dispatch
+	shared []uint32
+}
+
+// smHookBuf collects one SM's hook deliveries for replay at the barrier.
+type smHookBuf struct {
+	events []trace.Event
+	items  []hookItem
+}
+
+// parRunner drives one Run's worth of parallel cycles with persistent
+// per-SM worker goroutines (spawning per cycle costs more than the Tick).
+type parRunner struct {
+	g     *GPU
+	gate  *cycleGate
+	bufs  []smHookBuf
+	start []chan struct{}
+	wg    sync.WaitGroup
+	quit  chan struct{}
+
+	origTrace     trace.Sink
+	origRetire    sm.RetireHook
+	origBlockDone sm.BlockDoneHook
+}
+
+// startParallel installs the gate and buffering hooks and launches the
+// workers. Returns nil when the parallel driver is declined.
+func (g *GPU) startParallel() *parRunner {
+	if !g.canParallel() {
+		return nil
+	}
+	n := len(g.sms)
+	r := &parRunner{
+		g:     g,
+		gate:  newCycleGate(n),
+		bufs:  make([]smHookBuf, n),
+		start: make([]chan struct{}, n),
+		quit:  make(chan struct{}),
+	}
+	// All SMs share identical hooks (the Set*Hook methods fan one value out),
+	// so capturing SM 0's is capturing the configuration.
+	r.origTrace = g.sms[0].Trace
+	r.origRetire = g.sms[0].Retire
+	r.origBlockDone = g.sms[0].BlockDone
+	for i, s := range g.sms {
+		i, s := i, s
+		s.SetGate(func() { r.gate.waitFor(i) })
+		buf := &r.bufs[i]
+		if r.origTrace != nil {
+			s.Trace = bufSink{buf}
+		}
+		if r.origRetire != nil {
+			s.Retire = func(ev *sm.RetireEvent) {
+				buf.items = append(buf.items, hookItem{retire: ev})
+			}
+		}
+		if r.origBlockDone != nil {
+			s.BlockDone = func(info *sm.BlockInfo, shared []uint32) {
+				buf.items = append(buf.items, hookItem{info: *info, shared: shared})
+			}
+		}
+		r.start[i] = make(chan struct{}, 1)
+		go func() {
+			for {
+				select {
+				case <-r.quit:
+					return
+				case <-r.start[i]:
+					s.Tick()
+					r.gate.finish(i)
+					r.wg.Done()
+				}
+			}
+		}()
+	}
+	return r
+}
+
+// bufSink redirects trace events into a per-SM buffer.
+type bufSink struct{ buf *smHookBuf }
+
+func (b bufSink) Emit(e trace.Event) { b.buf.events = append(b.buf.events, e) }
+
+// cycle runs one GPU cycle across all SMs and reports whether every SM is
+// idle. On return all Ticks are complete and all hooks have been delivered in
+// SM-index order.
+func (r *parRunner) cycle() bool {
+	r.gate.reset()
+	r.wg.Add(len(r.start))
+	for _, c := range r.start {
+		c <- struct{}{}
+	}
+	r.wg.Wait()
+	r.flush()
+	idle := true
+	for _, s := range r.g.sms {
+		if !s.Idle() {
+			idle = false
+		}
+	}
+	return idle
+}
+
+// flush replays the buffered hook deliveries in SM-index order — the exact
+// interleaving the serial loop would have produced this cycle.
+func (r *parRunner) flush() {
+	for i := range r.bufs {
+		buf := &r.bufs[i]
+		for _, e := range buf.events {
+			r.origTrace.Emit(e)
+		}
+		buf.events = buf.events[:0]
+		for j := range buf.items {
+			it := &buf.items[j]
+			if it.retire != nil {
+				r.origRetire(it.retire)
+			} else {
+				r.origBlockDone(&it.info, it.shared)
+			}
+			*it = hookItem{}
+		}
+		buf.items = buf.items[:0]
+	}
+}
+
+// stop terminates the workers and restores the direct hooks, leaving the GPU
+// exactly as configured before startParallel.
+func (r *parRunner) stop() {
+	close(r.quit)
+	for _, s := range r.g.sms {
+		s.SetGate(nil)
+		s.Trace = r.origTrace
+		s.Retire = r.origRetire
+		s.BlockDone = r.origBlockDone
+	}
+}

@@ -25,17 +25,17 @@ type AblationAssocResult struct {
 // AblationAssociativity sweeps the associativity of both buffers.
 func (h *Harness) AblationAssociativity() (*AblationAssocResult, error) {
 	out := &AblationAssocResult{Ways: []int{1, 2, 4, 8}}
+	var jobs []runJob
 	for _, ways := range out.Ways {
-		ways := ways
+		for _, abbr := range Benchmarks() {
+			jobs = append(jobs, runJob{abbr: abbr, model: config.RLPV, variant: assocVariant(ways)})
+		}
+	}
+	h.prewarm(jobs)
+	for _, ways := range out.Ways {
 		var byp, vsb []float64
 		for _, abbr := range Benchmarks() {
-			v := &Variant{Name: fmt.Sprintf("assoc%d", ways), Mutate: func(c *config.Config) {
-				c.ReuseWays = ways
-				c.VSBWays = ways
-			}}
-			if ways == 1 {
-				v = nil
-			}
+			v := assocVariant(ways)
 			r, err := h.Run(abbr, config.RLPV, v)
 			if err != nil {
 				return nil, err
@@ -47,6 +47,18 @@ func (h *Harness) AblationAssociativity() (*AblationAssocResult, error) {
 		out.VSBHitRate = append(out.VSBHitRate, Mean(vsb))
 	}
 	return out, nil
+}
+
+// assocVariant builds the associativity variant (nil at the direct-indexed
+// default).
+func assocVariant(ways int) *Variant {
+	if ways == 1 {
+		return nil
+	}
+	return &Variant{Name: fmt.Sprintf("assoc%d", ways), Mutate: func(c *config.Config) {
+		c.ReuseWays = ways
+		c.VSBWays = ways
+	}}
 }
 
 // WriteText renders the ablation.
@@ -72,16 +84,17 @@ type AblationPendingResult struct {
 // entries generated 15.1% additional hits, similar to doubling the buffer).
 func (h *Harness) AblationPendingQueue() (*AblationPendingResult, error) {
 	out := &AblationPendingResult{Sizes: []int{0, 4, 16, 64}}
+	var jobs []runJob
 	for _, size := range out.Sizes {
-		size := size
+		for _, abbr := range Benchmarks() {
+			jobs = append(jobs, runJob{abbr: abbr, model: config.RLPV, variant: pqVariant(size)})
+		}
+	}
+	h.prewarm(jobs)
+	for _, size := range out.Sizes {
 		var byp, pend []float64
 		for _, abbr := range Benchmarks() {
-			v := &Variant{Name: fmt.Sprintf("pq%d", size), Mutate: func(c *config.Config) {
-				c.PendingQueueSize = size
-			}}
-			if size == 16 {
-				v = nil
-			}
+			v := pqVariant(size)
 			r, err := h.Run(abbr, config.RLPV, v)
 			if err != nil {
 				return nil, err
@@ -93,6 +106,17 @@ func (h *Harness) AblationPendingQueue() (*AblationPendingResult, error) {
 		out.PendingPart = append(out.PendingPart, Mean(pend))
 	}
 	return out, nil
+}
+
+// pqVariant builds the pending-queue-size variant (nil at the 16-entry
+// default).
+func pqVariant(size int) *Variant {
+	if size == 16 {
+		return nil
+	}
+	return &Variant{Name: fmt.Sprintf("pq%d", size), Mutate: func(c *config.Config) {
+		c.PendingQueueSize = size
+	}}
 }
 
 // WriteText renders the ablation.

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+)
+
+// TestVariantAliasRegression pins the memoization-key fix: the cache key used
+// to be (abbr, model, variant-name) only, so two sweeps that reused a variant
+// name with different mutations silently shared one result. The key now
+// hashes the fully mutated config, so aliasing is impossible — while
+// equivalent mutations still deduplicate.
+func TestVariantAliasRegression(t *testing.T) {
+	h := New()
+	h.SMs = 2
+	small := &Variant{Name: "sweep", Mutate: func(c *config.Config) { c.ReuseEntries = 16 }}
+	big := &Variant{Name: "sweep", Mutate: func(c *config.Config) { c.ReuseEntries = 1024 }}
+	r1, err := h.Run("DW", config.RLPV, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Run("DW", config.RLPV, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("same-named variants with different mutations must not share a cache entry")
+	}
+	if h.RunCount() != 2 {
+		t.Fatalf("RunCount = %d, want 2", h.RunCount())
+	}
+	// A third variant equivalent to the first (same name, same mutated
+	// config) must still hit the cache.
+	r3, err := h.Run("DW", config.RLPV, &Variant{Name: "sweep", Mutate: func(c *config.Config) { c.ReuseEntries = 16 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != r1 {
+		t.Fatal("equivalent variant must memoize to the same result")
+	}
+}
+
+// TestRunSingleFlight drives the same key from many goroutines through a
+// widened pool: exactly one simulation may run, and every caller must get the
+// identical memoized pointer.
+func TestRunSingleFlight(t *testing.T) {
+	h := New()
+	h.SMs = 2
+	h.SetParallelism(4)
+	const callers = 8
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := h.Run("DW", config.Base, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+	if h.RunCount() != 1 {
+		t.Fatalf("RunCount = %d, want 1 (single flight)", h.RunCount())
+	}
+}

@@ -28,14 +28,17 @@ type Fig2Result struct {
 }
 
 // Fig2 profiles every benchmark on the baseline machine with the
-// 1K-instruction sliding window.
+// 1K-instruction sliding window. Each benchmark builds its own GPU and
+// profile, so the runs fan out over the worker pool; the rows slice keeps
+// Table-I order regardless of completion order.
 func (h *Harness) Fig2() (*Fig2Result, error) {
-	out := &Fig2Result{}
-	var reps, reps10 []float64
-	for _, abbr := range Benchmarks() {
+	abbrs := Benchmarks()
+	rows := make([]Fig2Row, len(abbrs))
+	err := h.parallelMap(len(abbrs), func(i int) error {
+		abbr := abbrs[i]
 		bm, err := bench.ByAbbr(abbr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := config.Default(config.Base)
 		if h.SMs > 0 {
@@ -43,24 +46,33 @@ func (h *Harness) Fig2() (*Fig2Result, error) {
 		}
 		g, err := gpu.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := profile.New()
 		g.SetProfileHook(p.Observe)
 		w, err := bm.Setup(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := w.Run(g); err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", abbr, err)
+			return fmt.Errorf("fig2 %s: %w", abbr, err)
 		}
-		row := Fig2Row{Bench: abbr, Repeated: p.RepeatedRate(), Repeated10: p.Repeated10Rate()}
-		out.Rows = append(out.Rows, row)
+		rows[i] = Fig2Row{Bench: abbr, Repeated: p.RepeatedRate(), Repeated10: p.Repeated10Rate()}
+		if h.Progress != nil {
+			h.mu.Lock()
+			h.Progress(fmt.Sprintf("profiled %-3s repeated=%.1f%%", abbr, 100*rows[i].Repeated))
+			h.mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{Rows: rows}
+	var reps, reps10 []float64
+	for _, row := range rows {
 		reps = append(reps, row.Repeated)
 		reps10 = append(reps10, row.Repeated10)
-		if h.Progress != nil {
-			h.Progress(fmt.Sprintf("profiled %-3s repeated=%.1f%%", abbr, 100*row.Repeated))
-		}
 	}
 	out.AvgRepeated = Mean(reps)
 	out.AvgRepeated10 = Mean(reps10)
@@ -96,6 +108,7 @@ type Fig12Result struct {
 // Fig12 measures the fraction of warp instructions still processed by the
 // backend under the full RLPV design.
 func (h *Harness) Fig12() (*Fig12Result, error) {
+	h.prewarm(suiteJobs(config.Base, config.RLPV))
 	out := &Fig12Result{}
 	var rels, dums []float64
 	for _, abbr := range Benchmarks() {
@@ -148,6 +161,7 @@ type Fig13Result struct {
 
 // Fig13 compares how many backend operations each design still executes.
 func (h *Harness) Fig13() (*Fig13Result, error) {
+	h.prewarm(suiteJobs(append([]config.Model{config.Base}, Fig13Models...)...))
 	out := &Fig13Result{
 		Models: Fig13Models,
 		Avg:    map[config.Model]float64{},
@@ -213,6 +227,7 @@ type Fig14Result struct {
 
 // Fig14 measures whole-GPU energy for Base, RPV and RLPV.
 func (h *Harness) Fig14() (*Fig14Result, error) {
+	h.prewarm(suiteJobs(Fig14Models...))
 	out := &Fig14Result{Avg: map[config.Model]float64{}, BaseBreakdown: map[string]float64{}}
 	acc := map[config.Model][]float64{}
 	for _, abbr := range Benchmarks() {
@@ -287,6 +302,7 @@ type Fig15Result struct {
 // Fig15 compares L1 access and miss counts for the load-reuse-sensitive
 // benchmarks (plus the suite average).
 func (h *Harness) Fig15() (*Fig15Result, error) {
+	h.prewarm(suiteJobs(config.Base, config.RLPV))
 	out := &Fig15Result{}
 	var tb, tr stats.Sim
 	for _, abbr := range Benchmarks() {
@@ -346,6 +362,7 @@ type Fig16Result struct {
 
 // Fig16 measures SM-scope energy per design relative to Base.
 func (h *Harness) Fig16() (*Fig16Result, error) {
+	h.prewarm(suiteJobs(append([]config.Model{config.Base}, Fig16Models...)...))
 	out := &Fig16Result{Models: Fig16Models, Avg: map[config.Model]float64{}, Rows: map[string]map[config.Model]float64{}}
 	acc := map[config.Model][]float64{}
 	for _, abbr := range Benchmarks() {
@@ -393,6 +410,7 @@ type Fig17Result struct {
 
 // Fig17 measures speedups of the four incremental designs over Base.
 func (h *Harness) Fig17() (*Fig17Result, error) {
+	h.prewarm(suiteJobs(append([]config.Model{config.Base}, Fig17Models...)...))
 	out := &Fig17Result{Models: Fig17Models, Rows: map[string]map[config.Model]float64{}, GMean: map[config.Model]float64{}}
 	acc := map[config.Model][]float64{}
 	for _, abbr := range Benchmarks() {

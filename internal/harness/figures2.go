@@ -45,6 +45,13 @@ type Fig18Result struct {
 // Fig18 measures register-bank access composition and conflict retries with
 // and without the verify cache.
 func (h *Harness) Fig18() (*Fig18Result, error) {
+	var jobs []runJob
+	for _, cfg := range Fig18Configs {
+		for _, abbr := range Benchmarks() {
+			jobs = append(jobs, runJob{abbr: abbr, model: cfg.Model, variant: fig18Variant(cfg)})
+		}
+	}
+	h.prewarm(jobs)
 	out := &Fig18Result{}
 	selected := Fig18Benchmarks
 	for _, cfg := range Fig18Configs {
@@ -67,12 +74,17 @@ func (h *Harness) Fig18() (*Fig18Result, error) {
 }
 
 func (h *Harness) runFig18(abbr string, c Fig18Config) (*Result, error) {
-	var v *Variant
-	if c.Entries != 0 {
-		e := c.Entries
-		v = &Variant{Name: fmt.Sprintf("vc%d", e), Mutate: func(cfg *config.Config) { cfg.VerifyCacheSize = e }}
+	return h.Run(abbr, c.Model, fig18Variant(c))
+}
+
+// fig18Variant builds the verify-cache-size variant for one Figure 18 machine
+// (nil for the models that run at their default configuration).
+func fig18Variant(c Fig18Config) *Variant {
+	if c.Entries == 0 {
+		return nil
 	}
-	return h.Run(abbr, c.Model, v)
+	e := c.Entries
+	return &Variant{Name: fmt.Sprintf("vc%d", e), Mutate: func(cfg *config.Config) { cfg.VerifyCacheSize = e }}
 }
 
 func fig18Row(bench, label string, s *stats.Sim) Fig18Row {
@@ -111,6 +123,7 @@ type Fig19Result struct {
 
 // Fig19 samples physical-register utilization across the suite.
 func (h *Harness) Fig19() (*Fig19Result, error) {
+	h.prewarm(suiteJobs(Fig19Models...))
 	out := &Fig19Result{Avg: map[config.Model]float64{}, Peak: map[config.Model]float64{}}
 	for _, m := range Fig19Models {
 		var avgs, peaks []float64
@@ -151,15 +164,18 @@ type Fig20Result struct {
 
 // Fig20 sweeps the VSB size and reports hit rates.
 func (h *Harness) Fig20() (*Fig20Result, error) {
+	var jobs []runJob
+	for _, size := range Fig20Sizes {
+		for _, abbr := range Benchmarks() {
+			jobs = append(jobs, runJob{abbr: abbr, model: config.RLPV, variant: fig20Variant(size)})
+		}
+	}
+	h.prewarm(jobs)
 	out := &Fig20Result{Sizes: Fig20Sizes}
 	for _, size := range Fig20Sizes {
-		size := size
 		var rates []float64
 		for _, abbr := range Benchmarks() {
-			v := &Variant{Name: fmt.Sprintf("vsb%d", size), Mutate: func(c *config.Config) { c.VSBEntries = size }}
-			if size == 256 {
-				v = nil // default configuration, shared with other figures
-			}
+			v := fig20Variant(size)
 			r, err := h.Run(abbr, config.RLPV, v)
 			if err != nil {
 				return nil, err
@@ -169,6 +185,15 @@ func (h *Harness) Fig20() (*Fig20Result, error) {
 		out.HitRate = append(out.HitRate, Mean(rates))
 	}
 	return out, nil
+}
+
+// fig20Variant builds the VSB-size variant (nil at the 256-entry default,
+// shared with the other figures' runs).
+func fig20Variant(size int) *Variant {
+	if size == 256 {
+		return nil
+	}
+	return &Variant{Name: fmt.Sprintf("vsb%d", size), Mutate: func(c *config.Config) { c.VSBEntries = size }}
 }
 
 // WriteText renders the figure.
@@ -194,15 +219,18 @@ type Fig21Result struct {
 
 // Fig21 sweeps the reuse-buffer size.
 func (h *Harness) Fig21() (*Fig21Result, error) {
+	var jobs []runJob
+	for _, size := range Fig21Sizes {
+		for _, abbr := range Benchmarks() {
+			jobs = append(jobs, runJob{abbr: abbr, model: config.RLPV, variant: fig21Variant(size)})
+		}
+	}
+	h.prewarm(jobs)
 	out := &Fig21Result{Sizes: Fig21Sizes}
 	for _, size := range Fig21Sizes {
-		size := size
 		var rates, pend []float64
 		for _, abbr := range Benchmarks() {
-			v := &Variant{Name: fmt.Sprintf("rb%d", size), Mutate: func(c *config.Config) { c.ReuseEntries = size }}
-			if size == 256 {
-				v = nil
-			}
+			v := fig21Variant(size)
 			r, err := h.Run(abbr, config.RLPV, v)
 			if err != nil {
 				return nil, err
@@ -214,6 +242,15 @@ func (h *Harness) Fig21() (*Fig21Result, error) {
 		out.PendingPart = append(out.PendingPart, Mean(pend))
 	}
 	return out, nil
+}
+
+// fig21Variant builds the reuse-buffer-size variant (nil at the 256-entry
+// default).
+func fig21Variant(size int) *Variant {
+	if size == 256 {
+		return nil
+	}
+	return &Variant{Name: fmt.Sprintf("rb%d", size), Mutate: func(c *config.Config) { c.ReuseEntries = size }}
 }
 
 // WriteText renders the figure.
@@ -239,19 +276,22 @@ type Fig22Result struct {
 
 // Fig22 sweeps the extra pipeline delay the reuse stages add.
 func (h *Harness) Fig22() (*Fig22Result, error) {
+	jobs := suiteJobs(config.Base)
+	for _, d := range Fig22Delays {
+		for _, abbr := range Benchmarks() {
+			jobs = append(jobs, runJob{abbr: abbr, model: config.RLPV, variant: fig22Variant(d)})
+		}
+	}
+	h.prewarm(jobs)
 	out := &Fig22Result{Delays: Fig22Delays}
 	for _, d := range Fig22Delays {
-		d := d
 		var sps []float64
 		for _, abbr := range Benchmarks() {
 			base, err := h.Run(abbr, config.Base, nil)
 			if err != nil {
 				return nil, err
 			}
-			v := &Variant{Name: fmt.Sprintf("d%d", d), Mutate: func(c *config.Config) { c.BackendDelay = d }}
-			if d == 4 {
-				v = nil
-			}
+			v := fig22Variant(d)
 			r, err := h.Run(abbr, config.RLPV, v)
 			if err != nil {
 				return nil, err
@@ -261,6 +301,15 @@ func (h *Harness) Fig22() (*Fig22Result, error) {
 		out.Speedup = append(out.Speedup, GeoMean(sps))
 	}
 	return out, nil
+}
+
+// fig22Variant builds the backend-delay variant (nil at the default 4-cycle
+// delay).
+func fig22Variant(d int) *Variant {
+	if d == 4 {
+		return nil
+	}
+	return &Variant{Name: fmt.Sprintf("d%d", d), Mutate: func(c *config.Config) { c.BackendDelay = d }}
 }
 
 // WriteText renders the figure.

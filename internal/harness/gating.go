@@ -26,6 +26,7 @@ type AblationGatingResult struct {
 // so the Base total stays calibrated).
 func (h *Harness) AblationPowerGating() (*AblationGatingResult, error) {
 	models := []config.Model{config.Base, config.RLPV, config.RLPVc}
+	h.prewarm(suiteJobs(models...))
 	out := &AblationGatingResult{
 		Models:  models,
 		RelSM:   map[config.Model]float64{},

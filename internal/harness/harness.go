@@ -7,8 +7,11 @@ package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/wirsim/wir/internal/bench"
 	"github.com/wirsim/wir/internal/config"
@@ -26,22 +29,55 @@ type Result struct {
 	Energy energy.Breakdown
 }
 
-// Harness runs and memoizes benchmark executions.
+// Harness runs and memoizes benchmark executions. It is safe for concurrent
+// use: the memo cache is a single-flight map, so figures prewarmed by the
+// worker pool share results with the serial rendering loops without ever
+// simulating the same (benchmark, model, variant) twice.
 type Harness struct {
 	// SMs overrides the number of simulated SMs (default: the paper's 15).
 	// Smaller values speed exploration without changing trends.
 	SMs int
 	// Progress, when non-nil, receives a line per fresh simulation.
 	Progress func(string)
+	// ParallelSM enables goroutine-per-SM stepping inside each simulation
+	// (bit-identical to serial; see gpu.SetParallel).
+	ParallelSM bool
 
-	cache map[string]*Result
-	coeff energy.Coefficients
+	mu      sync.Mutex
+	cache   map[string]*entry
+	workers int
+	coeff   energy.Coefficients
+
+	simCycles atomic.Uint64 // total cycles freshly simulated (throughput metric)
+}
+
+// entry is one single-flight cache slot: the first caller simulates, every
+// concurrent or later caller waits on the Once and shares the outcome.
+type entry struct {
+	once sync.Once
+	r    *Result
+	err  error
 }
 
 // New returns a harness with the paper's default configuration.
 func New() *Harness {
-	return &Harness{SMs: 15, cache: make(map[string]*Result), coeff: energy.Default45nm()}
+	return &Harness{SMs: 15, cache: make(map[string]*entry), workers: 1, coeff: energy.Default45nm()}
 }
+
+// SetParallelism sets the sweep-level worker-pool width used by the figure
+// prewarm passes (n < 1 is treated as 1, i.e. fully serial).
+func (h *Harness) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	h.mu.Lock()
+	h.workers = n
+	h.mu.Unlock()
+}
+
+// SimCycles returns the total simulated cycles across all fresh (non-memoized)
+// runs so far — the numerator of the cycles/sec throughput metric.
+func (h *Harness) SimCycles() uint64 { return h.simCycles.Load() }
 
 // Variant tweaks a configuration before a run (used by the sensitivity
 // sweeps). The name distinguishes cache entries.
@@ -51,19 +87,10 @@ type Variant struct {
 }
 
 // Run executes one benchmark under one model (plus optional variant),
-// memoizing the result.
+// memoizing the result. The cache key includes a hash of the fully-mutated
+// configuration, so two variants that share a name but mutate the config
+// differently can never alias one entry.
 func (h *Harness) Run(abbr string, m config.Model, v *Variant) (*Result, error) {
-	key := fmt.Sprintf("%s/%v", abbr, m)
-	if v != nil {
-		key += "/" + v.Name
-	}
-	if r, ok := h.cache[key]; ok {
-		return r, nil
-	}
-	bm, err := bench.ByAbbr(abbr)
-	if err != nil {
-		return nil, err
-	}
 	cfg := config.Default(m)
 	if h.SMs > 0 {
 		cfg.NumSMs = h.SMs
@@ -71,10 +98,41 @@ func (h *Harness) Run(abbr string, m config.Model, v *Variant) (*Result, error) 
 	if v != nil && v.Mutate != nil {
 		v.Mutate(&cfg)
 	}
+	key := runKey(abbr, m, v, &cfg)
+	h.mu.Lock()
+	e, ok := h.cache[key]
+	if !ok {
+		e = &entry{}
+		h.cache[key] = e
+	}
+	h.mu.Unlock()
+	e.once.Do(func() { e.r, e.err = h.simulate(key, abbr, m, cfg) })
+	return e.r, e.err
+}
+
+// runKey renders the cache key: the readable abbr/model[/variant] prefix the
+// CSV export shows, plus the config hash that makes it collision-proof.
+func runKey(abbr string, m config.Model, v *Variant, cfg *config.Config) string {
+	key := fmt.Sprintf("%s/%v", abbr, m)
+	if v != nil {
+		key += "/" + v.Name
+	}
+	fh := fnv.New64a()
+	fmt.Fprintf(fh, "%+v", *cfg)
+	return fmt.Sprintf("%s#%016x", key, fh.Sum64())
+}
+
+// simulate performs one fresh benchmark execution.
+func (h *Harness) simulate(key, abbr string, m config.Model, cfg config.Config) (*Result, error) {
+	bm, err := bench.ByAbbr(abbr)
+	if err != nil {
+		return nil, err
+	}
 	g, err := gpu.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", key, err)
 	}
+	g.SetParallel(h.ParallelSM)
 	w, err := bm.Setup(g)
 	if err != nil {
 		return nil, fmt.Errorf("%s setup: %w", key, err)
@@ -91,11 +149,109 @@ func (h *Harness) Run(abbr string, m config.Model, v *Variant) (*Result, error) 
 		Stats:  st,
 		Energy: energy.Model(&h.coeff, &st, cfg.NumSMs),
 	}
-	h.cache[key] = r
+	h.simCycles.Add(cycles)
 	if h.Progress != nil {
+		h.mu.Lock()
 		h.Progress(fmt.Sprintf("ran %-14s cycles=%d bypass=%.1f%%", key, cycles, 100*st.BypassRate()))
+		h.mu.Unlock()
 	}
 	return r, nil
+}
+
+// runJob names one (benchmark, model, variant) simulation for the prewarm
+// worker pool.
+type runJob struct {
+	abbr    string
+	model   config.Model
+	variant *Variant
+}
+
+// prewarm executes the jobs across the configured worker pool, populating the
+// single-flight cache. Errors are deliberately dropped here: the figure's
+// serial rendering loop re-issues every Run and surfaces the cached error in
+// its usual deterministic order, so WriteText output — including failures —
+// is identical at any parallelism.
+func (h *Harness) prewarm(jobs []runJob) {
+	h.mu.Lock()
+	n := h.workers
+	h.mu.Unlock()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		return
+	}
+	ch := make(chan runJob)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				_, _ = h.Run(j.abbr, j.model, j.variant)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// suiteJobs builds the prewarm list for every suite benchmark under each of
+// the given models.
+func suiteJobs(models ...config.Model) []runJob {
+	jobs := make([]runJob, 0, len(models)*34)
+	for _, abbr := range Benchmarks() {
+		for _, m := range models {
+			jobs = append(jobs, runJob{abbr: abbr, model: m})
+		}
+	}
+	return jobs
+}
+
+// parallelMap runs f(0..n-1) across the worker pool (serially when the pool is
+// one wide) and returns the lowest-index error, matching what the serial loop
+// would have reported.
+func (h *Harness) parallelMap(n int, f func(int) error) error {
+	h.mu.Lock()
+	w := h.workers
+	h.mu.Unlock()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Benchmarks returns the Table I abbreviations in registry order.

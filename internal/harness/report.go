@@ -118,9 +118,18 @@ func (h *Harness) WriteRunsCSV(w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
+	h.mu.Lock()
 	keys := sortedKeys(h.cache)
+	rows := make(map[string]*Result, len(keys))
 	for _, k := range keys {
-		r := h.cache[k]
+		rows[k] = h.cache[k].r
+	}
+	h.mu.Unlock()
+	for _, k := range keys {
+		r := rows[k]
+		if r == nil { // entry reserved but its simulation failed or never ran
+			continue
+		}
 		s := &r.Stats
 		row := []string{
 			k, r.Bench, r.Model.String(),
@@ -158,4 +167,8 @@ func (h *Harness) WriteRunsCSV(w io.Writer) error {
 
 // RunCount returns the number of memoized simulations (for progress
 // reporting and tests).
-func (h *Harness) RunCount() int { return len(h.cache) }
+func (h *Harness) RunCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.cache)
+}

@@ -25,12 +25,17 @@ func (h *Harness) AblationScheduler() (*AblationSchedulerResult, error) {
 		BypassRate: map[string]float64{},
 		Speedup:    map[string]float64{},
 	}
+	var jobs []runJob
 	for _, pol := range out.Policies {
-		pol := pol
-		var v *Variant
-		if pol != config.SchedGTO {
-			v = &Variant{Name: "sched-" + pol, Mutate: func(c *config.Config) { c.Scheduler = pol }}
+		for _, abbr := range Benchmarks() {
+			jobs = append(jobs,
+				runJob{abbr: abbr, model: config.Base, variant: schedVariant(pol)},
+				runJob{abbr: abbr, model: config.RLPV, variant: schedVariant(pol)})
 		}
+	}
+	h.prewarm(jobs)
+	for _, pol := range out.Policies {
+		v := schedVariant(pol)
 		var byp, sp []float64
 		for _, abbr := range Benchmarks() {
 			base, err := h.Run(abbr, config.Base, v)
@@ -48,6 +53,15 @@ func (h *Harness) AblationScheduler() (*AblationSchedulerResult, error) {
 		out.Speedup[pol] = GeoMean(sp)
 	}
 	return out, nil
+}
+
+// schedVariant builds the scheduler-policy variant (nil for the paper's GTO
+// default).
+func schedVariant(pol string) *Variant {
+	if pol == config.SchedGTO {
+		return nil
+	}
+	return &Variant{Name: "sched-" + pol, Mutate: func(c *config.Config) { c.Scheduler = pol }}
 }
 
 // WriteText renders the ablation.

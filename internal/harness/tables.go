@@ -26,6 +26,7 @@ type TableIResult struct {
 
 // TableI lists the suite with measured floating-point instruction shares.
 func (h *Harness) TableI() (*TableIResult, error) {
+	h.prewarm(suiteJobs(config.Base))
 	out := &TableIResult{}
 	for _, b := range bench.All() {
 		r, err := h.Run(b.Abbr, config.Base, nil)
@@ -97,6 +98,7 @@ type Headline struct {
 
 // RunHeadline computes the headline metrics across the whole suite.
 func (h *Harness) RunHeadline() (*Headline, error) {
+	h.prewarm(suiteJobs(config.Base, config.RLPV, config.RPV))
 	var byp, dum, sm, gpuE, rpv, sp []float64
 	for _, abbr := range Benchmarks() {
 		base, err := h.Run(abbr, config.Base, nil)

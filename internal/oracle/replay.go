@@ -1,0 +1,116 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wirsim/wir/internal/trace"
+)
+
+// VerifyRecorded checks a recorded retire stream — a wir-trace/1 JSONL file
+// replayed into a trace.RetireRecorder — against the golden-model
+// expectations built by BeginLaunch. It is the offline counterpart of
+// OnRetire: where the live hook compares full 32-lane writeback vectors, the
+// recorded stream only carries the FNV fold of the lanes (trace.HashResult),
+// so value divergences are detected by hash. PC and opcode divergences are
+// exact. Call after every launch has been emulated (e.g. by running the
+// workload with only the launch hook attached); mismatches land in the
+// checker's divergence list like any live divergence.
+func (c *Checker) VerifyRecorded(rec *trace.RetireRecorder) {
+	keys := make([][3]int, 0, len(rec.Streams))
+	for k := range rec.Streams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+
+	for _, key := range keys {
+		st := c.streams[streamKey{launch: key[0], block: key[1], warp: key[2]}]
+		if st == nil {
+			c.diverge(Divergence{
+				Class: "extra", SM: -1,
+				Launch: key[0], Block: key[1], Warp: key[2], PC: -1,
+				Detail: "recorded stream from a launch/block the oracle never emulated",
+			})
+			continue
+		}
+		evs := append([]trace.Event(nil), rec.Streams[key]...)
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+		for i := range evs {
+			ev := &evs[i]
+			idx := int(ev.Seq) - 1
+			if idx < 0 || idx >= len(st.expects) {
+				c.diverge(Divergence{
+					Class: "extra", Kernel: st.kernel.Name, SM: ev.SM,
+					Launch: key[0], Block: key[1], Warp: key[2],
+					PC: ev.PC, Seq: ev.Seq, Disasm: disasm(st.kernel, ev.PC),
+					Detail: fmt.Sprintf("recorded seq %d but the oracle expected %d instructions", ev.Seq, len(st.expects)),
+					kernel: st.kernel,
+				})
+				continue
+			}
+			st.consumed++
+			e := &st.expects[idx]
+			if e.pc != ev.PC || e.op.String() != ev.Op {
+				c.diverge(Divergence{
+					Class: "pc", Kernel: st.kernel.Name, SM: ev.SM,
+					Launch: key[0], Block: key[1], Warp: key[2],
+					PC: ev.PC, Seq: ev.Seq, Disasm: disasm(st.kernel, ev.PC),
+					Detail: fmt.Sprintf("control-flow divergence: expected pc=%d %v, recorded pc=%d %s", e.pc, e.op, ev.PC, ev.Op),
+					kernel: st.kernel,
+				})
+				continue
+			}
+			if e.hasVal {
+				lanes := [32]uint32(e.val)
+				if want := trace.HashResult(&lanes); want != ev.Result {
+					c.diverge(Divergence{
+						Class: "value", Kernel: st.kernel.Name, SM: ev.SM,
+						Launch: key[0], Block: key[1], Warp: key[2],
+						PC: ev.PC, Seq: ev.Seq, Disasm: disasm(st.kernel, ev.PC),
+						Detail: fmt.Sprintf("writeback hash mismatch: expected %016x, recorded %016x", want, ev.Result),
+						kernel: st.kernel,
+					})
+				}
+			}
+		}
+	}
+
+	// Every expectation must have been consumed: a truncated or filtered-away
+	// stream is a divergence, not a silent pass.
+	skeys := make([]streamKey, 0, len(c.streams))
+	for k := range c.streams {
+		skeys = append(skeys, k)
+	}
+	sort.Slice(skeys, func(i, j int) bool {
+		a, b := skeys[i], skeys[j]
+		if a.launch != b.launch {
+			return a.launch < b.launch
+		}
+		if a.block != b.block {
+			return a.block < b.block
+		}
+		return a.warp < b.warp
+	})
+	for _, k := range skeys {
+		st := c.streams[k]
+		if st.consumed < len(st.expects) {
+			e := &st.expects[st.consumed]
+			c.diverge(Divergence{
+				Class: "missing", Kernel: st.kernel.Name, SM: -1,
+				Launch: k.launch, Block: k.block, Warp: k.warp,
+				PC: e.pc, Seq: uint64(st.consumed + 1), Disasm: disasm(st.kernel, e.pc),
+				Detail: fmt.Sprintf("recording covers %d of %d expected instructions", st.consumed, len(st.expects)),
+				kernel: st.kernel,
+			})
+		}
+	}
+}

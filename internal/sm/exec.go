@@ -168,6 +168,7 @@ func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase, old isa.Vec) {
 		}
 		fl.MemConflicts = bankConflicts(addrs, fl.Mask)
 	case isa.SpaceGlobal:
+		s.enterShared()
 		for i := 0; i < isa.WarpSize; i++ {
 			if fl.Mask.Active(i) {
 				// The per-SM path can serve a chaos-staled L1D line; the
@@ -177,6 +178,7 @@ func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase, old isa.Vec) {
 		}
 		fl.MemLines = coalesce(addrs, fl.Mask, s.ms.LineBytes())
 	case isa.SpaceConst:
+		s.enterShared()
 		for i := 0; i < isa.WarpSize; i++ {
 			if fl.Mask.Active(i) {
 				out[i] = s.ms.LoadConst(addrs[i] &^ 3)
@@ -184,6 +186,7 @@ func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase, old isa.Vec) {
 		}
 		fl.MemLines = coalesce(addrs, fl.Mask, s.ms.LineBytes())
 	case isa.SpaceTex:
+		s.enterShared()
 		for i := 0; i < isa.WarpSize; i++ {
 			if fl.Mask.Active(i) {
 				out[i] = s.ms.LoadTex(addrs[i] &^ 3)
@@ -210,6 +213,7 @@ func (s *SM) executeStore(wc *warpCtx, fl *core.Flight, addrBase, val isa.Vec) {
 		}
 		fl.MemConflicts = bankConflicts(addrs, fl.Mask)
 	case isa.SpaceGlobal:
+		s.enterShared()
 		for i := 0; i < isa.WarpSize; i++ {
 			if fl.Mask.Active(i) {
 				s.ms.StoreGlobal(addrs[i]&^3, val[i])

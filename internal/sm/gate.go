@@ -1,0 +1,20 @@
+package sm
+
+// SetGate installs (or removes, with nil) the shared-state admission gate used
+// by the parallel GPU driver. When set, the SM calls the gate once per Tick,
+// immediately before its first access to the shared memory system (functional
+// loads and stores at issue time, or timing-model line injections). The
+// parallel driver uses this to block SM k until SMs 0..k-1 have finished the
+// current cycle, so the NoC/L2/DRAM model observes exactly the serial event
+// order while the SM-local pipeline work of all SMs still overlaps.
+func (s *SM) SetGate(f func()) { s.gate = f }
+
+// enterShared fires the admission gate on the SM's first shared-memory-system
+// access of the current Tick. s.now strictly increases per Tick, so comparing
+// against the latched cycle needs no per-Tick reset.
+func (s *SM) enterShared() {
+	if s.gate != nil && s.gateTick != s.now {
+		s.gateTick = s.now
+		s.gate()
+	}
+}

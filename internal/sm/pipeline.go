@@ -262,6 +262,9 @@ func (s *SM) startMemAccess(fl *core.Flight) {
 // injectMemLines feeds the instruction's coalesced lines into the memory
 // system, resuming across cycles when MSHRs fill up.
 func (s *SM) injectMemLines(fl *core.Flight) {
+	if fl.MemIdx < len(fl.MemLines) {
+		s.enterShared()
+	}
 	for fl.MemIdx < len(fl.MemLines) {
 		l := fl.MemLines[fl.MemIdx]
 		var done uint64

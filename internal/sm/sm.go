@@ -83,6 +83,12 @@ type SM struct {
 	// chaos, when non-nil, injects deterministic faults into the pipeline.
 	chaos *chaos.Injector
 
+	// gate, when non-nil, is invoked before the SM's first shared
+	// memory-system access of each Tick (see SetGate). gateTick latches the
+	// cycle the gate last fired so it runs at most once per Tick.
+	gate     func()
+	gateTick uint64
+
 	// Telemetry (attached with SetInstruments; nil = disabled, and the hot
 	// paths pay only the nil check).
 	mx           *metrics.Instruments

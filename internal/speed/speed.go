@@ -1,0 +1,111 @@
+// Package speed defines the wir-speed/1 throughput report: how fast the
+// harness sweeps simulate as a function of the worker-pool width. wirbench
+// -speed writes it (same selected experiments, fresh harness per pass, so the
+// memoization cache never lets the second pass cheat) and wirdrift -speed
+// compares two reports to gate CI against throughput regressions.
+package speed
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema identifies the report format; bump on incompatible change.
+const Schema = "wir-speed/1"
+
+// Experiment is one timed harness step within a pass.
+type Experiment struct {
+	Name      string  `json:"name"`
+	WallMS    float64 `json:"wall_ms"`
+	SimCycles uint64  `json:"sim_cycles"` // per-SM cycles simulated by this step's fresh runs
+}
+
+// Run is one full pass over the selected experiments at a fixed worker count.
+type Run struct {
+	Workers        int          `json:"workers"`
+	Experiments    []Experiment `json:"experiments"`
+	TotalWallMS    float64      `json:"total_wall_ms"`
+	TotalSimCycles uint64       `json:"total_sim_cycles"`
+	// CyclesPerSec is the headline throughput: simulated cycles per wall
+	// second across the whole pass.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// Report is the wir-speed/1 document.
+type Report struct {
+	Schema string `json:"schema"`
+	SMs    int    `json:"sms"`
+	// CPUs records runtime.NumCPU() on the measuring machine: a speedup is
+	// only meaningful relative to the cores that were available.
+	CPUs int   `json:"cpus"`
+	Runs []Run `json:"runs"`
+	// Speedup is the last run's throughput over the first run's (the sweep is
+	// ordered serial-first), 0 when either pass recorded no cycles.
+	Speedup float64 `json:"speedup"`
+}
+
+// Finalize computes the derived fields of every run and the headline speedup.
+func (r *Report) Finalize() {
+	r.Schema = Schema
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		run.TotalWallMS, run.TotalSimCycles = 0, 0
+		for _, e := range run.Experiments {
+			run.TotalWallMS += e.WallMS
+			run.TotalSimCycles += e.SimCycles
+		}
+		if run.TotalWallMS > 0 {
+			run.CyclesPerSec = float64(run.TotalSimCycles) / (run.TotalWallMS / 1000)
+		}
+	}
+	r.Speedup = 0
+	if len(r.Runs) >= 2 && r.Runs[0].CyclesPerSec > 0 {
+		r.Speedup = r.Runs[len(r.Runs)-1].CyclesPerSec / r.Runs[0].CyclesPerSec
+	}
+}
+
+// Write renders the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read parses and validates a wir-speed/1 report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("speed: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("speed: unsupported schema %q (want %q)", r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Compare checks cur against base: for every worker count present in both,
+// cur's throughput must not fall more than maxDrop (e.g. 0.25 = 25%) below
+// base's. Runs present on only one side are skipped — machines differ in core
+// count, and a gate should compare like with like.
+func Compare(base, cur *Report, maxDrop float64) []string {
+	byWorkers := map[int]*Run{}
+	for i := range base.Runs {
+		byWorkers[base.Runs[i].Workers] = &base.Runs[i]
+	}
+	var violations []string
+	for i := range cur.Runs {
+		c := &cur.Runs[i]
+		b := byWorkers[c.Workers]
+		if b == nil || b.CyclesPerSec <= 0 {
+			continue
+		}
+		drop := 1 - c.CyclesPerSec/b.CyclesPerSec
+		if drop > maxDrop {
+			violations = append(violations, fmt.Sprintf(
+				"workers=%d: throughput dropped %.1f%% (%.0f -> %.0f cycles/sec, tolerance %.0f%%)",
+				c.Workers, 100*drop, b.CyclesPerSec, c.CyclesPerSec, 100*maxDrop))
+		}
+	}
+	return violations
+}

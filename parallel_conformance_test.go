@@ -1,0 +1,234 @@
+// Determinism conformance suite: parallel execution — goroutine-per-SM
+// stepping inside one run, and the concurrent harness sweep across runs —
+// must be bit-identical to serial execution. Every comparison below is exact:
+// wir-stats/1 counters compare with struct equality, wir-trace/1 streams
+// byte-for-byte as emitted JSONL, energy totals as float equality on every
+// component, and output images word-for-word.
+//
+// The full suite covers every benchmark of the paper's evaluation plus ≥50
+// fuzz seeds on Base and RLPV; testing.Short() trims both dimensions so the
+// CI race pass (`go test -race -short ./...`) still exercises each layer.
+package wir_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	wir "github.com/wirsim/wir"
+	"github.com/wirsim/wir/internal/bench"
+	"github.com/wirsim/wir/internal/fuzz"
+	"github.com/wirsim/wir/internal/harness"
+	"github.com/wirsim/wir/internal/trace"
+)
+
+// confRun executes one suite benchmark serially or in parallel and returns
+// every observable artifact the determinism contract covers.
+type confResult struct {
+	cycles uint64
+	stats  wir.Stats
+	energy wir.EnergyBreakdown
+	trace  []byte
+	output []uint32
+}
+
+func confRun(t *testing.T, abbr string, m wir.Model, parallel bool) confResult {
+	t.Helper()
+	cfg := wir.DefaultConfig(m)
+	cfg.NumSMs = 4 // >1 so the gate chain is exercised; small so the suite fits CI
+	g, err := wir.NewGPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetParallel(parallel)
+	var buf bytes.Buffer
+	jw := trace.NewJSONWriter(&buf)
+	jw.FilterKinds(trace.KindRetire, trace.KindBypass, trace.KindBarrier)
+	g.SetTracer(jw)
+	bm, err := bench.ByAbbr(abbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := bm.Setup(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := w.Run(g)
+	if err != nil {
+		t.Fatalf("%s/%v parallel=%v: %v", abbr, m, parallel, err)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	return confResult{
+		cycles: cycles,
+		stats:  st,
+		energy: wir.Energy(cfg, &st),
+		trace:  buf.Bytes(),
+		output: g.Mem().Snapshot(w.OutBase, w.OutWords),
+	}
+}
+
+func compareConf(t *testing.T, name string, serial, parallel confResult) {
+	t.Helper()
+	if serial.cycles != parallel.cycles {
+		t.Errorf("%s: cycles diverge: serial %d, parallel %d", name, serial.cycles, parallel.cycles)
+	}
+	if serial.stats != parallel.stats {
+		t.Errorf("%s: wir-stats/1 counters diverge:\nserial:   %+v\nparallel: %+v", name, serial.stats, parallel.stats)
+	}
+	if serial.energy != parallel.energy {
+		t.Errorf("%s: energy totals diverge:\nserial:   %+v\nparallel: %+v", name, serial.energy, parallel.energy)
+	}
+	if !bytes.Equal(serial.trace, parallel.trace) {
+		t.Errorf("%s: wir-trace/1 streams are not byte-identical (%d vs %d bytes)",
+			name, len(serial.trace), len(parallel.trace))
+	}
+	if len(serial.output) != len(parallel.output) {
+		t.Fatalf("%s: output lengths diverge", name)
+	}
+	for i := range serial.output {
+		if serial.output[i] != parallel.output[i] {
+			t.Errorf("%s: out[%d] = %#x serial, %#x parallel", name, i, serial.output[i], parallel.output[i])
+			break
+		}
+	}
+}
+
+// conformanceModels is both machine models the contract covers.
+var conformanceModels = []wir.Model{wir.Base, wir.RLPV}
+
+// TestParallelConformanceSuite holds goroutine-per-SM stepping bit-identical
+// to serial stepping on the benchmark suite.
+func TestParallelConformanceSuite(t *testing.T) {
+	benches := bench.All()
+	if testing.Short() {
+		// Trimmed -race subset: a scratchpad+barrier benchmark, a
+		// texture/const benchmark, and a divergence-heavy one.
+		var trimmed []*bench.Benchmark
+		for _, b := range benches {
+			switch b.Abbr {
+			case "KM", "HS", "BP":
+				trimmed = append(trimmed, b)
+			}
+		}
+		benches = trimmed
+	}
+	for _, b := range benches {
+		for _, m := range conformanceModels {
+			b, m := b, m
+			t.Run(fmt.Sprintf("%s/%v", b.Abbr, m), func(t *testing.T) {
+				t.Parallel()
+				serial := confRun(t, b.Abbr, m, false)
+				par := confRun(t, b.Abbr, m, true)
+				compareConf(t, b.Abbr, serial, par)
+			})
+		}
+	}
+}
+
+// TestParallelConformanceFuzz replays ≥50 generated programs through both
+// stepping modes on both models and demands identical artifacts, including
+// the recorded retire streams.
+func TestParallelConformanceFuzz(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		for _, m := range conformanceModels {
+			seed, m := seed, m
+			t.Run(fmt.Sprintf("seed%d/%v", seed, m), func(t *testing.T) {
+				t.Parallel()
+				o := fuzz.DefaultOptions(seed)
+				o.WithShared = seed%2 == 1
+				serial := fuzzConfRun(t, o, m, false)
+				par := fuzzConfRun(t, o, m, true)
+				if serial.res.Cycles != par.res.Cycles {
+					t.Errorf("cycles diverge: serial %d, parallel %d", serial.res.Cycles, par.res.Cycles)
+				}
+				if serial.res.Stats != par.res.Stats {
+					t.Errorf("stats diverge:\nserial:   %+v\nparallel: %+v", serial.res.Stats, par.res.Stats)
+				}
+				if !bytes.Equal(serial.trace, par.trace) {
+					t.Errorf("wir-trace/1 streams are not byte-identical (%d vs %d bytes)",
+						len(serial.trace), len(par.trace))
+				}
+				if len(serial.res.Output) != len(par.res.Output) {
+					t.Fatal("output lengths diverge")
+				}
+				for i := range serial.res.Output {
+					if serial.res.Output[i] != par.res.Output[i] {
+						t.Errorf("out[%d] = %#x serial, %#x parallel", i, serial.res.Output[i], par.res.Output[i])
+						break
+					}
+				}
+				if err := fuzz.Check(serial.res, nil, nil); err != nil {
+					t.Errorf("serial run not clean: %v", err)
+				}
+				if err := fuzz.Check(par.res, nil, nil); err != nil {
+					t.Errorf("parallel run not clean: %v", err)
+				}
+			})
+		}
+	}
+}
+
+type fuzzConf struct {
+	res   *fuzz.Result
+	trace []byte
+}
+
+func fuzzConfRun(t *testing.T, o fuzz.Options, m wir.Model, parallel bool) fuzzConf {
+	t.Helper()
+	var buf bytes.Buffer
+	jw := trace.NewJSONWriter(&buf)
+	jw.FilterKinds(trace.KindRetire, trace.KindBypass, trace.KindBarrier)
+	res, err := fuzz.Execute(o, fuzz.RunConfig{
+		Model: m, NumSMs: 4, Oracle: true, Parallel: parallel, Trace: jw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunErr != nil {
+		t.Fatalf("seed %d parallel=%v: %v", o.Seed, parallel, res.RunErr)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fuzzConf{res: res, trace: buf.Bytes()}
+}
+
+// TestHarnessParallelismDeterminism holds the sweep-level worker pool to the
+// same contract: a harness running on 8 workers produces the same results —
+// and the same rendered report — as a serial one.
+func TestHarnessParallelismDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered unabridged in the non-short pass")
+	}
+	render := func(workers int) (string, string) {
+		h := harness.New()
+		h.SMs = 2
+		h.SetParallelism(workers)
+		r, err := h.Fig17()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text bytes.Buffer
+		r.WriteText(&text)
+		var csv bytes.Buffer
+		if err := h.WriteRunsCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), csv.String()
+	}
+	serialText, serialCSV := render(1)
+	parText, parCSV := render(8)
+	if serialText != parText {
+		t.Errorf("Fig17 text diverges between -j 1 and -j 8:\nserial:\n%s\nparallel:\n%s", serialText, parText)
+	}
+	if serialCSV != parCSV {
+		t.Errorf("runs CSV diverges between -j 1 and -j 8")
+	}
+}

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	wirbench [-sms N] [-j N] [-parallel] [-v] [-exp LIST] [-json FILE]
-//	         [-csv FILE] [-speed FILE]
+//	         [-csv FILE] [-speed FILE] [-speed-history FILE]
+//	         [-hostprof FILE] [-hostprof-json FILE]
 //
 // LIST is a comma-separated subset of:
 // headline, fig2, fig12..fig22, table1, table2, table3,
@@ -13,7 +14,11 @@
 // -json writes the complete machine-readable report (running everything);
 // -csv dumps every raw simulation as one row.
 // -speed times the selected experiments at -j 1 and -j N on fresh harnesses
-// and writes a wir-speed/1 throughput report instead of figure text.
+// and writes a wir-speed/1 throughput report instead of figure text; each
+// pass carries a host profiler, so the report includes a per-phase breakdown
+// and skip-opportunity fraction. -speed-history appends the report to the
+// ratchet ledger; -hostprof / -hostprof-json write the merged host profile as
+// a pprof file / wir-hostprof/1 JSON (see docs/PERFORMANCE.md).
 package main
 
 import (
@@ -200,6 +205,9 @@ func main() {
 	jsonPath := flag.String("json", "", "additionally write the full report as JSON to this file (runs all experiments)")
 	csvPath := flag.String("csv", "", "additionally write every raw run as CSV to this file")
 	speedPath := flag.String("speed", "", "time the selected experiments at -j 1 and -j N on fresh harnesses; write a wir-speed/1 report to this file and skip figure output")
+	speedHistory := flag.String("speed-history", "", "with -speed: also append the report to this JSONL ledger (the ratchet baseline for wirdrift -speed -ratchet)")
+	hostprofPath := flag.String("hostprof", "", "with -speed: also write the merged host profile as a gzip'd pprof file (go tool pprof)")
+	hostprofJSON := flag.String("hostprof-json", "", "with -speed: also write the merged wir-hostprof/1 report as JSON")
 	flag.Parse()
 
 	newHarness := func(w int) *harness.Harness {
@@ -221,7 +229,8 @@ func main() {
 	sel := func(name string) bool { return all || want[name] }
 
 	if *speedPath != "" {
-		if err := runSpeed(*speedPath, *sms, *workers, newHarness, sel); err != nil {
+		o := speedOpts{path: *speedPath, history: *speedHistory, prof: *hostprofPath, profJSON: *hostprofJSON}
+		if err := runSpeed(o, *sms, *workers, newHarness, sel); err != nil {
 			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -4,12 +4,20 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"time"
 
 	"github.com/wirsim/wir/internal/harness"
+	"github.com/wirsim/wir/internal/hostprof"
 	"github.com/wirsim/wir/internal/speed"
 )
+
+// speedOpts carries the output destinations of a -speed run.
+type speedOpts struct {
+	path     string // wir-speed/1 report (required)
+	history  string // append-only BENCH_history.jsonl ledger ("" = off)
+	prof     string // gzip'd pprof host profile ("" = off)
+	profJSON string // wir-hostprof/1 JSON report ("" = off)
+}
 
 // runSpeed measures sweep throughput: every selected experiment runs twice —
 // once at -j 1, once at the requested width — each pass on a FRESH harness so
@@ -19,14 +27,20 @@ import (
 // recorded per experiment is wall time and the simulated cycles its runs
 // produced, which makes the report comparable across machines as
 // cycles-per-second.
-func runSpeed(path string, sms, workers int, newHarness func(int) *harness.Harness, sel func(string) bool) error {
+//
+// Every pass carries a hostprof collector, so each recorded run includes its
+// per-phase wall-time breakdown and skip-opportunity fraction; the collectors
+// merged across passes feed the optional pprof/JSON host-profile artifacts.
+func runSpeed(o speedOpts, sms, workers int, newHarness func(int) *harness.Harness, sel func(string) bool) error {
 	widths := []int{1, workers}
 	if workers <= 1 {
 		widths = []int{1, 1} // keep the two-run shape; speedup degenerates to ~1
 	}
-	rep := &speed.Report{SMs: sms, CPUs: runtime.NumCPU()}
+	rep := &speed.Report{SMs: sms}
+	merged := hostprof.NewCollector(0, 0)
 	for _, w := range widths {
 		h := newHarness(w)
+		h.HostProf = hostprof.NewCollector(0, 0)
 		run := speed.Run{Workers: w}
 		for _, s := range steps() {
 			if !sel(s.name) {
@@ -46,11 +60,15 @@ func runSpeed(path string, sms, workers int, newHarness func(int) *harness.Harne
 		if len(run.Experiments) == 0 {
 			return fmt.Errorf("no experiment selected for -speed")
 		}
+		run.Phases = phaseBreakdown(h.HostProf)
+		run.SkipOpportunity = h.HostProf.SkipOpportunity()
 		rep.Runs = append(rep.Runs, run)
+		merged.Merge(h.HostProf)
 		fmt.Fprintf(os.Stderr, "wirbench: speed pass -j %d done\n", w)
 	}
 	rep.Finalize()
-	f, err := os.Create(path)
+	rep.StampProvenance()
+	f, err := os.Create(o.path)
 	if err != nil {
 		return err
 	}
@@ -61,7 +79,66 @@ func runSpeed(path string, sms, workers int, newHarness func(int) *harness.Harne
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wirbench: wrote %s (%d cpus, speedup %.2fx at -j %d)\n",
-		path, rep.CPUs, rep.Speedup, widths[len(widths)-1])
+	fmt.Fprintf(os.Stderr, "wirbench: wrote %s (%d cpus, speedup %.2fx at -j %d, skip-opportunity %.1f%%)\n",
+		o.path, rep.CPUs, rep.Speedup, widths[len(widths)-1], 100*merged.SkipOpportunity())
+	if o.history != "" {
+		if err := speed.AppendHistory(o.history, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wirbench: appended run to %s\n", o.history)
+	}
+	if o.prof != "" {
+		pf, err := os.Create(o.prof)
+		if err != nil {
+			return err
+		}
+		if err := merged.WriteProfile(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wirbench: wrote host profile to %s (go tool pprof %s)\n", o.prof, o.prof)
+	}
+	if o.profJSON != "" {
+		jf, err := os.Create(o.profJSON)
+		if err != nil {
+			return err
+		}
+		if err := merged.Report().WriteJSON(jf); err != nil {
+			jf.Close()
+			return err
+		}
+		if err := jf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wirbench: wrote %s report to %s\n", hostprof.Schema, o.profJSON)
+	}
 	return nil
+}
+
+// phaseBreakdown flattens a pass's host profile into the wir-speed/1 phase
+// list: the driver phases (with their allocation deltas), then each SM phase
+// summed across SMs.
+func phaseBreakdown(c *hostprof.Collector) []speed.PhaseMS {
+	r := c.Report()
+	var out []speed.PhaseMS
+	for _, p := range r.Driver {
+		out = append(out, speed.PhaseMS{Name: p.Phase, WallMS: p.WallMS, AllocBytes: p.AllocBytes})
+	}
+	sums := map[string]float64{}
+	var order []string
+	for _, sr := range r.SMs {
+		for _, p := range sr.Phases {
+			if _, ok := sums[p.Phase]; !ok {
+				order = append(order, p.Phase)
+			}
+			sums[p.Phase] += p.WallMS
+		}
+	}
+	for _, name := range order {
+		out = append(out, speed.PhaseMS{Name: name, WallMS: sums[name]})
+	}
+	return out
 }

@@ -10,6 +10,17 @@
 //
 //	wirdrift -speed -max 0.25 BENCH_speed.json BENCH_speed_ci.json
 //
+// When either side was measured on a single CPU, multi-worker runs are
+// skipped: a 1-core "speedup" only measures goroutine overhead.
+//
+// With -speed -ratchet, the baseline argument is instead an append-only
+// BENCH_history.jsonl ledger (wirbench -speed-history): the gate compares the
+// current report against the best throughput ever recorded per worker count,
+// so the floor only moves up. -warn-only reports violations without failing
+// (the break-in mode while a fresh ledger accumulates a baseline window):
+//
+//	wirdrift -speed -ratchet -max 0.25 BENCH_history.jsonl BENCH_speed_ci.json
+//
 // Exit status: 0 within tolerance, 2 on usage or read errors, 3 on drift
 // (the shared "run judged bad" code — see docs/ROBUSTNESS.md).
 package main
@@ -28,19 +39,39 @@ func main() {
 	max := flag.Float64("max", 0.15, "maximum allowed relative drift (0.15 = 15%)")
 	keys := flag.String("keys", "", "comma-separated derived metrics to compare (default: ipc_per_sm,bypass_rate)")
 	speedMode := flag.Bool("speed", false, "compare wir-speed/1 throughput reports instead of wir-stats/1 metric reports")
+	ratchet := flag.Bool("ratchet", false, "with -speed: baseline is a BENCH_history.jsonl ledger; compare against the best recorded run per worker count")
+	warnOnly := flag.Bool("warn-only", false, "report violations without failing (exit 0)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: wirdrift [-speed] [-max FRAC] [-keys a,b] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: wirdrift [-speed [-ratchet] [-warn-only]] [-max FRAC] [-keys a,b] baseline.json current.json")
+		os.Exit(2)
+	}
+	if *ratchet && !*speedMode {
+		fmt.Fprintln(os.Stderr, "wirdrift: -ratchet requires -speed")
 		os.Exit(2)
 	}
 	if *speedMode {
-		violations := speed.Compare(readSpeed(flag.Arg(0)), readSpeed(flag.Arg(1)), *max)
+		var base *speed.Report
+		if *ratchet {
+			base = readBest(flag.Arg(0))
+			if base == nil {
+				fmt.Printf("wirdrift: %s is empty — no ratchet baseline yet, passing\n", flag.Arg(0))
+				return
+			}
+		} else {
+			base = readSpeed(flag.Arg(0))
+		}
+		violations := speed.Compare(base, readSpeed(flag.Arg(1)), *max)
 		if len(violations) == 0 {
 			fmt.Printf("wirdrift: %s vs %s throughput within %.0f%% tolerance\n", flag.Arg(0), flag.Arg(1), 100**max)
 			return
 		}
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "wirdrift:", v)
+		}
+		if *warnOnly {
+			fmt.Fprintln(os.Stderr, "wirdrift: -warn-only set, not failing")
+			return
 		}
 		os.Exit(3)
 	}
@@ -59,7 +90,32 @@ func main() {
 	for _, v := range violations {
 		fmt.Fprintln(os.Stderr, "wirdrift:", v)
 	}
+	if *warnOnly {
+		fmt.Fprintln(os.Stderr, "wirdrift: -warn-only set, not failing")
+		return
+	}
 	os.Exit(3)
+}
+
+// readBest loads a BENCH_history.jsonl ledger and synthesizes the ratchet
+// baseline (best run per worker count). Returns nil for an empty or missing
+// ledger — the first run of a fresh ledger has nothing to ratchet against.
+func readBest(path string) *speed.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		fmt.Fprintln(os.Stderr, "wirdrift:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	history, err := speed.ReadHistory(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wirdrift: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return speed.Best(history)
 }
 
 func readSpeed(path string) *speed.Report {

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	wirsim [-sms N] [-model RLPV] [-parallel] [-list] [-interval N] [-metrics FILE]
-//	       [-stats text|json] [-trace-json FILE] [-serve :addr]
-//	       [-pprof FILE] [-perfetto FILE] [-hotspots N]
+//	       [-stats text|json] [-trace-json FILE] [-serve :addr] [-profile-contention]
+//	       [-pprof FILE] [-hostprof FILE] [-hostprof-json FILE]
+//	       [-perfetto FILE] [-hotspots N]
 //	       [-oracle] [-watchdog N] [-audit] [-chaos seed,rate,kinds] <benchmark-abbr>
 //
 // Exit status: 0 on success, 1 on runtime errors (I/O, setup), 2 on usage
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/wirsim/wir/internal/attr"
@@ -28,6 +30,7 @@ import (
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/hostprof"
 	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/oracle"
@@ -56,6 +59,9 @@ func main() {
 	statsMode := flag.String("stats", "text", "final statistics format: text or json")
 	serveAddr := flag.String("serve", "", "serve live /metrics (Prometheus text) and /debug/pprof on this address while running")
 	pprofOut := flag.String("pprof", "", "write a per-PC attribution profile (gzip'd pprof) of simulated cycles/energy to this file")
+	hostprofOut := flag.String("hostprof", "", "write a host profile (gzip'd pprof) of real simulator wall time per simulation phase to this file")
+	hostprofJSON := flag.String("hostprof-json", "", "write the wir-hostprof/1 report (phase timings, allocation, quiescence/skip-opportunity) to this file")
+	profContention := flag.Bool("profile-contention", false, "with -serve: enable runtime block and mutex profiling so /debug/pprof/{block,mutex} capture -parallel gate contention")
 	perfettoOut := flag.String("perfetto", "", "write the pipeline trace as Perfetto/Chrome trace-event JSON to this file")
 	hotspots := flag.Int("hotspots", 0, "print the top-N per-PC hotspots after the run")
 	useOracle := flag.Bool("oracle", false, "run the golden-model oracle in lockstep and fail on any divergence")
@@ -126,9 +132,28 @@ func main() {
 		sampler.Registry = reg
 		g.SetSampler(sampler)
 	}
+	if *profContention {
+		// Rate 1 records every blocking event; the simulator's contention
+		// points (the parallel gate chain, hook buffering) are few enough
+		// that full sampling stays affordable and the profiles stay exact.
+		runtime.SetBlockProfileRate(1)
+		runtime.SetMutexProfileFraction(1)
+		if *serveAddr == "" {
+			fmt.Fprintln(os.Stderr, "wirsim: -profile-contention without -serve: profiles are collected but unreachable; add -serve to scrape /debug/pprof/{block,mutex}")
+		}
+	}
 	if *serveAddr != "" {
 		metrics.Serve(*serveAddr, reg)
 		fmt.Fprintf(os.Stderr, "wirsim: serving /metrics and /debug/pprof on %s\n", *serveAddr)
+	}
+
+	// The host profiler watches the simulator itself (real wall time per
+	// simulation phase, allocation, quiescence). Opt-in like the rest of the
+	// telemetry; with neither flag set the SMs keep the unprofiled Tick.
+	var hostCollector *hostprof.Collector
+	if *hostprofOut != "" || *hostprofJSON != "" {
+		hostCollector = g.NewHostProf()
+		g.SetHostProf(hostCollector)
 	}
 
 	// Per-PC attribution feeds the pprof profile, the hotspot table, and the
@@ -253,6 +278,23 @@ func main() {
 		fatal(f.Close())
 		fmt.Fprintf(os.Stderr, "wirsim: wrote pprof profile to %s (view: go tool pprof -http=: %s)\n",
 			*pprofOut, *pprofOut)
+	}
+	if *hostprofOut != "" {
+		f, err := os.Create(*hostprofOut)
+		fatal(err)
+		fatal(hostCollector.WriteProfile(f))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "wirsim: wrote host profile to %s (view: go tool pprof -http=: %s)\n",
+			*hostprofOut, *hostprofOut)
+	}
+	if *hostprofJSON != "" {
+		rep := hostCollector.Report()
+		f, err := os.Create(*hostprofJSON)
+		fatal(err)
+		fatal(rep.WriteJSON(f))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "wirsim: wrote %s report to %s (skip-opportunity %.1f%%)\n",
+			hostprof.Schema, *hostprofJSON, 100*rep.Quiescence.SkipOpportunity)
 	}
 	if *perfettoOut != "" {
 		f, err := os.Create(*perfettoOut)

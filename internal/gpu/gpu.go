@@ -9,6 +9,7 @@ import (
 	"github.com/wirsim/wir/internal/attr"
 	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/hostprof"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/kasm"
 	"github.com/wirsim/wir/internal/mem"
@@ -64,6 +65,7 @@ type GPU struct {
 	ins     *metrics.Instruments
 	sampler *metrics.Sampler
 	attr    *attr.Collector
+	hp      *hostprof.Collector
 
 	launchHook  func(l *Launch, infos []sm.BlockInfo)
 	chaos       *chaos.Injector
@@ -180,6 +182,33 @@ func (g *GPU) SetAttribution(c *attr.Collector) {
 
 // Attribution returns the attached collector, or nil.
 func (g *GPU) Attribution() *attr.Collector { return g.attr }
+
+// NewHostProf builds a host-profile collector sized for this GPU (one SMProf
+// per SM, one slot per warp). Attach it with SetHostProf.
+func (g *GPU) NewHostProf() *hostprof.Collector {
+	return hostprof.NewCollector(g.cfg.NumSMs, g.cfg.WarpsPerSM)
+}
+
+// SetHostProf attaches (or detaches, with nil) the host-side performance
+// profiler: the Run loop records driver-phase wall time and allocation
+// deltas, and every SM switches to the phase-timed Tick variant. The
+// profiler only reads clocks and counters — simulation outputs are
+// bit-identical with or without it, including under parallel stepping
+// (per-SM accumulators are owned by their SM's goroutine). The collector
+// must have at least NumSMs per-SM slots; use NewHostProf.
+func (g *GPU) SetHostProf(c *hostprof.Collector) {
+	g.hp = c
+	for i, s := range g.sms {
+		if c != nil {
+			s.SetHostProf(c.SM(i))
+		} else {
+			s.SetHostProf(nil)
+		}
+	}
+}
+
+// HostProf returns the attached host-profile collector, or nil.
+func (g *GPU) HostProf() *hostprof.Collector { return g.hp }
 
 // SetSampler attaches an interval sampler; the Run loop feeds it at each
 // interval boundary. Nil detaches.
@@ -312,6 +341,13 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 	if runner != nil {
 		defer runner.stop()
 	}
+	// Host-profile driver laps: the setup above plus each dispatch sweep is
+	// charged to dispatch, the tick sweep to step, and everything else in the
+	// loop body (sampler, watchdog bookkeeping, end-of-launch work) to
+	// telemetry, so the three phases partition the run's wall time exactly.
+	if g.hp != nil {
+		g.hp.RunBegin()
+	}
 	for {
 		// Dispatch as many blocks as fit, round-robin over SMs.
 		for next < total {
@@ -329,6 +365,9 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 				break
 			}
 		}
+		if g.hp != nil {
+			g.hp.DriverLap(hostprof.PhaseDispatch)
+		}
 		idle := true
 		if runner != nil {
 			idle = runner.cycle()
@@ -339,6 +378,9 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 					idle = false
 				}
 			}
+		}
+		if g.hp != nil {
+			g.hp.DriverLap(hostprof.PhaseStep)
 		}
 		g.cycles++
 		if g.sampler.Due(g.cycles) {
@@ -357,6 +399,9 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 		if g.cycles > deadline {
 			return 0, g.watchdogError(l, next, total, g.cycles-lastProgress, watchdogSlack)
 		}
+		if g.hp != nil {
+			g.hp.DriverLap(hostprof.PhaseTelemetry)
+		}
 	}
 	// A finished launch is a device-wide synchronization point: memory
 	// written during it (or by the host before the next launch) must not be
@@ -368,6 +413,10 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 		if err := g.CheckInvariants(); err != nil {
 			return 0, &AuditError{Kernel: l.Kernel.Name, Launch: g.launches, Err: err}
 		}
+	}
+	if g.hp != nil {
+		g.hp.DriverLap(hostprof.PhaseTelemetry)
+		g.hp.RunEnd()
 	}
 	return g.cycles - start, nil
 }

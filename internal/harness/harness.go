@@ -17,6 +17,7 @@ import (
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/hostprof"
 	"github.com/wirsim/wir/internal/stats"
 )
 
@@ -42,6 +43,11 @@ type Harness struct {
 	// ParallelSM enables goroutine-per-SM stepping inside each simulation
 	// (bit-identical to serial; see gpu.SetParallel).
 	ParallelSM bool
+	// HostProf, when non-nil, aggregates a host-side performance profile
+	// across every fresh simulation: each run gets its own collector and is
+	// merged in under the harness lock, so the totals are deterministic even
+	// with a concurrent worker pool (sums commute).
+	HostProf *hostprof.Collector
 
 	mu      sync.Mutex
 	cache   map[string]*entry
@@ -133,6 +139,11 @@ func (h *Harness) simulate(key, abbr string, m config.Model, cfg config.Config) 
 		return nil, fmt.Errorf("%s: %w", key, err)
 	}
 	g.SetParallel(h.ParallelSM)
+	var hp *hostprof.Collector
+	if h.HostProf != nil {
+		hp = g.NewHostProf()
+		g.SetHostProf(hp)
+	}
 	w, err := bm.Setup(g)
 	if err != nil {
 		return nil, fmt.Errorf("%s setup: %w", key, err)
@@ -140,6 +151,11 @@ func (h *Harness) simulate(key, abbr string, m config.Model, cfg config.Config) 
 	cycles, err := w.Run(g)
 	if err != nil {
 		return nil, fmt.Errorf("%s run: %w", key, err)
+	}
+	if hp != nil {
+		h.mu.Lock()
+		h.HostProf.Merge(hp)
+		h.mu.Unlock()
 	}
 	st := g.Stats()
 	r := &Result{

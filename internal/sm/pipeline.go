@@ -3,6 +3,7 @@ package sm
 import (
 	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/core"
+	"github.com/wirsim/wir/internal/hostprof"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/reuse"
@@ -32,7 +33,13 @@ func (s *SM) advanceFlights(renameSlots, reuseSlots *int) {
 		case core.StageReuse:
 			if s.now >= fl.ReadyAt && *reuseSlots > 0 {
 				*reuseSlots--
-				s.reuseStage(fl)
+				if s.hp != nil {
+					t0 := s.hp.Open()
+					s.reuseStage(fl)
+					s.hp.Close(hostprof.PhaseSMReuse, t0)
+				} else {
+					s.reuseStage(fl)
+				}
 				if fl.Stage == core.StageWaiting {
 					// Parked in the pending queue; tracked there.
 					continue
@@ -260,8 +267,19 @@ func (s *SM) startMemAccess(fl *core.Flight) {
 }
 
 // injectMemLines feeds the instruction's coalesced lines into the memory
-// system, resuming across cycles when MSHRs fill up.
+// system, resuming across cycles when MSHRs fill up. The memory-system time
+// is charged to the mem phase when profiling.
 func (s *SM) injectMemLines(fl *core.Flight) {
+	if s.hp != nil {
+		t0 := s.hp.Open()
+		s.injectMemLinesWork(fl)
+		s.hp.Close(hostprof.PhaseSMMem, t0)
+		return
+	}
+	s.injectMemLinesWork(fl)
+}
+
+func (s *SM) injectMemLinesWork(fl *core.Flight) {
 	if fl.MemIdx < len(fl.MemLines) {
 		s.enterShared()
 	}
@@ -309,7 +327,13 @@ func (s *SM) retire(fl *core.Flight) {
 	s.eng.Retire(fl)
 	s.st.Retired++
 	if s.Retire != nil {
-		s.Retire(s.retireEvent(wc, fl))
+		if s.hp != nil {
+			t0 := s.hp.Open()
+			s.Retire(s.retireEvent(wc, fl))
+			s.hp.Close(hostprof.PhaseSMHooks, t0)
+		} else {
+			s.Retire(s.retireEvent(wc, fl))
+		}
 	}
 	s.emit(trace.KindRetire, fl)
 	if s.mx != nil {

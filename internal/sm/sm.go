@@ -15,6 +15,7 @@ import (
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/core"
 	"github.com/wirsim/wir/internal/energy"
+	"github.com/wirsim/wir/internal/hostprof"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/kasm"
 	"github.com/wirsim/wir/internal/mem"
@@ -102,6 +103,10 @@ type SM struct {
 	// the hot paths pay only the nil check).
 	attr     *attr.Collector
 	attrCost *energy.Coefficients
+
+	// Host-side phase profiler (attached with SetHostProf; nil = disabled,
+	// and Tick pays only the nil check).
+	hp *hostprof.SMProf
 }
 
 // SetInstruments attaches (or detaches, with nil) the telemetry instruments
@@ -168,11 +173,22 @@ func (s *SM) IssuedCycles() []uint64 {
 // claims.
 func (s *SM) RFConflictCounts() []uint64 { return s.rf.ConflictCounts() }
 
-// emit sends a pipeline event to the tracer if one is attached.
+// emit sends a pipeline event to the tracer if one is attached, charging the
+// construction and delivery to the hooks phase when profiling.
 func (s *SM) emit(k trace.Kind, fl *core.Flight) {
 	if s.Trace == nil {
 		return
 	}
+	if s.hp != nil {
+		t0 := s.hp.Open()
+		s.emitEvent(k, fl)
+		s.hp.Close(hostprof.PhaseSMHooks, t0)
+		return
+	}
+	s.emitEvent(k, fl)
+}
+
+func (s *SM) emitEvent(k trace.Kind, fl *core.Flight) {
 	wc := s.warps[fl.Warp]
 	info := &s.blocks[wc.block].info
 	blockLin := (info.BlockZ*info.GridY+info.BlockY)*info.GridX + info.BlockX
@@ -379,7 +395,13 @@ func (s *SM) completeBlockIfDone(slot int) {
 		}
 	}
 	if s.BlockDone != nil {
-		s.BlockDone(&b.info, b.shared)
+		if s.hp != nil {
+			t0 := s.hp.Open()
+			s.BlockDone(&b.info, b.shared)
+			s.hp.Close(hostprof.PhaseSMHooks, t0)
+		} else {
+			s.BlockDone(&b.info, b.shared)
+		}
 	}
 	s.eng.BlockComplete(slot, b.warps)
 	for _, w := range b.warps {
@@ -392,6 +414,10 @@ func (s *SM) completeBlockIfDone(slot int) {
 
 // Tick advances the SM by one cycle.
 func (s *SM) Tick() {
+	if s.hp != nil {
+		s.tickProfiled()
+		return
+	}
 	s.now++
 	s.rf.BeginCycle()
 	s.eng.BeginCycle()

@@ -6,9 +6,14 @@
 package speed
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
 )
 
 // Schema identifies the report format; bump on incompatible change.
@@ -21,6 +26,14 @@ type Experiment struct {
 	SimCycles uint64  `json:"sim_cycles"` // per-SM cycles simulated by this step's fresh runs
 }
 
+// PhaseMS is one simulation phase's share of a pass, from the hostprof
+// collector attached to the pass's runs.
+type PhaseMS struct {
+	Name       string  `json:"name"`
+	WallMS     float64 `json:"wall_ms"`
+	AllocBytes uint64  `json:"alloc_bytes,omitempty"`
+}
+
 // Run is one full pass over the selected experiments at a fixed worker count.
 type Run struct {
 	Workers        int          `json:"workers"`
@@ -30,6 +43,12 @@ type Run struct {
 	// CyclesPerSec is the headline throughput: simulated cycles per wall
 	// second across the whole pass.
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Phases, when hostprof was attached, breaks the pass down per
+	// simulation phase (driver phases, then per-SM phases summed over SMs).
+	Phases []PhaseMS `json:"phases,omitempty"`
+	// SkipOpportunity, when hostprof was attached, is the fraction of
+	// (SM, cycle) ticks that did no work during this pass.
+	SkipOpportunity float64 `json:"skip_opportunity,omitempty"`
 }
 
 // Report is the wir-speed/1 document.
@@ -43,6 +62,28 @@ type Report struct {
 	// Speedup is the last run's throughput over the first run's (the sweep is
 	// ordered serial-first), 0 when either pass recorded no cycles.
 	Speedup float64 `json:"speedup"`
+
+	// Provenance of the measuring process (StampProvenance). Zero values in
+	// committed pre-provenance reports read as "unknown".
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
+	GoVersion  string  `json:"go_version,omitempty"`
+	GCPauseMS  float64 `json:"gc_pause_ms,omitempty"` // cumulative GC stop-the-world pause
+	NumGC      uint32  `json:"num_gc,omitempty"`
+	UnixMS     int64   `json:"unix_ms,omitempty"` // when the report was recorded
+}
+
+// StampProvenance records the measuring process's runtime provenance: core
+// count, GOMAXPROCS, Go version, cumulative GC pause time, and a timestamp.
+// Call it once, after the timed passes, so the GC totals cover them.
+func (r *Report) StampProvenance() {
+	r.CPUs = runtime.NumCPU()
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.GoVersion = runtime.Version()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.GCPauseMS = float64(ms.PauseTotalNs) / 1e6
+	r.NumGC = ms.NumGC
+	r.UnixMS = time.Now().UnixMilli()
 }
 
 // Finalize computes the derived fields of every run and the headline speedup.
@@ -87,15 +128,22 @@ func Read(rd io.Reader) (*Report, error) {
 // Compare checks cur against base: for every worker count present in both,
 // cur's throughput must not fall more than maxDrop (e.g. 0.25 = 25%) below
 // base's. Runs present on only one side are skipped — machines differ in core
-// count, and a gate should compare like with like.
+// count, and a gate should compare like with like. Multi-worker runs are also
+// skipped when either side measured on a single CPU: with one core, the
+// worker pool only adds scheduling overhead, so its "speedup" (0.97x in the
+// committed 1-CPU baseline) says nothing about a real regression.
 func Compare(base, cur *Report, maxDrop float64) []string {
 	byWorkers := map[int]*Run{}
 	for i := range base.Runs {
 		byWorkers[base.Runs[i].Workers] = &base.Runs[i]
 	}
+	singleCPU := base.CPUs == 1 || cur.CPUs == 1
 	var violations []string
 	for i := range cur.Runs {
 		c := &cur.Runs[i]
+		if singleCPU && c.Workers > 1 {
+			continue
+		}
 		b := byWorkers[c.Workers]
 		if b == nil || b.CyclesPerSec <= 0 {
 			continue
@@ -108,4 +156,84 @@ func Compare(base, cur *Report, maxDrop float64) []string {
 		}
 	}
 	return violations
+}
+
+// --- the speed ledger: an append-only history of recorded runs ---
+
+// AppendHistory appends r to the JSONL ledger at path (one compact wir-speed/1
+// document per line), creating the file if needed.
+func AppendHistory(path string, r *Report) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("speed: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("speed: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("speed: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadHistory parses a JSONL ledger. Blank lines are skipped; a malformed or
+// wrong-schema line is an error (the ledger is append-only, so corruption
+// means something went wrong that a gate should not paper over).
+func ReadHistory(rd io.Reader) ([]*Report, error) {
+	var out []*Report
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var r Report
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, fmt.Errorf("speed: history line %d: %w", line, err)
+		}
+		if r.Schema != Schema {
+			return nil, fmt.Errorf("speed: history line %d: unsupported schema %q (want %q)", line, r.Schema, Schema)
+		}
+		out = append(out, &r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("speed: %w", err)
+	}
+	return out, nil
+}
+
+// Best synthesizes the ratchet baseline from a history: for every worker
+// count ever recorded, the highest cycles-per-second run. CPUs is the maximum
+// seen, so Compare's single-CPU skip keys off the current report (a 1-CPU
+// machine never has its multi-worker runs judged against a many-core best).
+// Returns nil for an empty history.
+func Best(history []*Report) *Report {
+	if len(history) == 0 {
+		return nil
+	}
+	best := map[int]Run{}
+	out := &Report{Schema: Schema}
+	for _, r := range history {
+		if r.CPUs > out.CPUs {
+			out.CPUs = r.CPUs
+		}
+		if r.SMs > out.SMs {
+			out.SMs = r.SMs
+		}
+		for _, run := range r.Runs {
+			if b, ok := best[run.Workers]; !ok || run.CyclesPerSec > b.CyclesPerSec {
+				best[run.Workers] = run
+			}
+		}
+	}
+	for _, run := range best {
+		out.Runs = append(out.Runs, run)
+	}
+	sort.Slice(out.Runs, func(i, j int) bool { return out.Runs[i].Workers < out.Runs[j].Workers })
+	return out
 }

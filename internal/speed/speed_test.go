@@ -1,0 +1,156 @@
+package speed
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkReport builds a two-pass report with the given provenance CPU count and
+// per-worker throughputs.
+func mkReport(cpus int, cps map[int]float64) *Report {
+	r := &Report{Schema: Schema, SMs: 4, CPUs: cpus}
+	workers := make([]int, 0, len(cps))
+	for w := range cps {
+		workers = append(workers, w)
+	}
+	for i := 0; i < len(workers); i++ { // deterministic order: 1 first
+		for j := i + 1; j < len(workers); j++ {
+			if workers[j] < workers[i] {
+				workers[i], workers[j] = workers[j], workers[i]
+			}
+		}
+	}
+	for _, w := range workers {
+		r.Runs = append(r.Runs, Run{Workers: w, CyclesPerSec: cps[w]})
+	}
+	return r
+}
+
+func TestCompareSingleCPUSkipsMultiWorker(t *testing.T) {
+	base := mkReport(8, map[int]float64{1: 1000, 8: 4000})
+	cur := mkReport(1, map[int]float64{1: 900, 8: 1000}) // -75% at workers=8
+	v := Compare(base, cur, 0.25)
+	if len(v) != 0 {
+		t.Fatalf("multi-worker run judged on a 1-CPU machine: %v", v)
+	}
+	// The serial run is still gated even on one CPU.
+	cur = mkReport(1, map[int]float64{1: 100, 8: 1000})
+	v = Compare(base, cur, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "workers=1") {
+		t.Fatalf("serial regression not caught on 1-CPU machine: %v", v)
+	}
+	// A single-CPU BASE also skips multi-worker comparison.
+	base1 := mkReport(1, map[int]float64{1: 1000, 8: 950})
+	cur8 := mkReport(8, map[int]float64{1: 1000, 8: 100})
+	if v := Compare(base1, cur8, 0.25); len(v) != 0 {
+		t.Fatalf("multi-worker run judged against a 1-CPU baseline: %v", v)
+	}
+}
+
+func TestCompareMultiCPUStillGates(t *testing.T) {
+	base := mkReport(8, map[int]float64{1: 1000, 8: 4000})
+	cur := mkReport(8, map[int]float64{1: 990, 8: 2000})
+	v := Compare(base, cur, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "workers=8") {
+		t.Fatalf("want exactly the workers=8 violation, got %v", v)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	a := mkReport(4, map[int]float64{1: 1000, 4: 3000})
+	a.Runs[0].Phases = []PhaseMS{{Name: "step", WallMS: 12.5, AllocBytes: 4096}}
+	a.Runs[0].SkipOpportunity = 0.25
+	a.StampProvenance()
+	b := mkReport(4, map[int]float64{1: 1100, 4: 2500})
+	if err := AppendHistory(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, b); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hist, err := ReadHistory(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history length = %d, want 2", len(hist))
+	}
+	got := hist[0]
+	if got.Runs[0].CyclesPerSec != 1000 || got.Runs[0].SkipOpportunity != 0.25 {
+		t.Fatalf("first run did not round-trip: %+v", got.Runs[0])
+	}
+	if len(got.Runs[0].Phases) != 1 || got.Runs[0].Phases[0].AllocBytes != 4096 {
+		t.Fatalf("phase breakdown did not round-trip: %+v", got.Runs[0].Phases)
+	}
+	if got.GoVersion == "" || got.GOMAXPROCS < 1 || got.UnixMS == 0 {
+		t.Fatalf("provenance did not round-trip: %+v", got)
+	}
+}
+
+func TestReadHistoryRejectsCorruption(t *testing.T) {
+	if _, err := ReadHistory(strings.NewReader(`{"schema":"wir-speed/1"}` + "\n{broken\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ReadHistory(strings.NewReader(`{"schema":"wir-stats/1"}` + "\n")); err == nil {
+		t.Fatal("wrong-schema line accepted")
+	}
+	hist, err := ReadHistory(strings.NewReader("\n\n"))
+	if err != nil || len(hist) != 0 {
+		t.Fatalf("blank lines should be skipped: %v %v", hist, err)
+	}
+}
+
+func TestBest(t *testing.T) {
+	if Best(nil) != nil {
+		t.Fatal("Best(nil) must be nil so a fresh ledger passes the ratchet")
+	}
+	hist := []*Report{
+		mkReport(1, map[int]float64{1: 900}),
+		mkReport(8, map[int]float64{1: 1200, 8: 4000}),
+		mkReport(8, map[int]float64{1: 1000, 8: 5000}),
+	}
+	b := Best(hist)
+	if b.CPUs != 8 {
+		t.Fatalf("Best CPUs = %d, want max seen (8)", b.CPUs)
+	}
+	if len(b.Runs) != 2 || b.Runs[0].Workers != 1 || b.Runs[1].Workers != 8 {
+		t.Fatalf("Best runs wrong shape: %+v", b.Runs)
+	}
+	if b.Runs[0].CyclesPerSec != 1200 || b.Runs[1].CyclesPerSec != 5000 {
+		t.Fatalf("Best did not pick the per-worker maxima: %+v", b.Runs)
+	}
+}
+
+func TestFinalizeAndWrite(t *testing.T) {
+	r := &Report{SMs: 2, CPUs: 4, Runs: []Run{
+		{Workers: 1, Experiments: []Experiment{{Name: "a", WallMS: 100, SimCycles: 1000}}},
+		{Workers: 4, Experiments: []Experiment{{Name: "a", WallMS: 50, SimCycles: 1000}}},
+	}}
+	r.Finalize()
+	if r.Runs[0].CyclesPerSec != 10000 || r.Runs[1].CyclesPerSec != 20000 {
+		t.Fatalf("throughput wrong: %v %v", r.Runs[0].CyclesPerSec, r.Runs[1].CyclesPerSec)
+	}
+	if r.Speedup != 2 {
+		t.Fatalf("speedup = %v, want 2", r.Speedup)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Speedup != 2 || back.SMs != 2 {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+}

@@ -4,7 +4,7 @@
 //
 //	wirbench [-sms N] [-j N] [-parallel] [-v] [-exp LIST] [-json FILE]
 //	         [-csv FILE] [-speed FILE] [-speed-history FILE]
-//	         [-hostprof FILE] [-hostprof-json FILE]
+//	         [-hostprof FILE] [-hostprof-json FILE] [-reuseprof-json FILE]
 //
 // LIST is a comma-separated subset of:
 // headline, fig2, fig12..fig22, table1, table2, table3,
@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"github.com/wirsim/wir/internal/harness"
+	"github.com/wirsim/wir/internal/reuseprof"
 )
 
 // step is one selectable experiment.
@@ -208,6 +209,7 @@ func main() {
 	speedHistory := flag.String("speed-history", "", "with -speed: also append the report to this JSONL ledger (the ratchet baseline for wirdrift -speed -ratchet)")
 	hostprofPath := flag.String("hostprof", "", "with -speed: also write the merged host profile as a gzip'd pprof file (go tool pprof)")
 	hostprofJSON := flag.String("hostprof-json", "", "with -speed: also write the merged wir-hostprof/1 report as JSON")
+	reuseJSON := flag.String("reuseprof-json", "", "write the merged wir-reuse/1 report (miss taxonomy, eviction ledger, shadow headroom) across every fresh simulation")
 	flag.Parse()
 
 	newHarness := func(w int) *harness.Harness {
@@ -229,7 +231,7 @@ func main() {
 	sel := func(name string) bool { return all || want[name] }
 
 	if *speedPath != "" {
-		o := speedOpts{path: *speedPath, history: *speedHistory, prof: *hostprofPath, profJSON: *hostprofJSON}
+		o := speedOpts{path: *speedPath, history: *speedHistory, prof: *hostprofPath, profJSON: *hostprofJSON, reuseJSON: *reuseJSON}
 		if err := runSpeed(o, *sms, *workers, newHarness, sel); err != nil {
 			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
 			os.Exit(1)
@@ -238,6 +240,9 @@ func main() {
 	}
 
 	h := newHarness(*workers)
+	if *reuseJSON != "" {
+		h.ReuseProf = reuseprof.NewCollector(0)
+	}
 	out := os.Stdout
 	ran := 0
 	for _, s := range steps() {
@@ -288,4 +293,29 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d raw runs to %s\n", h.RunCount(), *csvPath)
 	}
+	if *reuseJSON != "" {
+		if err := writeReuseJSON(*reuseJSON, h.ReuseProf); err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeReuseJSON writes the merged wir-reuse/1 report accumulated across every
+// fresh simulation of a harness (or, for -speed, of both passes).
+func writeReuseJSON(path string, c *reuseprof.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wirbench: wrote %s report to %s (achieved/achievable %.1f%%)\n",
+		reuseprof.Schema, path, 100*c.AchievedRatio())
+	return nil
 }

@@ -8,15 +8,17 @@ import (
 
 	"github.com/wirsim/wir/internal/harness"
 	"github.com/wirsim/wir/internal/hostprof"
+	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/speed"
 )
 
 // speedOpts carries the output destinations of a -speed run.
 type speedOpts struct {
-	path     string // wir-speed/1 report (required)
-	history  string // append-only BENCH_history.jsonl ledger ("" = off)
-	prof     string // gzip'd pprof host profile ("" = off)
-	profJSON string // wir-hostprof/1 JSON report ("" = off)
+	path      string // wir-speed/1 report (required)
+	history   string // append-only BENCH_history.jsonl ledger ("" = off)
+	prof      string // gzip'd pprof host profile ("" = off)
+	profJSON  string // wir-hostprof/1 JSON report ("" = off)
+	reuseJSON string // merged wir-reuse/1 report ("" = off)
 }
 
 // runSpeed measures sweep throughput: every selected experiment runs twice —
@@ -38,9 +40,13 @@ func runSpeed(o speedOpts, sms, workers int, newHarness func(int) *harness.Harne
 	}
 	rep := &speed.Report{SMs: sms}
 	merged := hostprof.NewCollector(0, 0)
+	mergedReuse := reuseprof.NewCollector(0)
 	for _, w := range widths {
 		h := newHarness(w)
 		h.HostProf = hostprof.NewCollector(0, 0)
+		if o.reuseJSON != "" {
+			h.ReuseProf = reuseprof.NewCollector(0)
+		}
 		run := speed.Run{Workers: w}
 		for _, s := range steps() {
 			if !sel(s.name) {
@@ -64,6 +70,7 @@ func runSpeed(o speedOpts, sms, workers int, newHarness func(int) *harness.Harne
 		run.SkipOpportunity = h.HostProf.SkipOpportunity()
 		rep.Runs = append(rep.Runs, run)
 		merged.Merge(h.HostProf)
+		mergedReuse.Merge(h.ReuseProf)
 		fmt.Fprintf(os.Stderr, "wirbench: speed pass -j %d done\n", w)
 	}
 	rep.Finalize()
@@ -114,6 +121,11 @@ func runSpeed(o speedOpts, sms, workers int, newHarness func(int) *harness.Harne
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wirbench: wrote %s report to %s\n", hostprof.Schema, o.profJSON)
+	}
+	if o.reuseJSON != "" {
+		if err := writeReuseJSON(o.reuseJSON, mergedReuse); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -21,6 +21,15 @@
 //
 //	wirdrift -speed -ratchet -max 0.25 BENCH_history.jsonl BENCH_speed_ci.json
 //
+// With -reuse-ratio, the gate instead compares the reuse_achieved_ratio
+// derived metric (achieved/achievable reuse, from the reuse profiler's shadow
+// tables — wirsim -stats json fills it). This check is always warn-only: the
+// ratio is a telemetry-quality signal, not a performance contract, so drift
+// is reported but never fails the build, and a baseline predating the metric
+// passes with a note:
+//
+//	wirdrift -reuse-ratio -max 0.10 BENCH_baseline.json BENCH_ci.json
+//
 // Exit status: 0 within tolerance, 2 on usage or read errors, 3 on drift
 // (the shared "run judged bad" code — see docs/ROBUSTNESS.md).
 package main
@@ -41,13 +50,18 @@ func main() {
 	speedMode := flag.Bool("speed", false, "compare wir-speed/1 throughput reports instead of wir-stats/1 metric reports")
 	ratchet := flag.Bool("ratchet", false, "with -speed: baseline is a BENCH_history.jsonl ledger; compare against the best recorded run per worker count")
 	warnOnly := flag.Bool("warn-only", false, "report violations without failing (exit 0)")
+	reuseRatio := flag.Bool("reuse-ratio", false, "compare the reuse_achieved_ratio derived metric instead of the headline pair (always warn-only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: wirdrift [-speed [-ratchet] [-warn-only]] [-max FRAC] [-keys a,b] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: wirdrift [-speed [-ratchet] [-warn-only] | -reuse-ratio] [-max FRAC] [-keys a,b] baseline.json current.json")
 		os.Exit(2)
 	}
 	if *ratchet && !*speedMode {
 		fmt.Fprintln(os.Stderr, "wirdrift: -ratchet requires -speed")
+		os.Exit(2)
+	}
+	if *reuseRatio && *speedMode {
+		fmt.Fprintln(os.Stderr, "wirdrift: -reuse-ratio compares wir-stats/1 reports; it cannot combine with -speed")
 		os.Exit(2)
 	}
 	if *speedMode {
@@ -78,6 +92,11 @@ func main() {
 	base := readReport(flag.Arg(0))
 	cur := readReport(flag.Arg(1))
 
+	if *reuseRatio {
+		checkReuseRatio(base, cur, *max)
+		return
+	}
+
 	var keyList []string
 	if *keys != "" {
 		keyList = strings.Split(*keys, ",")
@@ -95,6 +114,31 @@ func main() {
 		return
 	}
 	os.Exit(3)
+}
+
+// checkReuseRatio compares the achieved/achievable reuse ratio between two
+// wir-stats/1 reports. Always warn-only: a violation (or a baseline without
+// the metric) is reported but never changes the exit status — the ratio warns
+// that reuse headroom shifted, it does not gate the build.
+func checkReuseRatio(base, cur *metrics.Report, max float64) {
+	const key = "reuse_achieved_ratio"
+	if _, ok := base.Derived[key]; !ok {
+		fmt.Printf("wirdrift: baseline has no %s (predates the reuse profiler) — passing\n", key)
+		return
+	}
+	if _, ok := cur.Derived[key]; !ok {
+		fmt.Printf("wirdrift: current report has no %s (run wirsim -stats json with the reuse profiler) — passing\n", key)
+		return
+	}
+	violations := metrics.DriftViolations(base, cur, max, key)
+	if len(violations) == 0 {
+		fmt.Printf("wirdrift: %s vs %s %s within %.0f%% tolerance\n", flag.Arg(0), flag.Arg(1), key, 100*max)
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "wirdrift:", v)
+	}
+	fmt.Fprintln(os.Stderr, "wirdrift: reuse-ratio drift is warn-only, not failing")
 }
 
 // readBest loads a BENCH_history.jsonl ledger and synthesizes the ratchet

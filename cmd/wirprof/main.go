@@ -1,11 +1,15 @@
 // Command wirprof runs the repeated-computation profiler (paper Figure 2)
 // on one benchmark or the whole suite, or — with -hotspots — runs the full
-// machine model and reports the per-PC attribution hotspots.
+// machine model and reports the per-PC attribution hotspots. With
+// -lost-reuse, the reuse profiler's shadow tables annotate the hotspots and
+// the table is ranked by lost reuse: PCs where an infinite-capacity reuse
+// buffer would have bypassed many more instructions than the real one did.
 //
 // Usage:
 //
 //	wirprof [-sms N] [-json|-csv] [benchmark-abbr]
 //	wirprof -hotspots 10 [-model RLPV] [-json|-csv] KM
+//	wirprof -lost-reuse [-hotspots 10] [-model RLPV] KM
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"github.com/wirsim/wir/internal/gpu"
 	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/profile"
+	"github.com/wirsim/wir/internal/reuseprof"
 )
 
 // profRow is one Figure-2 profile line in machine-readable form.
@@ -37,6 +42,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON instead of the text table")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the text table")
 	hotspots := flag.Int("hotspots", 0, "run the machine model and report the top-N per-PC hotspots instead of the Figure-2 profile")
+	lostReuse := flag.Bool("lost-reuse", false, "rank hotspots by lost reuse (achievable minus achieved, from the reuse profiler's shadow tables); implies -hotspots 10 when unset")
 	modelName := flag.String("model", "RLPV", "machine model for -hotspots runs")
 	flag.Parse()
 
@@ -57,8 +63,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *lostReuse && *hotspots <= 0 {
+		*hotspots = 10
+	}
 	if *hotspots > 0 {
-		runHotspots(targets, *sms, *modelName, *hotspots, *jsonOut, *csvOut)
+		runHotspots(targets, *sms, *modelName, *hotspots, *lostReuse, *jsonOut, *csvOut)
 		return
 	}
 
@@ -117,8 +126,10 @@ func main() {
 }
 
 // runHotspots runs each target under the requested machine model with the
-// attribution collector attached and reports the top-N per-PC records.
-func runHotspots(targets []*bench.Benchmark, sms int, modelName string, n int, jsonOut, csvOut bool) {
+// attribution collector attached and reports the top-N per-PC records. With
+// lostReuse, the reuse profiler rides along, its shadow tables annotate the
+// records, and the table ranks by lost reuse instead of simulated cycles.
+func runHotspots(targets []*bench.Benchmark, sms int, modelName string, n int, lostReuse, jsonOut, csvOut bool) {
 	m, err := config.ParseModel(modelName)
 	fatal(err)
 	var all []metrics.Hotspot
@@ -129,14 +140,31 @@ func runHotspots(targets []*bench.Benchmark, sms int, modelName string, n int, j
 		fatal(err)
 		c := attr.NewCollector()
 		g.SetAttribution(c)
+		var rp *reuseprof.Collector
+		if lostReuse {
+			rp = g.NewReuseProf()
+			g.SetReuseProf(rp)
+		}
 		w, err := bm.Setup(g)
 		fatal(err)
 		_, err = w.Run(g)
 		fatal(err)
-		hs := c.Hotspots(n)
+		var hs []metrics.Hotspot
+		if lostReuse {
+			// Rank over every PC (the cycle-ranked top-N could miss the worst
+			// lost-reuse sites), then cut to n after the lost-reuse sort.
+			hs = c.Hotspots(0)
+			rp.AnnotateHotspots(hs)
+			reuseprof.SortByLostReuse(hs)
+			if len(hs) > n {
+				hs = hs[:n]
+			}
+		} else {
+			hs = c.Hotspots(n)
+		}
 		if len(targets) > 1 && !jsonOut && !csvOut {
 			fmt.Printf("%s (%s)\n", bm.Name, bm.Abbr)
-			attr.WriteHotspots(os.Stdout, hs)
+			writeHotspots(os.Stdout, hs, lostReuse)
 			fmt.Println()
 		}
 		all = append(all, hs...)
@@ -149,12 +177,16 @@ func runHotspots(targets []*bench.Benchmark, sms int, modelName string, n int, j
 		fatal(enc.Encode(all))
 	case csvOut:
 		w := csv.NewWriter(os.Stdout)
-		fatal(w.Write([]string{
+		header := []string{
 			"kernel", "pc", "op", "issued", "bypassed", "reuse_hits", "reuse_misses",
 			"vsb_false_pos", "dummy_movs", "bank_retries", "cycles", "energy_pj", "stall_cycles",
-		}))
+		}
+		if lostReuse {
+			header = append(header, "shadow_hits", "lost_reuse")
+		}
+		fatal(w.Write(header))
 		for _, h := range all {
-			fatal(w.Write([]string{
+			row := []string{
 				h.Kernel,
 				strconv.Itoa(h.PC),
 				h.Op,
@@ -168,15 +200,30 @@ func runHotspots(targets []*bench.Benchmark, sms int, modelName string, n int, j
 				strconv.FormatUint(h.Cycles, 10),
 				strconv.FormatFloat(h.EnergyPJ, 'f', 0, 64),
 				strconv.FormatUint(h.StallCycles, 10),
-			}))
+			}
+			if lostReuse {
+				row = append(row,
+					strconv.FormatUint(h.ShadowHits, 10),
+					strconv.FormatUint(h.LostReuse, 10))
+			}
+			fatal(w.Write(row))
 		}
 		w.Flush()
 		fatal(w.Error())
 	default:
 		if len(targets) == 1 {
-			attr.WriteHotspots(os.Stdout, all)
+			writeHotspots(os.Stdout, all, lostReuse)
 		}
 	}
+}
+
+// writeHotspots renders a hotspot slice in the mode's table format.
+func writeHotspots(w *os.File, hs []metrics.Hotspot, lostReuse bool) {
+	if lostReuse {
+		fatal(reuseprof.WriteLostHotspots(w, hs))
+		return
+	}
+	attr.WriteHotspots(w, hs)
 }
 
 func fatal(err error) {

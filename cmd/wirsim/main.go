@@ -6,6 +6,7 @@
 //	wirsim [-sms N] [-model RLPV] [-parallel] [-list] [-interval N] [-metrics FILE]
 //	       [-stats text|json] [-trace-json FILE] [-serve :addr] [-profile-contention]
 //	       [-pprof FILE] [-hostprof FILE] [-hostprof-json FILE]
+//	       [-reuseprof] [-reuseprof-json FILE]
 //	       [-perfetto FILE] [-hotspots N]
 //	       [-oracle] [-watchdog N] [-audit] [-chaos seed,rate,kinds] <benchmark-abbr>
 //
@@ -35,6 +36,7 @@ import (
 	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/oracle"
 	"github.com/wirsim/wir/internal/perfetto"
+	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/trace"
 )
 
@@ -61,6 +63,8 @@ func main() {
 	pprofOut := flag.String("pprof", "", "write a per-PC attribution profile (gzip'd pprof) of simulated cycles/energy to this file")
 	hostprofOut := flag.String("hostprof", "", "write a host profile (gzip'd pprof) of real simulator wall time per simulation phase to this file")
 	hostprofJSON := flag.String("hostprof-json", "", "write the wir-hostprof/1 report (phase timings, allocation, quiescence/skip-opportunity) to this file")
+	reuseprofFlag := flag.Bool("reuseprof", false, "attach the decision-level reuse profiler and print a miss-taxonomy/headroom summary")
+	reuseprofJSON := flag.String("reuseprof-json", "", "write the wir-reuse/1 report (miss taxonomy, eviction ledger, shadow headroom) to this file")
 	profContention := flag.Bool("profile-contention", false, "with -serve: enable runtime block and mutex profiling so /debug/pprof/{block,mutex} capture -parallel gate contention")
 	perfettoOut := flag.String("perfetto", "", "write the pipeline trace as Perfetto/Chrome trace-event JSON to this file")
 	hotspots := flag.Int("hotspots", 0, "print the top-N per-PC hotspots after the run")
@@ -154,6 +158,16 @@ func main() {
 	if *hostprofOut != "" || *hostprofJSON != "" {
 		hostCollector = g.NewHostProf()
 		g.SetHostProf(hostCollector)
+	}
+
+	// The reuse profiler classifies every reuse-buffer/VSB decision and runs
+	// the infinite-capacity shadow tables. Like hostprof it is observational
+	// only (bit-identical outputs, parallel-legal) and opt-in; -stats json
+	// attaches it so the report's derived rates include achieved/achievable.
+	var reuseCollector *reuseprof.Collector
+	if *reuseprofFlag || *reuseprofJSON != "" || *statsMode == "json" {
+		reuseCollector = g.NewReuseProf()
+		g.SetReuseProf(reuseCollector)
 	}
 
 	// Per-PC attribution feeds the pprof profile, the hotspot table, and the
@@ -299,10 +313,28 @@ func main() {
 	if *perfettoOut != "" {
 		f, err := os.Create(*perfettoOut)
 		fatal(err)
-		fatal(perfetto.Write(f, perfettoSink.Events))
+		tevs := perfetto.Convert(perfettoSink.Events)
+		if reuseCollector != nil {
+			// Counter tracks (reuse-buffer occupancy, rolling hit rate) ride
+			// along in the same trace so they line up with pipeline events.
+			tevs = append(tevs, reuseCollector.PerfettoCounters()...)
+		}
+		fatal(perfetto.WriteEvents(f, tevs))
 		fatal(f.Close())
 		fmt.Fprintf(os.Stderr, "wirsim: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
-			len(perfettoSink.Events), *perfettoOut)
+			len(tevs), *perfettoOut)
+	}
+
+	if reuseCollector != nil && reg != nil {
+		reuseCollector.Publish(reg)
+	}
+	if *reuseprofJSON != "" {
+		f, err := os.Create(*reuseprofJSON)
+		fatal(err)
+		fatal(reuseCollector.WriteJSON(f))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "wirsim: wrote %s report to %s (achieved/achievable %.1f%%)\n",
+			reuseprof.Schema, *reuseprofJSON, 100*reuseCollector.AchievedRatio())
 	}
 
 	if *statsMode == "json" {
@@ -318,6 +350,10 @@ func main() {
 			n = 10
 		}
 		rep.Hotspots = collector.Hotspots(n)
+		if reuseCollector != nil {
+			rep.Derived["reuse_achieved_ratio"] = reuseCollector.AchievedRatio()
+			reuseCollector.AnnotateHotspots(rep.Hotspots)
+		}
 		fatal(rep.WriteJSON(os.Stdout))
 		return
 	}
@@ -358,6 +394,24 @@ func main() {
 	}
 	if sampler != nil {
 		fmt.Printf("intervals recorded     %d (every %d cycles)\n", len(sampler.Samples()), sampler.Every)
+	}
+	if *reuseprofFlag {
+		rr := reuseCollector.Report()
+		fmt.Printf("reuse taxonomy         ")
+		first := true
+		for i := reuseprof.Bucket(0); i < reuseprof.NumBuckets; i++ {
+			if n := rr.Taxonomy[i.String()]; n > 0 {
+				if !first {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%s %d", i, n)
+				first = false
+			}
+		}
+		fmt.Println()
+		fmt.Printf("reuse headroom         %d achieved / %d achievable (%.1f%%), %d distinct tags\n",
+			rr.Shadow.RealHits, rr.Shadow.ShadowHits, 100*rr.Shadow.AchievedRatio, rr.Shadow.DistinctTags)
+		fmt.Printf("reuse occupancy        %.1f entries (mean)\n", rr.OccupancyMean)
 	}
 	if *hotspots > 0 {
 		fmt.Printf("\ntop %d hotspots by simulated cycles\n", *hotspots)

@@ -12,6 +12,7 @@ import (
 	"github.com/wirsim/wir/internal/regfile"
 	"github.com/wirsim/wir/internal/rename"
 	"github.com/wirsim/wir/internal/reuse"
+	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/stats"
 	"github.com/wirsim/wir/internal/vsb"
 )
@@ -44,6 +45,7 @@ type Engine struct {
 	warpRegs     []int                // per warp: logical registers of its kernel (capped policy)
 	ins          *metrics.Instruments // optional telemetry; nil when detached
 	chaos        *chaos.Injector      // optional fault injector; nil when detached
+	rp           *reuseprof.SMProf    // optional reuse-decision profiler; nil when detached
 
 	// Base/Affine static allocation.
 	staticBase []regfile.PhysID // per warp
@@ -88,6 +90,21 @@ func (e *Engine) SetInstruments(ins *metrics.Instruments) { e.ins = ins }
 
 // SetChaos attaches (or detaches, with nil) the fault injector.
 func (e *Engine) SetChaos(inj *chaos.Injector) { e.chaos = inj }
+
+// SetReuseProf attaches (or detaches, with nil) this SM's reuse-decision
+// profiler. Purely observational: no stage decision reads it.
+func (e *Engine) SetReuseProf(p *reuseprof.SMProf) { e.rp = p }
+
+// noteEvict ledgers the removal of a valid reuse-buffer entry: the buffer
+// captured the departing entry's age and hit count (LastEvictInfo) at the
+// moment of removal; this pairs them with the cause and the evicted tag.
+func (e *Engine) noteEvict(t reuse.Tag, cause reuseprof.EvictCause) {
+	if e.rp == nil {
+		return
+	}
+	age, hits := e.rb.LastEvictInfo()
+	e.rp.Evict(t, cause, age, hits)
+}
 
 // ReuseOccupancy returns the number of valid reuse-buffer entries (0 for
 // non-reuse models).
@@ -208,6 +225,7 @@ func (e *Engine) BlockComplete(slot int, warps []int) {
 		ent := e.rb.At(i)
 		if ent.Valid && ent.Tag.Block == uint8(slot) {
 			ev, _ := e.rb.EvictSlot(i)
+			e.noteEvict(ev.Tag, reuseprof.EvictBlock)
 			e.releaseEntry(ev)
 		}
 	}
@@ -250,6 +268,7 @@ func (e *Engine) FlushLoadEntries() {
 		}
 		if ent.Tag.Space == isa.SpaceGlobal || ent.Tag.Space == isa.SpaceShared {
 			ev, _ := e.rb.EvictSlot(i)
+			e.noteEvict(ev.Tag, reuseprof.EvictFlush)
 			e.releaseEntry(ev)
 		}
 	}
@@ -410,6 +429,7 @@ func (e *Engine) evictOne() {
 	if e.evictCursor%2 == 0 {
 		if ent, ok := e.rb.EvictAny(e.evictCursor / 2 % maxInt(1, e.rb.Entries())); ok {
 			e.st.ReuseEvicts++
+			e.noteEvict(ent.Tag, reuseprof.EvictCapacity)
 			e.releaseEntry(ent)
 			return
 		}
@@ -422,6 +442,7 @@ func (e *Engine) evictOne() {
 	}
 	if ent, ok := e.rb.EvictAny(e.evictCursor % maxInt(1, e.rb.Entries())); ok {
 		e.st.ReuseEvicts++
+		e.noteEvict(ent.Tag, reuseprof.EvictCapacity)
 		e.releaseEntry(ent)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/regfile"
 	"github.com/wirsim/wir/internal/reuse"
+	"github.com/wirsim/wir/internal/reuseprof"
 )
 
 // Stage enumerates the lifecycle of an in-flight instruction. The SM advances
@@ -122,6 +123,9 @@ type Flight struct {
 	// attribution is detached. Resolved once at issue so the engine's stage
 	// hooks are a nil-safe method call, not a table lookup.
 	Attr *attr.PCStats
+	// RProf is the per-PC reuse-telemetry record (internal/reuseprof); nil
+	// when the reuse profiler is detached. Resolved at issue like Attr.
+	RProf *reuseprof.PCStats
 
 	// ChaosDirty marks a result corrupted by operand-bit injection. Whether
 	// the corruption is architecturally value-changing is settled at retire:

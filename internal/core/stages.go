@@ -4,6 +4,7 @@ import (
 	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/reuse"
+	"github.com/wirsim/wir/internal/reuseprof"
 )
 
 // Rename performs the rename-stage work for fl: logical source registers are
@@ -110,6 +111,9 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 	case reuse.Hit:
 		e.st.ReuseHits++
 		fl.Attr.IncReuseHit()
+		if e.rp != nil {
+			e.rp.LookupHit(fl.Tag, fl.RProf)
+		}
 		if e.ins != nil {
 			e.ins.ReuseDistance.Observe(e.rb.LastHitDistance())
 		}
@@ -120,7 +124,10 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 		fl.AddInflightRef(result)
 	case reuse.PendingHit:
 		// The SM decides whether to queue the flight or fall through to
-		// execution (queue capacity).
+		// execution (queue capacity); either way the access was pending-busy.
+		if e.rp != nil {
+			e.rp.LookupPending(fl.Tag, fl.RProf)
+		}
 	case reuse.Miss:
 		if e.chaos.RollFalseHit() {
 			if donor, ok := e.rb.AnyReady(e.chaos.Cursor(e.rb.Entries())); ok {
@@ -133,6 +140,13 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 				e.chaos.Note(chaos.FalseHit, e.rf.Value(donor.Result) != fl.Result)
 				e.st.ReuseHits++
 				fl.Attr.IncReuseHit()
+				if e.rp != nil {
+					// A forged hit is a hit to every downstream layer; note
+					// that it may break the shadow >= real invariant (the tag
+					// might never have been seen), which is why the fuzz
+					// contract gates that check on chaos false-hit injection.
+					e.rp.LookupHit(fl.Tag, fl.RProf)
+				}
 				if e.ins != nil {
 					e.ins.ReuseDistance.Observe(e.rb.LastHitDistance())
 				}
@@ -146,12 +160,18 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 		}
 		e.st.ReuseMisses++
 		fl.Attr.IncReuseMiss()
+		if e.rp != nil {
+			// Classified against pre-lookup shadow state, before this miss's
+			// own reservation or eviction mutates anything.
+			e.rp.LookupMiss(fl.Tag, fl.RProf)
+		}
 		if idx < 0 {
 			break
 		}
 		if e.lowReg {
 			if ent, ok := e.rb.EvictSlot(idx); ok {
 				e.st.ReuseEvicts++
+				e.noteEvict(ent.Tag, reuseprof.EvictReclaim)
 				e.releaseEntry(ent)
 			}
 			break
@@ -160,6 +180,7 @@ func (e *Engine) ReuseLookup(fl *Flight) reuse.LookupResult {
 			evicted := e.rb.Reserve(idx, fl.Tag)
 			if evicted.Valid {
 				e.st.ReuseEvicts++
+				e.noteEvict(evicted.Tag, reuseprof.EvictConflict)
 			}
 			e.releaseEntry(evicted)
 			for i := 0; i < int(fl.Tag.NSrc); i++ {
@@ -181,14 +202,23 @@ func (e *Engine) CheckPending(fl *Flight) (resolved, stillPending bool) {
 	e.st.ReuseLookups++
 	ent := e.rb.At(fl.RBIndex)
 	if !ent.Valid || ent.Tag != fl.Tag {
+		if e.rp != nil {
+			e.rp.RecheckLost()
+		}
 		return false, false
 	}
 	if ent.Pending {
+		if e.rp != nil {
+			e.rp.RecheckStill()
+		}
 		return false, true
 	}
 	e.st.ReuseHits++
 	e.st.PendingHits++
 	fl.Attr.IncReuseHit()
+	if e.rp != nil {
+		e.rp.RecheckResolved(fl.RProf)
+	}
 	fl.Bypassed = true
 	fl.ReuseResult = ent.Result
 	fl.DstPhys = ent.Result
@@ -254,6 +284,9 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 				}
 				e.st.VSBLookups++
 				e.accessedThis = true
+				if e.rp != nil {
+					e.rp.NoteVSBLookup(fl.VSBHash)
+				}
 				if p, ok := e.vsbf.Lookup(fl.VSBHash); ok {
 					fl.VSBCand = p
 					fl.HasVSBCand = true
@@ -263,6 +296,9 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 					continue
 				}
 				e.st.VSBMisses++
+				if e.rp != nil {
+					e.rp.NoteVSBMiss()
+				}
 				if e.lowReg {
 					if p, ok := e.vsbf.EvictSlot(fl.VSBHash); ok {
 						e.release(p)
@@ -270,9 +306,13 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 				}
 			} else if e.Reuse() && e.model.UseVSB() {
 				// Zero-entry VSB (Figure 20's leftmost point): every lookup
-				// misses.
+				// misses. No hash was computed, so the VSB shadow tracker
+				// sees nothing — the taxonomy still accounts the lookup.
 				e.st.VSBLookups++
 				e.st.VSBMisses++
+				if e.rp != nil {
+					e.rp.NoteVSBMiss()
+				}
 			}
 			fl.Alloc = AllocGetReg
 			continue
@@ -294,6 +334,9 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 				e.st.VSBHits++
 				e.st.WritesShared++
 				e.st.RFWritesSav++
+				if e.rp != nil {
+					e.rp.NoteVSBHit()
+				}
 				fl.DstPhys = fl.VSBCand
 				fl.NeedWrite = false
 				fl.Alloc = AllocFinish
@@ -301,6 +344,9 @@ func (e *Engine) AllocStep(fl *Flight) bool {
 			}
 			e.st.VSBFalsePos++
 			fl.Attr.IncVSBFalsePos()
+			if e.rp != nil {
+				e.rp.NoteVSBVerifyFail()
+			}
 			fl.Alloc = AllocGetReg
 			continue
 
@@ -412,6 +458,7 @@ func (e *Engine) Retire(fl *Flight) {
 			ev := e.rb.Insert(fl.RBIndex, fl.Tag, fl.DstPhys)
 			if ev.Valid {
 				e.st.ReuseEvicts++
+				e.noteEvict(ev.Tag, reuseprof.EvictConflict)
 			}
 			e.releaseEntry(ev)
 			for i := 0; i < int(fl.Tag.NSrc); i++ {

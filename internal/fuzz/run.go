@@ -10,6 +10,7 @@ import (
 	"github.com/wirsim/wir/internal/gpu"
 	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/oracle"
+	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/stats"
 	"github.com/wirsim/wir/internal/trace"
 )
@@ -43,6 +44,9 @@ type Result struct {
 	Watchdog     *gpu.WatchdogError // set when RunErr is a watchdog firing
 	InvariantErr error
 	Stats        stats.Sim
+	// Reuse holds the run's decision-level reuse telemetry (always attached;
+	// Check cross-validates its taxonomy against the aggregate counters).
+	Reuse *reuseprof.Collector
 }
 
 // Execute builds the program for o, runs it under rc, and collects the
@@ -82,8 +86,10 @@ func Execute(o Options, rc RunConfig) (*Result, error) {
 		g.SetTracer(rc.Trace)
 	}
 	g.SetParallel(rc.Parallel)
+	rp := g.NewReuseProf()
+	g.SetReuseProf(rp)
 
-	res := &Result{}
+	res := &Result{Reuse: rp}
 	res.Cycles, err = g.Run(&gpu.Launch{Kernel: k, GridX: o.Threads / o.BlockDim, DimX: o.BlockDim})
 	if err != nil {
 		res.RunErr = err
@@ -142,6 +148,9 @@ func Check(res *Result, ref []uint32, inj *chaos.Injector) error {
 	} else if res.InvariantErr != nil {
 		return fmt.Errorf("fuzz: invariant violated: %v", res.InvariantErr)
 	}
+	if err := checkReuse(res, inj); err != nil {
+		return err
+	}
 	if vc := inj.TotalValueChanging(); vc > 0 {
 		if res.OracleTotal == 0 {
 			return fmt.Errorf("fuzz: %d value-changing faults injected but the oracle saw no divergence", vc)
@@ -157,6 +166,52 @@ func Check(res *Result, ref []uint32, inj *chaos.Injector) error {
 				return fmt.Errorf("fuzz: out[%d] = %#x, want %#x", i, res.Output[i], ref[i])
 			}
 		}
+	}
+	return nil
+}
+
+// checkReuse cross-validates the decision-level reuse telemetry against the
+// aggregate counters of a completed (non-errored) run:
+//
+//   - every reuse-buffer lookup must land in exactly one taxonomy bucket, and
+//     the hit/miss bucket groups must match the aggregate hit/miss counters;
+//   - the VSB taxonomy must account for every VSB lookup;
+//   - conflict+capacity+reclaim evictions must equal ReuseEvicts (block and
+//     launch-boundary scrubs are deliberately outside that counter);
+//   - the infinite-capacity shadow table can never see fewer hits than the
+//     real buffer — except when chaos forged false hits, which count as real
+//     hits the shadow legitimately never saw.
+func checkReuse(res *Result, inj *chaos.Injector) error {
+	rp := res.Reuse
+	if rp == nil {
+		return nil
+	}
+	st := &res.Stats
+	if got := rp.Lookups(); got != st.ReuseLookups {
+		return fmt.Errorf("fuzz: reuse taxonomy sums to %d lookups, stats say %d", got, st.ReuseLookups)
+	}
+	tax := rp.Tax()
+	hits := tax[reuseprof.BucketHit] + tax[reuseprof.BucketPendingResolved]
+	if hits != st.ReuseHits {
+		return fmt.Errorf("fuzz: reuse taxonomy hit buckets sum to %d, stats say %d", hits, st.ReuseHits)
+	}
+	misses := tax[reuseprof.BucketMissCold] + tax[reuseprof.BucketMissEvicted] +
+		tax[reuseprof.BucketMissBarrier] + tax[reuseprof.BucketMissBlock]
+	if misses != st.ReuseMisses {
+		return fmt.Errorf("fuzz: reuse taxonomy miss buckets sum to %d, stats say %d", misses, st.ReuseMisses)
+	}
+	vtax := rp.VSBTax()
+	if vsum := vtax[reuseprof.VSBTaxHit] + vtax[reuseprof.VSBTaxMiss] + vtax[reuseprof.VSBTaxVerifyFail]; vsum != st.VSBLookups {
+		return fmt.Errorf("fuzz: VSB taxonomy sums to %d lookups, stats say %d", vsum, st.VSBLookups)
+	}
+	evicts := rp.EvictTotal(reuseprof.EvictConflict) +
+		rp.EvictTotal(reuseprof.EvictCapacity) +
+		rp.EvictTotal(reuseprof.EvictReclaim)
+	if evicts != st.ReuseEvicts {
+		return fmt.Errorf("fuzz: eviction ledger counts %d counted evictions, stats say %d", evicts, st.ReuseEvicts)
+	}
+	if inj.Injected(chaos.FalseHit) == 0 && rp.ShadowHits() < rp.RealHits() {
+		return fmt.Errorf("fuzz: shadow hits %d < real hits %d without false-hit injection", rp.ShadowHits(), rp.RealHits())
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/wirsim/wir/internal/kasm"
 	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/metrics"
+	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/sm"
 	"github.com/wirsim/wir/internal/stats"
 	"github.com/wirsim/wir/internal/trace"
@@ -66,6 +67,7 @@ type GPU struct {
 	sampler *metrics.Sampler
 	attr    *attr.Collector
 	hp      *hostprof.Collector
+	rp      *reuseprof.Collector
 
 	launchHook  func(l *Launch, infos []sm.BlockInfo)
 	chaos       *chaos.Injector
@@ -209,6 +211,33 @@ func (g *GPU) SetHostProf(c *hostprof.Collector) {
 
 // HostProf returns the attached host-profile collector, or nil.
 func (g *GPU) HostProf() *hostprof.Collector { return g.hp }
+
+// NewReuseProf builds a reuse-telemetry collector sized for this GPU (one
+// SMProf per SM). Attach it with SetReuseProf.
+func (g *GPU) NewReuseProf() *reuseprof.Collector {
+	return reuseprof.NewCollector(g.cfg.NumSMs)
+}
+
+// SetReuseProf attaches (or detaches, with nil) the decision-level reuse/VSB
+// profiler: every reuse-buffer lookup outcome is classified into the miss
+// taxonomy, evictions feed the lifetime ledger, and infinite-capacity shadow
+// tables track achievable reuse. The profiler only observes engine decisions —
+// simulation outputs are bit-identical with or without it, including under
+// parallel stepping (each SMProf is written only by its SM's goroutine). The
+// collector must have at least NumSMs per-SM slots; use NewReuseProf.
+func (g *GPU) SetReuseProf(c *reuseprof.Collector) {
+	g.rp = c
+	for i, s := range g.sms {
+		if c != nil {
+			s.SetReuseProf(c.SM(i))
+		} else {
+			s.SetReuseProf(nil)
+		}
+	}
+}
+
+// ReuseProf returns the attached reuse-telemetry collector, or nil.
+func (g *GPU) ReuseProf() *reuseprof.Collector { return g.rp }
 
 // SetSampler attaches an interval sampler; the Run loop feeds it at each
 // interval boundary. Nil detaches.

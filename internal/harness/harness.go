@@ -18,6 +18,7 @@ import (
 	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/gpu"
 	"github.com/wirsim/wir/internal/hostprof"
+	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/stats"
 )
 
@@ -48,6 +49,10 @@ type Harness struct {
 	// merged in under the harness lock, so the totals are deterministic even
 	// with a concurrent worker pool (sums commute).
 	HostProf *hostprof.Collector
+	// ReuseProf, when non-nil, aggregates decision-level reuse telemetry
+	// across every fresh simulation, merged under the harness lock like
+	// HostProf (merge is commutative, so totals are deterministic).
+	ReuseProf *reuseprof.Collector
 
 	mu      sync.Mutex
 	cache   map[string]*entry
@@ -144,6 +149,11 @@ func (h *Harness) simulate(key, abbr string, m config.Model, cfg config.Config) 
 		hp = g.NewHostProf()
 		g.SetHostProf(hp)
 	}
+	var rp *reuseprof.Collector
+	if h.ReuseProf != nil {
+		rp = g.NewReuseProf()
+		g.SetReuseProf(rp)
+	}
 	w, err := bm.Setup(g)
 	if err != nil {
 		return nil, fmt.Errorf("%s setup: %w", key, err)
@@ -155,6 +165,11 @@ func (h *Harness) simulate(key, abbr string, m config.Model, cfg config.Config) 
 	if hp != nil {
 		h.mu.Lock()
 		h.HostProf.Merge(hp)
+		h.mu.Unlock()
+	}
+	if rp != nil {
+		h.mu.Lock()
+		h.ReuseProf.Merge(rp)
 		h.mu.Unlock()
 	}
 	st := g.Stats()

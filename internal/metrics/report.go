@@ -51,6 +51,11 @@ type Hotspot struct {
 	Cycles      uint64  `json:"cycles"`
 	EnergyPJ    float64 `json:"energy_pj"`
 	StallCycles uint64  `json:"stall_cycles"`
+	// ShadowHits and LostReuse are filled by the reuse profiler
+	// (internal/reuseprof) when attached: lookups an infinite-capacity reuse
+	// buffer would have served, and how far achieved reuse falls short.
+	ShadowHits uint64 `json:"shadow_hits,omitempty"`
+	LostReuse  uint64 `json:"lost_reuse,omitempty"`
 }
 
 // StallSection is the JSON rendering of a StallReport.

@@ -150,7 +150,13 @@ func sortedInts(set map[int]bool) []int {
 // Write converts events and writes them as a JSON array, one event per line
 // (the array-of-events form both Perfetto and chrome://tracing accept).
 func Write(w io.Writer, events []trace.Event) error {
-	tevs := Convert(events)
+	return WriteEvents(w, Convert(events))
+}
+
+// WriteEvents writes already-converted trace events as a JSON array, one
+// event per line. Callers that append extra tracks (e.g. the reuse profiler's
+// counter events) convert first, splice, then write.
+func WriteEvents(w io.Writer, tevs []TraceEvent) error {
 	if _, err := io.WriteString(w, "[\n"); err != nil {
 		return err
 	}

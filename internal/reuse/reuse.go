@@ -89,9 +89,15 @@ type Buffer struct {
 	entries  []Entry
 	lru      []uint64
 	ins      []uint64 // buffer-access stamp at entry insertion (reuse distance)
+	hits     []uint64 // result hits served by the current occupant of each slot
 	ways     int
 	tick     uint64
 	lastDist uint64
+	// lastEvict records, for the most recent removal of a valid entry, its
+	// age in buffer accesses and the hits it served — the eviction-lifetime
+	// ledger's raw observations. Purely observational; never read back by
+	// replacement decisions.
+	lastEvict struct{ age, hits uint64 }
 }
 
 // New returns a direct-indexed reuse buffer with the given number of entries.
@@ -106,7 +112,7 @@ func NewAssoc(entries, ways int) *Buffer {
 	if entries > 0 && entries%ways != 0 {
 		panic("reuse: entries must divide evenly into ways")
 	}
-	return &Buffer{entries: make([]Entry, entries), lru: make([]uint64, entries), ins: make([]uint64, entries), ways: ways}
+	return &Buffer{entries: make([]Entry, entries), lru: make([]uint64, entries), ins: make([]uint64, entries), hits: make([]uint64, entries), ways: ways}
 }
 
 // Entries returns the buffer capacity.
@@ -137,6 +143,7 @@ func (b *Buffer) Lookup(t Tag) (LookupResult, int, regfile.PhysID) {
 				return PendingHit, i, regfile.PhysNone
 			}
 			b.lastDist = b.tick - b.ins[i]
+			b.hits[i]++
 			return Hit, i, e.Result
 		}
 		if !b.entries[i].Valid {
@@ -153,11 +160,32 @@ func (b *Buffer) Lookup(t Tag) (LookupResult, int, regfile.PhysID) {
 // At returns a copy of the slot at index i.
 func (b *Buffer) At(i int) Entry { return b.entries[i] }
 
+// noteEvict captures the lifetime of the valid entry at slot i just before it
+// is removed: age in buffer accesses since insertion and hits served. The slot
+// hit counter is reset for the next occupant.
+func (b *Buffer) noteEvict(i int) {
+	b.lastEvict.age = b.tick - b.ins[i]
+	b.lastEvict.hits = b.hits[i]
+	b.hits[i] = 0
+}
+
+// LastEvictInfo returns the age (in buffer accesses) and hit count of the most
+// recently removed valid entry. Valid immediately after a call that displaced
+// or evicted a valid entry; stale otherwise.
+func (b *Buffer) LastEvictInfo() (age, hits uint64) {
+	return b.lastEvict.age, b.lastEvict.hits
+}
+
 // Reserve installs t at slot i in the pending state (pending-retry, section
 // VI-B). The displaced entry is returned so the caller can release its
 // references.
 func (b *Buffer) Reserve(i int, t Tag) (evicted Entry) {
 	evicted = b.entries[i]
+	if evicted.Valid {
+		b.noteEvict(i)
+	} else {
+		b.hits[i] = 0
+	}
 	b.entries[i] = Entry{Valid: true, Pending: true, Tag: t}
 	b.tick++
 	b.lru[i] = b.tick
@@ -195,6 +223,11 @@ func (b *Buffer) Insert(i int, t Tag, result regfile.PhysID) (evicted Entry) {
 		return Entry{}
 	}
 	evicted = b.entries[i]
+	if evicted.Valid {
+		b.noteEvict(i)
+	} else {
+		b.hits[i] = 0
+	}
 	b.entries[i] = Entry{Valid: true, Tag: t, Result: result}
 	b.tick++
 	b.lru[i] = b.tick
@@ -209,6 +242,7 @@ func (b *Buffer) EvictSlot(i int) (Entry, bool) {
 		return Entry{}, false
 	}
 	e := b.entries[i]
+	b.noteEvict(i)
 	b.entries[i] = Entry{}
 	return e, true
 }
@@ -236,11 +270,13 @@ func (b *Buffer) EvictAny(c int) (Entry, bool) {
 			continue
 		}
 		e := b.entries[i]
+		b.noteEvict(i)
 		b.entries[i] = Entry{}
 		return e, true
 	}
 	if pendingIdx >= 0 {
 		e := b.entries[pendingIdx]
+		b.noteEvict(pendingIdx)
 		b.entries[pendingIdx] = Entry{}
 		return e, true
 	}

@@ -137,3 +137,70 @@ func TestZeroEntryBuffer(t *testing.T) {
 		t.Fatalf("zero-entry buffer must miss with idx -1")
 	}
 }
+
+// slotTag builds a unique tag whose Imm encodes the slot it will be installed
+// at, so an evicted Entry can be mapped back to its slot index.
+func slotTag(i int) Tag {
+	tg := addTag(regfile.PhysID(i%7+1), regfile.PhysID(i%5+1))
+	tg.Imm = uint32(i)
+	tg.HasImm = true
+	return tg
+}
+
+// TestEvictAnyCursorFairness holds that repeated capacity evictions driven by
+// a rotating cursor (the engine's evictOne pattern) visit every slot: a
+// victim search that always restarted at index 0 would starve high-index
+// slots, silently skewing both reclamation and the eviction-lifetime ledger.
+func TestEvictAnyCursorFairness(t *testing.T) {
+	const n = 16
+	b := New(n)
+	for i := 0; i < n; i++ {
+		b.Insert(i, slotTag(i), regfile.PhysID(i+1))
+	}
+	evicted := make([]int, n)
+	for c := 0; c < 2*n; c++ {
+		e, ok := b.EvictAny(c % n)
+		if !ok {
+			t.Fatalf("cursor %d: nothing to evict from a full buffer", c)
+		}
+		slot := int(e.Tag.Imm) % n
+		evicted[slot]++
+		// Refill the vacated slot so the buffer stays at capacity and every
+		// round has the full population to choose from.
+		b.Insert(slot, slotTag(slot+n*(c+1)), regfile.PhysID(slot+1))
+	}
+	for i, k := range evicted {
+		if k == 0 {
+			t.Errorf("slot %d never evicted across %d rotating-cursor evictions", i, 2*n)
+		}
+	}
+}
+
+// TestEvictionLifetimeInfo holds the observational ledger hooks: LastEvictInfo
+// reports the displaced entry's age in buffer accesses and the hits it served,
+// and the per-slot hit counter resets for the next occupant.
+func TestEvictionLifetimeInfo(t *testing.T) {
+	b := New(4)
+	tg := slotTag(0)
+	_, slot, _ := b.Lookup(tg) // direct-indexed: the miss names the home slot
+	b.Insert(slot, tg, 9)
+	for i := 0; i < 3; i++ {
+		if res, _, _ := b.Lookup(tg); res != Hit {
+			t.Fatalf("lookup %d missed", i)
+		}
+	}
+	// The three hit lookups aged the entry three buffer accesses.
+	b.Insert(slot, slotTag(1), 10)
+	age, hits := b.LastEvictInfo()
+	if hits != 3 {
+		t.Errorf("evicted entry served %d hits, want 3", hits)
+	}
+	if age != 3 {
+		t.Errorf("evicted entry aged %d accesses, want 3", age)
+	}
+	// The replacement starts with a clean hit count.
+	b.EvictSlot(slot)
+	if _, hits := b.LastEvictInfo(); hits != 0 {
+		t.Errorf("fresh occupant inherited %d hits", hits)
+	}
+}

@@ -1,0 +1,40 @@
+package reuseprof
+
+import (
+	"github.com/wirsim/wir/internal/perfetto"
+)
+
+// PerfettoCounters renders the per-SM rolling series as Chrome trace-event
+// counter tracks: reuse-buffer occupancy and the rolling hit rate (hits over
+// lookups within each sampling stride), one track pair per SM process. The
+// events append cleanly to a perfetto.Convert stream, which uses the same
+// SM-as-process convention.
+func (c *Collector) PerfettoCounters() []perfetto.TraceEvent {
+	if c == nil {
+		return nil
+	}
+	var out []perfetto.TraceEvent
+	for _, s := range c.sms {
+		var prevLookups, prevHits uint64
+		for _, p := range s.Series {
+			out = append(out, perfetto.TraceEvent{
+				Name: "reuse occupancy", Cat: "wir", Phase: "C",
+				TS: p.Cycle, PID: s.ID,
+				Args: map[string]any{"entries": p.Occ},
+			})
+			dl := p.Lookups - prevLookups
+			dh := p.Hits - prevHits
+			rate := 0.0
+			if dl > 0 {
+				rate = float64(dh) / float64(dl)
+			}
+			out = append(out, perfetto.TraceEvent{
+				Name: "reuse hit rate", Cat: "wir", Phase: "C",
+				TS: p.Cycle, PID: s.ID,
+				Args: map[string]any{"rate": rate},
+			})
+			prevLookups, prevHits = p.Lookups, p.Hits
+		}
+	}
+	return out
+}

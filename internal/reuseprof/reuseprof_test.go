@@ -1,0 +1,245 @@
+package reuseprof
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+	"github.com/wirsim/wir/internal/regfile"
+	"github.com/wirsim/wir/internal/reuse"
+)
+
+// tag builds a distinct computation identity per imm value.
+func tag(imm uint32) reuse.Tag {
+	return reuse.Tag{
+		Op: isa.OpIAdd, NSrc: 2, Src: [3]regfile.PhysID{3, 4},
+		Imm: imm, HasImm: true, Block: reuse.NullBlock,
+	}
+}
+
+func TestMissClassification(t *testing.T) {
+	s := NewSMProf(0)
+
+	// First sight of a computation is cold.
+	a := tag(1)
+	s.LookupMiss(a, nil)
+	if s.Tax[BucketMissCold] != 1 {
+		t.Fatalf("first miss not cold: %v", s.Tax)
+	}
+
+	// A re-miss of a tag seen before is a capacity/lifecycle loss even when
+	// no Evict hook fired (the entry never installed, or low-register mode).
+	s.LookupMiss(a, nil)
+	if s.Tax[BucketMissEvicted] != 1 {
+		t.Fatalf("re-miss not classified evicted: %v", s.Tax)
+	}
+
+	// A ledgered eviction also routes the next miss to miss-evicted.
+	s.Evict(a, EvictConflict, 5, 2)
+	s.LookupMiss(a, nil)
+	if s.Tax[BucketMissEvicted] != 2 {
+		t.Fatalf("post-evict miss not classified evicted: %v", s.Tax)
+	}
+	if s.EvictCount[EvictConflict] != 1 {
+		t.Fatalf("eviction ledger: %v", s.EvictCount)
+	}
+
+	// Same computation, different block slot: the scratchpad context changed.
+	b1 := tag(2)
+	b1.Block = 1
+	s.LookupMiss(b1, nil)
+	b2 := b1
+	b2.Block = 2
+	s.LookupMiss(b2, nil)
+	if s.Tax[BucketMissBlock] != 1 {
+		t.Fatalf("block-slot change not classified: %v", s.Tax)
+	}
+
+	// Same computation, advanced barrier epoch.
+	c1 := tag(3)
+	s.LookupMiss(c1, nil)
+	c2 := c1
+	c2.Barrier = 1
+	s.LookupMiss(c2, nil)
+	if s.Tax[BucketMissBarrier] != 1 {
+		t.Fatalf("barrier advance not classified: %v", s.Tax)
+	}
+
+	if s.Tax[BucketMissCold] != 3 {
+		t.Fatalf("cold misses: %v", s.Tax)
+	}
+	if s.InitialLookups() != 7 {
+		t.Fatalf("initial lookups = %d, want 7", s.InitialLookups())
+	}
+}
+
+func TestShadowHeadroom(t *testing.T) {
+	s := NewSMProf(0)
+	var pc PCStats
+	a := tag(1)
+
+	// Cold: counted distinct, no shadow credit.
+	s.LookupMiss(a, &pc)
+	if s.ShadowHits != 0 || s.Distinct != 1 {
+		t.Fatalf("cold lookup: shadow=%d distinct=%d", s.ShadowHits, s.Distinct)
+	}
+	// Every later sighting — hit or miss — is a shadow hit: an
+	// infinite-capacity table would have retained the entry.
+	s.LookupHit(a, &pc)
+	s.LookupMiss(a, &pc)
+	s.LookupPending(a, &pc)
+	if s.ShadowHits != 3 {
+		t.Fatalf("shadow hits = %d, want 3", s.ShadowHits)
+	}
+	if pc.Lookups != 4 || pc.Hits != 1 || pc.ShadowHits != 3 {
+		t.Fatalf("pc stats = %+v", pc)
+	}
+	// A pending-retry resolution is a hit but not a new lookup.
+	s.RecheckResolved(&pc)
+	if pc.Lookups != 4 || pc.Hits != 2 {
+		t.Fatalf("pc stats after recheck = %+v", pc)
+	}
+	if s.RealHits() != 2 {
+		t.Fatalf("real hits = %d, want 2", s.RealHits())
+	}
+}
+
+func TestRecheckBuckets(t *testing.T) {
+	s := NewSMProf(0)
+	s.RecheckStill()
+	s.RecheckStill()
+	s.RecheckResolved(nil)
+	s.RecheckLost()
+	if s.Tax[BucketPendingBusy] != 2 || s.Tax[BucketPendingResolved] != 1 || s.Tax[BucketPendingLost] != 1 {
+		t.Fatalf("recheck taxonomy: %v", s.Tax)
+	}
+	// Rechecks are lookups in the stats sense but not initial lookups.
+	if s.InitialLookups() != 0 {
+		t.Fatalf("rechecks must not count as initial lookups")
+	}
+}
+
+func TestVSBShadow(t *testing.T) {
+	s := NewSMProf(0)
+	s.NoteVSBLookup(7)
+	s.NoteVSBMiss()
+	s.NoteVSBLookup(7)
+	s.NoteVSBHit()
+	s.NoteVSBLookup(9)
+	s.NoteVSBVerifyFail()
+	if s.VSBShadowHits != 1 {
+		t.Fatalf("vsb shadow hits = %d, want 1", s.VSBShadowHits)
+	}
+	want := [NumVSBBuckets]uint64{1, 1, 1}
+	if s.VSBTax != want {
+		t.Fatalf("vsb taxonomy = %v", s.VSBTax)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every hook the engine calls must be a no-op on a nil receiver: the
+	// unprofiled hot path pays exactly one pointer test.
+	var s *SMProf
+	s.LookupHit(tag(1), nil)
+	s.LookupPending(tag(1), nil)
+	s.LookupMiss(tag(1), nil)
+	s.RecheckResolved(nil)
+	s.RecheckStill()
+	s.RecheckLost()
+	s.Evict(tag(1), EvictConflict, 0, 0)
+	s.NoteVSBLookup(1)
+	s.NoteVSBHit()
+	s.NoteVSBMiss()
+	s.NoteVSBVerifyFail()
+	s.ObserveCycle(0, 0)
+
+	var p *PCStats
+	p.IncLookup()
+	p.IncHit()
+	p.IncShadowHit()
+
+	var tb *Table
+	if tb.At(0) != nil {
+		t.Fatalf("nil table must yield nil records")
+	}
+
+	var c *Collector
+	c.Merge(NewCollector(1))
+	NewCollector(1).Merge(nil)
+}
+
+func TestTableGrowth(t *testing.T) {
+	s := NewSMProf(0)
+	k1 := &kasm.Kernel{Name: "k", Code: make([]isa.Instr, 4)}
+	s.Table(k1).At(3).IncLookup()
+
+	// A relaunch of the same kernel name with longer code grows the table in
+	// place, preserving earlier per-PC counts.
+	k2 := &kasm.Kernel{Name: "k", Code: make([]isa.Instr, 8)}
+	t2 := s.Table(k2)
+	if len(t2.PCs) != 8 {
+		t.Fatalf("table length = %d, want 8", len(t2.PCs))
+	}
+	if t2.At(3).Lookups != 1 {
+		t.Fatalf("growth lost earlier counts: %+v", t2.At(3))
+	}
+	if t2.At(8) != nil || t2.At(-1) != nil {
+		t.Fatalf("out-of-range PC must yield nil record")
+	}
+	// The pointer cache serves repeat resolution without a name lookup.
+	if s.Table(k2) != t2 || s.Table(k1) != t2 {
+		t.Fatalf("same-name kernels must share one table")
+	}
+}
+
+func TestObserveCycleSeries(t *testing.T) {
+	s := NewSMProf(0)
+	for i := 0; i < 2*seriesStride; i++ {
+		s.ObserveCycle(3, uint64(i))
+	}
+	if len(s.Series) != 2 {
+		t.Fatalf("series points = %d, want 2", len(s.Series))
+	}
+	if got := s.OccMean(); got != 3 {
+		t.Fatalf("occ mean = %v, want 3", got)
+	}
+	if NewSMProf(1).OccMean() != 0 {
+		t.Fatalf("empty profile must report zero mean occupancy")
+	}
+}
+
+func TestCollectorMergeWidens(t *testing.T) {
+	src := NewCollector(2)
+	src.SM(0).LookupMiss(tag(1), nil)
+	src.SM(0).LookupHit(tag(1), nil)
+	src.SM(1).LookupMiss(tag(2), nil)
+	src.SM(1).Evict(tag(2), EvictFlush, 1, 0)
+
+	dst := NewCollector(0)
+	dst.Merge(src)
+	if dst.NumSMs() != 2 {
+		t.Fatalf("merge did not widen: %d SMs", dst.NumSMs())
+	}
+	if dst.Lookups() != 3 || dst.RealHits() != 1 || dst.ShadowHits() != 1 {
+		t.Fatalf("merged totals: lookups=%d hits=%d shadow=%d",
+			dst.Lookups(), dst.RealHits(), dst.ShadowHits())
+	}
+	if dst.DistinctTags() != 2 || dst.EvictTotal(EvictFlush) != 1 {
+		t.Fatalf("merged ledger: distinct=%d flush=%d",
+			dst.DistinctTags(), dst.EvictTotal(EvictFlush))
+	}
+}
+
+func TestAchievedRatio(t *testing.T) {
+	c := NewCollector(1)
+	if c.AchievedRatio() != 1 {
+		t.Fatalf("empty collector must report ratio 1 (nothing achievable)")
+	}
+	c.SM(0).LookupMiss(tag(1), nil)
+	c.SM(0).LookupHit(tag(1), nil)
+	c.SM(0).LookupMiss(tag(1), nil)
+	// 1 real hit over 2 shadow hits.
+	if got := c.AchievedRatio(); got != 0.5 {
+		t.Fatalf("achieved ratio = %v, want 0.5", got)
+	}
+}

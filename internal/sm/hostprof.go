@@ -45,6 +45,11 @@ func (s *SM) tickProfiled() {
 	hp.Lap(hostprof.PhaseSMIssue)
 
 	s.sampleUtilization()
+	if s.rp != nil {
+		// Mirrors Tick's sampling point exactly (after utilization, inside
+		// the same cycle) so the series is identical under either path.
+		s.rp.ObserveCycle(s.eng.ReuseOccupancy(), s.now)
+	}
 	s.observeQuiescence(hp, hadWork, issuedBefore)
 	hp.Lap(hostprof.PhaseSMOther)
 }

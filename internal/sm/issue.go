@@ -6,6 +6,7 @@ import (
 	"github.com/wirsim/wir/internal/core"
 	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/metrics"
+	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/trace"
 )
 
@@ -237,6 +238,12 @@ func (s *SM) issueWarp(w int) {
 		rec.Issued++
 		rec.EnergyPJ += s.attrCost.Frontend
 	}
+	var rrec *reuseprof.PCStats
+	if s.rp != nil {
+		// Resolved once here so the engine's reuse hooks are nil-safe method
+		// calls on the flight, mirroring Attr.
+		rrec = s.blocks[wc.block].rtab.At(pc)
+	}
 	if in.Op.IsFloat() {
 		s.st.FPInstrs++
 	}
@@ -296,6 +303,7 @@ func (s *SM) issueWarp(w int) {
 		SeqInWarp: wc.issueSeq,
 		RBIndex:   -1,
 		Attr:      rec,
+		RProf:     rrec,
 	}
 	srcs := s.execute(wc, fl)
 	if s.Hook != nil {

@@ -21,6 +21,7 @@ import (
 	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/regfile"
+	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/stats"
 )
 
@@ -107,6 +108,11 @@ type SM struct {
 	// Host-side phase profiler (attached with SetHostProf; nil = disabled,
 	// and Tick pays only the nil check).
 	hp *hostprof.SMProf
+
+	// Reuse-decision profiler (attached with SetReuseProf; nil = disabled,
+	// and the hot paths pay only the nil check). Per-SM state written only by
+	// the goroutine driving this SM, so it composes with parallel stepping.
+	rp *reuseprof.SMProf
 }
 
 // SetInstruments attaches (or detaches, with nil) the telemetry instruments
@@ -148,6 +154,28 @@ func (s *SM) SetAttribution(c *attr.Collector) {
 				b.atab = c.Table(b.info.Kernel, s.ID)
 			} else {
 				b.atab = nil
+			}
+		}
+	}
+}
+
+// SetReuseProf attaches (or detaches, with nil) this SM's reuse-decision
+// profiler. Like attribution, attach before the first Tick so taxonomy sums
+// reconcile with the aggregate counters over the whole run. Unlike
+// attribution, the profiler's state is owned per SM, so it is legal under
+// goroutine-per-SM parallel stepping.
+func (s *SM) SetReuseProf(p *reuseprof.SMProf) {
+	s.rp = p
+	s.eng.SetReuseProf(p)
+	// Blocks resident at attach/detach time resolve their table lazily at
+	// the next issue; refresh their cached pointer here so mid-run attach
+	// does not mix nil and live records within one block.
+	for _, b := range s.blocks {
+		if b.active {
+			if p != nil {
+				b.rtab = p.Table(b.info.Kernel)
+			} else {
+				b.rtab = nil
 			}
 		}
 	}
@@ -230,7 +258,8 @@ type blockCtx struct {
 	arrived int
 	shared  []uint32
 	seq     uint64
-	atab    *attr.Table // per-PC attribution table, cached at launch
+	atab    *attr.Table      // per-PC attribution table, cached at launch
+	rtab    *reuseprof.Table // per-PC reuse-telemetry table, cached at launch
 }
 
 type simtEntry struct {
@@ -327,6 +356,9 @@ func (s *SM) TryLaunchBlock(info BlockInfo) bool {
 	*b = blockCtx{active: true, info: info, warps: free, seq: s.seq}
 	if s.attr != nil {
 		b.atab = s.attr.Table(info.Kernel, s.ID)
+	}
+	if s.rp != nil {
+		b.rtab = s.rp.Table(info.Kernel)
 	}
 	if info.Kernel.SharedBytes > 0 {
 		b.shared = make([]uint32, (info.Kernel.SharedBytes+3)/4)
@@ -429,6 +461,9 @@ func (s *SM) Tick() {
 	s.checkPendingQueue(&reuseSlots)
 	s.issueCycle()
 	s.sampleUtilization()
+	if s.rp != nil {
+		s.rp.ObserveCycle(s.eng.ReuseOccupancy(), s.now)
+	}
 }
 
 func (s *SM) sampleUtilization() {

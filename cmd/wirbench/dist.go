@@ -1,0 +1,167 @@
+// Distributed sweep fan-out: wirbench -serve-sweep embeds a dist.Coordinator
+// and farms every fresh simulation out to wirbench -worker processes; figure
+// rendering stays in-order on the coordinator, so the output is byte-identical
+// to a local -j run no matter how many workers join, die, or duplicate
+// deliveries (see docs/DISTRIBUTED.md).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/dist"
+	"github.com/wirsim/wir/internal/harness"
+)
+
+// distFlags is the resolved distributed command line.
+type distFlags struct {
+	serve    string // -serve-sweep listen address
+	worker   string // -worker coordinator URL
+	name     string // -worker-name
+	lease    time.Duration
+	grace    time.Duration
+	retries  int
+	chaos    string // -dist-chaos seed,rate,kinds
+	jsonPath string // -dist-json summary artifact
+	patience time.Duration
+}
+
+// runUnit executes one KindRun unit on a harness, bypassing its cache: the
+// payload carries the fully mutated config, so no variant knowledge is needed.
+// Execution errors are deterministic for a given config (the simulation is a
+// pure function of it), so they are marked permanent: the coordinator
+// quarantines them instead of burning retries reproducing the same fault.
+func runUnit(h *harness.Harness, u dist.Unit) ([]byte, error) {
+	var p dist.RunPayload
+	if err := json.Unmarshal(u.Payload, &p); err != nil {
+		return nil, dist.Permanent(fmt.Errorf("bad run payload: %w", err))
+	}
+	r, err := h.Execute(u.Key, p.Bench, p.Model, p.Cfg)
+	if err != nil {
+		return nil, dist.Permanent(err)
+	}
+	return json.Marshal(r)
+}
+
+// runWorker is wirbench -worker: pull run units from the coordinator until it
+// drains. Returns the process exit code.
+func runWorker(d distFlags, newHarness func(int) *harness.Harness) int {
+	h := newHarness(1)
+	w := dist.NewWorker(d.worker, dist.WorkerConfig{
+		Name:     d.name,
+		Kinds:    []string{dist.KindRun},
+		Handler:  func(u dist.Unit) ([]byte, error) { return runUnit(h, u) },
+		Patience: d.patience,
+		Logf:     func(format string, args ...any) { fmt.Fprintf(os.Stderr, "wirbench: "+format+"\n", args...) },
+	})
+	if err := w.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "wirbench: worker: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wirbench: worker done (%d units)\n", w.UnitsDone())
+	return 0
+}
+
+// distServer is a running coordinator plus its HTTP listener.
+type distServer struct {
+	coord *dist.Coordinator
+	srv   *http.Server
+	addr  string
+	chaos *dist.Chaos
+}
+
+// startDist brings up the coordinator for wirbench -serve-sweep and wires the
+// main harness's executor to it. The coordinator's graceful-degradation
+// executor runs on a separate local harness — never the main one, whose Run
+// would re-enter the coordinator.
+func startDist(d distFlags, newHarness func(int) *harness.Harness, mainH *harness.Harness) (*distServer, error) {
+	var cz *dist.Chaos
+	if d.chaos != "" {
+		var err error
+		cz, err = dist.ParseChaos(d.chaos)
+		if err != nil {
+			return nil, err
+		}
+	}
+	localH := newHarness(1)
+	coord := dist.NewCoordinator(dist.Config{
+		Lease:      d.lease,
+		Grace:      d.grace,
+		MaxRetries: d.retries,
+		Chaos:      cz,
+		Local:      func(u dist.Unit) ([]byte, error) { return runUnit(localH, u) },
+		Logf:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, "wirbench: "+format+"\n", args...) },
+	})
+	ln, err := net.Listen("tcp", d.serve)
+	if err != nil {
+		coord.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "wirbench: serving sweep on %s\n", ln.Addr())
+
+	// Every cache miss of the main harness becomes a coordinator unit. The
+	// unit key IS the cache key, so duplicate submissions collapse exactly
+	// like duplicate cache demands, and delivered results flow back into the
+	// main harness's memo cache for the figure rendering loops and -csv.
+	mainH.Exec = func(key, abbr string, m config.Model, cfg config.Config) (*harness.Result, error) {
+		payload, err := json.Marshal(dist.RunPayload{Bench: abbr, Model: m, Cfg: cfg})
+		if err != nil {
+			return nil, err
+		}
+		out, err := coord.Do(dist.Unit{Key: key, Kind: dist.KindRun, Payload: payload})
+		if err != nil {
+			return nil, err
+		}
+		var r harness.Result
+		if err := json.Unmarshal(out, &r); err != nil {
+			return nil, fmt.Errorf("dist: unit %s: undecodable result: %w", key, err)
+		}
+		return &r, nil
+	}
+	return &distServer{coord: coord, srv: srv, addr: ln.Addr().String(), chaos: cz}, nil
+}
+
+// finish drains the coordinator, releases workers, writes the wir-dist/1
+// summary artifact, and tears the server down.
+func (ds *distServer) finish(jsonPath string) error {
+	ds.coord.DrainAndWait(5 * time.Second)
+	s := ds.coord.Snapshot()
+	fmt.Fprintf(os.Stderr, "wirbench: dist sweep done: %d units (%d dispatched, %d retries, %d reclaims, %d duplicates dropped, %d local)\n",
+		s.Counters.Completed, s.Counters.Dispatched, s.Counters.Retries,
+		s.Counters.Reclaims, s.Counters.Duplicates, s.Counters.LocalRuns)
+	if ds.chaos != nil {
+		fmt.Fprintf(os.Stderr, "wirbench: %s\n", ds.chaos.Summary())
+	}
+	var err error
+	if jsonPath != "" {
+		err = ds.writeSummary(jsonPath, s)
+	}
+	ds.srv.Close()
+	ds.coord.Close()
+	return err
+}
+
+// writeSummary writes the wir-dist/1 summary (also flushed on interrupt).
+func (ds *distServer) writeSummary(path string, s *dist.Summary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wirbench: wrote %s summary to %s\n", dist.SummarySchema, path)
+	return nil
+}

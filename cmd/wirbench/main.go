@@ -28,7 +28,9 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
+	"github.com/wirsim/wir/internal/graceful"
 	"github.com/wirsim/wir/internal/harness"
 	"github.com/wirsim/wir/internal/reuseprof"
 )
@@ -210,7 +212,19 @@ func main() {
 	hostprofPath := flag.String("hostprof", "", "with -speed: also write the merged host profile as a gzip'd pprof file (go tool pprof)")
 	hostprofJSON := flag.String("hostprof-json", "", "with -speed: also write the merged wir-hostprof/1 report as JSON")
 	reuseJSON := flag.String("reuseprof-json", "", "write the merged wir-reuse/1 report (miss taxonomy, eviction ledger, shadow headroom) across every fresh simulation")
+	serveSweep := flag.String("serve-sweep", "", "listen address (host:port) for a distributed-sweep coordinator; fresh simulations are farmed to -worker processes, output stays byte-identical")
+	workerURL := flag.String("worker", "", "run as a sweep worker pulling units from this coordinator URL (e.g. http://host:9471)")
+	workerName := flag.String("worker-name", "worker", "worker name for coordinator logs and provenance")
+	distLease := flag.Duration("dist-lease", 15*time.Second, "with -serve-sweep: lease duration before an unheard-from worker's unit is reclaimed")
+	distGrace := flag.Duration("dist-grace", 10*time.Second, "with -serve-sweep: how long to wait for a first worker before degrading to local execution")
+	distRetries := flag.Int("dist-retries", 3, "with -serve-sweep: re-dispatches per unit before it falls back to local execution")
+	distChaos := flag.String("dist-chaos", "", "with -serve-sweep: dist-level chaos spec seed,rate,kinds (kinds: kill, hbdelay, dropresult, dupresult, truncate, all)")
+	distJSON := flag.String("dist-json", "", "with -serve-sweep: write the wir-dist/1 coordinator summary to this file")
+	distPatience := flag.Duration("dist-patience", 2*time.Minute, "with -worker: give up after the coordinator is unreachable this long")
 	flag.Parse()
+
+	guard := graceful.New("wirbench")
+	guard.Watch()
 
 	newHarness := func(w int) *harness.Harness {
 		h := harness.New()
@@ -223,6 +237,20 @@ func main() {
 		return h
 	}
 
+	if *workerURL != "" {
+		if *serveSweep != "" || *speedPath != "" {
+			fmt.Fprintln(os.Stderr, "wirbench: -worker is exclusive with -serve-sweep and -speed")
+			os.Exit(2)
+		}
+		os.Exit(runWorker(distFlags{worker: *workerURL, name: *workerName, patience: *distPatience}, newHarness))
+	}
+	if *serveSweep != "" && *speedPath != "" {
+		// The coordinator memoizes across passes, so the second -speed pass
+		// would measure cache hits, not throughput.
+		fmt.Fprintln(os.Stderr, "wirbench: -speed cannot run under -serve-sweep")
+		os.Exit(2)
+	}
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
@@ -232,7 +260,7 @@ func main() {
 
 	if *speedPath != "" {
 		o := speedOpts{path: *speedPath, history: *speedHistory, prof: *hostprofPath, profJSON: *hostprofJSON, reuseJSON: *reuseJSON}
-		if err := runSpeed(o, *sms, *workers, newHarness, sel); err != nil {
+		if err := runSpeed(o, *sms, *workers, newHarness, sel, guard); err != nil {
 			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -242,6 +270,30 @@ func main() {
 	h := newHarness(*workers)
 	if *reuseJSON != "" {
 		h.ReuseProf = reuseprof.NewCollector(0)
+	}
+	var ds *distServer
+	if *serveSweep != "" {
+		var err error
+		ds, err = startDist(distFlags{
+			serve: *serveSweep, lease: *distLease, grace: *distGrace,
+			retries: *distRetries, chaos: *distChaos,
+		}, newHarness, h)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *distJSON != "" {
+			guard.OnInterrupt(func() { ds.writeSummary(*distJSON, ds.coord.Snapshot()) })
+		}
+	}
+	if *csvPath != "" {
+		guard.OnInterrupt(func() {
+			if f, err := os.Create(*csvPath); err == nil {
+				h.WriteRunsCSV(f)
+				f.Close()
+				fmt.Fprintf(os.Stderr, "wirbench: flushed %d partial raw runs to %s\n", h.RunCount(), *csvPath)
+			}
+		})
 	}
 	out := os.Stdout
 	ran := 0
@@ -295,6 +347,12 @@ func main() {
 	}
 	if *reuseJSON != "" {
 		if err := writeReuseJSON(*reuseJSON, h.ReuseProf); err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if ds != nil {
+		if err := ds.finish(*distJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "wirbench: %v\n", err)
 			os.Exit(1)
 		}

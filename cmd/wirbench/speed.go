@@ -6,11 +6,37 @@ import (
 	"os"
 	"time"
 
+	"github.com/wirsim/wir/internal/graceful"
 	"github.com/wirsim/wir/internal/harness"
 	"github.com/wirsim/wir/internal/hostprof"
 	"github.com/wirsim/wir/internal/reuseprof"
 	"github.com/wirsim/wir/internal/speed"
 )
+
+// flushInterruptedSpeed writes the passes recorded so far as an Interrupted
+// wir-speed/1 report — to the report path and, when configured, the history
+// ledger — so an aborted measurement leaves analyzable (but never
+// ratchet-eligible) evidence behind. Runs on the signal goroutine, under the
+// guard lock, so rep is not mid-mutation.
+func flushInterruptedSpeed(o speedOpts, rep *speed.Report) {
+	if len(rep.Runs) == 0 {
+		fmt.Fprintln(os.Stderr, "wirbench: no completed speed pass to flush")
+		return
+	}
+	rep.Finalize()
+	rep.StampProvenance()
+	rep.Interrupted = true
+	if f, err := os.Create(o.path); err == nil {
+		rep.Write(f)
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wirbench: flushed interrupted speed report (%d passes) to %s\n", len(rep.Runs), o.path)
+	}
+	if o.history != "" {
+		if err := speed.AppendHistory(o.history, rep); err == nil {
+			fmt.Fprintf(os.Stderr, "wirbench: appended interrupted run to %s\n", o.history)
+		}
+	}
+}
 
 // speedOpts carries the output destinations of a -speed run.
 type speedOpts struct {
@@ -33,12 +59,17 @@ type speedOpts struct {
 // Every pass carries a hostprof collector, so each recorded run includes its
 // per-phase wall-time breakdown and skip-opportunity fraction; the collectors
 // merged across passes feed the optional pprof/JSON host-profile artifacts.
-func runSpeed(o speedOpts, sms, workers int, newHarness func(int) *harness.Harness, sel func(string) bool) error {
+//
+// On SIGINT/SIGTERM the guard flushes whatever passes completed as an
+// Interrupted report — kept in the ledger for forensics, never used as a
+// ratchet baseline (speed.Best skips it) — and exits with graceful.ExitCode.
+func runSpeed(o speedOpts, sms, workers int, newHarness func(int) *harness.Harness, sel func(string) bool, guard *graceful.Guard) error {
 	widths := []int{1, workers}
 	if workers <= 1 {
 		widths = []int{1, 1} // keep the two-run shape; speedup degenerates to ~1
 	}
 	rep := &speed.Report{SMs: sms}
+	guard.OnInterrupt(func() { flushInterruptedSpeed(o, rep) })
 	merged := hostprof.NewCollector(0, 0)
 	mergedReuse := reuseprof.NewCollector(0)
 	for _, w := range widths {
@@ -68,7 +99,7 @@ func runSpeed(o speedOpts, sms, workers int, newHarness func(int) *harness.Harne
 		}
 		run.Phases = phaseBreakdown(h.HostProf)
 		run.SkipOpportunity = h.HostProf.SkipOpportunity()
-		rep.Runs = append(rep.Runs, run)
+		guard.Protect(func() { rep.Runs = append(rep.Runs, run) })
 		merged.Merge(h.HostProf)
 		mergedReuse.Merge(h.ReuseProf)
 		fmt.Fprintf(os.Stderr, "wirbench: speed pass -j %d done\n", w)

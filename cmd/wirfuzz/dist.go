@@ -1,0 +1,207 @@
+// Distributed fuzz fan-out: wirfuzz -serve-sweep shards the seed range into
+// dist.KindFuzz units and leases them to wirfuzz -worker processes; failures
+// merge back in shard order, so the artifact and exit status are identical to
+// the serial sweep regardless of worker count or chaos schedule.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/wirsim/wir/internal/chaos"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/dist"
+)
+
+// fuzzDist is the resolved distributed command line.
+type fuzzDist struct {
+	serve    string // -serve-sweep listen address
+	worker   string // -worker coordinator URL
+	name     string // -worker-name
+	shard    int64  // seeds per unit
+	lease    time.Duration
+	grace    time.Duration
+	retries  int
+	chaos    string // -dist-chaos (transport faults; -chaos stays simulator faults)
+	jsonPath string // -dist-json summary artifact
+	patience time.Duration
+}
+
+// payloadFor renders one shard of the sweep as a self-contained unit payload.
+// The simulator chaos spec ships in its ORIGINAL form: per-seed injectors are
+// derived from (original seed + program seed), which is shard-invariant, so a
+// seed sees the same faults no matter which shard — or machine — runs it.
+func (sw *sweep) payloadFor(start, n int64) dist.FuzzPayload {
+	return dist.FuzzPayload{
+		Start: start, N: n,
+		Model: sw.modelName, SMs: sw.sms, Len: sw.length,
+		Shared: sw.shared, Watchdog: sw.watchdog, Chaos: sw.chaosSpec,
+	}
+}
+
+// sweepFromPayload reconstructs a worker-side sweep from a shard payload.
+func sweepFromPayload(p dist.FuzzPayload) (*sweep, error) {
+	m, err := config.ParseModel(p.Model)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Shared {
+	case "auto", "on", "off":
+	default:
+		return nil, fmt.Errorf("bad shared setting %q", p.Shared)
+	}
+	sw := &sweep{
+		model: m, modelName: p.Model, sms: p.SMs, length: p.Len,
+		shared: p.Shared, watchdog: p.Watchdog,
+	}
+	if p.Chaos != "" {
+		inj, err := chaos.Parse(p.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		sw.chaosSpec = p.Chaos
+		sw.chaosSeed = inj.Seed
+		sw.chaosRest = p.Chaos[strings.Index(p.Chaos, ",")+1:]
+	}
+	return sw, nil
+}
+
+// runShard executes one shard payload and returns its failures as JSON. A
+// malformed payload is permanent (re-running cannot fix it); shard execution
+// itself is deterministic, so its failures are data, not errors.
+func runShard(u dist.Unit) ([]byte, error) {
+	var p dist.FuzzPayload
+	if err := json.Unmarshal(u.Payload, &p); err != nil {
+		return nil, dist.Permanent(fmt.Errorf("bad fuzz payload: %w", err))
+	}
+	sw, err := sweepFromPayload(p)
+	if err != nil {
+		return nil, dist.Permanent(err)
+	}
+	sw.sweepRange(p.Start, p.N)
+	if sw.failures == nil {
+		sw.failures = []failure{}
+	}
+	return json.Marshal(sw.failures)
+}
+
+// fuzzWorker is wirfuzz -worker: pull seed shards until the coordinator
+// drains. Returns the process exit code.
+func fuzzWorker(d fuzzDist) int {
+	w := dist.NewWorker(d.worker, dist.WorkerConfig{
+		Name:     d.name,
+		Kinds:    []string{dist.KindFuzz},
+		Handler:  runShard,
+		Patience: d.patience,
+		Logf:     func(format string, args ...any) { fmt.Fprintf(os.Stderr, "wirfuzz: "+format+"\n", args...) },
+	})
+	if err := w.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "wirfuzz: worker: %v\n", err)
+		return exitRuntime
+	}
+	fmt.Fprintf(os.Stderr, "wirfuzz: worker done (%d shards)\n", w.UnitsDone())
+	return exitOK
+}
+
+// distSweep shards [start, start+n) across workers, merges the failures in
+// shard order into sw.failures, and reports each — producing the same records,
+// order, and summary lines as the serial loop.
+func (sw *sweep) distSweep(d fuzzDist, start, n int64) error {
+	var cz *dist.Chaos
+	if d.chaos != "" {
+		var err error
+		cz, err = dist.ParseChaos(d.chaos)
+		if err != nil {
+			return err
+		}
+	}
+	coord := dist.NewCoordinator(dist.Config{
+		Lease:      d.lease,
+		Grace:      d.grace,
+		MaxRetries: d.retries,
+		Chaos:      cz,
+		Local:      runShard,
+		Logf:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, "wirfuzz: "+format+"\n", args...) },
+	})
+	defer coord.Close()
+	ln, err := net.Listen("tcp", d.serve)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "wirfuzz: serving sweep on %s\n", ln.Addr())
+	if d.jsonPath != "" {
+		sw.guard.OnInterrupt(func() { writeDistSummary(d.jsonPath, coord.Snapshot()) })
+	}
+
+	// Submit every shard up front so idle workers can pull ahead, then merge
+	// strictly in shard order.
+	var futures []*dist.Future
+	for s := start; s < start+n; s += d.shard {
+		cnt := d.shard
+		if s+cnt > start+n {
+			cnt = start + n - s
+		}
+		payload, err := json.Marshal(sw.payloadFor(s, cnt))
+		if err != nil {
+			return err
+		}
+		fh := fnv.New64a()
+		fh.Write(payload)
+		key := fmt.Sprintf("fuzz/%s/%d+%d#%016x", sw.modelName, s, cnt, fh.Sum64())
+		futures = append(futures, coord.Submit(dist.Unit{Key: key, Kind: dist.KindFuzz, Payload: payload}))
+	}
+	for i, f := range futures {
+		out, err := f.Wait()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		var fails []failure
+		if err := json.Unmarshal(out, &fails); err != nil {
+			return fmt.Errorf("shard %d: undecodable failure list: %w", i, err)
+		}
+		for _, fl := range fails {
+			sw.record(fl)
+			fmt.Fprintf(os.Stderr, "wirfuzz: seed %d FAILED (minimized to %d live of len %d): %s\n",
+				fl.Seed, fl.Live, fl.Len, fl.Error)
+		}
+	}
+	coord.DrainAndWait(5 * time.Second)
+	s := coord.Snapshot()
+	fmt.Fprintf(os.Stderr, "wirfuzz: dist sweep done: %d shards (%d dispatched, %d retries, %d reclaims, %d duplicates dropped, %d local)\n",
+		s.Counters.Completed, s.Counters.Dispatched, s.Counters.Retries,
+		s.Counters.Reclaims, s.Counters.Duplicates, s.Counters.LocalRuns)
+	if cz != nil {
+		fmt.Fprintf(os.Stderr, "wirfuzz: %s\n", cz.Summary())
+	}
+	if d.jsonPath != "" {
+		return writeDistSummary(d.jsonPath, s)
+	}
+	return nil
+}
+
+// writeDistSummary writes the wir-dist/1 coordinator summary artifact.
+func writeDistSummary(path string, s *dist.Summary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wirfuzz: wrote %s summary to %s\n", dist.SummarySchema, path)
+	return nil
+}

@@ -17,9 +17,16 @@
 //	wirfuzz [-start N] [-n N] [-model RLPV] [-sms N] [-len N] [-skip 1,3,9]
 //	        [-shared auto|on|off] [-watchdog N] [-chaos seed,rate,kinds]
 //	        [-out failures.json] [-v]
+//	        [-serve-sweep ADDR [-shard N] [-dist-chaos seed,rate,kinds]]
+//	        [-worker URL [-worker-name NAME]]
+//
+// -serve-sweep distributes the sweep: seed shards are leased to wirfuzz
+// -worker processes and the merged failure artifact is byte-identical to the
+// serial sweep (see docs/DISTRIBUTED.md).
 //
 // Exit status: 0 when every seed passes, 1 on runtime errors, 2 on usage
-// errors, 3 when any seed fails.
+// errors, 3 when any seed fails, 4 when interrupted by SIGINT/SIGTERM (partial
+// artifacts flushed).
 package main
 
 import (
@@ -30,10 +37,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/fuzz"
+	"github.com/wirsim/wir/internal/graceful"
 )
 
 const (
@@ -41,6 +50,9 @@ const (
 	exitRuntime = 1
 	exitUsage   = 2
 	exitFault   = 3
+	// exitInterrupted (4) is produced by the graceful SIGINT/SIGTERM handler
+	// after flushing partial artifacts; see internal/graceful.
+	exitInterrupted = graceful.ExitCode
 )
 
 // failure is one minimized failing seed, serialized into the -out artifact.
@@ -69,6 +81,11 @@ type sweep struct {
 	chaosRest string // "rate,kinds" tail of the spec
 	chaosSeed int64
 	verbose   bool
+
+	// guard (nil in dist workers) protects failures against the interrupt
+	// flusher, which writes the partial artifact on SIGINT/SIGTERM.
+	guard    *graceful.Guard
+	failures []failure
 }
 
 func main() {
@@ -83,11 +100,34 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "inject faults: seed,rate,kinds — the seed is offset per run so every program sees distinct faults")
 	out := flag.String("out", "", "write minimized failing seeds as JSON to this file")
 	verbose := flag.Bool("v", false, "log every seed")
+	serveSweep := flag.String("serve-sweep", "", "listen address (host:port) for a distributed-sweep coordinator; seed shards are farmed to -worker processes, artifact stays byte-identical")
+	workerURL := flag.String("worker", "", "run as a sweep worker pulling seed shards from this coordinator URL")
+	workerName := flag.String("worker-name", "worker", "worker name for coordinator logs and provenance")
+	shardSize := flag.Int64("shard", 25, "with -serve-sweep: seeds per distributed work unit")
+	distLease := flag.Duration("dist-lease", 30*time.Second, "with -serve-sweep: lease duration before an unheard-from worker's shard is reclaimed")
+	distGrace := flag.Duration("dist-grace", 10*time.Second, "with -serve-sweep: how long to wait for a first worker before degrading to local execution")
+	distRetries := flag.Int("dist-retries", 3, "with -serve-sweep: re-dispatches per shard before it falls back to local execution")
+	distChaos := flag.String("dist-chaos", "", "with -serve-sweep: dist-level chaos spec seed,rate,kinds (transport faults, distinct from -chaos simulator faults)")
+	distJSON := flag.String("dist-json", "", "with -serve-sweep: write the wir-dist/1 coordinator summary to this file")
+	distPatience := flag.Duration("dist-patience", 2*time.Minute, "with -worker: give up after the coordinator is unreachable this long")
 	flag.Parse()
 
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: wirfuzz [-start N] [-n N] [-model M] [-chaos seed,rate,kinds] [-out FILE]")
 		os.Exit(exitUsage)
+	}
+	guard := graceful.New("wirfuzz")
+	guard.Watch()
+	d := fuzzDist{
+		serve: *serveSweep, worker: *workerURL, name: *workerName, shard: *shardSize,
+		lease: *distLease, grace: *distGrace, retries: *distRetries,
+		chaos: *distChaos, jsonPath: *distJSON, patience: *distPatience,
+	}
+	if d.worker != "" {
+		if d.serve != "" {
+			usageCheck(fmt.Errorf("wirfuzz: -worker is exclusive with -serve-sweep"))
+		}
+		os.Exit(fuzzWorker(d))
 	}
 	m, err := config.ParseModel(*modelName)
 	usageCheck(err)
@@ -101,9 +141,24 @@ func main() {
 	}
 	skip, err := parseSkip(*skipSpec, *length)
 	usageCheck(err)
+	if d.serve != "" {
+		if len(skip) > 0 {
+			usageCheck(fmt.Errorf("wirfuzz: -skip replays one minimized failure; it cannot be combined with -serve-sweep"))
+		}
+		if d.shard <= 0 {
+			usageCheck(fmt.Errorf("wirfuzz: -shard must be positive"))
+		}
+	}
 	sw := &sweep{
 		model: m, modelName: *modelName, sms: *sms, length: *length, skip: skip,
 		shared: *shared, watchdog: *watchdog, verbose: *verbose,
+		guard: guard,
+	}
+	if *out != "" {
+		// On SIGINT/SIGTERM, flush whatever failures exist so a long nightly
+		// sweep that gets killed still leaves its evidence behind.
+		outPath := *out
+		guard.OnInterrupt(func() { writeArtifact(outPath, sw.failures) })
 	}
 	if *chaosSpec != "" {
 		inj, err := chaos.Parse(*chaosSpec)
@@ -113,8 +168,30 @@ func main() {
 		sw.chaosRest = (*chaosSpec)[strings.Index(*chaosSpec, ",")+1:]
 	}
 
-	var failures []failure
-	for seed := *start; seed < *start+int64(*n); seed++ {
+	if d.serve != "" {
+		if err := sw.distSweep(d, *start, int64(*n)); err != nil {
+			fatal(err)
+		}
+	} else {
+		sw.sweepRange(*start, int64(*n))
+	}
+
+	if *out != "" {
+		writeArtifact(*out, sw.failures)
+	}
+	if len(sw.failures) > 0 {
+		fmt.Fprintf(os.Stderr, "wirfuzz: %d of %d seeds failed\n", len(sw.failures), *n)
+		os.Exit(exitFault)
+	}
+	fmt.Fprintf(os.Stderr, "wirfuzz: %d seeds clean (model %s, start %d)\n", *n, sw.modelName, *start)
+}
+
+// sweepRange runs one contiguous seed range, minimizing and recording every
+// failure. It is the unit of distribution: a dist worker executes exactly this
+// over its shard, so a sharded sweep accumulates the same failure records —
+// in the same order, once shards are merged — as the serial loop.
+func (sw *sweep) sweepRange(start, n int64) {
+	for seed := start; seed < start+n; seed++ {
 		err := sw.run(sw.optionsFor(seed, sw.length, sw.skip), seed)
 		if err == nil {
 			if sw.verbose {
@@ -140,19 +217,16 @@ func main() {
 		if f.Chaos != "" {
 			f.Repro += " -chaos " + f.Chaos
 		}
-		failures = append(failures, f)
+		sw.record(f)
 		fmt.Fprintf(os.Stderr, "wirfuzz: seed %d FAILED (minimized to %d live of len %d): %v\n",
 			seed, min.Live(), min.Len, err)
 	}
+}
 
-	if *out != "" {
-		writeArtifact(*out, failures)
-	}
-	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "wirfuzz: %d of %d seeds failed\n", len(failures), *n)
-		os.Exit(exitFault)
-	}
-	fmt.Fprintf(os.Stderr, "wirfuzz: %d seeds clean (model %s, start %d)\n", *n, sw.modelName, *start)
+// record appends a failure under the interrupt guard, so a partial artifact
+// flushed on SIGINT/SIGTERM never contains a half-written record.
+func (sw *sweep) record(f failure) {
+	sw.guard.Protect(func() { sw.failures = append(sw.failures, f) })
 }
 
 // sharedFor resolves the scratchpad setting for one seed. Auto alternates so

@@ -1,0 +1,275 @@
+// Distributed-sweep conformance suite: a sweep executed through the
+// dist coordinator/worker protocol must merge to BYTE-IDENTICAL results — the
+// raw-runs CSV with every wir-stats/1 counter and energy component — no
+// matter how many workers serve it, which of them die, and what the dist
+// chaos injector does to the transport. Execution is always the same
+// deterministic local simulation; the distribution layer is only allowed to
+// move it, so any byte of difference is a protocol bug (lost unit, double
+// merge, truncated result) by construction.
+//
+// Worker kills, duplicate deliveries, dropped results, suppressed heartbeats,
+// truncated responses, and the zero-worker degradation path are each exercised
+// on a seeded schedule; testing.Short() trims the schedule list so the CI race
+// pass stays fast.
+package wir_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/dist"
+	"github.com/wirsim/wir/internal/harness"
+)
+
+// distConfSMs keeps the simulations small; identical on every path.
+const distConfSMs = 2
+
+// distConfJobs is the sweep under test: benchmarks × models plus a mutated
+// variant, so the payload path proves it carries fully-mutated configs.
+func distConfJobs(short bool) []struct {
+	abbr string
+	m    config.Model
+	v    *harness.Variant
+} {
+	vsb8 := &harness.Variant{Name: "VSB8", Mutate: func(c *config.Config) { c.VSBEntries = 8 }}
+	// Short mode keeps both benchmarks and the variant path but trims the
+	// grid: the schedules probe the protocol, not the simulations, and the
+	// race pass shares the root package's per-package test timeout.
+	jobs := []struct {
+		abbr string
+		m    config.Model
+		v    *harness.Variant
+	}{
+		{"DW", config.Base, nil},
+		{"DW", config.RLPV, nil},
+		{"DW", config.RLPV, vsb8},
+		{"KM", config.RLPV, nil},
+	}
+	if !short {
+		jobs = append(jobs,
+			struct {
+				abbr string
+				m    config.Model
+				v    *harness.Variant
+			}{"KM", config.Base, nil},
+			struct {
+				abbr string
+				m    config.Model
+				v    *harness.Variant
+			}{"KM", config.RLPV, vsb8},
+		)
+		for _, abbr := range []string{"HS", "S2"} {
+			jobs = append(jobs,
+				struct {
+					abbr string
+					m    config.Model
+					v    *harness.Variant
+				}{abbr, config.Base, nil},
+				struct {
+					abbr string
+					m    config.Model
+					v    *harness.Variant
+				}{abbr, config.RLPV, nil},
+			)
+		}
+	}
+	return jobs
+}
+
+// execUnit runs one KindRun unit on h, mirroring cmd/wirbench's worker
+// handler: payload in, JSON-encoded harness.Result out.
+func execUnit(h *harness.Harness, u dist.Unit) ([]byte, error) {
+	var p dist.RunPayload
+	if err := json.Unmarshal(u.Payload, &p); err != nil {
+		return nil, dist.Permanent(err)
+	}
+	r, err := h.Execute(u.Key, p.Bench, p.Model, p.Cfg)
+	if err != nil {
+		return nil, dist.Permanent(err)
+	}
+	return json.Marshal(r)
+}
+
+// serialCSV runs the sweep on one local harness and returns the raw-runs CSV
+// — the reference bytes every distributed execution must reproduce.
+func serialCSV(t *testing.T, short bool) []byte {
+	t.Helper()
+	h := harness.New()
+	h.SMs = distConfSMs
+	for _, j := range distConfJobs(short) {
+		if _, err := h.Run(j.abbr, j.m, j.v); err != nil {
+			t.Fatalf("serial %s/%v: %v", j.abbr, j.m, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := h.WriteRunsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// distCSV runs the same sweep through a coordinator with nWorkers in-process
+// workers under the given chaos spec ("" = none) and returns the merged CSV
+// plus the coordinator summary. Killed workers respawn (a fresh registration,
+// like a restarted process) until the sweep drains.
+func distCSV(t *testing.T, short bool, nWorkers int, chaosSpec string) ([]byte, *dist.Summary) {
+	t.Helper()
+	var cz *dist.Chaos
+	if chaosSpec != "" {
+		var err error
+		cz, err = dist.ParseChaos(chaosSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	localH := harness.New()
+	localH.SMs = distConfSMs
+	coord := dist.NewCoordinator(dist.Config{
+		Lease:       300 * time.Millisecond,
+		Heartbeat:   60 * time.Millisecond,
+		Poll:        10 * time.Millisecond,
+		Grace:       250 * time.Millisecond,
+		MaxRetries:  2,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Tick:        10 * time.Millisecond,
+		Chaos:       cz,
+		Local:       func(u dist.Unit) ([]byte, error) { return execUnit(localH, u) },
+	})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wh := harness.New()
+			wh.SMs = distConfSMs
+			for ctx.Err() == nil {
+				w := dist.NewWorker(srv.URL, dist.WorkerConfig{
+					Name:     fmt.Sprintf("conf-%d", i),
+					Kinds:    []string{dist.KindRun},
+					Handler:  func(u dist.Unit) ([]byte, error) { return execUnit(wh, u) },
+					Patience: 5 * time.Second,
+				})
+				err := w.Run(ctx)
+				if err == nil || ctx.Err() != nil {
+					return // drained or test over
+				}
+				// Chaos killed the worker: respawn, like a restarted process.
+			}
+		}(i)
+	}
+
+	h := harness.New()
+	h.SMs = distConfSMs
+	h.Exec = func(key, abbr string, m config.Model, cfg config.Config) (*harness.Result, error) {
+		payload, err := json.Marshal(dist.RunPayload{Bench: abbr, Model: m, Cfg: cfg})
+		if err != nil {
+			return nil, err
+		}
+		out, err := coord.Do(dist.Unit{Key: key, Kind: dist.KindRun, Payload: payload})
+		if err != nil {
+			return nil, err
+		}
+		var r harness.Result
+		if err := json.Unmarshal(out, &r); err != nil {
+			return nil, err
+		}
+		return &r, nil
+	}
+	// Demand units concurrently, like a -j prewarm pool would.
+	jobs := distConfJobs(short)
+	errs := make([]error, len(jobs))
+	var jw sync.WaitGroup
+	for i, j := range jobs {
+		jw.Add(1)
+		go func(i int, abbr string, m config.Model, v *harness.Variant) {
+			defer jw.Done()
+			_, errs[i] = h.Run(abbr, m, v)
+		}(i, j.abbr, j.m, j.v)
+	}
+	jw.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("dist %s/%v (chaos %q): %v", jobs[i].abbr, jobs[i].m, chaosSpec, err)
+		}
+	}
+	coord.Drain()
+	cancel()
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := h.WriteRunsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), coord.Snapshot()
+}
+
+// TestDistConformance: every chaos schedule must merge byte-identical CSVs.
+func TestDistConformance(t *testing.T) {
+	short := testing.Short()
+	want := serialCSV(t, short)
+	schedules := []struct {
+		name    string
+		workers int
+		chaos   string
+	}{
+		{"no-chaos", 2, ""},
+		{"worker-kill", 2, "7,0.2,kill"},
+		{"duplicate-delivery", 2, "3,1,dupresult"},
+	}
+	if !short {
+		schedules = append(schedules, []struct {
+			name    string
+			workers int
+			chaos   string
+		}{
+			{"heartbeat-delay", 2, "5,0.5,hbdelay"},
+			{"dropped-result", 2, "9,0.3,dropresult"},
+			{"truncated-response", 2, "11,0.2,truncate"},
+			{"everything", 3, "13,0.1,all"},
+		}...)
+	}
+	for _, sc := range schedules {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			got, sum := distCSV(t, short, sc.workers, sc.chaos)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("merged CSV differs from serial under schedule %q\nserial %d bytes, dist %d bytes",
+					sc.chaos, len(want), len(got))
+			}
+			if int(sum.Counters.Completed) != len(distConfJobs(short)) {
+				t.Errorf("completed=%d units, want %d", sum.Counters.Completed, len(distConfJobs(short)))
+			}
+			if sc.name == "duplicate-delivery" && sum.Counters.Duplicates == 0 {
+				t.Error("dupresult at rate 1 injected no duplicates — schedule not exercised")
+			}
+		})
+	}
+}
+
+// TestDistConformanceZeroWorkers: with no worker ever joining, the grace
+// window expires and the coordinator's local degradation path must still
+// produce the exact serial bytes.
+func TestDistConformanceZeroWorkers(t *testing.T) {
+	short := testing.Short()
+	want := serialCSV(t, short)
+	got, sum := distCSV(t, short, 0, "")
+	if !bytes.Equal(got, want) {
+		t.Fatal("zero-worker degradation CSV differs from serial")
+	}
+	if sum.Counters.LocalRuns == 0 {
+		t.Error("local_runs=0, want every unit locally degraded")
+	}
+}

@@ -1,0 +1,38 @@
+package dist
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff returns the delay before re-dispatching a unit after its attempt-th
+// failed dispatch (attempt >= 1): exponential doubling from base, capped at
+// max, with a multiplicative jitter in [0.5, 1.5) drawn from rng so reclaimed
+// units do not stampede back in lockstep. The rng is seeded by the
+// coordinator, which keeps the schedule reproducible for a given seed and
+// event order.
+func backoff(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			d = max
+			break
+		}
+	}
+	jitter := 1.0
+	if rng != nil {
+		jitter = 0.5 + rng.Float64()
+	}
+	d = time.Duration(float64(d) * jitter)
+	if d > time.Duration(float64(max)*1.5) {
+		d = time.Duration(float64(max) * 1.5)
+	}
+	return d
+}

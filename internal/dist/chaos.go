@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ChaosKind enumerates the distribution-layer fault classes, in the spirit of
+// internal/chaos: each models a failure the coordinator/worker pair must
+// survive without the merged output changing by a single byte.
+type ChaosKind uint8
+
+const (
+	// ChaosKill kills a worker at the moment it picks up a unit: no result,
+	// no further heartbeats. The coordinator must reclaim the lease and
+	// re-dispatch (or, once every worker is dead, finish locally).
+	ChaosKill ChaosKind = iota
+	// ChaosHBDelay suppresses a heartbeat, so a long-running unit's lease
+	// expires mid-execution and is reclaimed while the worker still computes.
+	// The worker's late delivery must be dropped as a duplicate if another
+	// execution won the race.
+	ChaosHBDelay
+	// ChaosDropResult silently drops a finished unit's delivery: the worker
+	// computed the result but never posts it. Only lease expiry can recover
+	// the unit.
+	ChaosDropResult
+	// ChaosDupResult posts a finished unit's delivery twice. The second must
+	// be dropped by key (idempotent ingestion).
+	ChaosDupResult
+	// ChaosTruncate truncates a coordinator HTTP response mid-body, so the
+	// worker sees a JSON decode error and must treat it as transient.
+	ChaosTruncate
+
+	numChaosKinds
+)
+
+var chaosKindNames = [numChaosKinds]string{
+	"kill", "hbdelay", "dropresult", "dupresult", "truncate",
+}
+
+func (k ChaosKind) String() string {
+	if int(k) < len(chaosKindNames) {
+		return chaosKindNames[k]
+	}
+	return fmt.Sprintf("chaoskind(%d)", uint8(k))
+}
+
+// ParseChaosKinds parses a "+"-separated kind list ("all" selects every kind)
+// into a bitmask.
+func ParseChaosKinds(s string) (uint8, error) {
+	if s == "all" {
+		return 1<<numChaosKinds - 1, nil
+	}
+	var mask uint8
+	for _, name := range strings.Split(s, "+") {
+		found := false
+		for k, n := range chaosKindNames {
+			if n == name {
+				mask |= 1 << uint(k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("dist: unknown chaos kind %q (known: %s, all)",
+				name, strings.Join(chaosKindNames[:], ", "))
+		}
+	}
+	return mask, nil
+}
+
+// Chaos draws deterministic distribution-fault decisions. Every kind draws
+// from its own seeded PRNG stream, so (for example) the heartbeat goroutine's
+// rolls cannot perturb the kill/delivery schedule of the worker's main loop —
+// the decision sequence per kind is a pure function of (seed, kind,
+// opportunity index). All methods are nil-safe and concurrency-safe.
+type Chaos struct {
+	Seed  int64
+	Rate  float64
+	kinds uint8
+
+	mu     sync.Mutex
+	rngs   [numChaosKinds]*rand.Rand
+	counts [numChaosKinds]uint64
+}
+
+// NewChaos returns an injector for the given seed, per-opportunity
+// probability, and kind bitmask (from ParseChaosKinds).
+func NewChaos(seed int64, rate float64, kinds uint8) *Chaos {
+	c := &Chaos{Seed: seed, Rate: rate, kinds: kinds}
+	for k := range c.rngs {
+		// Distinct streams per kind: offset the seed by a fixed odd stride.
+		c.rngs[k] = rand.New(rand.NewSource(seed + int64(k)*0x9E3779B9))
+	}
+	return c
+}
+
+// ParseChaos builds an injector from a "seed,rate,kinds" spec, e.g.
+// "7,0.1,kill+dupresult" or "1,0.05,all". It mirrors chaos.Parse, including
+// the NaN/Inf rejection.
+func ParseChaos(spec string) (*Chaos, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("dist: chaos spec must be seed,rate,kinds — got %q", spec)
+	}
+	seed, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("dist: bad chaos seed %q: %v", parts[0], err)
+	}
+	rate, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || math.IsNaN(rate) || rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("dist: chaos rate must be a probability in [0,1], got %q", parts[1])
+	}
+	kinds, err := ParseChaosKinds(parts[2])
+	if err != nil {
+		return nil, err
+	}
+	return NewChaos(seed, rate, kinds), nil
+}
+
+// ForWorker derives a per-worker injector from the same spec: the seed is
+// offset by a hash of the worker name, so two workers under one schedule see
+// distinct — but individually reproducible — fault sequences.
+func (c *Chaos) ForWorker(name string) *Chaos {
+	if c == nil {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return NewChaos(c.Seed^int64(h.Sum64()), c.Rate, c.kinds)
+}
+
+// Spec renders the injector back to its "seed,rate,kinds" form (for shipping
+// to workers at registration).
+func (c *Chaos) Spec() string {
+	if c == nil {
+		return ""
+	}
+	var kinds []string
+	for k := ChaosKind(0); k < numChaosKinds; k++ {
+		if c.kinds&(1<<uint(k)) != 0 {
+			kinds = append(kinds, chaosKindNames[k])
+		}
+	}
+	return fmt.Sprintf("%d,%g,%s", c.Seed, c.Rate, strings.Join(kinds, "+"))
+}
+
+// roll decides one injection opportunity for kind k.
+func (c *Chaos) roll(k ChaosKind) bool {
+	if c == nil || c.kinds&(1<<uint(k)) == 0 {
+		return false
+	}
+	c.mu.Lock()
+	hit := c.rngs[k].Float64() < c.Rate
+	if hit {
+		c.counts[k]++
+	}
+	c.mu.Unlock()
+	return hit
+}
+
+// RollKill reports whether the worker should die picking up this unit.
+func (c *Chaos) RollKill() bool { return c.roll(ChaosKill) }
+
+// RollHBDelay reports whether this heartbeat should be suppressed.
+func (c *Chaos) RollHBDelay() bool { return c.roll(ChaosHBDelay) }
+
+// RollDropResult reports whether this delivery should be dropped.
+func (c *Chaos) RollDropResult() bool { return c.roll(ChaosDropResult) }
+
+// RollDupResult reports whether this delivery should be posted twice.
+func (c *Chaos) RollDupResult() bool { return c.roll(ChaosDupResult) }
+
+// RollTruncate reports whether this coordinator response should be truncated.
+func (c *Chaos) RollTruncate() bool { return c.roll(ChaosTruncate) }
+
+// Injected returns how many faults of kind k were applied.
+func (c *Chaos) Injected(k ChaosKind) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}
+
+// Summary renders the applied-fault counts for logs.
+func (c *Chaos) Summary() string {
+	if c == nil {
+		return "dist chaos: disabled"
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "dist chaos: seed=%d rate=%g", c.Seed, c.Rate)
+	for k := ChaosKind(0); k < numChaosKinds; k++ {
+		if c.kinds&(1<<uint(k)) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%d", chaosKindNames[k], c.counts[k])
+	}
+	return b.String()
+}

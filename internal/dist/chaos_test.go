@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosDeterministicPerKind: the decision sequence for one kind is a pure
+// function of (seed, kind, opportunity index) — interleaving rolls of another
+// kind must not perturb it.
+func TestChaosDeterministicPerKind(t *testing.T) {
+	ref := NewChaos(42, 0.5, 1<<ChaosKill|1<<ChaosDupResult)
+	var killSeq []bool
+	for i := 0; i < 50; i++ {
+		killSeq = append(killSeq, ref.RollKill())
+	}
+
+	// Same seed, but interleave dupresult rolls between every kill roll.
+	mixed := NewChaos(42, 0.5, 1<<ChaosKill|1<<ChaosDupResult)
+	for i := 0; i < 50; i++ {
+		mixed.RollDupResult()
+		if got := mixed.RollKill(); got != killSeq[i] {
+			t.Fatalf("kill roll %d: %v with interleaving, %v without", i, got, killSeq[i])
+		}
+		mixed.RollDupResult()
+	}
+}
+
+// TestChaosKindMasking: a kind outside the mask never fires, even at rate 1.
+func TestChaosKindMasking(t *testing.T) {
+	c := NewChaos(1, 1.0, 1<<ChaosKill)
+	for i := 0; i < 20; i++ {
+		if c.RollDropResult() {
+			t.Fatal("dropresult fired though only kill was enabled")
+		}
+		if !c.RollKill() {
+			t.Fatal("kill did not fire at rate 1")
+		}
+	}
+	if c.Injected(ChaosKill) != 20 || c.Injected(ChaosDropResult) != 0 {
+		t.Fatalf("counts kill=%d drop=%d, want 20/0", c.Injected(ChaosKill), c.Injected(ChaosDropResult))
+	}
+}
+
+// TestChaosNilSafe: a nil injector rolls false everywhere.
+func TestChaosNilSafe(t *testing.T) {
+	var c *Chaos
+	if c.RollKill() || c.RollHBDelay() || c.RollDropResult() || c.RollDupResult() || c.RollTruncate() {
+		t.Fatal("nil chaos rolled true")
+	}
+	if c.Spec() != "" || c.Injected(ChaosKill) != 0 {
+		t.Fatal("nil chaos not inert")
+	}
+	if c.ForWorker("x") != nil {
+		t.Fatal("nil chaos ForWorker not nil")
+	}
+}
+
+// TestParseChaosRoundTrip: Spec() output re-parses to an equivalent injector,
+// which is what ships to workers at registration.
+func TestParseChaosRoundTrip(t *testing.T) {
+	orig, err := ParseChaos("7,0.25,kill+dupresult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ParseChaos(orig.Spec())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", orig.Spec(), err)
+	}
+	if re.Seed != orig.Seed || re.Rate != orig.Rate || re.kinds != orig.kinds {
+		t.Fatalf("round trip changed injector: %+v vs %+v", re, orig)
+	}
+	for i := 0; i < 30; i++ {
+		if orig.RollKill() != re.RollKill() {
+			t.Fatalf("roll %d diverged after round trip", i)
+		}
+	}
+}
+
+// TestParseChaosRejectsBadSpecs mirrors internal/chaos strictness.
+func TestParseChaosRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"", "1,0.5", "x,0.5,all", "1,NaN,all", "1,-0.1,all", "1,1.5,all", "1,0.5,nosuchkind", "1,0.5,kill+bogus",
+	} {
+		if _, err := ParseChaos(spec); err == nil {
+			t.Errorf("ParseChaos(%q) accepted, want error", spec)
+		}
+	}
+}
+
+// TestParseChaosAll: "all" enables every kind.
+func TestParseChaosAll(t *testing.T) {
+	c, err := ParseChaos("1,1,all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.RollKill() || !c.RollHBDelay() || !c.RollDropResult() || !c.RollDupResult() || !c.RollTruncate() {
+		t.Fatal("a kind under 'all' did not fire at rate 1")
+	}
+}
+
+// TestForWorkerDerivesDistinctStreams: two workers under one schedule get
+// individually reproducible but different sequences.
+func TestForWorkerDerivesDistinctStreams(t *testing.T) {
+	base := NewChaos(9, 0.5, 1<<ChaosKill)
+	a1, a2 := base.ForWorker("alpha"), base.ForWorker("alpha")
+	b := base.ForWorker("beta")
+	same, diff := true, false
+	for i := 0; i < 100; i++ {
+		ra := a1.RollKill()
+		if ra != a2.RollKill() {
+			same = false
+		}
+		if ra != b.RollKill() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same worker name did not reproduce its stream")
+	}
+	if !diff {
+		t.Error("distinct worker names produced identical streams")
+	}
+}
+
+// TestBackoffGrowsAndCaps: the delay doubles per attempt and respects the cap
+// even with maximal jitter.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	// No rng: jitter factor 1, pure exponential.
+	for attempt, want := range map[int]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 20 * time.Millisecond,
+		3: 40 * time.Millisecond,
+		4: 80 * time.Millisecond,
+		9: 80 * time.Millisecond,
+	} {
+		if got := backoff(base, max, attempt, nil); got != want {
+			t.Errorf("attempt %d: %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+// TestBackoffDefaults: non-positive base gets the 250ms default, and max is
+// raised to at least base.
+func TestBackoffDefaults(t *testing.T) {
+	if got := backoff(0, 0, 1, nil); got != 250*time.Millisecond {
+		t.Errorf("zero base: %v, want 250ms", got)
+	}
+	if got := backoff(100*time.Millisecond, 10*time.Millisecond, 1, nil); got != 100*time.Millisecond {
+		t.Errorf("max<base: %v, want base", got)
+	}
+}
+
+// TestPermanentErrorClassification: Permanent wrapping survives error chains,
+// and ordinary errors are not permanent.
+func TestPermanentErrorClassification(t *testing.T) {
+	err := Permanent(errTest("boom"))
+	if !IsPermanent(err) {
+		t.Error("Permanent error not classified permanent")
+	}
+	if IsPermanent(errTest("boom")) {
+		t.Error("plain error classified permanent")
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

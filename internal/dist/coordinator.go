@@ -1,0 +1,635 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Coordinator. The zero value gets sensible production
+// defaults; tests shrink every duration.
+type Config struct {
+	// Lease is how long a worker may hold a unit without a heartbeat before
+	// the janitor reclaims it (default 15s).
+	Lease time.Duration
+	// Heartbeat is the interval workers are told to heartbeat at while
+	// executing (default Lease/3).
+	Heartbeat time.Duration
+	// Poll is the idle-worker polling interval hint (default 200ms).
+	Poll time.Duration
+	// Grace is how long the coordinator waits for a first worker to register
+	// before it starts degrading to in-process execution (default 10s). Once
+	// any worker has registered, degradation is driven by liveness instead.
+	Grace time.Duration
+	// MaxRetries is the number of re-dispatches a unit gets after its first
+	// failed attempt (reclaimed lease or transient error) before it falls
+	// back to local execution (default 3).
+	MaxRetries int
+	// BackoffBase/BackoffMax bound the jittered exponential re-dispatch
+	// backoff (defaults 250ms / 10s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Tick is the janitor period (default 50ms).
+	Tick time.Duration
+	// Seed seeds the backoff jitter (deterministic schedules under test).
+	Seed int64
+	// Local executes a unit in-process: the graceful-degradation path and
+	// the retry-exhaustion terminal. When nil, an unreachable unit completes
+	// with an error instead (never silently hangs).
+	Local func(Unit) ([]byte, error)
+	// Chaos, when non-nil, injects coordinator-side faults (response
+	// truncation) and is shipped to workers at registration so one spec
+	// drives the whole schedule.
+	Chaos *Chaos
+	// Logf, when non-nil, receives coordinator progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Lease <= 0 {
+		out.Lease = 15 * time.Second
+	}
+	if out.Heartbeat <= 0 {
+		out.Heartbeat = out.Lease / 3
+	}
+	if out.Poll <= 0 {
+		out.Poll = 200 * time.Millisecond
+	}
+	if out.Grace <= 0 {
+		out.Grace = 10 * time.Second
+	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 3
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 250 * time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = 10 * time.Second
+	}
+	if out.Tick <= 0 {
+		out.Tick = 50 * time.Millisecond
+	}
+	return out
+}
+
+// unit states.
+type unitState int
+
+const (
+	statePending unitState = iota
+	stateLeased
+	stateDone
+)
+
+// unit is one tracked work unit.
+type unit struct {
+	u         Unit
+	state     unitState
+	attempts  int       // dispatch attempts consumed (lease grants + local runs)
+	notBefore time.Time // backoff gate for the next dispatch
+	leasedTo  string
+	deadline  time.Time
+	exhausted bool   // retry budget spent; only local execution remains
+	lastErr   string // most recent transient failure, for the terminal error
+
+	done chan struct{} // closed exactly once, when the unit completes
+	out  []byte
+	err  error
+
+	// provenance of the accepted result
+	byWorker string
+	local    bool
+}
+
+// workerInfo tracks one registered worker.
+type workerInfo struct {
+	id        string
+	name      string
+	kinds     map[string]bool
+	lastSeen  time.Time
+	released  bool // saw the draining "done" reply
+	completed uint64
+	failed    uint64
+}
+
+// Coordinator owns the unit ledger and serves the worker protocol. Create
+// with NewCoordinator, mount Handler on an HTTP server, feed units through
+// Do/Submit, then Drain once the sweep is rendered.
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	units     map[string]*unit
+	order     []string // submit order; the lease scan follows it
+	workers   map[string]*workerInfo
+	seq       int
+	started   time.Time
+	everReg   bool
+	drained   bool
+	localBusy bool
+	rng       *rand.Rand
+
+	counters Counters
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// Counters are the coordinator's robustness event counts (see Summary).
+type Counters struct {
+	Submitted   uint64 `json:"submitted"`
+	Dispatched  uint64 `json:"dispatched"` // lease grants to workers
+	Completed   uint64 `json:"completed"`
+	Retries     uint64 `json:"retries"`  // transient worker-reported failures
+	Reclaims    uint64 `json:"reclaims"` // expired leases taken back
+	Duplicates  uint64 `json:"duplicates_dropped"`
+	Quarantined uint64 `json:"quarantined"`         // permanent faults reported, not retried
+	LocalRuns   uint64 `json:"local_runs"`          // graceful-degradation executions
+	Truncated   uint64 `json:"responses_truncated"` // chaos-injected
+}
+
+// NewCoordinator builds a coordinator and starts its janitor.
+func NewCoordinator(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:     cfg.withDefaults(),
+		units:   make(map[string]*unit),
+		workers: make(map[string]*workerInfo),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	c.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	go c.janitor()
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Future is a pending unit outcome.
+type Future struct{ u *unit }
+
+// Done returns a channel closed when the unit completes.
+func (f *Future) Done() <-chan struct{} { return f.u.done }
+
+// Result returns the unit outcome; call only after Done is closed (Wait
+// blocks for it).
+func (f *Future) Result() ([]byte, error) { return f.u.out, f.u.err }
+
+// Wait blocks until the unit completes.
+func (f *Future) Wait() ([]byte, error) {
+	<-f.u.done
+	return f.u.Result()
+}
+
+// Result on *unit: safe after done is closed (fields are written before the
+// close and never after).
+func (u *unit) Result() ([]byte, error) { return u.out, u.err }
+
+// Submit registers a unit (idempotent by key — a resubmitted key shares the
+// original future, mirroring the single-flight cache) and returns its future.
+func (c *Coordinator) Submit(u Unit) *Future {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.units[u.Key]; ok {
+		return &Future{u: existing}
+	}
+	nu := &unit{u: u, state: statePending, done: make(chan struct{})}
+	c.units[u.Key] = nu
+	c.order = append(c.order, u.Key)
+	c.counters.Submitted++
+	return &Future{u: nu}
+}
+
+// Do submits a unit and blocks until it completes.
+func (c *Coordinator) Do(u Unit) ([]byte, error) {
+	return c.Submit(u).Wait()
+}
+
+// Drain marks the sweep complete: workers are released (their next lease poll
+// replies done) and the janitor finishes any stragglers.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.drained = true
+	c.mu.Unlock()
+}
+
+// DrainAndWait drains, then waits (up to timeout) until every live worker has
+// seen the done reply, so short-lived CI coordinators do not strand workers
+// in their reconnect loop.
+func (c *Coordinator) DrainAndWait(timeout time.Duration) {
+	c.Drain()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		waiting := false
+		for _, w := range c.workers {
+			if !w.released && c.alive(w, time.Now()) {
+				waiting = true
+			}
+		}
+		c.mu.Unlock()
+		if !waiting {
+			return
+		}
+		time.Sleep(c.cfg.Tick)
+	}
+}
+
+// Close stops the janitor. Pending units are not completed; Close is for
+// teardown after Drain (or an abort where outstanding futures are abandoned).
+func (c *Coordinator) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// alive reports whether a worker has been heard from within a lease window.
+func (c *Coordinator) alive(w *workerInfo, now time.Time) bool {
+	return now.Sub(w.lastSeen) <= c.cfg.Lease
+}
+
+// aliveWorkerFor reports whether any live worker can execute kind.
+func (c *Coordinator) aliveWorkerFor(kind string, now time.Time) bool {
+	for _, w := range c.workers {
+		if c.alive(w, now) && w.kinds[kind] {
+			return true
+		}
+	}
+	return false
+}
+
+// complete finishes a unit exactly once. Caller holds c.mu.
+func (c *Coordinator) complete(u *unit, out []byte, err error, worker string, local bool) {
+	if u.state == stateDone {
+		return
+	}
+	u.state = stateDone
+	u.out, u.err = out, err
+	u.byWorker, u.local = worker, local
+	u.leasedTo = ""
+	c.counters.Completed++
+	close(u.done)
+}
+
+// retry returns a unit to the pending pool after a failed dispatch. Caller
+// holds c.mu and has already counted the event (Retries or Reclaims).
+func (c *Coordinator) retry(u *unit, now time.Time, cause string) {
+	u.state = statePending
+	u.leasedTo = ""
+	u.lastErr = cause
+	if u.attempts > c.cfg.MaxRetries {
+		u.exhausted = true
+		u.notBefore = now
+		if c.cfg.Local == nil {
+			c.complete(u, nil, fmt.Errorf("dist: unit %s: retry budget exhausted after %d attempts (last: %s)",
+				u.u.Key, u.attempts, cause), "", false)
+		}
+		return
+	}
+	u.notBefore = now.Add(backoff(c.cfg.BackoffBase, c.cfg.BackoffMax, u.attempts, c.rng))
+}
+
+// janitor reclaims expired leases and drives the local-degradation executor.
+func (c *Coordinator) janitor() {
+	t := time.NewTicker(c.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		for _, key := range c.order {
+			u := c.units[key]
+			if u.state == stateLeased && u.leasedTo != "local" && now.After(u.deadline) {
+				c.counters.Reclaims++
+				c.logf("dist: reclaiming %s from %s (lease expired, attempt %d)", key, u.leasedTo, u.attempts)
+				c.retry(u, now, fmt.Sprintf("lease expired on %s", u.leasedTo))
+			}
+		}
+		u := c.pickLocal(now)
+		c.mu.Unlock()
+		if u != nil {
+			c.runLocal(u)
+		}
+	}
+}
+
+// pickLocal selects (and claims) the next unit the coordinator should run
+// in-process, or nil. Caller holds c.mu. A unit degrades to local execution
+// when its retry budget is exhausted, or when no live worker can take its
+// kind — either because none ever registered and the grace window passed, or
+// because every capable worker died mid-sweep.
+func (c *Coordinator) pickLocal(now time.Time) *unit {
+	if c.cfg.Local == nil || c.localBusy {
+		return nil
+	}
+	graceOver := c.everReg || now.Sub(c.started) > c.cfg.Grace
+	for _, key := range c.order {
+		u := c.units[key]
+		if u.state != statePending || now.Before(u.notBefore) {
+			continue
+		}
+		if u.exhausted || (graceOver && !c.aliveWorkerFor(u.u.Kind, now)) {
+			u.state = stateLeased
+			u.leasedTo = "local"
+			u.attempts++
+			c.localBusy = true
+			c.counters.LocalRuns++
+			return u
+		}
+	}
+	return nil
+}
+
+// runLocal executes one claimed unit in-process. The local outcome is
+// definitive: it is exactly what the serial path would have produced, so both
+// success and failure complete the unit.
+func (c *Coordinator) runLocal(u *unit) {
+	c.logf("dist: running %s locally (attempt %d)", u.u.Key, u.attempts)
+	out, err := c.cfg.Local(u.u)
+	c.mu.Lock()
+	if err != nil && IsPermanent(err) {
+		c.counters.Quarantined++
+	}
+	if u.state == stateDone {
+		// A raced late worker delivery beat us; drop ours by key.
+		c.counters.Duplicates++
+	} else {
+		c.complete(u, out, err, "", true)
+	}
+	c.localBusy = false
+	c.mu.Unlock()
+}
+
+// --- HTTP protocol ---
+
+// Handler returns the coordinator's HTTP handler: the /v1 worker protocol
+// plus /v1/status (wir-dist/1 summary JSON) and /metrics (Prometheus).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", c.handleRegister)
+	mux.HandleFunc("/v1/lease", c.handleLease)
+	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/result", c.handleResult)
+	mux.HandleFunc("/v1/status", c.handleStatus)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	return mux
+}
+
+// respond writes v as JSON, applying chaos truncation when the injector says
+// so (workers must treat a truncated body as a transient transport fault).
+func (c *Coordinator) respond(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if c.cfg.Chaos.RollTruncate() && len(b) > 1 {
+		b = b[:len(b)/2]
+		c.mu.Lock()
+		c.counters.Truncated++
+		c.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request, c *Coordinator) (T, bool) {
+	var req T
+	if r.Method != http.MethodPost {
+		c.respond(w, http.StatusMethodNotAllowed, protoErrorf("POST required"))
+		return req, false
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		c.respond(w, http.StatusBadRequest, protoErrorf("bad request: %v", err))
+		return req, false
+	}
+	return req, true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[RegisterRequest](w, r, c)
+	if !ok {
+		return
+	}
+	if req.Proto != Proto {
+		c.respond(w, http.StatusBadRequest, protoErrorf("protocol mismatch: coordinator %s, worker %q", Proto, req.Proto))
+		return
+	}
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("%s-%d", req.Name, c.seq)
+	wi := &workerInfo{id: id, name: req.Name, kinds: map[string]bool{}, lastSeen: time.Now()}
+	for _, k := range req.Kinds {
+		wi.kinds[k] = true
+	}
+	c.workers[id] = wi
+	c.everReg = true
+	c.mu.Unlock()
+	c.logf("dist: worker %s registered (kinds %v)", id, req.Kinds)
+	c.respond(w, http.StatusOK, RegisterResponse{
+		Proto:       Proto,
+		WorkerID:    id,
+		LeaseMS:     c.cfg.Lease.Milliseconds(),
+		HeartbeatMS: c.cfg.Heartbeat.Milliseconds(),
+		PollMS:      c.cfg.Poll.Milliseconds(),
+		Chaos:       c.cfg.Chaos.Spec(),
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[LeaseRequest](w, r, c)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	wi := c.workers[req.WorkerID]
+	if wi == nil {
+		c.mu.Unlock()
+		c.respond(w, http.StatusConflict, protoErrorf("unknown worker %q (re-register)", req.WorkerID))
+		return
+	}
+	wi.lastSeen = now
+	for _, key := range c.order {
+		u := c.units[key]
+		if u.state != statePending || now.Before(u.notBefore) || u.exhausted || !wi.kinds[u.u.Kind] {
+			continue
+		}
+		u.state = stateLeased
+		u.leasedTo = wi.id
+		u.deadline = now.Add(c.cfg.Lease)
+		u.attempts++
+		c.counters.Dispatched++
+		resp := LeaseResponse{Unit: &u.u, Attempt: u.attempts, PollMS: c.cfg.Poll.Milliseconds()}
+		c.mu.Unlock()
+		c.respond(w, http.StatusOK, resp)
+		return
+	}
+	done := c.drained
+	if done {
+		wi.released = true
+	}
+	c.mu.Unlock()
+	c.respond(w, http.StatusOK, LeaseResponse{Done: done, PollMS: c.cfg.Poll.Milliseconds()})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[HeartbeatRequest](w, r, c)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	wi := c.workers[req.WorkerID]
+	if wi == nil {
+		c.mu.Unlock()
+		c.respond(w, http.StatusConflict, protoErrorf("unknown worker %q (re-register)", req.WorkerID))
+		return
+	}
+	wi.lastSeen = now
+	for _, key := range req.Keys {
+		// Extend only leases the worker still holds: a reclaimed unit's
+		// stale heartbeat must not shorten the new holder's deadline.
+		if u := c.units[key]; u != nil && u.state == stateLeased && u.leasedTo == wi.id {
+			u.deadline = now.Add(c.cfg.Lease)
+		}
+	}
+	c.mu.Unlock()
+	c.respond(w, http.StatusOK, HeartbeatResponse{OK: true})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[ResultRequest](w, r, c)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if wi := c.workers[req.WorkerID]; wi != nil {
+		wi.lastSeen = now
+		switch req.Status {
+		case StatusOK:
+			wi.completed++
+		default:
+			wi.failed++
+		}
+	}
+	u := c.units[req.Key]
+	if u == nil {
+		c.mu.Unlock()
+		c.respond(w, http.StatusOK, ResultResponse{Accepted: false})
+		return
+	}
+	if u.state == stateDone {
+		// Idempotent ingestion: the first delivery won; this one — a
+		// duplicate post, a resurrected worker, or a reclaimed lease's
+		// original holder finishing late — is dropped by key.
+		c.counters.Duplicates++
+		c.mu.Unlock()
+		c.respond(w, http.StatusOK, ResultResponse{Accepted: false, Duplicate: true})
+		return
+	}
+	switch req.Status {
+	case StatusOK:
+		c.complete(u, req.Output, nil, req.WorkerID, false)
+	case StatusFault:
+		// Permanent: the simulation itself was judged bad. Quarantine —
+		// report the fault, never burn retries reproducing it.
+		c.counters.Quarantined++
+		c.logf("dist: quarantining %s (permanent fault from %s): %s", req.Key, req.WorkerID, req.Error)
+		c.complete(u, nil, &PermanentError{Msg: req.Error}, req.WorkerID, false)
+	default: // StatusError and anything unrecognized: transient
+		c.counters.Retries++
+		c.logf("dist: transient failure of %s on %s (attempt %d): %s", req.Key, req.WorkerID, u.attempts, req.Error)
+		c.retry(u, now, req.Error)
+	}
+	c.mu.Unlock()
+	c.respond(w, http.StatusOK, ResultResponse{Accepted: true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.respond(w, http.StatusOK, c.Snapshot())
+}
+
+// --- introspection ---
+
+// WorkerSummary is one worker's provenance entry.
+type WorkerSummary struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Alive     bool   `json:"alive"`
+}
+
+// UnitProvenance records who produced a unit's accepted result.
+type UnitProvenance struct {
+	Key      string `json:"key"`
+	Kind     string `json:"kind"`
+	Worker   string `json:"worker,omitempty"`
+	Local    bool   `json:"local,omitempty"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Summary is the wir-dist/1 coordinator report: counters, per-worker
+// provenance, and per-unit provenance in submit order.
+type Summary struct {
+	Schema   string           `json:"schema"`
+	Counters Counters         `json:"counters"`
+	Workers  []WorkerSummary  `json:"workers"`
+	Units    []UnitProvenance `json:"units"`
+}
+
+// SummarySchema identifies the Summary document format.
+const SummarySchema = "wir-dist/1"
+
+// Snapshot captures the coordinator state for logs and artifacts.
+func (c *Coordinator) Snapshot() *Summary {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Summary{Schema: SummarySchema, Counters: c.counters}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := c.workers[id]
+		s.Workers = append(s.Workers, WorkerSummary{
+			ID: w.id, Name: w.name, Completed: w.completed, Failed: w.failed,
+			Alive: c.alive(w, now),
+		})
+	}
+	for _, key := range c.order {
+		u := c.units[key]
+		p := UnitProvenance{Key: key, Kind: u.u.Kind, Attempts: u.attempts}
+		if u.state == stateDone {
+			p.Worker, p.Local = u.byWorker, u.local
+			if u.err != nil {
+				p.Error = u.err.Error()
+			}
+		}
+		s.Units = append(s.Units, p)
+	}
+	return s
+}
+
+// WriteJSON renders the summary with indentation.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

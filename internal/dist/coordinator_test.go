@@ -1,0 +1,421 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testCfg returns coordinator timings shrunk so fault windows play out in
+// milliseconds.
+func testCfg() Config {
+	return Config{
+		Lease:       200 * time.Millisecond,
+		Heartbeat:   40 * time.Millisecond,
+		Poll:        10 * time.Millisecond,
+		Grace:       50 * time.Millisecond,
+		MaxRetries:  3,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Tick:        10 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// echoUnit builds a unit whose correct output is deterministic from its key.
+func echoUnit(i int) Unit {
+	return Unit{Key: fmt.Sprintf("unit-%03d", i), Kind: "test", Payload: json.RawMessage(fmt.Sprintf(`{"n":%d}`, i))}
+}
+
+func echoOutput(u Unit) []byte {
+	return []byte("echo:" + u.Key + ":" + string(u.Payload))
+}
+
+// echoHandler is the reference worker handler.
+func echoHandler(u Unit) ([]byte, error) { return echoOutput(u), nil }
+
+// startWorker runs a worker against url in a goroutine, returning a channel
+// with its exit error.
+func startWorker(t *testing.T, url, name string, cfg WorkerConfig) <-chan error {
+	t.Helper()
+	if cfg.Name == "" {
+		cfg.Name = name
+	}
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = []string{"test"}
+	}
+	if cfg.Handler == nil {
+		cfg.Handler = echoHandler
+	}
+	if cfg.Patience == 0 {
+		cfg.Patience = 5 * time.Second
+	}
+	w := NewWorker(url, cfg)
+	errc := make(chan error, 1)
+	go func() { errc <- w.Run(context.Background()) }()
+	return errc
+}
+
+// submitAll submits n echo units and returns the futures in order.
+func submitAll(c *Coordinator, n int) []*Future {
+	futures := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		futures[i] = c.Submit(echoUnit(i))
+	}
+	return futures
+}
+
+// checkAll waits for every future and asserts the echo output.
+func checkAll(t *testing.T, futures []*Future) {
+	t.Helper()
+	for i, f := range futures {
+		out, err := f.Wait()
+		if err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		want := string(echoOutput(echoUnit(i)))
+		if string(out) != want {
+			t.Fatalf("unit %d: output %q, want %q", i, out, want)
+		}
+	}
+}
+
+// TestHappyPathTwoWorkers: two workers split the sweep, every unit completes
+// exactly once with the right bytes, and both workers exit cleanly on drain.
+func TestHappyPathTwoWorkers(t *testing.T) {
+	c := NewCoordinator(testCfg())
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	const n = 12
+	futures := submitAll(c, n)
+	wa := startWorker(t, srv.URL, "alpha", WorkerConfig{})
+	wb := startWorker(t, srv.URL, "beta", WorkerConfig{})
+	checkAll(t, futures)
+	c.DrainAndWait(2 * time.Second)
+	for name, errc := range map[string]<-chan error{"alpha": wa, "beta": wb} {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("worker %s exited with %v, want nil", name, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Errorf("worker %s did not exit after drain", name)
+		}
+	}
+	s := c.Snapshot()
+	if s.Counters.Completed != n {
+		t.Errorf("completed=%d, want %d", s.Counters.Completed, n)
+	}
+	if s.Counters.LocalRuns != 0 {
+		t.Errorf("local_runs=%d, want 0 (workers were live)", s.Counters.LocalRuns)
+	}
+	for _, u := range s.Units {
+		if u.Worker == "" || u.Local {
+			t.Errorf("unit %s: provenance %+v, want worker-attributed", u.Key, u)
+		}
+	}
+}
+
+// TestLeaseReclaimAfterWorkerKill is the satellite-3 scenario: two workers,
+// chaos kills one the moment it picks up a unit, and the orphaned lease must
+// be reclaimed and re-dispatched to the survivor. Every unit still merges
+// exactly once with identical bytes.
+func TestLeaseReclaimAfterWorkerKill(t *testing.T) {
+	c := NewCoordinator(testCfg())
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	const n = 8
+	futures := submitAll(c, n)
+	// Victim dies on its first pickup (kill rate 1); survivor is fault-free.
+	victim := startWorker(t, srv.URL, "victim", WorkerConfig{
+		Chaos: NewChaos(7, 1.0, 1<<ChaosKill),
+	})
+	startWorker(t, srv.URL, "survivor", WorkerConfig{})
+	select {
+	case err := <-victim:
+		if !errors.Is(err, ErrChaosKill) {
+			t.Fatalf("victim exited with %v, want ErrChaosKill", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("victim never died")
+	}
+	checkAll(t, futures)
+	s := c.Snapshot()
+	if s.Counters.Reclaims == 0 {
+		t.Error("reclaims=0, want at least 1 (victim's lease expired)")
+	}
+	if s.Counters.Completed != n {
+		t.Errorf("completed=%d, want %d", s.Counters.Completed, n)
+	}
+	// Exactly-once: every unit is attributed to exactly one producer, and the
+	// victim (which never delivered) cannot be one of them.
+	for _, u := range s.Units {
+		if u.Worker == "" && !u.Local {
+			t.Errorf("unit %s: no accepted producer", u.Key)
+		}
+		if u.Worker != "" && u.Worker[:len("victim")] == "victim" {
+			t.Errorf("unit %s: attributed to the killed worker %s", u.Key, u.Worker)
+		}
+	}
+}
+
+// TestDuplicateDeliveryDropped: a worker that posts every result twice (chaos
+// dupresult rate 1) must have each second delivery dropped by key.
+func TestDuplicateDeliveryDropped(t *testing.T) {
+	c := NewCoordinator(testCfg())
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	const n = 6
+	futures := submitAll(c, n)
+	startWorker(t, srv.URL, "dupper", WorkerConfig{
+		Chaos: NewChaos(3, 1.0, 1<<ChaosDupResult),
+	})
+	checkAll(t, futures)
+	// Give the trailing duplicate posts a moment to land, then drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Snapshot().Counters.Duplicates >= n {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s := c.Snapshot()
+	if s.Counters.Duplicates != n {
+		t.Errorf("duplicates_dropped=%d, want %d (every unit double-posted)", s.Counters.Duplicates, n)
+	}
+	if s.Counters.Completed != n {
+		t.Errorf("completed=%d, want %d", s.Counters.Completed, n)
+	}
+}
+
+// TestTransientFailureRetried: a unit that fails once with an ordinary error
+// is re-dispatched and succeeds on the next attempt.
+func TestTransientFailureRetried(t *testing.T) {
+	c := NewCoordinator(testCfg())
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var mu sync.Mutex
+	failed := map[string]bool{}
+	futures := submitAll(c, 4)
+	startWorker(t, srv.URL, "flaky", WorkerConfig{Handler: func(u Unit) ([]byte, error) {
+		mu.Lock()
+		first := !failed[u.Key]
+		failed[u.Key] = true
+		mu.Unlock()
+		if first {
+			return nil, errors.New("transient hiccup")
+		}
+		return echoOutput(u), nil
+	}})
+	checkAll(t, futures)
+	s := c.Snapshot()
+	if s.Counters.Retries != 4 {
+		t.Errorf("retries=%d, want 4 (each unit hiccuped once)", s.Counters.Retries)
+	}
+	for _, u := range s.Units {
+		if u.Attempts != 2 {
+			t.Errorf("unit %s: attempts=%d, want 2", u.Key, u.Attempts)
+		}
+	}
+}
+
+// TestPermanentFaultQuarantined: a Permanent error completes the unit with
+// the fault immediately — one attempt, no retries, counted as quarantined.
+func TestPermanentFaultQuarantined(t *testing.T) {
+	c := NewCoordinator(testCfg())
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	f := c.Submit(Unit{Key: "poisoned", Kind: "test"})
+	startWorker(t, srv.URL, "judge", WorkerConfig{Handler: func(u Unit) ([]byte, error) {
+		return nil, Permanent(errors.New("simulation judged bad: bypass over 100%"))
+	}})
+	_, err := f.Wait()
+	if !IsPermanent(err) {
+		t.Fatalf("got err %v, want a PermanentError", err)
+	}
+	s := c.Snapshot()
+	if s.Counters.Quarantined != 1 || s.Counters.Retries != 0 {
+		t.Errorf("quarantined=%d retries=%d, want 1/0", s.Counters.Quarantined, s.Counters.Retries)
+	}
+	if s.Units[0].Attempts != 1 {
+		t.Errorf("attempts=%d, want 1 (permanent faults are never re-run)", s.Units[0].Attempts)
+	}
+}
+
+// TestZeroWorkersDegradesLocally: with no worker ever registering, the grace
+// window passes and the coordinator finishes every unit in-process, in submit
+// order, with the same bytes the serial path would produce.
+func TestZeroWorkersDegradesLocally(t *testing.T) {
+	cfg := testCfg()
+	cfg.Local = func(u Unit) ([]byte, error) { return echoOutput(u), nil }
+	c := NewCoordinator(cfg)
+	defer c.Close()
+
+	const n = 5
+	futures := submitAll(c, n)
+	checkAll(t, futures)
+	s := c.Snapshot()
+	if s.Counters.LocalRuns != n {
+		t.Errorf("local_runs=%d, want %d", s.Counters.LocalRuns, n)
+	}
+	for _, u := range s.Units {
+		if !u.Local {
+			t.Errorf("unit %s: not locally attributed: %+v", u.Key, u)
+		}
+	}
+}
+
+// TestAllWorkersDieFallsBackLocally: every worker dies on pickup; after the
+// retry budget burns down, the coordinator finishes the units itself.
+func TestAllWorkersDieFallsBackLocally(t *testing.T) {
+	cfg := testCfg()
+	cfg.MaxRetries = 1
+	cfg.Local = func(u Unit) ([]byte, error) { return echoOutput(u), nil }
+	c := NewCoordinator(cfg)
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	futures := submitAll(c, 3)
+	wa := startWorker(t, srv.URL, "doomed-a", WorkerConfig{Chaos: NewChaos(11, 1.0, 1<<ChaosKill)})
+	wb := startWorker(t, srv.URL, "doomed-b", WorkerConfig{Chaos: NewChaos(12, 1.0, 1<<ChaosKill)})
+	<-wa
+	<-wb
+	checkAll(t, futures)
+	s := c.Snapshot()
+	if s.Counters.LocalRuns == 0 {
+		t.Error("local_runs=0, want >0 (all workers dead)")
+	}
+	if s.Counters.Reclaims == 0 {
+		t.Error("reclaims=0, want >0")
+	}
+}
+
+// TestRetryExhaustionWithoutLocalErrors: with no Local executor configured,
+// an unreachable unit must complete with an explicit budget-exhausted error
+// rather than hang.
+func TestRetryExhaustionWithoutLocalErrors(t *testing.T) {
+	cfg := testCfg()
+	cfg.MaxRetries = 1
+	c := NewCoordinator(cfg)
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	f := c.Submit(Unit{Key: "unlucky", Kind: "test"})
+	startWorker(t, srv.URL, "cursed", WorkerConfig{Handler: func(u Unit) ([]byte, error) {
+		return nil, errors.New("always fails")
+	}})
+	_, err := f.Wait()
+	if err == nil || IsPermanent(err) {
+		t.Fatalf("got err %v, want a transient budget-exhausted error", err)
+	}
+}
+
+// TestTruncatedResponsesAreTransient: chaos-truncated coordinator responses
+// surface as decode errors on the worker, which must retry until the sweep
+// still completes with correct bytes.
+func TestTruncatedResponsesAreTransient(t *testing.T) {
+	cfg := testCfg()
+	cfg.Chaos = NewChaos(5, 0.3, 1<<ChaosTruncate)
+	cfg.Local = func(u Unit) ([]byte, error) { return echoOutput(u), nil }
+	c := NewCoordinator(cfg)
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	futures := submitAll(c, 8)
+	startWorker(t, srv.URL, "patient", WorkerConfig{})
+	checkAll(t, futures)
+	if got := c.Snapshot().Counters.Truncated; got == 0 {
+		t.Error("responses_truncated=0, want >0 at rate 0.3 over dozens of responses")
+	}
+}
+
+// TestHeartbeatKeepsLongUnitAlive: a unit that runs for several lease windows
+// must not be reclaimed while its worker heartbeats.
+func TestHeartbeatKeepsLongUnitAlive(t *testing.T) {
+	cfg := testCfg()
+	cfg.Lease = 150 * time.Millisecond
+	cfg.Heartbeat = 30 * time.Millisecond
+	c := NewCoordinator(cfg)
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	f := c.Submit(Unit{Key: "marathon", Kind: "test"})
+	startWorker(t, srv.URL, "steady", WorkerConfig{Handler: func(u Unit) ([]byte, error) {
+		time.Sleep(500 * time.Millisecond) // > 3 lease windows
+		return []byte("done"), nil
+	}})
+	out, err := f.Wait()
+	if err != nil || string(out) != "done" {
+		t.Fatalf("got %q/%v, want done/nil", out, err)
+	}
+	if got := c.Snapshot().Counters.Reclaims; got != 0 {
+		t.Errorf("reclaims=%d, want 0 (heartbeats held the lease)", got)
+	}
+}
+
+// TestSubmitIdempotentByKey: resubmitting a key shares the original future,
+// mirroring the harness single-flight cache.
+func TestSubmitIdempotentByKey(t *testing.T) {
+	cfg := testCfg()
+	var runs int
+	cfg.Local = func(u Unit) ([]byte, error) { runs++; return []byte("x"), nil }
+	c := NewCoordinator(cfg)
+	defer c.Close()
+
+	u := Unit{Key: "shared", Kind: "test"}
+	f1, f2 := c.Submit(u), c.Submit(u)
+	if f1.u != f2.u {
+		t.Fatal("resubmitted key did not share the unit")
+	}
+	f1.Wait()
+	f2.Wait()
+	if s := c.Snapshot(); s.Counters.Submitted != 1 || runs != 1 {
+		t.Errorf("submitted=%d runs=%d, want 1/1", s.Counters.Submitted, runs)
+	}
+}
+
+// TestStatusEndpointServesSummary: /v1/status returns a wir-dist/1 document.
+func TestStatusEndpointServesSummary(t *testing.T) {
+	cfg := testCfg()
+	cfg.Local = func(u Unit) ([]byte, error) { return []byte("x"), nil }
+	c := NewCoordinator(cfg)
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	c.Do(Unit{Key: "one", Kind: "test"})
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Summary
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != SummarySchema {
+		t.Errorf("schema %q, want %q", s.Schema, SummarySchema)
+	}
+	if len(s.Units) != 1 || s.Units[0].Key != "one" {
+		t.Errorf("units %+v, want the one submitted unit", s.Units)
+	}
+}

@@ -1,0 +1,198 @@
+// Package dist distributes sweep work units — figure runs, ablation cells,
+// fuzz seed ranges — from a coordinator embedded in the driving command
+// (wirbench -serve-sweep, wirfuzz -serve-sweep) to workers (-worker URL) over
+// a small HTTP/JSON protocol, and merges the results back deterministically.
+//
+// Robustness is the design center, not an afterthought:
+//
+//   - Dispatch is lease-based: a worker holds a unit under a deadline and
+//     extends it with heartbeats; a killed or wedged worker's units are
+//     reclaimed by the coordinator's janitor and re-dispatched.
+//   - Transient failures (worker crash, dropped connection, truncated
+//     response) consume a per-unit retry budget with jittered exponential
+//     backoff; a unit that exhausts the budget falls back to in-process
+//     execution on the coordinator.
+//   - Permanent failures — a real simulation fault, mapped from the repo's
+//     exit-code taxonomy ("the run was judged bad") — are quarantined and
+//     reported immediately instead of being retried forever. Workers mark
+//     them by wrapping the error with Permanent.
+//   - Result ingestion is idempotent: units are keyed by the same FNV-64a
+//     config-hash keys as the harness single-flight cache, and the first
+//     delivery wins; duplicates from a resurrected or raced worker are
+//     dropped by key.
+//   - Graceful degradation: when no workers register within a grace window,
+//     or every worker dies mid-sweep, the coordinator finishes the remaining
+//     units in-process — a distributed invocation can never produce less
+//     than the serial path would.
+//
+// Execution itself is always the same deterministic local simulation, so the
+// merged output is byte-identical to a serial or -j run no matter which
+// worker (or the coordinator itself) ran each unit, and no matter what the
+// chaos injector (see Chaos) did to the transport. Rendering stays in-order
+// on the coordinator. See docs/DISTRIBUTED.md.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/wirsim/wir/internal/config"
+)
+
+// Proto identifies the wire protocol; coordinator and workers must agree.
+const Proto = "wir-dist/1"
+
+// Unit kinds. A worker advertises the kinds it can execute at registration,
+// and the coordinator only leases it matching units.
+const (
+	// KindRun is one harness simulation: RunPayload in, a JSON-encoded
+	// harness.Result out.
+	KindRun = "run"
+	// KindFuzz is one fuzz seed range: FuzzPayload in, the JSON failure
+	// array of cmd/wirfuzz out.
+	KindFuzz = "fuzz"
+)
+
+// Unit is one self-contained piece of sweep work. Key doubles as the
+// idempotency token: it is the harness single-flight cache key (readable
+// prefix plus the FNV-64a hash of the fully mutated config), so duplicate
+// deliveries and duplicate submissions collapse exactly like duplicate cache
+// demands do.
+type Unit struct {
+	Key     string          `json:"key"`
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// RunPayload is the body of a KindRun unit: everything a worker needs to
+// re-execute one harness simulation without knowing the variant closure that
+// produced the configuration — the config ships fully mutated.
+type RunPayload struct {
+	Bench string        `json:"bench"`
+	Model config.Model  `json:"model"`
+	Cfg   config.Config `json:"config"`
+}
+
+// FuzzPayload is the body of a KindFuzz unit: one contiguous seed range of a
+// wirfuzz sweep plus the sweep parameters that make every per-seed run (and
+// its minimization) reproducible on any worker.
+type FuzzPayload struct {
+	Start    int64  `json:"start"`
+	N        int64  `json:"n"`
+	Model    string `json:"model"`
+	SMs      int    `json:"sms"`
+	Len      int    `json:"len"`
+	Shared   string `json:"shared"`
+	Watchdog uint64 `json:"watchdog"`
+	Chaos    string `json:"chaos,omitempty"` // simulator-level chaos spec (internal/chaos), not dist chaos
+}
+
+// Result delivery statuses.
+const (
+	// StatusOK carries a successful unit output.
+	StatusOK = "ok"
+	// StatusFault reports a permanent failure: the simulation itself was
+	// judged bad (exit-code-3 taxonomy). The coordinator quarantines the
+	// unit and reports the error instead of retrying it.
+	StatusFault = "fault"
+	// StatusError reports a transient failure; the coordinator re-dispatches
+	// the unit until its retry budget runs out, then runs it locally.
+	StatusError = "error"
+)
+
+// PermanentError marks a unit failure as deterministic: re-running the unit
+// anywhere would reproduce it, so the coordinator must quarantine and report
+// it rather than burn the retry budget. It corresponds to the repo-wide
+// exit-code taxonomy's "the run was judged bad" class.
+type PermanentError struct{ Msg string }
+
+func (e *PermanentError) Error() string { return e.Msg }
+
+// Permanent wraps err as a PermanentError (nil stays nil).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Msg: err.Error()}
+}
+
+// IsPermanent reports whether err is (or wraps) a PermanentError.
+func IsPermanent(err error) bool {
+	var pe *PermanentError
+	return errors.As(err, &pe)
+}
+
+// --- wire messages ---
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	Proto string   `json:"proto"`
+	Name  string   `json:"name"`
+	Kinds []string `json:"kinds"`
+}
+
+// RegisterResponse assigns the worker its identity and cadence parameters.
+// Chaos, when non-empty, is the dist chaos spec the worker must apply to
+// itself (seeded per worker name), so one coordinator flag drives a whole
+// chaos schedule.
+type RegisterResponse struct {
+	Proto       string `json:"proto"`
+	WorkerID    string `json:"worker_id"`
+	LeaseMS     int64  `json:"lease_ms"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	PollMS      int64  `json:"poll_ms"`
+	Chaos       string `json:"chaos,omitempty"`
+}
+
+// LeaseRequest asks for the next unit.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseResponse grants a unit, asks the worker to poll again, or — once the
+// coordinator is draining — releases the worker for good.
+type LeaseResponse struct {
+	Unit    *Unit `json:"unit,omitempty"`
+	Attempt int   `json:"attempt,omitempty"`
+	Done    bool  `json:"done,omitempty"`
+	PollMS  int64 `json:"poll_ms,omitempty"`
+}
+
+// HeartbeatRequest extends the leases of the listed units.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	Keys     []string `json:"keys"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ResultRequest delivers a unit outcome.
+type ResultRequest struct {
+	WorkerID string `json:"worker_id"`
+	Key      string `json:"key"`
+	Status   string `json:"status"` // StatusOK | StatusFault | StatusError
+	// Output carries the unit's produced bytes (base64 on the wire, so
+	// arbitrary — not necessarily JSON — outputs round-trip exactly).
+	Output []byte `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ResultResponse reports whether the delivery was ingested. Duplicate is set
+// when the unit had already completed — the delivery was dropped by key.
+type ResultResponse struct {
+	Accepted  bool `json:"accepted"`
+	Duplicate bool `json:"duplicate"`
+}
+
+// protoError is returned (with a non-200 status) for malformed requests.
+type protoError struct {
+	Error string `json:"error"`
+}
+
+func protoErrorf(format string, args ...any) protoError {
+	return protoError{Error: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"net/http"
+	"strings"
+
+	"github.com/wirsim/wir/internal/metrics"
+)
+
+// PublishMetrics writes the coordinator's robustness counters — and one
+// per-worker provenance counter pair — into a metrics registry, so the
+// coordinator's /metrics endpoint (and any scraper pointed at it) sees the
+// retry/reclaim/duplicate behavior of the sweep live.
+func (c *Coordinator) PublishMetrics(reg *metrics.Registry) {
+	s := c.Snapshot()
+	reg.SetCounter("dist_units_submitted_total", s.Counters.Submitted)
+	reg.SetCounter("dist_units_dispatched_total", s.Counters.Dispatched)
+	reg.SetCounter("dist_units_completed_total", s.Counters.Completed)
+	reg.SetCounter("dist_retries_total", s.Counters.Retries)
+	reg.SetCounter("dist_lease_reclaims_total", s.Counters.Reclaims)
+	reg.SetCounter("dist_duplicates_dropped_total", s.Counters.Duplicates)
+	reg.SetCounter("dist_quarantined_total", s.Counters.Quarantined)
+	reg.SetCounter("dist_local_runs_total", s.Counters.LocalRuns)
+	reg.SetCounter("dist_responses_truncated_total", s.Counters.Truncated)
+	for _, w := range s.Workers {
+		name := sanitizeMetricName(w.Name)
+		reg.SetCounter("dist_worker_completed_total_"+name, w.Completed)
+		reg.SetCounter("dist_worker_failed_total_"+name, w.Failed)
+	}
+}
+
+// handleMetrics serves the counters in Prometheus text format.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := metrics.NewRegistry()
+	c.PublishMetrics(reg)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	reg.WritePrometheus(w)
+}
+
+// sanitizeMetricName maps an arbitrary worker name into the Prometheus
+// metric-name alphabet.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "unnamed"
+	}
+	return b.String()
+}

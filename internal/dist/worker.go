@@ -1,0 +1,286 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ErrChaosKill is returned by Worker.Run when the chaos injector killed the
+// worker mid-unit. It models an abrupt process death: the worker stops
+// heartbeating and never delivers, so the coordinator must reclaim its lease.
+var ErrChaosKill = errors.New("dist: chaos killed worker")
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	// Name labels the worker in coordinator logs and provenance (default
+	// "worker").
+	Name string
+	// Kinds lists the unit kinds this worker can execute.
+	Kinds []string
+	// Handler executes one unit. Wrap deterministic simulation faults with
+	// Permanent so the coordinator quarantines instead of retrying; any
+	// other error is reported transient.
+	Handler func(u Unit) ([]byte, error)
+	// Patience bounds how long the worker keeps retrying an unreachable or
+	// garbled coordinator before giving up (default 2m). Applies to initial
+	// registration too, so a worker may be started before its coordinator.
+	Patience time.Duration
+	// Chaos, when non-nil, overrides the schedule the coordinator ships at
+	// registration (tests inject per-worker schedules this way).
+	Chaos *Chaos
+	// Logf, when non-nil, receives worker progress lines.
+	Logf func(format string, args ...any)
+	// HTTPClient overrides the default client (10s request timeout).
+	HTTPClient *http.Client
+}
+
+// Worker pulls units from a coordinator, executes them, and delivers results,
+// heartbeating while a unit runs. Transport errors are always treated as
+// transient and retried under the patience budget.
+type Worker struct {
+	url string
+	cfg WorkerConfig
+
+	id          string
+	lease       time.Duration
+	heartbeat   time.Duration
+	poll        time.Duration
+	chaos       *Chaos
+	unitsDone   int
+	failedSince time.Time // first failure of the current unreachable streak
+}
+
+// NewWorker builds a worker for the coordinator at url (e.g.
+// "http://host:9471").
+func NewWorker(url string, cfg WorkerConfig) *Worker {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = 2 * time.Minute
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Worker{url: url, cfg: cfg}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// UnitsDone returns how many units this worker delivered successfully.
+func (w *Worker) UnitsDone() int { return w.unitsDone }
+
+// post sends one JSON request and decodes the JSON response. A non-2xx
+// status, transport error, or undecodable (e.g. chaos-truncated) body all
+// come back as errors; conflict (unknown worker) is distinguished so the
+// caller can re-register.
+var errReregister = errors.New("dist: coordinator does not know this worker")
+
+func (w *Worker) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := w.cfg.HTTPClient.Post(w.url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode == http.StatusConflict {
+		return errReregister
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: %s: HTTP %d", path, httpResp.StatusCode)
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("dist: %s: bad response body: %w", path, err)
+	}
+	return nil
+}
+
+// transientWait sleeps one poll interval (or until ctx is done) and tracks
+// the unreachable streak against the patience budget.
+func (w *Worker) transientWait(ctx context.Context, cause error) error {
+	if w.failedSince.IsZero() {
+		w.failedSince = time.Now()
+	}
+	if time.Since(w.failedSince) > w.cfg.Patience {
+		return fmt.Errorf("dist: coordinator unreachable for %v, giving up: %w", w.cfg.Patience, cause)
+	}
+	w.sleep(ctx, w.pollInterval())
+	return nil
+}
+
+func (w *Worker) pollInterval() time.Duration {
+	if w.poll > 0 {
+		return w.poll
+	}
+	return 200 * time.Millisecond
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// register announces the worker and adopts the coordinator's cadence and (if
+// not locally overridden) chaos schedule.
+func (w *Worker) register(ctx context.Context) error {
+	var resp RegisterResponse
+	err := w.post("/v1/register", RegisterRequest{Proto: Proto, Name: w.cfg.Name, Kinds: w.cfg.Kinds}, &resp)
+	if err != nil {
+		return err
+	}
+	if resp.Proto != Proto {
+		// A protocol mismatch can never heal; treat as permanent.
+		return fmt.Errorf("dist: protocol mismatch: worker %s, coordinator %q", Proto, resp.Proto)
+	}
+	w.id = resp.WorkerID
+	w.lease = time.Duration(resp.LeaseMS) * time.Millisecond
+	w.heartbeat = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	w.poll = time.Duration(resp.PollMS) * time.Millisecond
+	w.chaos = w.cfg.Chaos
+	if w.chaos == nil && resp.Chaos != "" {
+		base, err := ParseChaos(resp.Chaos)
+		if err != nil {
+			return fmt.Errorf("dist: coordinator sent bad chaos spec %q: %v", resp.Chaos, err)
+		}
+		w.chaos = base.ForWorker(w.cfg.Name)
+		w.logf("dist: adopting chaos schedule %s", w.chaos.Spec())
+	}
+	w.logf("dist: registered as %s (lease %v, heartbeat %v)", w.id, w.lease, w.heartbeat)
+	return nil
+}
+
+// startHeartbeat heartbeats key until the returned stop function is called.
+// A chaos hbdelay roll suppresses individual beats.
+func (w *Worker) startHeartbeat(key string) (stop func()) {
+	if w.heartbeat <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(w.heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			if w.chaos.RollHBDelay() {
+				w.logf("dist: chaos suppressed heartbeat for %s", key)
+				continue
+			}
+			var resp HeartbeatResponse
+			// Heartbeat failures are harmless: the lease just expires sooner.
+			_ = w.post("/v1/heartbeat", HeartbeatRequest{WorkerID: w.id, Keys: []string{key}}, &resp)
+		}
+	}()
+	return func() { close(done) }
+}
+
+// deliver posts one unit outcome, retrying transport faults a few times
+// (truncated responses surface here). Failure to deliver is not fatal: the
+// lease expires and the coordinator re-dispatches.
+func (w *Worker) deliver(ctx context.Context, req ResultRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		var resp ResultResponse
+		err := w.post("/v1/result", req, &resp)
+		if err == nil {
+			if resp.Duplicate {
+				w.logf("dist: delivery of %s dropped as duplicate", req.Key)
+			}
+			return
+		}
+		if errors.Is(err, errReregister) || ctx.Err() != nil {
+			return
+		}
+		w.logf("dist: delivery of %s failed (attempt %d): %v", req.Key, attempt+1, err)
+		w.sleep(ctx, w.pollInterval())
+	}
+}
+
+// Run is the worker main loop: register, lease, execute, deliver — until the
+// coordinator drains (returns nil), the context is canceled (returns
+// ctx.Err()), chaos kills the worker (ErrChaosKill), or the coordinator stays
+// unreachable past the patience budget.
+func (w *Worker) Run(ctx context.Context) error {
+	registered := false
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !registered {
+			if err := w.register(ctx); err != nil {
+				if werr := w.transientWait(ctx, err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			registered = true
+			w.failedSince = time.Time{}
+		}
+		var resp LeaseResponse
+		err := w.post("/v1/lease", LeaseRequest{WorkerID: w.id}, &resp)
+		if errors.Is(err, errReregister) {
+			registered = false
+			continue
+		}
+		if err != nil {
+			if werr := w.transientWait(ctx, err); werr != nil {
+				return werr
+			}
+			continue
+		}
+		w.failedSince = time.Time{}
+		if resp.Done {
+			w.logf("dist: coordinator drained after %d units, exiting", w.unitsDone)
+			return nil
+		}
+		if resp.Unit == nil {
+			w.sleep(ctx, w.pollInterval())
+			continue
+		}
+		u := *resp.Unit
+		if w.chaos.RollKill() {
+			w.logf("dist: chaos kill while holding %s", u.Key)
+			return ErrChaosKill
+		}
+		stopHB := w.startHeartbeat(u.Key)
+		out, execErr := w.cfg.Handler(u)
+		stopHB()
+		req := ResultRequest{WorkerID: w.id, Key: u.Key}
+		switch {
+		case execErr == nil:
+			req.Status, req.Output = StatusOK, out
+		case IsPermanent(execErr):
+			req.Status, req.Error = StatusFault, execErr.Error()
+		default:
+			req.Status, req.Error = StatusError, execErr.Error()
+		}
+		if w.chaos.RollDropResult() {
+			w.logf("dist: chaos dropped delivery of %s", u.Key)
+			continue
+		}
+		w.deliver(ctx, req)
+		if w.chaos.RollDupResult() {
+			w.logf("dist: chaos duplicating delivery of %s", u.Key)
+			w.deliver(ctx, req)
+		}
+		if execErr == nil {
+			w.unitsDone++
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package graceful
+
+import "testing"
+
+// TestFireRunsFlushersOnce: flushers run in order on the first fire and never
+// again.
+func TestFireRunsFlushersOnce(t *testing.T) {
+	g := New("test")
+	var order []int
+	g.OnInterrupt(func() { order = append(order, 1) })
+	g.OnInterrupt(func() { order = append(order, 2) })
+	if g.Interrupted() {
+		t.Fatal("interrupted before fire")
+	}
+	g.fire(false)
+	if !g.Interrupted() {
+		t.Fatal("not interrupted after fire")
+	}
+	g.fire(false)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("flushers ran %v, want [1 2] exactly once", order)
+	}
+}
+
+// TestProtectExcludesFlush: state mutated under Protect is visible to a
+// flusher (both take the same lock, so a flush can never observe a
+// half-applied mutation).
+func TestProtectExcludesFlush(t *testing.T) {
+	g := New("test")
+	n := 0
+	seen := -1
+	g.OnInterrupt(func() { seen = n })
+	g.Protect(func() { n = 42 })
+	g.fire(false)
+	if seen != 42 {
+		t.Fatalf("flusher saw %d, want 42", seen)
+	}
+}

@@ -53,6 +53,13 @@ type Harness struct {
 	// across every fresh simulation, merged under the harness lock like
 	// HostProf (merge is commutative, so totals are deterministic).
 	ReuseProf *reuseprof.Collector
+	// Exec, when non-nil, replaces the local simulation for cache misses:
+	// Run delegates each fresh (key, config) to it instead of simulating
+	// in-process. The distributed coordinator uses this to farm units out to
+	// workers; the executor is responsible for its own throughput accounting
+	// (a delegate that ends up calling Execute on some harness updates that
+	// harness's SimCycles as usual).
+	Exec Executor
 
 	mu      sync.Mutex
 	cache   map[string]*entry
@@ -62,12 +69,28 @@ type Harness struct {
 	simCycles atomic.Uint64 // total cycles freshly simulated (throughput metric)
 }
 
-// entry is one single-flight cache slot: the first caller simulates, every
-// concurrent or later caller waits on the Once and shares the outcome.
+// Executor produces the Result for one fully-mutated configuration. The key
+// is the harness cache key (stable across processes for identical configs).
+type Executor func(key, abbr string, m config.Model, cfg config.Config) (*Result, error)
+
+// maxEntryAttempts bounds how many executions one cache slot may consume: a
+// failed run is retried once on the next demand, then the error sticks. This
+// keeps transient faults (a dead worker, say) from poisoning the cache
+// forever, without letting a deterministic simulation bug re-execute on every
+// one of the hundreds of figure lookups that share the entry.
+const maxEntryAttempts = 2
+
+// entry is one single-flight cache slot: the first caller executes, every
+// concurrent caller waits on the flight channel and shares the outcome. A
+// successful result is memoized forever; an error is re-attempted by the next
+// demand until the attempt budget is spent.
 type entry struct {
-	once sync.Once
-	r    *Result
-	err  error
+	mu       sync.Mutex
+	flight   chan struct{} // non-nil while an execution is in progress
+	complete bool          // terminal: r/err are final
+	attempts int
+	r        *Result
+	err      error
 }
 
 // New returns a harness with the paper's default configuration.
@@ -116,9 +139,60 @@ func (h *Harness) Run(abbr string, m config.Model, v *Variant) (*Result, error) 
 		e = &entry{}
 		h.cache[key] = e
 	}
+	exec := h.Exec
 	h.mu.Unlock()
-	e.once.Do(func() { e.r, e.err = h.simulate(key, abbr, m, cfg) })
-	return e.r, e.err
+	if exec == nil {
+		exec = h.Execute
+	}
+	for {
+		e.mu.Lock()
+		if e.complete {
+			e.mu.Unlock()
+			return e.r, e.err
+		}
+		if e.flight != nil {
+			// Someone else is executing: wait for them, then re-check. We do
+			// not return their outcome directly — if they failed and budget
+			// remains, this caller becomes the retry.
+			flight := e.flight
+			e.mu.Unlock()
+			<-flight
+			continue
+		}
+		if e.err != nil && e.attempts >= maxEntryAttempts {
+			// Budget spent: the last error sticks.
+			e.complete = true
+			e.mu.Unlock()
+			return nil, e.err
+		}
+		e.flight = make(chan struct{})
+		e.attempts++
+		e.mu.Unlock()
+
+		r, err := exec(key, abbr, m, cfg)
+
+		e.mu.Lock()
+		e.r, e.err = r, err
+		if err == nil || e.attempts >= maxEntryAttempts {
+			e.complete = true
+		}
+		close(e.flight)
+		e.flight = nil
+		e.mu.Unlock()
+		if err == nil || e.complete {
+			return r, err
+		}
+		// Failed with budget left: loop so THIS caller retries immediately
+		// (the single demand that triggered the failure should not have to
+		// come back later to see the retry).
+	}
+}
+
+// Execute performs one fresh simulation for a fully-mutated configuration,
+// bypassing the memo cache and the Exec hook. Distributed workers call this
+// directly: the coordinator owns the cache, the worker owns the cycles.
+func (h *Harness) Execute(key, abbr string, m config.Model, cfg config.Config) (*Result, error) {
+	return h.simulate(key, abbr, m, cfg)
 }
 
 // runKey renders the cache key: the readable abbr/model[/variant] prefix the

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+)
+
+// TestErrorEntryRetriedOnce: a failing execution must not poison the cache
+// slot forever — the next demand retries exactly once, then the error sticks.
+func TestErrorEntryRetriedOnce(t *testing.T) {
+	h := New()
+	h.SMs = 2
+	var calls atomic.Int64
+	boom := errors.New("transient worker death")
+	h.Exec = func(key, abbr string, m config.Model, cfg config.Config) (*Result, error) {
+		calls.Add(1)
+		return nil, boom
+	}
+	if _, err := h.Run("DW", config.Base, nil); !errors.Is(err, boom) {
+		t.Fatalf("first Run: got err %v, want %v", err, boom)
+	}
+	// The single demand consumed both attempts: the retry happens inline, so
+	// the caller that observed the failure already triggered re-execution.
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("after first Run: %d executions, want 2 (initial + inline retry)", got)
+	}
+	if _, err := h.Run("DW", config.Base, nil); !errors.Is(err, boom) {
+		t.Fatalf("second Run: got err %v, want %v", err, boom)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("after second Run: %d executions, want 2 (budget spent, error sticks)", got)
+	}
+}
+
+// TestErrorEntryRecovers: if the first execution fails but the retry
+// succeeds, callers get the result and no further executions happen.
+func TestErrorEntryRecovers(t *testing.T) {
+	h := New()
+	h.SMs = 2
+	var calls atomic.Int64
+	h.Exec = func(key, abbr string, m config.Model, cfg config.Config) (*Result, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("flaky first attempt")
+		}
+		return h.Execute(key, abbr, m, cfg)
+	}
+	r, err := h.Run("DW", config.Base, nil)
+	if err != nil {
+		t.Fatalf("Run after flaky first attempt: %v", err)
+	}
+	if r == nil || r.Cycles == 0 {
+		t.Fatalf("Run returned empty result %+v", r)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("%d executions, want 2", got)
+	}
+	// Memoized now: further Runs are free.
+	r2, err := h.Run("DW", config.Base, nil)
+	if err != nil || r2 != r {
+		t.Fatalf("memoized Run: result %p err %v, want shared %p", r2, err, r)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("after memoized Run: %d executions, want 2", got)
+	}
+}
+
+// TestErrorEntryConcurrentWaitersBounded: many concurrent demands on an
+// always-failing entry must still execute at most maxEntryAttempts times and
+// all observe the error.
+func TestErrorEntryConcurrentWaitersBounded(t *testing.T) {
+	h := New()
+	h.SMs = 2
+	var calls atomic.Int64
+	boom := errors.New("always fails")
+	h.Exec = func(key, abbr string, m config.Model, cfg config.Config) (*Result, error) {
+		calls.Add(1)
+		return nil, boom
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := h.Run("DW", config.Base, nil); !errors.Is(err, boom) {
+				t.Errorf("concurrent Run: got err %v, want %v", err, boom)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != int64(maxEntryAttempts) {
+		t.Fatalf("%d executions across 16 concurrent demands, want %d", got, maxEntryAttempts)
+	}
+}
+
+// TestExecutorReceivesMutatedConfig: the Exec hook must see the
+// fully-mutated config (SMs override + variant), not the model default —
+// that is what makes shipping the config to a remote worker sufficient.
+func TestExecutorReceivesMutatedConfig(t *testing.T) {
+	h := New()
+	h.SMs = 3
+	var seen config.Config
+	h.Exec = func(key, abbr string, m config.Model, cfg config.Config) (*Result, error) {
+		seen = cfg
+		return h.Execute(key, abbr, m, cfg)
+	}
+	v := &Variant{Name: "vsb8", Mutate: func(c *config.Config) { c.VSBEntries = 8 }}
+	if _, err := h.Run("DW", config.RLPV, v); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if seen.NumSMs != 3 {
+		t.Errorf("executor saw NumSMs=%d, want harness override 3", seen.NumSMs)
+	}
+	if seen.VSBEntries != 8 {
+		t.Errorf("executor saw VSBEntries=%d, want variant-mutated 8", seen.VSBEntries)
+	}
+}

@@ -62,6 +62,12 @@ type Report struct {
 	// Speedup is the last run's throughput over the first run's (the sweep is
 	// ordered serial-first), 0 when either pass recorded no cycles.
 	Speedup float64 `json:"speedup"`
+	// Interrupted marks a report flushed by the SIGINT/SIGTERM handler before
+	// every pass finished. Such reports are kept in the ledger for forensics
+	// but excluded from the ratchet baseline (Best): a truncated pass can
+	// report arbitrarily low throughput and must never lower — or, worse,
+	// with partial cycle counts, pin — the bar.
+	Interrupted bool `json:"interrupted,omitempty"`
 
 	// Provenance of the measuring process (StampProvenance). Zero values in
 	// committed pre-provenance reports read as "unknown".
@@ -219,6 +225,9 @@ func Best(history []*Report) *Report {
 	best := map[int]Run{}
 	out := &Report{Schema: Schema}
 	for _, r := range history {
+		if r.Interrupted {
+			continue
+		}
 		if r.CPUs > out.CPUs {
 			out.CPUs = r.CPUs
 		}
@@ -230,6 +239,10 @@ func Best(history []*Report) *Report {
 				best[run.Workers] = run
 			}
 		}
+	}
+	if len(best) == 0 {
+		// Every report was interrupted: no usable baseline.
+		return nil
 	}
 	for _, run := range best {
 		out.Runs = append(out.Runs, run)

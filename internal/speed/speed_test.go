@@ -130,6 +130,42 @@ func TestBest(t *testing.T) {
 	}
 }
 
+func TestBestSkipsInterrupted(t *testing.T) {
+	// An interrupted (partially measured) report can carry an arbitrarily
+	// high-looking per-pass throughput or a uselessly low one; either way it
+	// must never define the ratchet bar.
+	interrupted := mkReport(8, map[int]float64{1: 9999})
+	interrupted.Interrupted = true
+	hist := []*Report{
+		mkReport(8, map[int]float64{1: 1000}),
+		interrupted,
+	}
+	b := Best(hist)
+	if b == nil || len(b.Runs) != 1 || b.Runs[0].CyclesPerSec != 1000 {
+		t.Fatalf("Best = %+v, want only the clean report's 1000", b)
+	}
+	// A ledger holding ONLY interrupted reports has no usable baseline.
+	if got := Best([]*Report{interrupted}); got != nil {
+		t.Fatalf("Best(all-interrupted) = %+v, want nil", got)
+	}
+}
+
+func TestInterruptedRoundTripsThroughHistory(t *testing.T) {
+	r := mkReport(4, map[int]float64{1: 500})
+	r.Interrupted = true
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Interrupted {
+		t.Fatal("Interrupted flag lost in round trip")
+	}
+}
+
 func TestFinalizeAndWrite(t *testing.T) {
 	r := &Report{SMs: 2, CPUs: 4, Runs: []Run{
 		{Workers: 1, Experiments: []Experiment{{Name: "a", WallMS: 100, SimCycles: 1000}}},

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	wirbench [-sms N] [-j N] [-parallel] [-v] [-exp LIST] [-json FILE]
+//	wirbench [-sms N] [-j N] [-parallel] [-dense] [-v] [-exp LIST] [-json FILE]
 //	         [-csv FILE] [-speed FILE] [-speed-history FILE]
 //	         [-hostprof FILE] [-hostprof-json FILE] [-reuseprof-json FILE]
 //
@@ -14,11 +14,12 @@
 // -json writes the complete machine-readable report (running everything);
 // -csv dumps every raw simulation as one row.
 // -speed times the selected experiments at -j 1 and -j N on fresh harnesses
-// and writes a wir-speed/1 throughput report instead of figure text; each
-// pass carries a host profiler, so the report includes a per-phase breakdown
-// and skip-opportunity fraction. -speed-history appends the report to the
-// ratchet ledger; -hostprof / -hostprof-json write the merged host profile as
-// a pprof file / wir-hostprof/1 JSON (see docs/PERFORMANCE.md).
+// and writes a wir-speed/1 throughput report instead of figure text; the
+// timed passes run unprofiled (the profiler's clock reads would depress the
+// recorded throughput). -speed-history appends the report to the ratchet
+// ledger; -hostprof / -hostprof-json write a host profile from one extra
+// untimed profiled pass as a pprof file / wir-hostprof/1 JSON (see
+// docs/PERFORMANCE.md).
 package main
 
 import (
@@ -203,6 +204,7 @@ func main() {
 	sms := flag.Int("sms", 15, "number of simulated SMs (paper: 15)")
 	workers := flag.Int("j", runtime.NumCPU(), "parallel simulations in the sweep worker pool")
 	parallelSM := flag.Bool("parallel", false, "also step each simulation's SMs in parallel goroutines (bit-identical)")
+	dense := flag.Bool("dense", false, "disable event-driven stepping: sweep every quiet cycle densely (bit-identical; for A/B and debugging)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	exp := flag.String("exp", "all", "comma-separated experiments to run")
 	jsonPath := flag.String("json", "", "additionally write the full report as JSON to this file (runs all experiments)")
@@ -230,6 +232,7 @@ func main() {
 		h := harness.New()
 		h.SMs = *sms
 		h.ParallelSM = *parallelSM
+		h.Dense = *dense
 		h.SetParallelism(w)
 		if *verbose {
 			h.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wirsim [-sms N] [-model RLPV] [-parallel] [-list] [-interval N] [-metrics FILE]
+//	wirsim [-sms N] [-model RLPV] [-parallel] [-dense] [-list] [-interval N] [-metrics FILE]
 //	       [-stats text|json] [-trace-json FILE] [-serve :addr] [-profile-contention]
 //	       [-pprof FILE] [-hostprof FILE] [-hostprof-json FILE]
 //	       [-reuseprof] [-reuseprof-json FILE]
@@ -72,6 +72,7 @@ func main() {
 	watchdog := flag.Int64("watchdog", -1, "fail if no instruction retires for N cycles (-1 derives N from DRAM latency and MSHR depth, 0 = absolute backstop only)")
 	audit := flag.Bool("audit", false, "run the structural invariant auditors at every kernel boundary, not just end of run")
 	parallel := flag.Bool("parallel", false, "step SMs in parallel goroutines (bit-identical to serial; falls back to serial when -chaos, per-PC attribution, or -stats json is active)")
+	dense := flag.Bool("dense", false, "disable event-driven stepping: sweep every quiet cycle densely (bit-identical; for A/B and debugging)")
 	chaosSpec := flag.String("chaos", "", "inject deterministic faults: seed,rate,kinds (e.g. 1,0.001,all — see docs/ROBUSTNESS.md)")
 	flag.Parse()
 
@@ -113,6 +114,7 @@ func main() {
 		g.SetLaunchAudit(true)
 	}
 	g.SetParallel(*parallel)
+	g.SetEventDriven(!*dense)
 
 	// Telemetry: one registry feeds the live endpoint, the interval sampler
 	// and the end-of-run report. Attached only when asked for, so plain runs

@@ -306,6 +306,22 @@ func (e *Engine) RegValue(w int, r isa.Reg) isa.Vec {
 	return e.rf.Value(e.staticPhys(w, r))
 }
 
+// RegValueInto writes the architectural value of warp w's logical register r
+// into *dst. Identical to RegValue but skips the 128-byte return copy — the
+// issue path reads up to three operands per instruction through this.
+func (e *Engine) RegValueInto(dst *isa.Vec, w int, r isa.Reg) {
+	if e.Reuse() {
+		ent := e.rt.Lookup(w, r)
+		if !ent.Valid {
+			*dst = isa.Vec{}
+			return
+		}
+		*dst = e.rf.Value(ent.Phys)
+		return
+	}
+	*dst = e.rf.Value(e.staticPhys(w, r))
+}
+
 func (e *Engine) staticPhys(w int, r isa.Reg) regfile.PhysID {
 	if int(r) >= e.staticLen[w] {
 		// Kernel reads a register beyond its declared count; map to the

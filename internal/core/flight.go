@@ -65,6 +65,7 @@ type Flight struct {
 
 	Mask      isa.Mask // active mask at issue (SIMT mask AND guard predicate)
 	Divergent bool     // any of the 32 lanes inactive
+	FU        isa.FU   // In.Op.Unit(), cached at issue: read every cycle the flight is live
 
 	// Rename results.
 	SrcPhys   [3]regfile.PhysID
@@ -109,6 +110,7 @@ type Flight struct {
 	Dispatched   bool   // operands read, FU dispatch done
 	MemLines     []uint64
 	MemSpace     isa.Space
+	MemPending   bool   // MemIdx < len(MemLines): lines remain to inject (checked every StageExec cycle)
 	MemIdx       int    // next line to inject into the memory system
 	MemMaxDone   uint64 // latest completion among injected lines
 	MemConflicts int    // scratchpad bank serialization degree
@@ -133,6 +135,22 @@ type Flight struct {
 	// donor's clean value (tags are physical source IDs, so the flipped
 	// operand value does not change the tag), healing the fault.
 	ChaosDirty bool
+
+	// Distinct caches DistinctSources' result across bank-retry cycles: the
+	// rename mapping is fixed once the flight reaches operand collection, so
+	// the dedup need only run once. NDistinct == 0 doubles as "not computed";
+	// recomputing a zero-source instruction's empty set costs nothing.
+	Distinct  [3]regfile.PhysID
+	NDistinct int8
+}
+
+// Reset zeroes the flight for pool reuse while keeping the grown backing
+// arrays of its slices, so a recycled flight's append traffic stays on
+// already-allocated memory.
+func (f *Flight) Reset() {
+	memLines := f.MemLines[:0]
+	refs := f.Refs[:0]
+	*f = Flight{MemLines: memLines, Refs: refs}
 }
 
 // AddInflightRef records an in-flight reference taken on p, to be released
@@ -140,22 +158,28 @@ type Flight struct {
 func (f *Flight) AddInflightRef(p regfile.PhysID) { f.Refs = append(f.Refs, p) }
 
 // DistinctSources returns the physical source registers with duplicates
-// removed; duplicate operands are served by one bank read.
+// removed; duplicate operands are served by one bank read. The dedup is
+// cached on the flight (the rename mapping is fixed by the time operands are
+// collected), so bank-conflict retry cycles re-read it for free. The slice
+// aliases flight-owned storage: it is valid until the flight is recycled.
 func (f *Flight) DistinctSources() []regfile.PhysID {
-	out := make([]regfile.PhysID, 0, 3)
-	n := f.In.NSrc
-	for i := 0; i < n; i++ {
-		p := f.SrcPhys[i]
-		dup := false
-		for _, q := range out {
-			if q == p {
-				dup = true
-				break
+	if f.NDistinct == 0 {
+		n := 0
+		for i := 0; i < f.In.NSrc; i++ {
+			p := f.SrcPhys[i]
+			dup := false
+			for j := 0; j < n; j++ {
+				if f.Distinct[j] == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				f.Distinct[n] = p
+				n++
 			}
 		}
-		if !dup {
-			out = append(out, p)
-		}
+		f.NDistinct = int8(n)
 	}
-	return out
+	return f.Distinct[:f.NDistinct]
 }

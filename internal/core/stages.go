@@ -471,5 +471,5 @@ func (e *Engine) Retire(fl *Flight) {
 	for _, p := range fl.Refs {
 		e.release(p)
 	}
-	fl.Refs = nil
+	fl.Refs = fl.Refs[:0]
 }

@@ -73,8 +73,9 @@ type GPU struct {
 	chaos       *chaos.Injector
 	launchAudit bool
 
-	parallel bool // goroutine-per-SM stepping requested (see SetParallel)
-	profiled bool // a profile hook is attached (forces serial stepping)
+	parallel    bool // goroutine-per-SM stepping requested (see SetParallel)
+	profiled    bool // a profile hook is attached (forces serial stepping)
+	eventDriven bool // quiet-SM skipping + whole-GPU fast-forward (see SetEventDriven)
 }
 
 // New builds a GPU for the given configuration.
@@ -82,7 +83,7 @@ func New(cfg config.Config) (*GPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g := &GPU{cfg: cfg}
+	g := &GPU{cfg: cfg, eventDriven: true}
 	g.ms = mem.NewSystem(&g.cfg, &g.st)
 	g.sms = make([]*sm.SM, cfg.NumSMs)
 	g.smStat = make([]*stats.Sim, cfg.NumSMs)
@@ -152,6 +153,22 @@ func (g *GPU) SetChaos(inj *chaos.Injector) {
 		s.SetChaos(inj)
 	}
 	g.ms.SetChaos(inj)
+}
+
+// SetEventDriven enables (or disables) event-driven stepping for subsequent
+// Run calls (on by default). Event-driven stepping is bit-identical to dense
+// stepping: an SM whose last tick proved it inert until a known future cycle
+// is advanced with SkipTicks instead of Tick, and when every SM is quiet the
+// whole chip fast-forwards to the next scheduled event (earliest SM wake,
+// sampler interval, MSHR fill, or watchdog deadline). It is declined
+// automatically (Run steps densely) when instruments or an attribution
+// collector are attached, because those account per-cycle scheduler-slot
+// stalls that quiet ticks must keep producing.
+func (g *GPU) SetEventDriven(on bool) { g.eventDriven = on }
+
+// canEventDriven reports whether the next Run may skip quiet ticks.
+func (g *GPU) canEventDriven() bool {
+	return g.eventDriven && g.ins == nil && g.attr == nil
 }
 
 // SetLaunchAudit enables (or disables) running the structural invariant
@@ -366,6 +383,7 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 	wd := g.cfg.WatchdogCycles
 	lastRetired := g.totalRetired()
 	lastProgress := g.cycles
+	ed := g.canEventDriven()
 	runner := g.startParallel() // nil: step serially
 	if runner != nil {
 		defer runner.stop()
@@ -388,6 +406,10 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 				if s.TryLaunchBlock(infos[next]) {
 					next++
 					placed = true
+					// A new block invalidates the SM's last computed wake
+					// cycle: force dense stepping until the next Tick proves
+					// quiet again.
+					s.Wake()
 				}
 			}
 			if !placed {
@@ -399,10 +421,14 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 		}
 		idle := true
 		if runner != nil {
-			idle = runner.cycle()
+			idle = runner.cycle(ed)
 		} else {
 			for _, s := range g.sms {
-				s.Tick()
+				if ed && s.WakeAt() > s.Now()+1 {
+					s.SkipTicks(1)
+				} else {
+					s.Tick()
+				}
 				if !s.Idle() {
 					idle = false
 				}
@@ -428,6 +454,9 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 		if g.cycles > deadline {
 			return 0, g.watchdogError(l, next, total, g.cycles-lastProgress, watchdogSlack)
 		}
+		if ed {
+			g.skipAhead(lastProgress, deadline, wd)
+		}
 		if g.hp != nil {
 			g.hp.DriverLap(hostprof.PhaseTelemetry)
 		}
@@ -448,6 +477,50 @@ func (g *GPU) Run(l *Launch) (uint64, error) {
 		g.hp.RunEnd()
 	}
 	return g.cycles - start, nil
+}
+
+// skipAhead fast-forwards the whole chip across a provably quiet span. When
+// every SM's wake cycle lies beyond the next cycle, no SM can issue, retire,
+// or touch the shared memory system until the earliest of them wakes — so the
+// driver advances each SM's clock in closed form instead of sweeping quiet
+// ticks one by one. The jump is clamped so every externally scheduled event
+// still happens on exactly the cycle dense stepping would observe it: the
+// configurable watchdog and the absolute deadline fire on their precise
+// cycle, the sampler observes its interval boundary, and a pending MSHR fill
+// (defensive: a waiting flight's ReadyAt already bounds the wake) is not
+// jumped over. Dispatch needs no clamp: a full chip only regains block
+// capacity through completions, which latch dense stepping first.
+func (g *GPU) skipAhead(lastProgress, deadline uint64, wd uint64) {
+	minWake := ^uint64(0)
+	for _, s := range g.sms {
+		if w := s.WakeAt(); w < minWake {
+			minWake = w
+		}
+	}
+	if minWake <= g.cycles+2 {
+		return // the next cycle (or the one after) does work; nothing to gain
+	}
+	target := minWake - 1
+	if wd > 0 && target > lastProgress+wd-1 {
+		target = lastProgress + wd - 1
+	}
+	if target > deadline {
+		target = deadline
+	}
+	if nd := g.sampler.NextDue(); target > nd-1 {
+		target = nd - 1
+	}
+	if f := g.ms.NextFill(); f != ^uint64(0) && target > f-1 {
+		target = f - 1
+	}
+	if target <= g.cycles {
+		return
+	}
+	n := target - g.cycles
+	for _, s := range g.sms {
+		s.SkipTicks(n)
+	}
+	g.cycles += n
 }
 
 // Stats merges the per-SM counters with the memory-system counters and

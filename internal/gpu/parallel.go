@@ -109,6 +109,7 @@ type parRunner struct {
 	gate  *cycleGate
 	bufs  []smHookBuf
 	start []chan struct{}
+	skip  []bool // per cycle: SM stepped with SkipTicks on the driver goroutine
 	wg    sync.WaitGroup
 	quit  chan struct{}
 
@@ -129,6 +130,7 @@ func (g *GPU) startParallel() *parRunner {
 		gate:  newCycleGate(n),
 		bufs:  make([]smHookBuf, n),
 		start: make([]chan struct{}, n),
+		skip:  make([]bool, n),
 		quit:  make(chan struct{}),
 	}
 	// All SMs share identical hooks (the Set*Hook methods fan one value out),
@@ -177,12 +179,28 @@ func (b bufSink) Emit(e trace.Event) { b.buf.events = append(b.buf.events, e) }
 
 // cycle runs one GPU cycle across all SMs and reports whether every SM is
 // idle. On return all Ticks are complete and all hooks have been delivered in
-// SM-index order.
-func (r *parRunner) cycle() bool {
+// SM-index order. With ed set, SMs provably quiet this cycle are advanced
+// with SkipTicks on the driver goroutine (their workers stay parked) and
+// finish the gate immediately — correct because a quiet SM performs no shared
+// memory-system access for later SMs to order behind, and SkipTicks touches
+// only SM-owned state.
+func (r *parRunner) cycle(ed bool) bool {
 	r.gate.reset()
-	r.wg.Add(len(r.start))
-	for _, c := range r.start {
-		c <- struct{}{}
+	ticking := 0
+	for i, s := range r.g.sms {
+		r.skip[i] = ed && s.WakeAt() > s.Now()+1
+		if !r.skip[i] {
+			ticking++
+		}
+	}
+	r.wg.Add(ticking)
+	for i, c := range r.start {
+		if r.skip[i] {
+			r.g.sms[i].SkipTicks(1)
+			r.gate.finish(i)
+		} else {
+			c <- struct{}{}
+		}
 	}
 	r.wg.Wait()
 	r.flush()

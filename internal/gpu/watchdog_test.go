@@ -1,0 +1,77 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/wirsim/wir/internal/chaos"
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// wedgedRun builds a one-SM GPU whose first retire is chaos-dropped, wedging
+// the only warp forever: the dropped flight's scoreboard entries never clear,
+// so the dependent instruction can never issue and no retire ever lands. It
+// returns the error from Run, which must be the watchdog diagnosis.
+func wedgedRun(t *testing.T, wd uint64, eventDriven bool) error {
+	t.Helper()
+	cfg := config.Default(config.Base)
+	cfg.NumSMs = 1
+	cfg.WatchdogCycles = wd
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetEventDriven(eventDriven)
+	g.SetChaos(chaos.New(1, 1, 1<<uint(chaos.Wedge)))
+
+	b := kasm.NewBuilder("wedged")
+	r0, r1 := b.R(), b.R()
+	b.MovI(r0, 1)      // its retire is dropped: r0's scoreboard entry leaks
+	b.IAdd(r1, r0, r0) // depends on r0 — can never issue
+	b.Exit()
+	_, runErr := g.Run(&Launch{Kernel: b.MustBuild(), GridX: 1, DimX: 32})
+	return runErr
+}
+
+// TestWatchdogFiresExactlyOnWedge pins the event-driven fast-forward clamp:
+// a wedged SM goes quiet forever (no issuable warp, no flights), so skipAhead
+// sees an unbounded wake cycle — and must still land the watchdog on exactly
+// the cycle dense stepping fires it, with the same quiet-count in the report.
+func TestWatchdogFiresExactlyOnWedge(t *testing.T) {
+	const wd = 500
+	var dense, event *WatchdogError
+
+	if err := wedgedRun(t, wd, false); !errors.As(err, &dense) {
+		t.Fatalf("dense run: want *WatchdogError, got %v", err)
+	}
+	if err := wedgedRun(t, wd, true); !errors.As(err, &event) {
+		t.Fatalf("event-driven run: want *WatchdogError, got %v", err)
+	}
+
+	if dense.Quiet != wd || dense.Limit != wd {
+		t.Fatalf("dense watchdog fired at quiet=%d limit=%d, want exactly %d", dense.Quiet, dense.Limit, wd)
+	}
+	if event.Quiet != dense.Quiet || event.Cycle != dense.Cycle || event.Limit != dense.Limit {
+		t.Fatalf("event-driven watchdog diverged: quiet=%d cycle=%d vs dense quiet=%d cycle=%d",
+			event.Quiet, event.Cycle, dense.Quiet, dense.Cycle)
+	}
+	if event.Report != dense.Report {
+		t.Fatalf("event-driven watchdog report differs from dense:\n--- event ---\n%s\n--- dense ---\n%s", event.Report, dense.Report)
+	}
+}
+
+// TestWatchdogExactAcrossThresholds sweeps thresholds so the skip clamp is
+// exercised at several distances from the wedge cycle, including ones far
+// larger than any natural wake interval.
+func TestWatchdogExactAcrossThresholds(t *testing.T) {
+	for _, wd := range []uint64{64, 1000, 25_000} {
+		var we *WatchdogError
+		if err := wedgedRun(t, wd, true); !errors.As(err, &we) {
+			t.Fatalf("wd=%d: want *WatchdogError, got %v", wd, err)
+		}
+		if we.Quiet != wd {
+			t.Fatalf("wd=%d: fired at quiet=%d, want exact threshold", wd, we.Quiet)
+		}
+	}
+}

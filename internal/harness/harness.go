@@ -44,6 +44,10 @@ type Harness struct {
 	// ParallelSM enables goroutine-per-SM stepping inside each simulation
 	// (bit-identical to serial; see gpu.SetParallel).
 	ParallelSM bool
+	// Dense disables event-driven stepping inside each simulation, forcing
+	// every quiet cycle to be swept densely (bit-identical either way; see
+	// gpu.SetEventDriven).
+	Dense bool
 	// HostProf, when non-nil, aggregates a host-side performance profile
 	// across every fresh simulation: each run gets its own collector and is
 	// merged in under the harness lock, so the totals are deterministic even
@@ -218,6 +222,7 @@ func (h *Harness) simulate(key, abbr string, m config.Model, cfg config.Config) 
 		return nil, fmt.Errorf("%s: %w", key, err)
 	}
 	g.SetParallel(h.ParallelSM)
+	g.SetEventDriven(!h.Dense)
 	var hp *hostprof.Collector
 	if h.HostProf != nil {
 		hp = g.NewHostProf()

@@ -173,6 +173,20 @@ func (p *SMProf) ObserveTick(active, idle bool) {
 	}
 }
 
+// ObserveSkippedTicks records n consecutive ticks the event-driven stepper
+// skipped. A skipped tick is by construction quiet (the SM was proven to
+// have no work), so the skip-opportunity fraction stays reconciled with
+// dense stepping: the report counts the skipped cycles exactly as it would
+// have counted them had they been ticked.
+func (p *SMProf) ObserveSkippedTicks(n uint64, idle bool) {
+	p.Ticks += n
+	p.Quiet += n
+	p.streak += n
+	if idle {
+		p.Idle += n
+	}
+}
+
 // FlushStreak closes a quiet streak still in progress so the run-length
 // histogram covers the whole run. Called at report time.
 func (p *SMProf) FlushStreak() {

@@ -140,26 +140,133 @@ func Compare(op Op, cond Cond, a, b uint32) bool {
 // content of the destination's physical register), which models how divergent
 // writes merge with preserved lanes.
 func ExecVec(in *Instr, srcs []Vec, old Vec, active Mask) Vec {
-	var a, b, c Vec
-	ops := [3]*Vec{&a, &b, &c}
+	var out Vec
+	ExecVecInto(&out, in, srcs, &old, active)
+	return out
+}
+
+// ExecVecInto is ExecVec writing its result into *dst: the issue path calls
+// this once per arithmetic instruction, and at 128 bytes per Vec the value
+// copies of the by-value form are a measurable fraction of a simulated
+// cycle. dst must not alias an element of srcs; aliasing old is fine.
+func ExecVecInto(dst *Vec, in *Instr, srcs []Vec, old *Vec, active Mask) {
+	// Operand slots resolve to pointers (register sources in place, one
+	// broadcast immediate, zero for the rest) so no 128-byte Vec is copied
+	// per operand — this runs once per issued arithmetic instruction.
+	var zero, immv Vec
+	ops := [3]*Vec{&zero, &zero, &zero}
 	n := 0
-	for _, s := range srcs {
+	for i := range srcs {
 		if n < 3 {
-			*ops[n] = s
+			ops[n] = &srcs[i]
 			n++
 		}
 	}
 	if in.HasImm && n < 3 {
-		for i := range ops[n] {
-			ops[n][i] = in.Imm
+		for i := range immv {
+			immv[i] = in.Imm
 		}
+		ops[n] = &immv
 		n++
 	}
-	out := old
-	for i := 0; i < WarpSize; i++ {
-		if active.Active(i) {
-			out[i] = ExecLane(in.Op, a[i], b[i], c[i])
+	a, b, c := ops[0], ops[1], ops[2]
+	*dst = *old
+	out := dst
+	// The common ALU opcodes get direct vector loops: ExecLane's opcode
+	// switch is too large to inline, and paying an indirect call per lane
+	// dominates the functional-execute profile. Each arm computes the
+	// identical expression ExecLane would, so results are bit-equal; every
+	// other opcode falls through to the per-lane path.
+	switch in.Op {
+	case OpMov, OpMovI:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i]
+			}
+		}
+	case OpIAdd:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i] + b[i]
+			}
+		}
+	case OpISub:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i] - b[i]
+			}
+		}
+	case OpIMul:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i] * b[i]
+			}
+		}
+	case OpIMad:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i]*b[i] + c[i]
+			}
+		}
+	case OpAnd:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i] & b[i]
+			}
+		}
+	case OpOr:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i] | b[i]
+			}
+		}
+	case OpXor:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i] ^ b[i]
+			}
+		}
+	case OpShl:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i] << (b[i] & 31)
+			}
+		}
+	case OpShr:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = a[i] >> (b[i] & 31)
+			}
+		}
+	case OpFAdd:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = b32(f32(a[i]) + f32(b[i]))
+			}
+		}
+	case OpFSub:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = b32(f32(a[i]) - f32(b[i]))
+			}
+		}
+	case OpFMul:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = b32(f32(a[i]) * f32(b[i]))
+			}
+		}
+	case OpFFma:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = b32(f32(a[i])*f32(b[i]) + f32(c[i]))
+			}
+		}
+	default:
+		for i := 0; i < WarpSize; i++ {
+			if active.Active(i) {
+				out[i] = ExecLane(in.Op, a[i], b[i], c[i])
+			}
 		}
 	}
-	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/wirsim/wir/internal/chaos"
 	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
 	"github.com/wirsim/wir/internal/metrics"
 	"github.com/wirsim/wir/internal/stats"
 )
@@ -34,6 +35,12 @@ type System struct {
 	l1t   []*Cache
 	mshrs []map[uint64]uint64 // per SM: line -> completion time
 	outst []int               // per SM: outstanding misses
+	// minFill is a per-SM lower bound on the completion times in mshrs
+	// (never above the true minimum; may be stale-low after deliveries).
+	// drainMSHRs fast-fails on it instead of iterating the map when no fill
+	// can have arrived yet — the MSHRs-full retry path otherwise walks the
+	// whole map every cycle of a long miss.
+	minFill []uint64
 
 	l2       []*Cache // per partition
 	dramNext []uint64 // per partition: next free request slot
@@ -72,6 +79,7 @@ func NewSystem(cfg *config.Config, st *stats.Sim) *System {
 		l1t:      make([]*Cache, cfg.NumSMs),
 		mshrs:    make([]map[uint64]uint64, cfg.NumSMs),
 		outst:    make([]int, cfg.NumSMs),
+		minFill:  make([]uint64, cfg.NumSMs),
 		l2:       make([]*Cache, cfg.L2Partitions),
 		dramNext: make([]uint64, cfg.L2Partitions),
 		global:   make(map[uint32]*page),
@@ -157,6 +165,42 @@ func (s *System) LoadGlobalSM(sm int, addr uint32) uint32 {
 	}
 	s.chaos.MarkValueChanging(chaos.StaleL1D)
 	return old
+}
+
+// LoadGlobalWarp performs the functional reads of one warp-wide global load:
+// for every active lane it writes the word at that lane's (word-aligned) byte
+// address into out. Values are exactly what per-lane LoadGlobalSM calls would
+// return, but consecutive lanes on the same 16 KB page share one page lookup
+// instead of paying a map access each — warp addresses are usually unit-stride,
+// so this drops the per-load map traffic by ~32x. With stale-L1D chaos armed
+// for this SM it falls back to the per-lane path, which handles the shadowed
+// pre-store values.
+func (s *System) LoadGlobalWarp(sm int, addrs *isa.Vec, mask isa.Mask, out *isa.Vec) {
+	if s.chaos != nil && len(s.staleLines[sm]) != 0 {
+		for i := 0; i < isa.WarpSize; i++ {
+			if mask.Active(i) {
+				out[i] = s.LoadGlobalSM(sm, addrs[i]&^3)
+			}
+		}
+		return
+	}
+	var cached *page
+	haveIdx := ^uint32(0)
+	for i := 0; i < isa.WarpSize; i++ {
+		if !mask.Active(i) {
+			continue
+		}
+		word := (addrs[i] &^ 3) / 4
+		if idx := word / pageWords; idx != haveIdx {
+			cached = s.global[idx]
+			haveIdx = idx
+		}
+		if cached == nil {
+			out[i] = 0
+		} else {
+			out[i] = cached[word%pageWords]
+		}
+	}
 }
 
 // SetConst installs the constant-memory segment (word 0 at byte address 0).
@@ -253,14 +297,24 @@ func (s *System) deliverFill(sm int, lineAddr uint64) {
 
 // drainMSHRs delivers fills that have arrived, releasing their MSHR entries.
 func (s *System) drainMSHRs(sm int, now uint64) {
+	if s.minFill[sm] > now {
+		// Every outstanding completion time is at least minFill: nothing has
+		// arrived, so draining would delete nothing. Identical outcome to the
+		// full walk, without touching the map.
+		return
+	}
 	m := s.mshrs[sm]
 	if s.chaos == nil {
+		newMin := ^uint64(0)
 		for l, done := range m {
 			if done <= now {
 				delete(m, l)
 				s.outst[sm]--
+			} else if done < newMin {
+				newMin = done
 			}
 		}
+		s.minFill[sm] = newMin
 		return
 	}
 	// Chaos draws one PRNG roll per delivered fill, and Go map iteration
@@ -332,6 +386,9 @@ func (s *System) AccessGlobalLoad(sm int, lineAddr uint64, now uint64) (uint64, 
 	}
 	s.mshrs[sm][lineAddr] = done
 	s.outst[sm]++
+	if done < s.minFill[sm] || len(s.mshrs[sm]) == 1 {
+		s.minFill[sm] = done
+	}
 	return done, true
 }
 
@@ -388,6 +445,25 @@ func (s *System) LineBytes() int { return s.cfg.LineBytes }
 
 // MSHROccupancy returns SM sm's outstanding-miss count (watchdog diagnostics).
 func (s *System) MSHROccupancy(sm int) int { return s.outst[sm] }
+
+// NextFill returns the earliest completion cycle of any outstanding MSHR
+// fill across all SMs, or the maximum cycle when none are pending. The
+// event-driven stepper clamps whole-GPU fast-forwards to this: a fill's
+// arrival is an event that can make a quiet SM's pipeline actionable again.
+// (Fill completion times are also carried in the requesting flight's ReadyAt,
+// so the clamp is belt-and-braces — it keeps the skip target correct even if
+// a future caller tracks fills outside flights.)
+func (s *System) NextFill() uint64 {
+	next := ^uint64(0)
+	for sm := range s.mshrs {
+		for _, done := range s.mshrs[sm] {
+			if done < next {
+				next = done
+			}
+		}
+	}
+	return next
+}
 
 // CheckInvariants audits the MSHR bookkeeping at a quiesce point (every
 // in-flight load's completion time has passed): after draining entries whose

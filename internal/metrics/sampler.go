@@ -66,6 +66,18 @@ func (sp *Sampler) Due(cycle uint64) bool {
 	return sp != nil && cycle > sp.prevCycle && (cycle-sp.prevCycle) >= sp.Every
 }
 
+// NextDue returns the first cycle at which Due will report true — the
+// upcoming interval boundary — or the maximum cycle when no sampler is
+// attached. The event-driven stepper clamps fast-forward jumps to this so
+// every interval is closed at exactly the cycle dense stepping would close
+// it at.
+func (sp *Sampler) NextDue() uint64 {
+	if sp == nil {
+		return ^uint64(0)
+	}
+	return sp.prevCycle + sp.Every
+}
+
 // Observe closes the interval ending at cycle with the cumulative counters
 // cum. Call at interval boundaries; Flush closes the final partial interval.
 func (sp *Sampler) Observe(cycle uint64, cum stats.Sim) {

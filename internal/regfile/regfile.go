@@ -27,9 +27,13 @@ type File struct {
 	affine []bool // value is (base, stride)-affine: single-bank access
 	groups int
 
-	readBusy  []bool
-	writeBusy []bool
-	conflicts []uint64 // per bank group: failed port claims (telemetry)
+	// Port arbitration is cycle-stamped rather than cleared: a port is busy
+	// when its stamp equals the current cycle number, so BeginCycle is a
+	// single increment instead of a per-group sweep.
+	readStamp  []uint64
+	writeStamp []uint64
+	cycle      uint64
+	conflicts  []uint64 // per bank group: failed port claims (telemetry)
 
 	vcache *VerifyCache
 }
@@ -42,12 +46,13 @@ func New(numRegs, groups, verifyEntries int) *File {
 		panic(fmt.Sprintf("regfile: invalid geometry %d regs / %d groups", numRegs, groups))
 	}
 	f := &File{
-		vals:      make([]isa.Vec, numRegs),
-		affine:    make([]bool, numRegs),
-		groups:    groups,
-		readBusy:  make([]bool, groups),
-		writeBusy: make([]bool, groups),
-		conflicts: make([]uint64, groups),
+		vals:       make([]isa.Vec, numRegs),
+		affine:     make([]bool, numRegs),
+		groups:     groups,
+		readStamp:  make([]uint64, groups),
+		writeStamp: make([]uint64, groups),
+		cycle:      1, // stamps start at 0 = "never claimed"
+		conflicts:  make([]uint64, groups),
 	}
 	if verifyEntries > 0 {
 		f.vcache = NewVerifyCache(verifyEntries)
@@ -63,32 +68,29 @@ func (f *File) Group(p PhysID) int { return int(p) % f.groups }
 
 // BeginCycle releases all bank ports for a new cycle.
 func (f *File) BeginCycle() {
-	for i := range f.readBusy {
-		f.readBusy[i] = false
-		f.writeBusy[i] = false
-	}
+	f.cycle++
 }
 
 // TryRead claims the read port of p's bank group for this cycle. It returns
 // false when the port is already taken.
 func (f *File) TryRead(p PhysID) bool {
 	g := f.Group(p)
-	if f.readBusy[g] {
+	if f.readStamp[g] == f.cycle {
 		f.conflicts[g]++
 		return false
 	}
-	f.readBusy[g] = true
+	f.readStamp[g] = f.cycle
 	return true
 }
 
 // TryWrite claims the write port of p's bank group for this cycle.
 func (f *File) TryWrite(p PhysID) bool {
 	g := f.Group(p)
-	if f.writeBusy[g] {
+	if f.writeStamp[g] == f.cycle {
 		f.conflicts[g]++
 		return false
 	}
-	f.writeBusy[g] = true
+	f.writeStamp[g] = f.cycle
 	return true
 }
 

@@ -470,6 +470,28 @@ func (s *SMProf) ObserveCycle(occ int, cycle uint64) {
 	}
 }
 
+// ObserveQuietCycles batches n consecutive ObserveCycle calls for a span of
+// skipped quiet cycles, starting at firstCycle. The reuse buffer cannot change
+// while the SM does no work, so the occupancy is constant across the span and
+// the rolling series gets exactly the points — at exactly the cycles — that
+// dense per-cycle observation would have produced. Safe on nil.
+func (s *SMProf) ObserveQuietCycles(occ int, firstCycle, n uint64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.OccSum += uint64(occ) * n
+	rem := seriesStride - s.OccSamples%seriesStride
+	s.OccSamples += n
+	for k := rem; k <= n; k += seriesStride {
+		s.Series = append(s.Series, SeriesPoint{
+			Cycle:   firstCycle + k - 1,
+			Occ:     uint64(occ),
+			Lookups: s.lookups,
+			Hits:    s.Tax[BucketHit] + s.Tax[BucketPendingResolved],
+		})
+	}
+}
+
 // RealHits returns the result hits recorded by the taxonomy (direct plus
 // pending-resolved).
 func (s *SMProf) RealHits() uint64 { return s.Tax[BucketHit] + s.Tax[BucketPendingResolved] }

@@ -1,0 +1,89 @@
+package sm
+
+import (
+	"testing"
+
+	"github.com/wirsim/wir/internal/config"
+	"github.com/wirsim/wir/internal/isa"
+	"github.com/wirsim/wir/internal/kasm"
+)
+
+// loopKernel builds a long-running kernel that keeps every pipeline path warm:
+// ALU traffic, shared-memory loads/stores (bank-conflict scratch), and global
+// loads (coalescing + MSHR traffic), iterated enough times that a measurement
+// window sits entirely in steady state.
+func loopKernel(iters int32) *kasm.Kernel {
+	b := kasm.NewBuilder("alloc-loop")
+	i := b.R()
+	acc := b.R()
+	addr := b.R()
+	tmp := b.R()
+	sh := b.Shared(4 * isa.WarpSize)
+	p := b.P()
+	b.MovI(i, 0)
+	b.MovI(acc, 0)
+	b.S2R(addr, isa.SrTid)
+	b.ShlI(addr, addr, 2)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.IAdd(acc, acc, i)
+	b.IMulI(tmp, i, 3)
+	b.Xor(acc, acc, tmp)
+	b.St(isa.SpaceShared, addr, acc, int32(sh))
+	b.Ld(tmp, isa.SpaceShared, addr, int32(sh))
+	b.IAdd(acc, acc, tmp)
+	b.Ld(tmp, isa.SpaceGlobal, addr, 0)
+	b.IAdd(acc, acc, tmp)
+	b.IAddI(i, i, 1)
+	b.ISetPI(p, isa.CondLT, i, iters)
+	b.BraTo(p, false, top)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// steadySM returns an SM mid-flight through loopKernel, warmed past the
+// cold-start allocations (flight pool fill, MSHR/cache map growth).
+func steadySM(tb testing.TB, m config.Model) *SM {
+	tb.Helper()
+	s, _ := testSM(m)
+	k := loopKernel(1 << 30)
+	if !s.TryLaunchBlock(info(k, 256)) {
+		tb.Fatalf("launch failed")
+	}
+	for i := 0; i < 2000; i++ {
+		s.Tick()
+	}
+	if s.Idle() {
+		tb.Fatalf("workload drained during warmup")
+	}
+	return s
+}
+
+// TestTickZeroAllocSteadyState is the zero-allocation contract: once warm, a
+// Tick allocates nothing, under both the conventional and the full-reuse
+// model. Any regression here turns straight into GC pressure on the sweep's
+// hot loop, so this is an exact zero, not a budget.
+func TestTickZeroAllocSteadyState(t *testing.T) {
+	for _, m := range []config.Model{config.Base, config.RLPV} {
+		s := steadySM(t, m)
+		avg := testing.AllocsPerRun(500, func() { s.Tick() })
+		if avg != 0 {
+			t.Errorf("%v: Tick allocates %.2f objects/tick in steady state, want 0", m, avg)
+		}
+		if s.Idle() {
+			t.Fatalf("%v: workload drained during measurement", m)
+		}
+	}
+}
+
+func BenchmarkTick(b *testing.B) {
+	s := steadySM(b, config.RLPV)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+	if s.Idle() {
+		b.Fatalf("workload drained during benchmark")
+	}
+}

@@ -12,7 +12,7 @@ func TestCoalesceContiguous(t *testing.T) {
 	for i := range addrs {
 		addrs[i] = 0x1000 + uint32(i)*4 // 32 consecutive words: one 128B line
 	}
-	lines := coalesce(addrs, isa.FullMask, 128)
+	lines := coalesceInto(nil, addrs, isa.FullMask, 128)
 	if len(lines) != 1 || lines[0] != 0x1000/128 {
 		t.Fatalf("contiguous warp access should coalesce to one line: %v", lines)
 	}
@@ -23,7 +23,7 @@ func TestCoalesceStrided(t *testing.T) {
 	for i := range addrs {
 		addrs[i] = uint32(i) * 128 // one line per lane
 	}
-	lines := coalesce(addrs, isa.FullMask, 128)
+	lines := coalesceInto(nil, addrs, isa.FullMask, 128)
 	if len(lines) != 32 {
 		t.Fatalf("fully strided access should need 32 lines, got %d", len(lines))
 	}
@@ -34,11 +34,11 @@ func TestCoalesceRespectsMask(t *testing.T) {
 	for i := range addrs {
 		addrs[i] = uint32(i) * 128
 	}
-	lines := coalesce(addrs, 0x3, 128)
+	lines := coalesceInto(nil, addrs, 0x3, 128)
 	if len(lines) != 2 {
 		t.Fatalf("only active lanes coalesce: %v", lines)
 	}
-	if len(coalesce(addrs, 0, 128)) != 0 {
+	if len(coalesceInto(nil, addrs, 0, 128)) != 0 {
 		t.Fatalf("empty mask must produce no lines")
 	}
 }
@@ -49,7 +49,7 @@ func TestQuickCoalesceCovers(t *testing.T) {
 	f := func(raw [32]uint32, mask uint32) bool {
 		addrs := isa.Vec(raw)
 		m := isa.Mask(mask)
-		lines := coalesce(addrs, m, 128)
+		lines := coalesceInto(nil, addrs, m, 128)
 		if len(lines) > m.Count() {
 			return false
 		}
@@ -78,7 +78,7 @@ func TestQuickCoalesceCovers(t *testing.T) {
 
 func TestBankConflictsBroadcast(t *testing.T) {
 	var addrs isa.Vec // all lanes read word 0: broadcast, degree 1
-	if got := bankConflicts(addrs, isa.FullMask); got != 1 {
+	if got := (&SM{}).bankConflicts(addrs, isa.FullMask); got != 1 {
 		t.Fatalf("broadcast should not conflict, degree %d", got)
 	}
 }
@@ -88,7 +88,7 @@ func TestBankConflictsConflictFree(t *testing.T) {
 	for i := range addrs {
 		addrs[i] = uint32(i) * 4 // one word per bank
 	}
-	if got := bankConflicts(addrs, isa.FullMask); got != 1 {
+	if got := (&SM{}).bankConflicts(addrs, isa.FullMask); got != 1 {
 		t.Fatalf("word-interleaved access should be conflict-free, degree %d", got)
 	}
 }
@@ -98,7 +98,7 @@ func TestBankConflictsWorstCase(t *testing.T) {
 	for i := range addrs {
 		addrs[i] = uint32(i) * 32 * 4 // stride 32 words: all lanes hit bank 0
 	}
-	if got := bankConflicts(addrs, isa.FullMask); got != 32 {
+	if got := (&SM{}).bankConflicts(addrs, isa.FullMask); got != 32 {
 		t.Fatalf("stride-32 access should serialize 32-way, degree %d", got)
 	}
 }
@@ -107,7 +107,7 @@ func TestBankConflictsWorstCase(t *testing.T) {
 func TestQuickBankConflictBounds(t *testing.T) {
 	f := func(raw [32]uint32, mask uint32) bool {
 		m := isa.Mask(mask)
-		d := bankConflicts(isa.Vec(raw), m)
+		d := (&SM{}).bankConflicts(isa.Vec(raw), m)
 		if m.Count() == 0 {
 			return d == 1 // degenerate: no accesses, one transaction slot
 		}
@@ -124,14 +124,17 @@ func TestLaneAddrOffset(t *testing.T) {
 		base[i] = uint32(i * 8)
 	}
 	in := &isa.Instr{Op: isa.OpLd, Imm: 16, HasImm: true}
-	out := laneAddr(base, in)
+	var out isa.Vec
+	laneAddrInto(&out, &base, in)
 	for i := range out {
 		if out[i] != base[i]+16 {
 			t.Fatalf("offset not applied at lane %d", i)
 		}
 	}
 	noOff := &isa.Instr{Op: isa.OpLd}
-	if laneAddr(base, noOff) != base {
+	var same isa.Vec
+	laneAddrInto(&same, &base, noOff)
+	if same != base {
 		t.Fatalf("no-offset load must keep addresses")
 	}
 }

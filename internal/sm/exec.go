@@ -11,18 +11,19 @@ import (
 // result is computed (memory operations access the functional store), and
 // per-lane merge semantics for divergent writes are applied. Timing proceeds
 // separately through the pipeline stages. It returns the operand values for
-// the profiling hook.
+// the profiling hook; the slice aliases per-SM scratch and is only valid
+// until the next issued instruction.
 func (s *SM) execute(wc *warpCtx, fl *core.Flight) []isa.Vec {
 	in := fl.In
 	w := fl.Warp
-	srcs := make([]isa.Vec, in.NSrc)
+	srcs := s.srcScratch[:in.NSrc]
 	for i := 0; i < in.NSrc; i++ {
-		srcs[i] = s.eng.RegValue(w, in.Src[i])
+		s.eng.RegValueInto(&srcs[i], w, in.Src[i])
 	}
-	var old isa.Vec
+	// Every vector-result opcode below merges inactive lanes from fl.OldDst;
+	// a freshly pooled flight holds a zero OldDst for the dst-less ones.
 	if in.HasDst() {
-		old = s.eng.RegValue(w, in.Dst)
-		fl.OldDst = old
+		s.eng.RegValueInto(&fl.OldDst, w, in.Dst)
 	}
 
 	switch in.Op {
@@ -30,12 +31,12 @@ func (s *SM) execute(wc *warpCtx, fl *core.Flight) []isa.Vec {
 		fl.Result = s.specialVec(wc, in.SReg)
 		for i := 0; i < isa.WarpSize; i++ {
 			if !fl.Mask.Active(i) {
-				fl.Result[i] = old[i]
+				fl.Result[i] = fl.OldDst[i]
 			}
 		}
 		fl.HasResult = true
 	case isa.OpISetP, isa.OpFSetP:
-		a := srcs[0]
+		a := &srcs[0]
 		var b isa.Vec
 		if in.NSrc > 1 {
 			b = srcs[1]
@@ -55,28 +56,27 @@ func (s *SM) execute(wc *warpCtx, fl *core.Flight) []isa.Vec {
 		wc.preds[in.PDst] = (prev &^ fl.Mask) | (m & fl.Mask)
 	case isa.OpSel:
 		p := wc.preds[in.PDst]
-		out := old
+		fl.Result = fl.OldDst
 		for i := 0; i < isa.WarpSize; i++ {
 			if fl.Mask.Active(i) {
 				if p.Active(i) {
-					out[i] = srcs[0][i]
+					fl.Result[i] = srcs[0][i]
 				} else {
-					out[i] = srcs[1][i]
+					fl.Result[i] = srcs[1][i]
 				}
 			}
 		}
-		fl.Result = out
 		fl.HasResult = true
 	case isa.OpLd:
-		s.executeLoad(wc, fl, srcs[0], old)
+		s.executeLoad(wc, fl, &srcs[0])
 	case isa.OpSt:
-		s.executeStore(wc, fl, srcs[0], srcs[1])
+		s.executeStore(wc, fl, &srcs[0], &srcs[1])
 	default:
-		fl.Result = isa.ExecVec(in, srcs, old, fl.Mask)
+		isa.ExecVecInto(&fl.Result, in, srcs, &fl.OldDst, fl.Mask)
 		fl.HasResult = true
 		if s.chaos.RollOperandBit() && s.chaos.FlipBit(srcs, fl.Mask) {
 			clean := fl.Result
-			fl.Result = isa.ExecVec(in, srcs, old, fl.Mask)
+			isa.ExecVecInto(&fl.Result, in, srcs, &fl.OldDst, fl.Mask)
 			// Value-changing is settled at retire: a reuse hit replaces the
 			// corrupted result with the donor's clean value (see ChaosDirty).
 			fl.ChaosDirty = fl.Result != clean
@@ -140,24 +140,28 @@ func maxi(a, b int) int {
 	return b
 }
 
-// laneAddr computes the per-lane byte addresses of a memory instruction.
-func laneAddr(base isa.Vec, in *isa.Instr) isa.Vec {
+// laneAddrInto computes the per-lane byte addresses of a memory instruction
+// into *dst.
+func laneAddrInto(dst *isa.Vec, base *isa.Vec, in *isa.Instr) {
 	if !in.HasImm {
-		return base
+		*dst = *base
+		return
 	}
-	var out isa.Vec
 	for i := range base {
-		out[i] = base[i] + in.Imm
+		dst[i] = base[i] + in.Imm
 	}
-	return out
 }
 
 // executeLoad reads memory functionally and prepares the timing descriptors
-// (coalesced line list or scratchpad conflict degree).
-func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase, old isa.Vec) {
+// (coalesced line list or scratchpad conflict degree). The result is built
+// in place over fl.OldDst's lane image, so inactive lanes merge without an
+// extra vector copy.
+func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase *isa.Vec) {
 	in := fl.In
-	addrs := laneAddr(addrBase, in)
-	out := old
+	var addrs isa.Vec
+	laneAddrInto(&addrs, addrBase, in)
+	fl.Result = fl.OldDst
+	out := &fl.Result
 	switch in.Space {
 	case isa.SpaceShared:
 		sh := s.blocks[wc.block].shared
@@ -166,17 +170,13 @@ func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase, old isa.Vec) {
 				out[i] = sharedLoad(sh, addrs[i])
 			}
 		}
-		fl.MemConflicts = bankConflicts(addrs, fl.Mask)
+		fl.MemConflicts = s.bankConflicts(addrs, fl.Mask)
 	case isa.SpaceGlobal:
 		s.enterShared()
-		for i := 0; i < isa.WarpSize; i++ {
-			if fl.Mask.Active(i) {
-				// The per-SM path can serve a chaos-staled L1D line; the
-				// golden model reads through LoadGlobal and sees the truth.
-				out[i] = s.ms.LoadGlobalSM(s.ID, addrs[i]&^3)
-			}
-		}
-		fl.MemLines = coalesce(addrs, fl.Mask, s.ms.LineBytes())
+		// The per-SM path can serve a chaos-staled L1D line; the golden
+		// model reads through LoadGlobal and sees the truth.
+		s.ms.LoadGlobalWarp(s.ID, &addrs, fl.Mask, out)
+		fl.MemLines = coalesceInto(fl.MemLines[:0], addrs, fl.Mask, s.ms.LineBytes())
 	case isa.SpaceConst:
 		s.enterShared()
 		for i := 0; i < isa.WarpSize; i++ {
@@ -184,7 +184,7 @@ func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase, old isa.Vec) {
 				out[i] = s.ms.LoadConst(addrs[i] &^ 3)
 			}
 		}
-		fl.MemLines = coalesce(addrs, fl.Mask, s.ms.LineBytes())
+		fl.MemLines = coalesceInto(fl.MemLines[:0], addrs, fl.Mask, s.ms.LineBytes())
 	case isa.SpaceTex:
 		s.enterShared()
 		for i := 0; i < isa.WarpSize; i++ {
@@ -192,17 +192,17 @@ func (s *SM) executeLoad(wc *warpCtx, fl *core.Flight, addrBase, old isa.Vec) {
 				out[i] = s.ms.LoadTex(addrs[i] &^ 3)
 			}
 		}
-		fl.MemLines = coalesce(addrs, fl.Mask, s.ms.LineBytes())
+		fl.MemLines = coalesceInto(fl.MemLines[:0], addrs, fl.Mask, s.ms.LineBytes())
 	}
 	fl.MemSpace = in.Space
-	fl.Result = out
 	fl.HasResult = true
 }
 
 // executeStore writes memory functionally and prepares timing descriptors.
-func (s *SM) executeStore(wc *warpCtx, fl *core.Flight, addrBase, val isa.Vec) {
+func (s *SM) executeStore(wc *warpCtx, fl *core.Flight, addrBase, val *isa.Vec) {
 	in := fl.In
-	addrs := laneAddr(addrBase, in)
+	var addrs isa.Vec
+	laneAddrInto(&addrs, addrBase, in)
 	switch in.Space {
 	case isa.SpaceShared:
 		sh := s.blocks[wc.block].shared
@@ -211,7 +211,7 @@ func (s *SM) executeStore(wc *warpCtx, fl *core.Flight, addrBase, val isa.Vec) {
 				sharedStore(sh, addrs[i], val[i])
 			}
 		}
-		fl.MemConflicts = bankConflicts(addrs, fl.Mask)
+		fl.MemConflicts = s.bankConflicts(addrs, fl.Mask)
 	case isa.SpaceGlobal:
 		s.enterShared()
 		for i := 0; i < isa.WarpSize; i++ {
@@ -219,7 +219,7 @@ func (s *SM) executeStore(wc *warpCtx, fl *core.Flight, addrBase, val isa.Vec) {
 				s.ms.StoreGlobal(addrs[i]&^3, val[i])
 			}
 		}
-		fl.MemLines = coalesce(addrs, fl.Mask, s.ms.LineBytes())
+		fl.MemLines = coalesceInto(fl.MemLines[:0], addrs, fl.Mask, s.ms.LineBytes())
 	}
 	fl.MemSpace = in.Space
 }
@@ -239,10 +239,11 @@ func sharedStore(sh []uint32, addr, v uint32) {
 	}
 }
 
-// coalesce reduces the active lanes' byte addresses to the set of distinct
-// cache lines they touch, in first-appearance order.
-func coalesce(addrs isa.Vec, mask isa.Mask, lineBytes int) []uint64 {
-	lines := make([]uint64, 0, 4)
+// coalesceInto reduces the active lanes' byte addresses to the set of
+// distinct cache lines they touch, in first-appearance order, appending to
+// lines (pass the flight's MemLines[:0] so a recycled flight's backing array
+// absorbs the appends).
+func coalesceInto(lines []uint64, addrs isa.Vec, mask isa.Mask, lineBytes int) []uint64 {
 	for i := 0; i < isa.WarpSize; i++ {
 		if !mask.Active(i) {
 			continue
@@ -265,8 +266,12 @@ func coalesce(addrs isa.Vec, mask isa.Mask, lineBytes int) []uint64 {
 // bankConflicts returns the scratchpad serialization degree: the maximum
 // number of distinct words the active lanes address within one of the 32
 // word-interleaved banks (identical addresses broadcast without conflict).
-func bankConflicts(addrs isa.Vec, mask isa.Mask) int {
-	var bankWords [32][]uint32
+// The per-bank word sets live in SM scratch (at most one word per lane, so
+// 32 per bank bounds them) reused across calls.
+func (s *SM) bankConflicts(addrs isa.Vec, mask isa.Mask) int {
+	for i := range s.bankLen {
+		s.bankLen[i] = 0
+	}
 	worst := 1
 	for i := 0; i < isa.WarpSize; i++ {
 		if !mask.Active(i) {
@@ -274,17 +279,19 @@ func bankConflicts(addrs isa.Vec, mask isa.Mask) int {
 		}
 		word := addrs[i] / 4
 		b := word % 32
+		n := int(s.bankLen[b])
 		dup := false
-		for _, wseen := range bankWords[b] {
-			if wseen == word {
+		for j := 0; j < n; j++ {
+			if s.bankWords[b][j] == word {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			bankWords[b] = append(bankWords[b], word)
-			if len(bankWords[b]) > worst {
-				worst = len(bankWords[b])
+			s.bankWords[b][n] = word
+			s.bankLen[b] = uint8(n + 1)
+			if n+1 > worst {
+				worst = n + 1
 			}
 		}
 	}

@@ -3,7 +3,6 @@ package sm
 import (
 	"github.com/wirsim/wir/internal/core"
 	"github.com/wirsim/wir/internal/hostprof"
-	"github.com/wirsim/wir/internal/isa"
 )
 
 // SetHostProf attaches (or detaches, with nil) the host-side phase profiler
@@ -21,6 +20,7 @@ func (s *SM) SetHostProf(p *hostprof.SMProf) { s.hp = p }
 func (s *SM) tickProfiled() {
 	hp := s.hp
 	issuedBefore := s.st.Issued
+	s.dirty = false
 
 	s.now++
 	// hadWork is latched after the cycle increment so the ReadyAt comparison
@@ -51,6 +51,7 @@ func (s *SM) tickProfiled() {
 		s.rp.ObserveCycle(s.eng.ReuseOccupancy(), s.now)
 	}
 	s.observeQuiescence(hp, hadWork, issuedBefore)
+	s.computeWake(issuedBefore)
 	hp.Lap(hostprof.PhaseSMOther)
 }
 
@@ -62,7 +63,7 @@ func (s *SM) anyFlightActionable() bool {
 		if s.now >= fl.ReadyAt {
 			return true
 		}
-		if fl.Stage == core.StageExec && fl.In.Op.Unit() == isa.FUMem && fl.MemIdx < len(fl.MemLines) {
+		if fl.Stage == core.StageExec && fl.MemPending {
 			return true
 		}
 	}

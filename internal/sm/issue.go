@@ -27,6 +27,12 @@ func (s *SM) issueCycle() {
 			}
 			for k := 0; k < per; k++ {
 				w := lo + (start-lo+k)%per
+				// Memoized-stalled warps are skipped without the call: a
+				// memo hit inside canIssue is side-effect-free, so eliding
+				// it cannot change timing.
+				if s.issueState[w] == issueStall {
+					continue
+				}
 				if s.canIssue(w) {
 					pick = w
 					break
@@ -37,6 +43,10 @@ func (s *SM) issueCycle() {
 		} else {
 			var bestSeq uint64
 			for w := lo; w < hi; w++ {
+				// Same side-effect-free elision as the LRR scan above.
+				if s.issueState[w] == issueStall {
+					continue
+				}
 				if !s.canIssue(w) {
 					continue
 				}
@@ -104,8 +114,9 @@ func (s *SM) classifyStall(lo, hi int) (metrics.StallReason, *core.Flight) {
 		}
 		// The warp has a next instruction but a scoreboard hazard; name the
 		// resource its oldest in-flight instruction is waiting on. (canIssue
-		// already ran mergeStack for every warp in the group this cycle, so
-		// the stack state is current.)
+		// ran for every warp in the group this cycle; warps it served from
+		// the memo have had no state change since their last mergeStack, so
+		// the stack state is current either way.)
 		upgrade(s.hazardReason(w))
 	}
 	return best, bestFl
@@ -142,28 +153,54 @@ func (s *SM) hazardReason(w int) (metrics.StallReason, *core.Flight) {
 		return metrics.StallFUBusy, oldest
 	case oldest.Blocked == core.BlockReg:
 		return metrics.StallRegShort, oldest
-	case oldest.Stage == core.StageExec && oldest.In.Op.Unit() == isa.FUMem:
+	case oldest.Stage == core.StageExec && oldest.FU == isa.FUMem:
 		return metrics.StallMemLatency, oldest
 	default:
 		return metrics.StallScoreboard, oldest
 	}
 }
 
-// canIssue reports whether warp w has a hazard-free next instruction.
+// issueState values: canIssue's per-warp memo.
+const (
+	issueUnknown uint8 = iota // recompute (warp state changed since last verdict)
+	issueReady                // hazard-free next instruction, modulo the flights-full gate
+	issueStall                // cannot issue until some warp-state mutation resets the memo
+)
+
+// canIssue reports whether warp w has a hazard-free next instruction. The
+// flights-full gate stays outside the memo: it is global backpressure, not
+// warp state, and the unmemoized code returned early on it without running
+// mergeStack — that ordering is preserved exactly. On a memo miss the stack
+// merge and scoreboard walk run once and the verdict is cached until the
+// next warp-state mutation resets issueState[w]; for a clean warp mergeStack
+// is a provable no-op (pc/exited/mask only change through sites that reset
+// the memo), so skipping it cannot alter timing.
 func (s *SM) canIssue(w int) bool {
+	if st := s.issueState[w]; st != issueUnknown {
+		return st == issueReady && len(s.flights) < maxFlightsPerSM
+	}
 	wc := s.warps[w]
 	if !wc.active || wc.done || wc.barrier {
+		// Inactive/finished/waiting warps memoize as stalled too: every
+		// transition out of those states runs through a memo-resetting site
+		// (block launch/completion, barrier release).
+		s.issueState[w] = issueStall
 		return false
 	}
 	if len(s.flights) >= maxFlightsPerSM {
 		return false
 	}
 	s.mergeStack(wc)
-	if len(wc.stack) == 0 {
-		return false
+	ready := false
+	if len(wc.stack) != 0 {
+		ready = s.scoreboardReady(wc, s.instrAt(wc))
 	}
-	in := s.instrAt(wc)
-	return s.scoreboardReady(wc, in)
+	if ready {
+		s.issueState[w] = issueReady
+	} else {
+		s.issueState[w] = issueStall
+	}
+	return ready
 }
 
 // maxFlightsPerSM bounds the number of in-flight warp instructions an SM
@@ -210,9 +247,12 @@ func (s *SM) mergeStack(wc *warpCtx) {
 			continue
 		}
 		if top.mask == 0 {
-			// All lanes exited: the warp is done.
+			// All lanes exited: the warp is done. This can fire inside
+			// canIssue on a tick that issues nothing, so latch it for the
+			// wake computation — block state changed under a quiet tick.
 			wc.stack = wc.stack[:0]
 			wc.done = true
+			s.dirty = true
 			s.checkBarrierRelease(wc.block)
 			s.completeBlockIfDone(wc.block)
 		}
@@ -225,6 +265,7 @@ func (s *SM) mergeStack(wc *warpCtx) {
 // as a Flight.
 func (s *SM) issueWarp(w int) {
 	wc := s.warps[w]
+	s.issueState[w] = issueUnknown // pc and scoreboard are about to move
 	top := &wc.stack[len(wc.stack)-1]
 	pc := top.pc
 	in := s.instrAt(wc)
@@ -292,19 +333,19 @@ func (s *SM) issueWarp(w int) {
 	}
 
 	wc.issueSeq++
-	fl := &core.Flight{
-		Warp:      w,
-		Block:     wc.block,
-		PC:        pc,
-		In:        in,
-		Mask:      mask,
-		Divergent: divergent,
-		Issued:    s.now,
-		SeqInWarp: wc.issueSeq,
-		RBIndex:   -1,
-		Attr:      rec,
-		RProf:     rrec,
-	}
+	fl := s.newFlight()
+	fl.Warp = w
+	fl.Block = wc.block
+	fl.PC = pc
+	fl.In = in
+	fl.FU = in.Op.Unit()
+	fl.Mask = mask
+	fl.Divergent = divergent
+	fl.Issued = s.now
+	fl.SeqInWarp = wc.issueSeq
+	fl.RBIndex = -1
+	fl.Attr = rec
+	fl.RProf = rrec
 	srcs := s.execute(wc, fl)
 	if s.Hook != nil {
 		s.Hook(in, srcs, fl.Result, mask, in.IsStore() || !in.Reusable())

@@ -50,10 +50,10 @@ func (s *SM) advanceFlights(renameSlots, reuseSlots *int) {
 				s.readAndDispatch(fl, &spSlots, &sfuSlots, &memSlots)
 			}
 		case core.StageExec:
-			if fl.In.Op.Unit() == isa.FUMem && fl.MemIdx < len(fl.MemLines) {
+			if fl.MemPending {
 				s.injectMemLines(fl)
 			}
-			if s.now >= fl.ReadyAt && fl.MemIdx >= len(fl.MemLines) {
+			if s.now >= fl.ReadyAt && !fl.MemPending {
 				fl.Stage = core.StageAlloc
 				back := uint64(s.backDelay())
 				if !s.eng.Reuse() {
@@ -83,13 +83,18 @@ func (s *SM) advanceFlights(renameSlots, reuseSlots *int) {
 				if s.chaos.RollWedge() {
 					// Drop the flight without retiring: the scoreboard never
 					// clears and the warp wedges, which the watchdog must
-					// convert into a diagnostic.
+					// convert into a diagnostic. The dropped flight is not
+					// recycled — the diagnosis is worth more than the object.
 					s.chaos.Note(chaos.Wedge, false)
 					done = true
 					break
 				}
 				s.retire(fl)
 				done = true
+				// Every observer of the retired flight (engine, hooks, trace)
+				// copies what it needs synchronously, so the object can go
+				// straight back to the pool.
+				s.recycleFlight(fl)
 			}
 		}
 		if !done {
@@ -97,6 +102,25 @@ func (s *SM) advanceFlights(renameSlots, reuseSlots *int) {
 		}
 	}
 	s.flights = kept
+}
+
+// newFlight returns a zeroed Flight, reusing a pooled one when available so
+// the steady-state issue path performs no heap allocation. Pooled flights
+// keep the backing arrays their MemLines/Refs slices grew in earlier trips
+// through the pipeline.
+func (s *SM) newFlight() *core.Flight {
+	if n := len(s.pool); n > 0 {
+		fl := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return fl
+	}
+	return &core.Flight{}
+}
+
+// recycleFlight resets a retired flight and returns it to the pool.
+func (s *SM) recycleFlight(fl *core.Flight) {
+	fl.Reset()
+	s.pool = append(s.pool, fl)
 }
 
 // reuseStage runs the reuse-buffer stage of fl: ineligible instructions fall
@@ -140,7 +164,11 @@ func (s *SM) checkPendingQueue(reuseSlots *int) {
 	}
 	*reuseSlots--
 	fl := s.pendingQ[0]
-	s.pendingQ = s.pendingQ[1:]
+	// Shift rather than reslice: the queue's backing array must stay put so
+	// steady-state re-queueing never reallocates. The queue is small (bounded
+	// by PendingQueueSize), so the copy is cheaper than the allocation churn.
+	copy(s.pendingQ, s.pendingQ[1:])
+	s.pendingQ = s.pendingQ[:len(s.pendingQ)-1]
 	resolved, still := s.eng.CheckPending(fl)
 	if !still && s.mx != nil {
 		s.mx.PendingWait.Observe(s.now - fl.PendingSince)
@@ -181,7 +209,7 @@ func (s *SM) readAndDispatch(fl *core.Flight, spSlots, sfuSlots, memSlots *int) 
 			fl.SrcRead++
 		}
 		// Dispatch to the functional unit.
-		switch fl.In.Op.Unit() {
+		switch fl.FU {
 		case isa.FUSP:
 			if *spSlots <= 0 {
 				fl.Blocked = core.BlockFU
@@ -296,6 +324,7 @@ func (s *SM) injectMemLinesWork(fl *core.Flight) {
 			d, ok := s.ms.AccessGlobalLoad(s.ID, l, s.now)
 			if !ok {
 				fl.Blocked = core.BlockMSHR
+				fl.MemPending = true
 				return // MSHRs full; retry next cycle
 			}
 			done = d
@@ -309,6 +338,7 @@ func (s *SM) injectMemLinesWork(fl *core.Flight) {
 		}
 		fl.MemIdx++
 	}
+	fl.MemPending = false
 	fl.Blocked = core.BlockNone
 	if fl.MemMaxDone > fl.ReadyAt {
 		fl.ReadyAt = fl.MemMaxDone
@@ -357,6 +387,7 @@ func (s *SM) retire(fl *core.Flight) {
 	if (in.Op == isa.OpISetP || in.Op == isa.OpFSetP) && in.PDst != isa.PredNone {
 		wc.pendPred[in.PDst]--
 	}
+	s.issueState[fl.Warp] = issueUnknown // a released scoreboard slot may unblock the warp
 	if fl.Bypassed {
 		s.st.Bypassed++
 		s.st.RFReadsSaved += uint64(in.NSrc)

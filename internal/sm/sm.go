@@ -68,8 +68,34 @@ type SM struct {
 	now       uint64
 	seq       uint64 // monotonic launch sequence for age ordering
 
+	// issueState memoizes canIssue per warp slot (issueUnknown = recompute).
+	// Every mutation of issue-visible warp state — pc/stack/exited via issue,
+	// scoreboard counts via issue/retire, barrier set/clear, block
+	// launch/complete — resets the slot to issueUnknown; between mutations a
+	// warp's readiness cannot change, so scheduler scans read this packed
+	// array instead of re-walking SIMT stacks and scoreboards, and skip
+	// known-stalled warps without touching their warpCtx at all.
+	issueState []uint8
+
 	liveBlocks  int
 	utilCounter int
+
+	// Event-driven stepping state. wake is the earliest cycle this SM can do
+	// any work (0 = step densely; ^uint64(0) = only an external event — block
+	// dispatch or the watchdog — ends the quiet). dirty latches quiet-tick
+	// state transitions (warp exit, barrier release, block completion inside
+	// canIssue's mergeStack) that can change issuability without issuing, so
+	// the next cycle always steps densely after one.
+	wake  uint64
+	dirty bool
+
+	// Per-SM scratch reused across ticks so the steady-state tick allocates
+	// nothing: operand values for execute, scratchpad bank-conflict counting,
+	// and a pool of retired Flights whose slice backings are kept warm.
+	srcScratch [3]isa.Vec
+	bankWords  [32][32]uint32
+	bankLen    [32]uint8
+	pool       []*core.Flight
 
 	Hook ProfileHook
 	// Trace, when non-nil, receives pipeline events (issue, bypass,
@@ -282,19 +308,27 @@ func New(id int, cfg *config.Config, st *stats.Sim, ms *mem.System) *SM {
 	}
 	rf := regfile.New(cfg.PhysRegsPerSM, cfg.RFBankGroups, vce)
 	s := &SM{
-		ID:        id,
-		cfg:       cfg,
-		st:        st,
-		rf:        rf,
-		eng:       core.NewEngine(cfg, st, rf),
-		ms:        ms,
-		warps:     make([]*warpCtx, cfg.WarpsPerSM),
-		blocks:    make([]*blockCtx, cfg.BlocksPerSM),
-		schedLast: make([]int, cfg.SchedulersPerSM),
+		ID:         id,
+		cfg:        cfg,
+		st:         st,
+		rf:         rf,
+		eng:        core.NewEngine(cfg, st, rf),
+		ms:         ms,
+		warps:      make([]*warpCtx, cfg.WarpsPerSM),
+		blocks:     make([]*blockCtx, cfg.BlocksPerSM),
+		schedLast:  make([]int, cfg.SchedulersPerSM),
+		issueState: make([]uint8, cfg.WarpsPerSM),
 
 		stalls:       make([]metrics.StallCounts, cfg.SchedulersPerSM),
 		issuedCycles: make([]uint64, cfg.SchedulersPerSM),
 	}
+	// Pre-size the pipeline slices to their structural bounds so steady-state
+	// ticks never grow them: checkPendingQueue can append resolved flights
+	// past the canIssue cap, hence the extra PendingQueueSize headroom.
+	s.flights = make([]*core.Flight, 0, maxFlightsPerSM+cfg.PendingQueueSize)
+	s.pendingQ = make([]*core.Flight, 0, cfg.PendingQueueSize)
+	s.dummies = make([]dummyOp, 0, 2*isa.WarpSize)
+	s.pool = make([]*core.Flight, 0, maxFlightsPerSM+cfg.PendingQueueSize)
 	for i := range s.warps {
 		s.warps[i] = &warpCtx{}
 	}
@@ -365,6 +399,7 @@ func (s *SM) TryLaunchBlock(info BlockInfo) bool {
 	}
 	for i, w := range free {
 		wc := s.warps[w]
+		s.issueState[w] = issueUnknown
 		lanes := info.Threads - i*isa.WarpSize
 		if lanes > isa.WarpSize {
 			lanes = isa.WarpSize
@@ -375,14 +410,15 @@ func (s *SM) TryLaunchBlock(info BlockInfo) bool {
 		} else {
 			m = isa.Mask(1<<uint(lanes)) - 1
 		}
+		stack := wc.stack[:0] // keep the grown SIMT-stack backing across launches
 		*wc = warpCtx{
 			active:  true,
 			block:   slot,
 			inBlock: i,
 			threads: m,
-			stack:   []simtEntry{{pc: 0, rpc: -1, mask: m}},
 			seq:     s.seq,
 		}
+		wc.stack = append(stack, simtEntry{pc: 0, rpc: -1, mask: m})
 	}
 	s.liveBlocks++
 	return true
@@ -403,8 +439,10 @@ func (s *SM) checkBarrierRelease(slot int) {
 	}
 	if b.arrived >= live {
 		b.arrived = 0
+		s.dirty = true // released warps become issuable without an issue this tick
 		for _, ow := range b.warps {
 			s.warps[ow].barrier = false
+			s.issueState[ow] = issueUnknown
 		}
 		s.eng.OnBarrier(slot, b.warps)
 		if s.Trace != nil {
@@ -438,10 +476,12 @@ func (s *SM) completeBlockIfDone(slot int) {
 	s.eng.BlockComplete(slot, b.warps)
 	for _, w := range b.warps {
 		s.warps[w].active = false
+		s.issueState[w] = issueUnknown
 	}
 	b.active = false
 	b.shared = nil
 	s.liveBlocks--
+	s.dirty = true // a freed slot can admit a new block next cycle
 }
 
 // Tick advances the SM by one cycle.
@@ -450,6 +490,8 @@ func (s *SM) Tick() {
 		s.tickProfiled()
 		return
 	}
+	issuedBefore := s.st.Issued
+	s.dirty = false
 	s.now++
 	s.rf.BeginCycle()
 	s.eng.BeginCycle()
@@ -463,6 +505,103 @@ func (s *SM) Tick() {
 	s.sampleUtilization()
 	if s.rp != nil {
 		s.rp.ObserveCycle(s.eng.ReuseOccupancy(), s.now)
+	}
+	s.computeWake(issuedBefore)
+}
+
+// computeWake derives, at the end of a tick, the earliest future cycle at
+// which this SM can do any work. A dense tick has per-cycle side effects
+// whenever something issued, dummy MOVs or pending-retry traffic exist, a
+// quiet-tick state transition was latched (dirty), the engine is draining in
+// low-register mode (BeginCycle evicts every cycle there), or any in-flight
+// instruction is actionable — retrying a memory injection or already past its
+// ReadyAt (bank/FU retries roll side effects each cycle). Absent all of that,
+// the SM is provably inert until the earliest flight completion, and the
+// stepper may skip straight to it.
+func (s *SM) computeWake(issuedBefore uint64) {
+	if s.st.Issued != issuedBefore || len(s.dummies) > 0 || len(s.pendingQ) > 0 ||
+		s.dirty || s.eng.LowRegMode() {
+		s.wake = s.now + 1
+		return
+	}
+	wake := ^uint64(0)
+	for _, fl := range s.flights {
+		if fl.ReadyAt <= s.now+1 ||
+			(fl.Stage == core.StageExec && fl.MemPending) {
+			s.wake = s.now + 1
+			return
+		}
+		if fl.ReadyAt < wake {
+			wake = fl.ReadyAt
+		}
+	}
+	s.wake = wake
+}
+
+// WakeAt returns the earliest cycle the SM can do work, as of its last tick.
+// ^uint64(0) means only an external event (block dispatch, watchdog) can end
+// the quiet.
+func (s *SM) WakeAt() uint64 { return s.wake }
+
+// Wake forces dense stepping from the next cycle onward; the GPU calls it
+// when an external event (a block launched onto this SM) invalidates the last
+// computed wake cycle.
+func (s *SM) Wake() { s.wake = 0 }
+
+// SkipTicks advances the SM clock by n cycles without stepping, standing in
+// for n consecutive quiet dense ticks. The caller (the event-driven stepper)
+// must have proven the SM cannot do work in any of them: s.now+n must not
+// reach WakeAt. All per-cycle telemetry that dense quiet ticks would have
+// recorded — utilization samples, the reuse-profiler occupancy series, the
+// host profiler's quiet/idle tick counts and warp-slot occupancy — is
+// recorded in closed form, so every downstream artifact is bit-identical to
+// dense stepping.
+func (s *SM) SkipTicks(n uint64) {
+	if n == 0 {
+		return
+	}
+	first := s.now + 1
+	s.now += n
+	s.skipUtilization(n)
+	if s.rp != nil {
+		s.rp.ObserveQuietCycles(s.eng.ReuseOccupancy(), first, n)
+	}
+	if s.hp != nil {
+		s.hp.ObserveSkippedTicks(n, s.Idle())
+		for w, wc := range s.warps {
+			if wc.active && !wc.done {
+				s.hp.WarpResident[w] += n
+				if wc.inflight > 0 {
+					s.hp.WarpBusy[w] += n
+				}
+			}
+		}
+	}
+}
+
+// skipUtilization applies n ticks of sampleUtilization in closed form. The
+// register-use count cannot change across quiet ticks, so every sample in the
+// span observes the same value.
+func (s *SM) skipUtilization(n uint64) {
+	total := uint64(s.utilCounter) + n
+	k := total / 32
+	s.utilCounter = int(total % 32)
+	if k == 0 {
+		return
+	}
+	u := uint64(s.eng.RegsInUse())
+	s.st.RegUtilSum += u * k
+	s.st.UtilSamples += k
+	if u > s.st.RegUtilPeak {
+		s.st.RegUtilPeak = u
+	}
+	if s.mx != nil {
+		// Unreachable under event-driven stepping (instruments force dense),
+		// but kept equivalent for safety: the gauges would have been refreshed
+		// with the same constant values on each sample.
+		s.gRegs.Set(float64(u))
+		s.gReuseOcc.Set(float64(s.eng.ReuseOccupancy()))
+		s.gVSBOcc.Set(float64(s.eng.VSBOccupancy()))
 	}
 }
 

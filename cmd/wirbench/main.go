@@ -25,7 +25,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -36,169 +35,12 @@ import (
 	"github.com/wirsim/wir/internal/reuseprof"
 )
 
-// step is one selectable experiment.
-type step struct {
-	name string
-	run  func(h *harness.Harness, out io.Writer) error
-}
+// step is one selectable experiment, drawn from the shared harness registry
+// so wirbench -exp and wirserve sweep jobs speak the same names.
+type step = harness.Experiment
 
 // steps enumerates every experiment in presentation order.
-func steps() []step {
-	return []step{
-		{"headline", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.RunHeadline()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig2", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig2()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig12", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig12()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig13", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig13()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig14", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig14()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig15", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig15()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig16", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig16()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig17", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig17()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig18", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig18()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig19", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig19()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig20", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig20()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig21", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig21()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"fig22", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.Fig22()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"table1", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.TableI()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"table2", func(h *harness.Harness, out io.Writer) error {
-			harness.TableII(out)
-			return nil
-		}},
-		{"table3", func(h *harness.Harness, out io.Writer) error {
-			harness.TableIII(out)
-			return nil
-		}},
-		{"ablation-assoc", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.AblationAssociativity()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"ablation-pending", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.AblationPendingQueue()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"ablation-gating", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.AblationPowerGating()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-		{"ablation-scheduler", func(h *harness.Harness, out io.Writer) error {
-			r, err := h.AblationScheduler()
-			if err != nil {
-				return err
-			}
-			r.WriteText(out)
-			return nil
-		}},
-	}
-}
+func steps() []step { return harness.Experiments() }
 
 func main() {
 	sms := flag.Int("sms", 15, "number of simulated SMs (paper: 15)")
@@ -301,14 +143,14 @@ func main() {
 	out := os.Stdout
 	ran := 0
 	for _, s := range steps() {
-		if !sel(s.name) {
+		if !sel(s.Name) {
 			continue
 		}
 		if ran > 0 {
 			fmt.Fprintln(out)
 		}
-		if err := s.run(h, out); err != nil {
-			fmt.Fprintf(os.Stderr, "wirbench: %s: %v\n", s.name, err)
+		if err := s.Run(h, out); err != nil {
+			fmt.Fprintf(os.Stderr, "wirbench: %s: %v\n", s.Name, err)
 			os.Exit(1)
 		}
 		ran++

@@ -77,16 +77,16 @@ func runSpeed(o speedOpts, sms, workers int, newHarness func(int) *harness.Harne
 	pass := func(h *harness.Harness, w int) (speed.Run, error) {
 		run := speed.Run{Workers: w}
 		for _, s := range steps() {
-			if !sel(s.name) {
+			if !sel(s.Name) {
 				continue
 			}
 			before := h.SimCycles()
 			t0 := time.Now()
-			if err := s.run(h, io.Discard); err != nil {
-				return run, fmt.Errorf("%s (workers=%d): %w", s.name, w, err)
+			if err := s.Run(h, io.Discard); err != nil {
+				return run, fmt.Errorf("%s (workers=%d): %w", s.Name, w, err)
 			}
 			run.Experiments = append(run.Experiments, speed.Experiment{
-				Name:      s.name,
+				Name:      s.Name,
 				WallMS:    float64(time.Since(t0).Microseconds()) / 1000,
 				SimCycles: h.SimCycles() - before,
 			})

@@ -31,6 +31,7 @@ import (
 	"github.com/wirsim/wir/internal/config"
 	"github.com/wirsim/wir/internal/energy"
 	"github.com/wirsim/wir/internal/gpu"
+	"github.com/wirsim/wir/internal/harness"
 	"github.com/wirsim/wir/internal/hostprof"
 	"github.com/wirsim/wir/internal/mem"
 	"github.com/wirsim/wir/internal/metrics"
@@ -341,6 +342,7 @@ func main() {
 
 	if *statsMode == "json" {
 		rep := metrics.NewReport(bm.Abbr, fmt.Sprint(m), cfg.NumSMs, &st)
+		rep.ConfigHash = harness.KeyHash(harness.RunKey(bm.Abbr, m, nil, &cfg))
 		sr := g.StallReport()
 		sr.Publish(reg)
 		rep.AttachStalls(&sr)

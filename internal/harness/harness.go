@@ -202,13 +202,41 @@ func (h *Harness) Execute(key, abbr string, m config.Model, cfg config.Config) (
 // runKey renders the cache key: the readable abbr/model[/variant] prefix the
 // CSV export shows, plus the config hash that makes it collision-proof.
 func runKey(abbr string, m config.Model, v *Variant, cfg *config.Config) string {
-	key := fmt.Sprintf("%s/%v", abbr, m)
-	if v != nil {
-		key += "/" + v.Name
-	}
+	return RunKey(abbr, m, v, cfg)
+}
+
+// ConfigHash returns the FNV-64a hash of a fully-mutated configuration — the
+// collision-proofing suffix of every cache key. It is stable across processes
+// for identical configs, which is what lets the single-flight cache, the
+// distributed coordinator, and the wirserve result store all agree on one key.
+func ConfigHash(cfg *config.Config) uint64 {
 	fh := fnv.New64a()
 	fmt.Fprintf(fh, "%+v", *cfg)
-	return fmt.Sprintf("%s#%016x", key, fh.Sum64())
+	return fh.Sum64()
+}
+
+// RunKey renders the cache key for one (benchmark, model, variant, config)
+// simulation: the readable abbr/model[/variant] prefix plus the config hash.
+// A nil variant (or one with an empty name) contributes no segment, so callers
+// that inject a fully-built config without a named variant — wirsim, the
+// wirserve job API — produce the same key as a plain harness Run.
+func RunKey(abbr string, m config.Model, v *Variant, cfg *config.Config) string {
+	key := fmt.Sprintf("%s/%v", abbr, m)
+	if v != nil && v.Name != "" {
+		key += "/" + v.Name
+	}
+	return fmt.Sprintf("%s#%016x", key, ConfigHash(cfg))
+}
+
+// KeyHash collapses a full cache key to its canonical 16-hex-digit content
+// address: the FNV-64a hash of the whole key string. This is the token the
+// wirserve store uses as a filename and the config_hash field of wir-stats/1
+// reports, so "the hash wirsim printed" and "the file the store wrote" can be
+// compared byte-for-byte.
+func KeyHash(key string) string {
+	fh := fnv.New64a()
+	fh.Write([]byte(key))
+	return fmt.Sprintf("%016x", fh.Sum64())
 }
 
 // simulate performs one fresh benchmark execution.

@@ -21,6 +21,11 @@ type Report struct {
 	Model     string `json:"model"`
 	SMs       int    `json:"sms"`
 	Cycles    uint64 `json:"cycles"`
+	// ConfigHash is the canonical 16-hex content address of this run's cache
+	// key (harness.KeyHash of harness.RunKey): the same token the single-flight
+	// cache, the dist coordinator, and the wirserve result store key by, so a
+	// client can match a report to a store entry byte-for-byte.
+	ConfigHash string `json:"config_hash,omitempty"`
 
 	Counters map[string]uint64  `json:"counters"`
 	Derived  map[string]float64 `json:"derived"`

@@ -1,0 +1,362 @@
+// Package serve implements wirserve, the simulation-as-a-service daemon: a
+// REST/JSON job API (wir-serve/1) over the simulator, a bounded worker pool,
+// and a disk-backed content-addressed result store keyed by the harness cache
+// key hash, so a config that has ever been simulated — by this process, a
+// previous one, or a distributed sweep — is never simulated again.
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StoreSchema identifies the on-disk entry container format.
+const StoreSchema = "wir-store/1"
+
+// ErrNotFound reports a token with no (valid) store entry.
+var ErrNotFound = errors.New("serve: store entry not found")
+
+// ErrCorrupt reports an entry that failed checksum or framing validation. The
+// store quarantines such entries on read, so a corrupt error is also a miss:
+// the caller re-simulates and overwrites.
+var ErrCorrupt = errors.New("serve: store entry corrupt")
+
+// Store is a disk-backed content-addressed artifact store. Each entry is one
+// file named by its 16-hex-digit token (harness.KeyHash of the run's cache
+// key) holding a checksummed set of named artifacts. Writes go through a
+// temp-file rename, so concurrent readers never observe partial bytes;
+// corrupted or truncated entries are detected on read, quarantined aside for
+// forensics, and reported as misses; an LRU sweep keeps total bytes under the
+// configured cap.
+type Store struct {
+	dir string
+	max int64 // byte cap; 0 = unlimited
+
+	mu      sync.Mutex
+	sizes   map[string]int64 // token -> entry file size
+	recency map[string]int64 // token -> last-use tick
+	tick    int64
+	total   int64
+	hits    uint64
+	misses  uint64
+	evict   uint64
+	quarant uint64
+	tmpSeq  int64
+	readers sync.WaitGroup // in-flight Gets, so Close can drain (tests)
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir with the given
+// byte cap (0 = unlimited). Existing entries are indexed by file size and
+// modification time, so LRU order approximately survives restarts.
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, max: maxBytes, sizes: map[string]int64{}, recency: map[string]int64{}}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type aged struct {
+		tok string
+		mod time.Time
+	}
+	var order []aged
+	for _, de := range des {
+		name := de.Name()
+		if !ValidToken(name) {
+			continue // temp files, quarantined entries, foreign files
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		s.sizes[name] = info.Size()
+		s.total += info.Size()
+		order = append(order, aged{name, info.ModTime()})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].mod.Before(order[j].mod) })
+	for _, a := range order {
+		s.tick++
+		s.recency[a.tok] = s.tick
+	}
+	return s, nil
+}
+
+// ValidToken reports whether s is a well-formed 16-hex-digit content address.
+func ValidToken(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns the entry file path for a token.
+func (s *Store) Path(token string) string { return filepath.Join(s.dir, token) }
+
+// Entries returns the number of indexed entries.
+func (s *Store) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sizes)
+}
+
+// Bytes returns the total indexed entry bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Counters returns (hits, misses, evictions, quarantines) so far.
+func (s *Store) Counters() (hits, misses, evictions, quarantines uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evict, s.quarant
+}
+
+// Get reads and validates the entry for token. On success the artifacts are
+// returned and the entry's recency is refreshed. A missing entry returns
+// ErrNotFound. A corrupt or truncated entry is quarantined (renamed aside,
+// dropped from the index) and returns an error wrapping ErrCorrupt — callers
+// treat both as a miss and re-simulate.
+func (s *Store) Get(token string) (map[string][]byte, error) {
+	return s.get(token, true)
+}
+
+// Peek is Get without the hit/miss accounting: artifact downloads of an
+// already-answered job should not inflate the cache-effectiveness ratio the
+// /metrics gauges report. Corruption handling and recency refresh are
+// identical to Get.
+func (s *Store) Peek(token string) (map[string][]byte, error) {
+	return s.get(token, false)
+}
+
+func (s *Store) get(token string, count bool) (map[string][]byte, error) {
+	if !ValidToken(token) {
+		return nil, fmt.Errorf("%w: bad token %q", ErrNotFound, token)
+	}
+	s.mu.Lock()
+	s.readers.Add(1)
+	s.mu.Unlock()
+	defer s.readers.Done()
+
+	data, err := os.ReadFile(s.Path(token))
+	if errors.Is(err, os.ErrNotExist) {
+		s.miss(count, false)
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	arts, derr := DecodeEntry(token, data)
+	if derr != nil {
+		s.quarantine(token)
+		s.miss(count, true)
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, derr)
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if count {
+		s.hits++
+	}
+	s.tick++
+	s.recency[token] = s.tick
+	s.mu.Unlock()
+	// Best-effort mtime touch so the LRU order survives a restart.
+	_ = os.Chtimes(s.Path(token), now, now)
+	return arts, nil
+}
+
+func (s *Store) miss(count, corrupt bool) {
+	s.mu.Lock()
+	if count {
+		s.misses++
+	}
+	if corrupt {
+		s.quarant++
+	}
+	s.mu.Unlock()
+}
+
+// quarantine moves a bad entry aside (token.corrupt-N) and drops it from the
+// index. The bytes stay on disk for diagnosis but no longer count toward the
+// cap and can never be served.
+func (s *Store) quarantine(token string) {
+	s.mu.Lock()
+	if sz, ok := s.sizes[token]; ok {
+		s.total -= sz
+		delete(s.sizes, token)
+		delete(s.recency, token)
+	}
+	s.tmpSeq++
+	seq := s.tmpSeq
+	s.mu.Unlock()
+	_ = os.Rename(s.Path(token), s.Path(token)+fmt.Sprintf(".corrupt-%d", seq))
+}
+
+// Put atomically writes the entry for token: encode, write to a temp file in
+// the same directory, fsync-free rename over the final name. A reader racing
+// the rename sees either the old complete entry or the new complete entry,
+// never a prefix. After indexing, least-recently-used entries are evicted
+// until the total is back under the cap (the entry just written survives even
+// if it alone exceeds the cap).
+func (s *Store) Put(token string, artifacts map[string][]byte) error {
+	if !ValidToken(token) {
+		return fmt.Errorf("serve: Put with bad token %q", token)
+	}
+	data := EncodeEntry(token, artifacts)
+	s.mu.Lock()
+	s.tmpSeq++
+	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), s.tmpSeq))
+	s.mu.Unlock()
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.Path(token)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	s.mu.Lock()
+	if old, ok := s.sizes[token]; ok {
+		s.total -= old
+	}
+	s.sizes[token] = int64(len(data))
+	s.total += int64(len(data))
+	s.tick++
+	s.recency[token] = s.tick
+	victims := s.planEvictionsLocked(token)
+	s.mu.Unlock()
+	for _, v := range victims {
+		_ = os.Remove(s.Path(v))
+	}
+	return nil
+}
+
+// planEvictionsLocked removes over-cap LRU victims from the index (never
+// keep, the entry just written) and returns their tokens for file removal.
+func (s *Store) planEvictionsLocked(keep string) []string {
+	if s.max <= 0 {
+		return nil
+	}
+	var victims []string
+	for s.total > s.max && len(s.sizes) > 1 {
+		oldest, oldestTick := "", int64(1<<62)
+		for tok, tk := range s.recency {
+			if tok != keep && tk < oldestTick {
+				oldest, oldestTick = tok, tk
+			}
+		}
+		if oldest == "" {
+			break
+		}
+		s.total -= s.sizes[oldest]
+		delete(s.sizes, oldest)
+		delete(s.recency, oldest)
+		s.evict++
+		victims = append(victims, oldest)
+	}
+	return victims
+}
+
+// --- entry container format ---
+//
+// Entries are a single self-checking file:
+//
+//	wir-store/1 <token> <n>\n
+//	<name> <length> <fnv64a-16hex>\n<bytes>\n     (n sections, names sorted)
+//
+// Every section carries its own checksum, so a flipped byte anywhere is
+// detected; lengths frame the payloads, so truncation anywhere is detected.
+
+// EncodeEntry renders the artifact set in the wir-store/1 container format.
+// Artifact names are sorted, so encoding is deterministic.
+func EncodeEntry(token string, artifacts map[string][]byte) []byte {
+	names := make([]string, 0, len(artifacts))
+	for n := range artifacts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %s %d\n", StoreSchema, token, len(names))
+	for _, n := range names {
+		payload := artifacts[n]
+		fh := fnv.New64a()
+		fh.Write(payload)
+		fmt.Fprintf(&buf, "%s %d %016x\n", n, len(payload), fh.Sum64())
+		buf.Write(payload)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// DecodeEntry parses and validates a wir-store/1 container, checking the
+// schema line, the token, section framing, and every artifact checksum.
+func DecodeEntry(token string, data []byte) (map[string][]byte, error) {
+	head, rest, ok := bytes.Cut(data, []byte{'\n'})
+	if !ok {
+		return nil, errors.New("missing header")
+	}
+	hf := strings.Fields(string(head))
+	if len(hf) != 3 || hf[0] != StoreSchema {
+		return nil, fmt.Errorf("bad header %q", string(head))
+	}
+	if hf[1] != token {
+		return nil, fmt.Errorf("entry is for token %s, file named %s", hf[1], token)
+	}
+	n, err := strconv.Atoi(hf[2])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("bad artifact count %q", hf[2])
+	}
+	arts := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		head, body, ok := bytes.Cut(rest, []byte{'\n'})
+		if !ok {
+			return nil, fmt.Errorf("truncated at section %d header", i)
+		}
+		sf := strings.Fields(string(head))
+		if len(sf) != 3 {
+			return nil, fmt.Errorf("bad section %d header %q", i, string(head))
+		}
+		name := sf[0]
+		size, err := strconv.Atoi(sf[1])
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("bad section %d length %q", i, sf[1])
+		}
+		if len(body) < size+1 {
+			return nil, fmt.Errorf("truncated in section %d payload (%d of %d bytes)", i, len(body), size)
+		}
+		payload := body[:size]
+		if body[size] != '\n' {
+			return nil, fmt.Errorf("section %d payload not terminated", i)
+		}
+		fh := fnv.New64a()
+		fh.Write(payload)
+		if got := fmt.Sprintf("%016x", fh.Sum64()); got != sf[2] {
+			return nil, fmt.Errorf("section %d (%s) checksum mismatch: %s != %s", i, name, got, sf[2])
+		}
+		cp := make([]byte, size)
+		copy(cp, payload)
+		arts[name] = cp
+		rest = body[size+1:]
+	}
+	if len(bytes.TrimSpace(rest)) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after last section", len(rest))
+	}
+	return arts, nil
+}

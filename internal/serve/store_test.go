@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testArts(tag string) map[string][]byte {
+	return map[string][]byte{
+		"stats.json":  []byte(`{"tag":"` + tag + `"}`),
+		"trace.jsonl": bytes.Repeat([]byte(tag+"\n"), 8),
+		"blob.bin":    {0, 1, 2, '\n', 255, 0, '\n'},
+	}
+}
+
+func mustStore(t *testing.T, max int64) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), max)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s
+}
+
+const tokA = "00000000000000aa"
+const tokB = "00000000000000bb"
+const tokC = "00000000000000cc"
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := mustStore(t, 0)
+	want := testArts("x")
+	if err := s.Put(tokA, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(tokA)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d artifacts, want %d", len(got), len(want))
+	}
+	for name, payload := range want {
+		if !bytes.Equal(got[name], payload) {
+			t.Errorf("artifact %s: got %q want %q", name, got[name], payload)
+		}
+	}
+	// The entry file is named exactly by the token (the stats config_hash and
+	// the store filename must be one key).
+	if _, err := os.Stat(s.Path(tokA)); err != nil {
+		t.Fatalf("entry file: %v", err)
+	}
+	if _, err := s.Get(tokB); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent token: got %v, want ErrNotFound", err)
+	}
+	hits, misses, _, _ := s.Counters()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestStoreCorruption flips one payload byte and expects detection,
+// quarantine, and a clean re-Put afterwards.
+func TestStoreCorruption(t *testing.T) {
+	s := mustStore(t, 0)
+	if err := s.Put(tokA, testArts("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	data, err := os.ReadFile(s.Path(tokA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first payload (after the two header lines).
+	i := bytes.IndexByte(data, '\n')
+	i += 1 + bytes.IndexByte(data[i+1:], '\n') + 2
+	data[i] ^= 0x40
+	if err := os.WriteFile(s.Path(tokA), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Get(tokA); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt entry: got %v, want ErrCorrupt", err)
+	}
+	if s.Entries() != 0 {
+		t.Fatalf("corrupt entry still indexed (%d entries)", s.Entries())
+	}
+	des, _ := os.ReadDir(s.dir)
+	var quarantined bool
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), tokA+".corrupt-") {
+			quarantined = true
+		}
+		if de.Name() == tokA {
+			t.Fatalf("corrupt entry file still present under its token")
+		}
+	}
+	if !quarantined {
+		t.Fatalf("no quarantine file; dir: %v", des)
+	}
+	_, _, _, quarantines := s.Counters()
+	if quarantines != 1 {
+		t.Fatalf("quarantines=%d, want 1", quarantines)
+	}
+
+	// The token is reusable: re-simulate, re-Put, and it serves again.
+	if err := s.Put(tokA, testArts("y")); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	got, err := s.Get(tokA)
+	if err != nil {
+		t.Fatalf("Get after re-Put: %v", err)
+	}
+	if !bytes.Equal(got["stats.json"], []byte(`{"tag":"y"}`)) {
+		t.Fatalf("stale payload after re-Put: %q", got["stats.json"])
+	}
+}
+
+func TestStoreTruncation(t *testing.T) {
+	s := mustStore(t, 0)
+	if err := s.Put(tokA, testArts("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.Path(tokA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) - 3, len(data) / 2, 10} {
+		if err := s.Put(tokA, testArts("x")); err != nil { // restore
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(s.Path(tokA), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(tokA); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestStoreWrongTokenEntry guards the content address: an entry copied to a
+// different filename must not serve under the wrong key.
+func TestStoreWrongTokenEntry(t *testing.T) {
+	s := mustStore(t, 0)
+	if err := s.Put(tokA, testArts("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(s.Path(tokA))
+	if err := os.WriteFile(s.Path(tokB), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen so tokB gets indexed, then read it.
+	s2, err := OpenStore(s.dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(tokB); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mis-addressed entry: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreLRU fills past the cap and expects the least-recently-used entry
+// (not the least-recently-written one) to go.
+func TestStoreLRU(t *testing.T) {
+	arts := testArts("x")
+	entrySize := int64(len(EncodeEntry(tokA, arts)))
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2*entrySize+entrySize/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tokA, arts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tokB, arts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(tokA); err != nil { // refresh A: B becomes the LRU
+		t.Fatal(err)
+	}
+	if err := s.Put(tokC, arts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.Path(tokB)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("LRU victim B still on disk (err=%v)", err)
+	}
+	for _, tok := range []string{tokA, tokC} {
+		if _, err := s.Get(tok); err != nil {
+			t.Fatalf("survivor %s: %v", tok, err)
+		}
+	}
+	_, _, evictions, _ := s.Counters()
+	if evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", evictions)
+	}
+	if s.Bytes() > 2*entrySize+entrySize/2 {
+		t.Fatalf("store over cap: %d bytes", s.Bytes())
+	}
+}
+
+// TestStoreOversizeEntrySurvives: an entry bigger than the whole cap is still
+// stored (evicting everything else) rather than thrashing.
+func TestStoreOversizeEntrySurvives(t *testing.T) {
+	s := mustStore(t, 64)
+	big := map[string][]byte{"blob": bytes.Repeat([]byte{7}, 4096)}
+	if err := s.Put(tokA, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(tokA); err != nil {
+		t.Fatalf("oversize entry evicted itself: %v", err)
+	}
+}
+
+// TestStoreReopen proves persistence: a second store over the same directory
+// serves what the first one wrote, and the LRU index survives via mtimes.
+func TestStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(tokA, testArts("x")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Entries() != 1 || s2.Bytes() == 0 {
+		t.Fatalf("reopened index: %d entries, %d bytes", s2.Entries(), s2.Bytes())
+	}
+	got, err := s2.Get(tokA)
+	if err != nil {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+	if !bytes.Equal(got["stats.json"], []byte(`{"tag":"x"}`)) {
+		t.Fatalf("wrong payload after reopen: %q", got["stats.json"])
+	}
+}
+
+// TestStoreConcurrentReaders hammers one token with rewrites while readers
+// Get it: because writes are rename-atomic and every read is checksummed, a
+// reader must always see one complete version — never a mix, never a prefix.
+func TestStoreConcurrentReaders(t *testing.T) {
+	s := mustStore(t, 0)
+	versions := map[string]bool{}
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		versions[fmt.Sprintf(`{"tag":"v%d"}`, i)] = true
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				arts, err := s.Get(tokA)
+				if errors.Is(err, ErrNotFound) {
+					continue // writer has not produced the first version yet
+				}
+				if err != nil {
+					errs <- fmt.Errorf("reader saw: %w", err)
+					return
+				}
+				if !versions[string(arts["stats.json"])] {
+					errs <- fmt.Errorf("reader saw torn version %q", arts["stats.json"])
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		if err := s.Put(tokA, testArts(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestValidToken(t *testing.T) {
+	for tok, want := range map[string]bool{
+		"0123456789abcdef":  true,
+		"0123456789ABCDEF":  false, // uppercase: not what KeyHash emits
+		"0123456789abcde":   false,
+		"0123456789abcdef0": false,
+		"0123456789abcdeg":  false,
+		"":                  false,
+		"../../etc/passwd":  false,
+	} {
+		if ValidToken(tok) != want {
+			t.Errorf("ValidToken(%q) = %v, want %v", tok, !want, want)
+		}
+	}
+}
